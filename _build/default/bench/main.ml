@@ -1,0 +1,465 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§6), plus the performance and ablation experiments indexed
+   in DESIGN.md. Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+module Profile = Wr_sitegen.Profile
+module Eval = Wr_sitegen.Eval
+module Gen = Wr_sitegen.Gen
+module Graph = Wr_hb.Graph
+module Op = Wr_hb.Op
+module Table = Wr_support.Table
+
+let section title =
+  Printf.printf "\n==============================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==============================================================\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_bench_group ~name tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let grouped = Test.make_grouped ~name tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun test_name ols acc ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) -> (test_name, est) :: acc
+      | Some [] | None -> acc)
+    results []
+  |> List.sort compare
+
+let pp_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let print_bench_results results =
+  Table.print ~header:[ "benchmark"; "time/run" ]
+    (List.map (fun (name, ns) -> [ name; pp_ns ns ]) results)
+
+(* ------------------------------------------------------------------ *)
+(* Tables 1 and 2 (§6.2, §6.3)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let paper_table1 =
+  (* type, mean, median, max from the paper *)
+  [
+    ("HTML", 2.2, 0.0, 112);
+    ("Function", 0.4, 0.0, 6);
+    ("Variable", 22.4, 5.5, 269);
+    ("Event Dispatch", 22.3, 7.0, 198);
+    ("All", 47.3, 27.0, 278);
+  ]
+
+let table1 outcomes =
+  section "Table 1 — raw races per type across 100 sites (paper vs measured)";
+  let stat f =
+    let xs = List.map f outcomes in
+    (Wr_support.Stats.mean xs, Wr_support.Stats.median xs, Wr_support.Stats.max xs)
+  in
+  let selectors =
+    [
+      ("HTML", fun (o : Eval.outcome) -> o.Eval.raw.Profile.html);
+      ("Function", fun o -> o.Eval.raw.Profile.func);
+      ("Variable", fun o -> o.Eval.raw.Profile.var);
+      ("Event Dispatch", fun o -> o.Eval.raw.Profile.disp);
+      ("All", fun o -> Profile.total o.Eval.raw);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, f) ->
+        let mean, median, mx = stat f in
+        let pm, pmed, pmax =
+          let _, m, md, x = List.find (fun (n, _, _, _) -> n = name)
+            (List.map (fun (a,b,c,d) -> (a,b,c,d)) paper_table1) in
+          (m, md, x)
+        in
+        [
+          name;
+          Printf.sprintf "%.1f" pm;
+          Printf.sprintf "%.1f" mean;
+          Printf.sprintf "%.1f" pmed;
+          Printf.sprintf "%.1f" median;
+          string_of_int pmax;
+          string_of_int mx;
+        ])
+      selectors
+  in
+  Table.print
+    ~header:
+      [ "Race type"; "mean(paper)"; "mean(ours)"; "med(paper)"; "med(ours)";
+        "max(paper)"; "max(ours)" ]
+    rows
+
+let table2 outcomes =
+  section "Table 2 — filtered races per site, harmful in parentheses (§6.3)";
+  print_string (Eval.render_table2 outcomes);
+  let infidels = List.filter (fun o -> not (Eval.fidelity o)) outcomes in
+  Printf.printf
+    "\nGround-truth fidelity: %d/%d sites match planted races exactly%s\n"
+    (List.length outcomes - List.length infidels)
+    (List.length outcomes)
+    (if infidels = [] then "" else " (! marks mismatches)")
+
+(* ------------------------------------------------------------------ *)
+(* Figures 1-5: the motivating examples as detector runs               *)
+(* ------------------------------------------------------------------ *)
+
+let figures () =
+  section "Figures 1-5 — the paper's motivating races, re-detected";
+  let run name page resources expect =
+    let r = Webracer.analyze (Webracer.config ~page ~resources ~seed:1 ~explore:true ()) in
+    let h, f, v, d = Webracer.count_by_type r.Webracer.races in
+    [ name; expect; Printf.sprintf "html %d, function %d, variable %d, dispatch %d" h f v d ]
+  in
+  let rows =
+    [
+      run "Fig 1 (iframe variable race)"
+        {|<script>x = 1;</script><iframe src="a.html"></iframe><iframe src="b.html"></iframe>|}
+        [ ("a.html", "<script>x = 2;</script>"); ("b.html", "<script>alert(x);</script>") ]
+        "1 variable";
+      run "Fig 2 (Southwest form race)"
+        {|<input type="text" id="depart" /><script>document.getElementById("depart").value = "City of Departure";</script>|}
+        [] "1 variable (form)";
+      run "Fig 3 (Valero HTML race)"
+        {|<script>function show() { var v = document.getElementById("dw"); v.style.display = "block"; }</script><a href="javascript:show()">Send Email</a><div id="dw" style="display:none">form</div>|}
+        [] "1 html";
+      run "Fig 4 (Mozilla function race)"
+        {|<iframe id="i" src="sub.html" onload="setTimeout(doNextStep, 20)"></iframe><script>function doNextStep() { return 1; }</script>|}
+        [ ("sub.html", "<p>sub</p>") ]
+        "1 function";
+      run "Fig 5 (event dispatch race)"
+        {|<iframe id="i" src="a.html"></iframe><script>document.getElementById("i").onload = function() { return 1; };</script>|}
+        [ ("a.html", "<p>nested</p>") ]
+        "1 dispatch";
+    ]
+  in
+  Table.print ~header:[ "figure"; "expected"; "detected" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* Perf-1: page analysis throughput (§6.3 "tens of thousands of        *)
+(* operations in less than a minute")                                  *)
+(* ------------------------------------------------------------------ *)
+
+let stress_page n =
+  (* n div elements, each parsed as its own operation, plus nav handlers
+     and a polling script: a page whose op count is dominated by n. *)
+  let buf = Buffer.create (n * 32) in
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "<div id=\"el%d\" class=\"c\">item</div>" i)
+  done;
+  Buffer.add_string buf
+    "<script>var count = 0; var t = setInterval(function () { count++; if (count > 20) { \
+     clearInterval(t); } }, 5);</script>";
+  Buffer.contents buf
+
+let perf_pages () =
+  section "Perf-1 — per-page analysis throughput (paper: 10k+ ops < 1 min)";
+  let rows =
+    List.map
+      (fun n ->
+        let page = stress_page n in
+        let started = Unix.gettimeofday () in
+        let r = Webracer.analyze (Webracer.config ~page ~seed:1 ~explore:true ()) in
+        let dt = Unix.gettimeofday () -. started in
+        [
+          Printf.sprintf "%d elements" n;
+          string_of_int r.Webracer.ops;
+          string_of_int r.Webracer.accesses;
+          Printf.sprintf "%.3f s" dt;
+          Printf.sprintf "%.0f ops/s" (float_of_int r.Webracer.ops /. dt);
+        ])
+      [ 1_000; 5_000; 20_000 ]
+  in
+  Table.print ~header:[ "page"; "operations"; "accesses"; "wall clock"; "throughput" ] rows;
+  print_newline ();
+  let biggest =
+    List.filter
+      (fun (p : Profile.t) -> Profile.total (Profile.expected_raw p) > 100)
+      (Profile.corpus ())
+  in
+  let rows =
+    List.map
+      (fun p ->
+        let o = Eval.run_site ~seed:7 p in
+        [
+          p.Profile.name;
+          string_of_int o.Eval.ops;
+          string_of_int o.Eval.accesses;
+          Printf.sprintf "%.3f s" o.Eval.wall_clock_s;
+        ])
+      biggest
+  in
+  Table.print ~header:[ "largest corpus sites"; "operations"; "accesses"; "wall clock" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* Perf-2: instrumentation overhead on compute kernels (§6.3: ~500x    *)
+(* vs JIT; here: detector on vs off in the same interpreter)           *)
+(* ------------------------------------------------------------------ *)
+
+let kernels =
+  [
+    ( "fib",
+      "function fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }\n\
+       var r = fib(16);" );
+    ( "string-ops",
+      "var s = \"\"; var i = 0;\n\
+       for (i = 0; i < 300; i++) { s = s + \"x\"; }\n\
+       var n = 0;\n\
+       for (i = 0; i < 100; i++) { n = n + s.indexOf(\"xx\", i) + s.length; }" );
+    ( "array-sum",
+      "var a = []; var i = 0;\n\
+       for (i = 0; i < 500; i++) { a.push(i * 3 % 17); }\n\
+       var sum = 0;\n\
+       for (i = 0; i < a.length; i++) { sum = sum + a[i]; }" );
+    ( "object-churn",
+      "var o = {}; var i = 0;\n\
+       for (i = 0; i < 400; i++) { o[\"k\" + (i % 40)] = i; }\n\
+       var total = 0;\n\
+       var k;\n\
+       for (k in o) { total = total + o[k]; }" );
+  ]
+
+let run_kernel ~detector source =
+  let graph = Graph.create () in
+  let det : Wr_detect.Detector.t =
+    match detector with
+    | `Uninstrumented | `Null_sink -> Wr_detect.Detector.null
+    | `Last_access -> Wr_detect.Last_access.create graph
+    | `Full_track -> Wr_detect.Full_track.create graph
+  in
+  let vm = Wr_js.Interp.create ~sink:det.Wr_detect.Detector.record () in
+  if detector = `Uninstrumented then vm.Wr_js.Value.instrument <- false;
+  vm.Wr_js.Value.current_op <- Graph.fresh graph Op.Script ~label:"kernel";
+  Wr_js.Interp.run_in_global vm (Wr_js.Parser.parse source)
+
+let perf_overhead () =
+  section "Perf-2 — detector overhead on compute kernels (paper: ~500x vs JIT)";
+  let tests =
+    List.concat_map
+      (fun (name, src) ->
+        [
+          Test.make ~name:(name ^ "/uninstrumented")
+            (Staged.stage (fun () -> run_kernel ~detector:`Uninstrumented src));
+          Test.make ~name:(name ^ "/null-sink")
+            (Staged.stage (fun () -> run_kernel ~detector:`Null_sink src));
+          Test.make ~name:(name ^ "/last-access")
+            (Staged.stage (fun () -> run_kernel ~detector:`Last_access src));
+          Test.make ~name:(name ^ "/full-track")
+            (Staged.stage (fun () -> run_kernel ~detector:`Full_track src));
+        ])
+      kernels
+  in
+  let results = run_bench_group ~name:"perf2" tests in
+  print_bench_results results;
+  print_newline ();
+  (* Slowdown ratios per kernel. *)
+  let find name = List.assoc_opt ("perf2/" ^ name) results in
+  let rows =
+    List.filter_map
+      (fun (name, _) ->
+        match
+          ( find (name ^ "/uninstrumented"),
+            find (name ^ "/null-sink"),
+            find (name ^ "/last-access"),
+            find (name ^ "/full-track") )
+        with
+        | Some base, Some sink, Some la, Some ft ->
+            Some
+              [
+                name;
+                Printf.sprintf "%.2fx" (sink /. base);
+                Printf.sprintf "%.2fx" (la /. base);
+                Printf.sprintf "%.2fx" (ft /. base);
+              ]
+        | _ -> None)
+      kernels
+  in
+  Table.print
+    ~header:
+      [ "kernel (vs uninstrumented)"; "emission only"; "last-access"; "full-track" ]
+    rows;
+  print_endline
+    "\n(The paper's 500x compares an instrumented interpreter against an\n\
+     uninstrumented JIT engine; our baseline is the same interpreter with\n\
+     emission disabled, isolating instrumentation and detection costs.)"
+
+(* ------------------------------------------------------------------ *)
+(* Abl-1: happens-before query strategy (§5.2.1)                       *)
+(* ------------------------------------------------------------------ *)
+
+let build_layered_graph ~strategy ~n =
+  (* A layered DAG approximating a page's op structure: each op has edges
+     from up to two earlier ops. *)
+  let g = Graph.create ~strategy () in
+  let rng = Wr_support.Rng.of_int 99 in
+  for i = 0 to n - 1 do
+    let id = Graph.fresh g Op.Script ~label:(string_of_int i) in
+    if i > 0 then begin
+      Graph.add_edge g (Wr_support.Rng.int rng i) id;
+      if i > 4 && Wr_support.Rng.bool rng then Graph.add_edge g (Wr_support.Rng.int rng i) id
+    end
+  done;
+  g
+
+let ablation_hb () =
+  section "Abl-1 — CHC query cost: DFS graph traversal vs transitive closure";
+  let sizes = [ 500; 2_000; 8_000 ] in
+  let tests =
+    List.concat_map
+      (fun n ->
+        let dfs = build_layered_graph ~strategy:Graph.Dfs ~n in
+        let closure = build_layered_graph ~strategy:Graph.Closure ~n in
+        let chain_vc = build_layered_graph ~strategy:Graph.Chain_vc ~n in
+        let rng = Wr_support.Rng.of_int 5 in
+        let queries =
+          Array.init 64 (fun _ -> (Wr_support.Rng.int rng n, Wr_support.Rng.int rng n))
+        in
+        let query g () = Array.iter (fun (a, b) -> ignore (Graph.chc g a b)) queries in
+        [
+          Test.make ~name:(Printf.sprintf "chc/dfs/%d-ops" n) (Staged.stage (query dfs));
+          Test.make
+            ~name:(Printf.sprintf "chc/closure/%d-ops" n)
+            (Staged.stage (query closure));
+          Test.make
+            ~name:(Printf.sprintf "chc/chain-vc/%d-ops" n)
+            (Staged.stage (query chain_vc));
+        ])
+      sizes
+  in
+  print_bench_results (run_bench_group ~name:"abl1" tests);
+  print_newline ();
+  (* End-to-end: analyzing a heavyweight corpus site under both. *)
+  let ford =
+    List.find (fun (p : Profile.t) -> p.Profile.name = "Ford") (Profile.corpus ())
+  in
+  let site = Gen.generate ford in
+  let run strategy () =
+    ignore
+      (Webracer.analyze
+         (Webracer.config ~page:site.Gen.page ~resources:site.Gen.resources ~seed:3
+            ~hb_strategy:strategy ()))
+  in
+  let tests =
+    [
+      Test.make ~name:"analyze-ford/dfs" (Staged.stage (run Graph.Dfs));
+      Test.make ~name:"analyze-ford/closure" (Staged.stage (run Graph.Closure));
+      Test.make ~name:"analyze-ford/chain-vc" (Staged.stage (run Graph.Chain_vc));
+    ]
+  in
+  print_bench_results (run_bench_group ~name:"abl1-e2e" tests);
+  (* How compact are the chain-VC clocks on a real page? *)
+  let b = Wr_browser.Browser.create { (Webracer.config ~page:site.Gen.page ~resources:site.Gen.resources ~seed:3 ~hb_strategy:Graph.Chain_vc ()) with Wr_browser.Config.explore = false } in
+  Wr_browser.Browser.start b;
+  ignore (Wr_browser.Browser.run b);
+  let g = Wr_browser.Browser.graph b in
+  Printf.printf "\n(chain-vc decomposes the Ford page's %d operations into %d chains;\n\
+                \ each clock is at most %d entries vs %d bits per closure bitset)\n"
+    (Graph.n_ops g) (Graph.n_chains g) (Graph.n_chains g) (Graph.n_ops g)
+
+(* ------------------------------------------------------------------ *)
+(* Abl-2: single-slot vs full-history detector (§5.1 limitation)       *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_detector () =
+  section "Abl-2 — single-slot (paper) vs full-history detector";
+  (* Recall on the paper's own miss example (schedule 3·1·2 with 1 -> 2). *)
+  let recall create =
+    let g = Graph.create () in
+    let o1 = Graph.fresh g Op.Script ~label:"1" in
+    let o2 = Graph.fresh g Op.Script ~label:"2" in
+    let o3 = Graph.fresh g Op.Script ~label:"3" in
+    Graph.add_edge g o1 o2;
+    let d : Wr_detect.Detector.t = create g in
+    let loc = Wr_mem.Location.Js_var { cell = 1; name = "e" } in
+    d.Wr_detect.Detector.record (Wr_mem.Access.make loc `Read o3);
+    d.Wr_detect.Detector.record (Wr_mem.Access.make loc `Read o1);
+    d.Wr_detect.Detector.record (Wr_mem.Access.make loc `Write o2);
+    List.length (d.Wr_detect.Detector.races ())
+  in
+  Table.print ~header:[ "detector"; "races found on the 3.1.2 schedule" ]
+    [
+      [ "last-access (paper §5.1)"; string_of_int (recall Wr_detect.Last_access.create) ];
+      [ "full-track (extension)"; string_of_int (recall Wr_detect.Full_track.create) ];
+    ];
+  print_newline ();
+  (* Throughput: N accesses over K locations, all concurrent ops. *)
+  let mk_access_storm create () =
+    let g = Graph.create () in
+    let ops = Array.init 64 (fun _ -> Graph.fresh g Op.Script ~label:"op") in
+    let d : Wr_detect.Detector.t = create g in
+    for i = 0 to 4_999 do
+      let loc = Wr_mem.Location.Js_var { cell = i mod 97; name = "v" } in
+      let kind = if i mod 3 = 0 then `Write else `Read in
+      d.Wr_detect.Detector.record (Wr_mem.Access.make loc kind ops.(i mod 64))
+    done
+  in
+  let tests =
+    [
+      Test.make ~name:"5k-accesses/last-access"
+        (Staged.stage (mk_access_storm Wr_detect.Last_access.create));
+      Test.make ~name:"5k-accesses/full-track"
+        (Staged.stage (mk_access_storm Wr_detect.Full_track.create));
+    ]
+  in
+  print_bench_results (run_bench_group ~name:"abl2" tests)
+
+(* ------------------------------------------------------------------ *)
+(* Stability across runs (paper footnote 14)                           *)
+(* ------------------------------------------------------------------ *)
+
+let stability () =
+  section "Stability — race counts across 5 schedules (paper footnote 14)";
+  let sites = [ "Allstate"; "Ford"; "MetLife"; "ValeroEnergy"; "Company01" ] in
+  let rows =
+    List.filter_map
+      (fun name ->
+        match List.find_opt (fun (p : Profile.t) -> p.Profile.name = name) (Profile.corpus ()) with
+        | None -> None
+        | Some p ->
+            let site = Gen.generate p in
+            let cfg =
+              Webracer.config ~page:site.Gen.page ~resources:site.Gen.resources ~explore:true ()
+            in
+            let m = Webracer.analyze_many cfg ~seeds:[ 11; 22; 33; 44; 55 ] in
+            Some
+              [
+                name;
+                String.concat " " (List.map string_of_int m.Webracer.per_run_counts);
+                (if m.Webracer.stable then "stable" else "VARIES");
+              ])
+      sites
+  in
+  Table.print ~header:[ "site"; "raw races per seed"; "verdict" ] rows;
+  print_endline
+    "\n(The paper: \"races reported across different runs for the same site\n\
+     had little variance; our numbers are taken from a typical run.\")"
+
+(* ------------------------------------------------------------------ *)
+(* Entry                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  print_endline "WebRacer-OCaml benchmark harness (paper: PLDI 2012, WebRacer)";
+  let outcomes = Eval.run_corpus ~seed:42 () in
+  table1 outcomes;
+  table2 outcomes;
+  figures ();
+  perf_pages ();
+  perf_overhead ();
+  ablation_hb ();
+  ablation_detector ();
+  stability ();
+  Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,303 @@
+(* The WebRacer command-line interface.
+
+   webracer run PAGE.html      analyze one page for races
+   webracer corpus             regenerate the paper's evaluation tables
+   webracer sitegen NAME DIR   write a synthetic corpus site to disk *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* Resources for [run]: every other regular file in the page's directory is
+   fetchable under its relative name, so `webracer run dir/page.html` works
+   on a directory of page + scripts + frames. *)
+let resources_around page_path =
+  let dir = Filename.dirname page_path in
+  let page_base = Filename.basename page_path in
+  match Sys.readdir dir with
+  | entries ->
+      Array.to_list entries
+      |> List.filter (fun f ->
+             f <> page_base && not (Sys.is_directory (Filename.concat dir f)))
+      |> List.map (fun f -> (f, read_file (Filename.concat dir f)))
+  | exception Sys_error _ -> []
+
+(* --- run -------------------------------------------------------------- *)
+
+let detector_conv =
+  Arg.enum
+    [
+      ("last-access", Webracer.Config.Last_access);
+      ("full-track", Webracer.Config.Full_track);
+    ]
+
+let hb_conv =
+  Arg.enum
+    [ ("closure", Wr_hb.Graph.Closure); ("dfs", Wr_hb.Graph.Dfs);
+      ("chain-vc", Wr_hb.Graph.Chain_vc) ]
+
+let run_cmd =
+  let page =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"PAGE" ~doc:"HTML page to analyze.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Seed for network latencies and Math.random.")
+  in
+  let explore =
+    Arg.(
+      value & flag
+      & info [ "no-explore" ] ~doc:"Disable automatic exploration of user events (§5.2.2).")
+  in
+  let raw =
+    Arg.(
+      value & flag
+      & info [ "raw" ] ~doc:"Report unfiltered races instead of applying the §5.3 filters.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the full report as JSON.") in
+  let detector =
+    Arg.(
+      value
+      & opt detector_conv Webracer.Config.Last_access
+      & info [ "detector" ] ~doc:"Race detector: $(b,last-access) (paper) or $(b,full-track).")
+  in
+  let hb =
+    Arg.(
+      value & opt hb_conv Wr_hb.Graph.Closure
+      & info [ "hb" ] ~doc:"Happens-before queries: $(b,closure), $(b,chain-vc) or $(b,dfs) (paper).")
+  in
+  let time_limit =
+    Arg.(
+      value & opt float 60_000.
+      & info [ "time-limit" ] ~doc:"Virtual-time horizon in milliseconds.")
+  in
+  let dump_hb =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dump-hb" ] ~docv:"FILE"
+          ~doc:"Write the happens-before graph as Graphviz DOT, with the first reported                 race's operations highlighted.")
+  in
+  let dump_trace =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dump-trace" ] ~docv:"FILE"
+          ~doc:"Record the execution trace (operations, edges, accesses) as JSON for \
+                offline analysis with $(b,webracer offline).")
+  in
+  let action page seed no_explore raw json detector hb time_limit dump_hb dump_trace =
+    let cfg =
+      Webracer.config ~page:(read_file page) ~resources:(resources_around page) ~seed
+        ~explore:(not no_explore) ~detector ~hb_strategy:hb ~time_limit
+        ~trace:(dump_trace <> None) ()
+    in
+    let report = Webracer.analyze cfg in
+    (match dump_trace, report.Webracer.trace with
+    | Some file, Some trace -> Wr_detect.Trace.save trace file
+    | _ -> ());
+    (match dump_hb with
+    | Some file ->
+        let highlight =
+          match report.Webracer.races with
+          | r :: _ ->
+              [ r.Wr_detect.Race.first.Wr_mem.Access.op;
+                r.Wr_detect.Race.second.Wr_mem.Access.op ]
+          | [] -> []
+        in
+        write_file file (Wr_hb.Graph.to_dot ~highlight report.Webracer.hb_graph)
+    | None -> ());
+    if json then print_endline (Wr_support.Json.to_string (Webracer.report_to_json report))
+    else begin
+      let races = if raw then report.Webracer.races else report.Webracer.filtered in
+      Format.printf "%a@.@." Webracer.pp_report report;
+      if races = [] then
+        print_endline (if raw then "No races detected." else "No races after filtering.")
+      else begin
+        Format.printf "%s races%s:@.@."
+          (string_of_int (List.length races))
+          (if raw then " (unfiltered)" else " (after §5.3 filters)");
+        List.iteri
+          (fun i r ->
+            Format.printf "%2d. %a%s@.@." (i + 1) Wr_detect.Race.pp r
+              (if Wr_detect.Race.heuristic_harmful r then "  [likely harmful]" else ""))
+          races
+      end;
+      if report.Webracer.crashes <> [] then begin
+        Format.printf "Script crashes hidden by the browser:@.";
+        List.iter
+          (fun (c : Wr_browser.Browser.crash) ->
+            Format.printf "  - %s (in %s)@." c.Wr_browser.Browser.message
+              c.Wr_browser.Browser.context)
+          report.Webracer.crashes
+      end
+    end
+  in
+  let doc = "Analyze a web page for races (WebRacer, PLDI 2012)." in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      const action $ page $ seed $ explore $ raw $ json $ detector $ hb $ time_limit
+      $ dump_hb $ dump_trace)
+
+(* --- corpus ------------------------------------------------------------ *)
+
+let corpus_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Corpus analysis seed.") in
+  let limit =
+    Arg.(
+      value & opt (some int) None
+      & info [ "limit" ] ~doc:"Only analyze the first $(docv) sites." ~docv:"N")
+  in
+  let action seed limit =
+    let outcomes = Wr_sitegen.Eval.run_corpus ~seed ?limit () in
+    print_endline "Table 1 analogue (raw races per type across sites):\n";
+    print_string (Wr_sitegen.Eval.render_table1 outcomes);
+    print_endline "\nTable 2 analogue (filtered races per site, harmful in parens):\n";
+    print_string (Wr_sitegen.Eval.render_table2 outcomes);
+    let bad = List.filter (fun o -> not (Wr_sitegen.Eval.fidelity o)) outcomes in
+    Printf.printf "\nGround-truth fidelity: %d/%d sites\n"
+      (List.length outcomes - List.length bad)
+      (List.length outcomes)
+  in
+  let doc = "Regenerate the paper's evaluation tables over the synthetic corpus." in
+  Cmd.v (Cmd.info "corpus" ~doc) Term.(const action $ seed $ limit)
+
+(* --- offline ------------------------------------------------------------ *)
+
+let offline_cmd =
+  let trace_file =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Trace recorded with $(b,webracer run --dump-trace).")
+  in
+  let detector =
+    Arg.(
+      value
+      & opt detector_conv Webracer.Config.Last_access
+      & info [ "detector" ] ~doc:"Detector to replay the trace through.")
+  in
+  let hb =
+    Arg.(
+      value & opt hb_conv Wr_hb.Graph.Closure
+      & info [ "hb" ] ~doc:"Happens-before strategy for the replayed graph.")
+  in
+  let atomicity =
+    Arg.(
+      value & flag
+      & info [ "atomicity" ]
+          ~doc:"Also run the atomicity-violation checker (unserializable interleavings).")
+  in
+  let action trace_file detector hb atomicity =
+    let trace = Wr_detect.Trace.load trace_file in
+    let mk g =
+      match detector with
+      | Webracer.Config.Last_access -> Wr_detect.Last_access.create g
+      | Webracer.Config.Full_track -> Wr_detect.Full_track.create g
+      | Webracer.Config.No_detector -> Wr_detect.Detector.null
+    in
+    let races = Wr_detect.Trace.replay ~strategy:hb trace ~detector:mk in
+    Printf.printf "trace: %d ops, %d edges, %d accesses\n"
+      (List.length trace.Wr_detect.Trace.ops)
+      (List.length trace.Wr_detect.Trace.edges)
+      (List.length trace.Wr_detect.Trace.accesses);
+    Printf.printf "races: %d\n\n" (List.length races);
+    List.iteri
+      (fun i r -> Format.printf "%2d. %a@.@." (i + 1) Wr_detect.Race.pp r)
+      races;
+    if atomicity then begin
+      let violations = Wr_detect.Atomicity.check_trace trace in
+      Printf.printf "atomicity violations: %d\n\n" (List.length violations);
+      List.iter
+        (fun v -> Format.printf "%a@.@." Wr_detect.Atomicity.pp_violation v)
+        violations
+    end
+  in
+  let doc = "Replay a recorded trace through a detector (and optionally the atomicity checker)." in
+  Cmd.v (Cmd.info "offline" ~doc) Term.(const action $ trace_file $ detector $ hb $ atomicity)
+
+(* --- replay ------------------------------------------------------------ *)
+
+let replay_cmd =
+  let page =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"PAGE" ~doc:"HTML page whose races should be made to manifest.")
+  in
+  let schedules =
+    Arg.(
+      value & opt int 25
+      & info [ "schedules" ] ~doc:"How many alternative schedules to try.")
+  in
+  let parse_delay =
+    Arg.(
+      value & opt float 2.
+      & info [ "parse-delay" ]
+          ~doc:"Virtual ms per parsed element, letting resource arrivals interleave with \
+                parsing.")
+  in
+  let action page schedules parse_delay =
+    let cfg =
+      Webracer.config ~page:(read_file page) ~resources:(resources_around page)
+        ~explore:false ()
+    in
+    let verdict =
+      Webracer.Replay.explore_schedules cfg
+        ~seeds:(List.init schedules (fun i -> i))
+        ~parse_delay ()
+    in
+    Format.printf "%a@." Webracer.Replay.pp_verdict verdict;
+    if Webracer.Replay.manifests verdict then exit 2
+  in
+  let doc =
+    "Re-run a page under alternative schedules until a detected race manifests as a crash \
+     or divergent output (exit 2 when it does)."
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const action $ page $ schedules $ parse_delay)
+
+(* --- sitegen ------------------------------------------------------------ *)
+
+let sitegen_cmd =
+  let site_name =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"SITE" ~doc:"Profile name, e.g. Ford or MetLife.")
+  in
+  let out_dir =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Output directory (created if missing).")
+  in
+  let action name dir =
+    match
+      List.find_opt
+        (fun p -> p.Wr_sitegen.Profile.name = name)
+        (Wr_sitegen.Profile.corpus ())
+    with
+    | None ->
+        prerr_endline ("unknown site: " ^ name);
+        exit 1
+    | Some profile ->
+        let site = Wr_sitegen.Gen.generate profile in
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        write_file (Filename.concat dir "index.html") site.Wr_sitegen.Gen.page;
+        List.iter
+          (fun (url, body) -> write_file (Filename.concat dir url) body)
+        site.Wr_sitegen.Gen.resources;
+        Printf.printf "wrote %s/index.html and %d resources\n" dir
+          (List.length site.Wr_sitegen.Gen.resources)
+  in
+  let doc = "Write a synthetic corpus site to disk (then: webracer run DIR/index.html)." in
+  Cmd.v (Cmd.info "sitegen" ~doc) Term.(const action $ site_name $ out_dir)
+
+let () =
+  let doc = "dynamic race detection for (simulated) web applications" in
+  let info = Cmd.info "webracer" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; corpus_cmd; sitegen_cmd; replay_cmd; offline_cmd ]))

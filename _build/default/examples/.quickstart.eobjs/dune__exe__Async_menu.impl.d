@@ -1,0 +1,1 @@
+examples/async_menu.ml: Format List Webracer Wr_detect

@@ -1,0 +1,1 @@
+examples/async_menu.mli:

@@ -1,0 +1,1 @@
+examples/atomicity_check.ml: Format List Option Webracer Wr_detect

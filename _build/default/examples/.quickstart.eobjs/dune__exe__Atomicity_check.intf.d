@@ -1,0 +1,1 @@
+examples/atomicity_check.mli:

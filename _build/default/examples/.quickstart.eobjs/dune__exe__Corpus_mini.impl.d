@@ -1,0 +1,1 @@
+examples/corpus_mini.ml: List Printf Wr_sitegen Wr_support

@@ -1,0 +1,1 @@
+examples/detector_comparison.ml: Format List Webracer Wr_detect Wr_mem

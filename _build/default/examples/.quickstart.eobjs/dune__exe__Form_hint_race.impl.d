@@ -1,0 +1,1 @@
+examples/form_hint_race.ml: Format List Webracer Wr_detect

@@ -1,0 +1,1 @@
+examples/late_handlers.ml: Format List Webracer Wr_detect

@@ -1,0 +1,1 @@
+examples/late_handlers.mli:

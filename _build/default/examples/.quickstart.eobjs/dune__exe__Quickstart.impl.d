@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Webracer Wr_detect

@@ -1,0 +1,1 @@
+examples/replay_crash.ml: Format List Webracer Wr_detect

@@ -1,0 +1,1 @@
+examples/vendor_lib.ml: Format List Webracer Wr_detect

@@ -1,0 +1,1 @@
+examples/vendor_lib.mli:

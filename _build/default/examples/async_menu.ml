@@ -1,0 +1,44 @@
+(* HTML and function races around page load (paper Figs. 3-4, §2.3-2.4).
+
+   A "Send Email" link whose handler dereferences a panel parsed later
+   (the Valero bug): clicking before the panel is parsed throws, and the
+   browser hides the crash. The same page also carries a hover menu whose
+   handler calls a function a later script declares (the Mozilla function
+   race). Automatic exploration clicks and hovers to expose both.
+
+   The fixed page moves the declarations first; the happens-before rules
+   then order everything and no race is reported.
+
+   Run with: dune exec examples/async_menu.exe *)
+
+let racy_page =
+  {|<script>function show() {
+  var panel = document.getElementById("emailPanel");
+  panel.style.display = "block";
+}</script>
+<a href="javascript:show()">Send Email</a>
+<div id="menu" onmouseover="initMenu();">Products</div>
+<script>function initMenu() { return 1; }</script>
+<div id="emailPanel" style="display:none">the form</div>|}
+
+let fixed_page =
+  {|<script>function show() {
+  var panel = document.getElementById("emailPanel");
+  panel.style.display = "block";
+}
+function initMenu() { return 1; }</script>
+<div id="emailPanel" style="display:none">the form</div>
+<div id="menu" onmouseover="initMenu();">Products</div>
+<a href="javascript:show()">Send Email</a>|}
+
+let analyze name page =
+  let report = Webracer.analyze (Webracer.config ~page ~seed:5 ~explore:true ()) in
+  let html, func, var, disp = Webracer.count_by_type report.Webracer.races in
+  Format.printf "--- %s ---@." name;
+  Format.printf "html %d, function %d, variable %d, dispatch %d@." html func var disp;
+  List.iter (fun r -> Format.printf "%a@.@." Wr_detect.Race.pp r) report.Webracer.races;
+  Format.printf "@."
+
+let () =
+  analyze "panel and menu defined after their users (races)" racy_page;
+  analyze "declarations first (no races)" fixed_page

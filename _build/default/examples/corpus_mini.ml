@@ -1,0 +1,39 @@
+(* A slice of the paper's evaluation (§6): analyze a handful of the
+   synthetic Fortune-100 sites and print their Table-2 rows next to the
+   planted ground truth.
+
+   Run with: dune exec examples/corpus_mini.exe
+   (The full corpus lives in bench/main.exe and `webracer corpus`.) *)
+
+module Profile = Wr_sitegen.Profile
+module Eval = Wr_sitegen.Eval
+
+let picks = [ "Allstate"; "Ford"; "Humana"; "ValeroEnergy"; "MetLife"; "Company01" ]
+
+let () =
+  let profiles =
+    List.filter (fun p -> List.mem p.Profile.name picks) (Profile.corpus ())
+  in
+  let cell (c : Profile.counts) (h : Profile.counts) =
+    Printf.sprintf "%d(%d) %d(%d) %d(%d) %d(%d)" c.Profile.html h.Profile.html c.Profile.func
+      h.Profile.func c.Profile.var h.Profile.var c.Profile.disp h.Profile.disp
+  in
+  let rows =
+    List.map
+      (fun p ->
+        let o = Eval.run_site ~seed:11 p in
+        [
+          p.Profile.name;
+          cell o.Eval.filtered o.Eval.harmful;
+          cell o.Eval.expected_filtered o.Eval.harmful;
+          (if Eval.fidelity o then "yes" else "NO");
+          string_of_int o.Eval.ops;
+          Printf.sprintf "%.0f ms" (o.Eval.wall_clock_s *. 1000.);
+        ])
+      profiles
+  in
+  Wr_support.Table.print
+    ~header:
+      [ "site"; "detected h/f/v/d"; "planted h/f/v/d"; "faithful"; "ops"; "wall" ]
+    rows;
+  print_endline "\n(counts are filtered races; harmful ground truth in parentheses)"

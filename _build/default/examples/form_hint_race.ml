@@ -1,0 +1,42 @@
+(* The Southwest form race (paper Fig. 2, §2.2).
+
+   A script fills a "hint" into the departure-city box. If the user starts
+   typing before the script runs, the hint overwrites their input. The
+   simulated user types during automatic exploration; the detector reports
+   a form-field variable race flagged as likely harmful (lost input).
+
+   The second page shows the §5.3 refinement: a script that checks the
+   field before writing is harmless, and the form filter suppresses it.
+
+   Run with: dune exec examples/form_hint_race.exe *)
+
+let racy_page =
+  {|<input type="text" id="depart" />
+<script>
+  // Add a hint to the box -- and silently erase anything the user typed.
+  document.getElementById("depart").value = "City of Departure";
+</script>|}
+
+let careful_page =
+  {|<input type="text" id="depart" />
+<script>
+  var box = document.getElementById("depart");
+  if (box.value === "") { box.value = "City of Departure"; }
+</script>|}
+
+let analyze name page =
+  let report = Webracer.analyze (Webracer.config ~page ~seed:3 ~explore:true ()) in
+  Format.printf "--- %s ---@." name;
+  Format.printf "raw races: %d, after filters: %d@."
+    (List.length report.Webracer.races)
+    (List.length report.Webracer.filtered);
+  List.iter
+    (fun race ->
+      Format.printf "%a%s@.@." Wr_detect.Race.pp race
+        (if Wr_detect.Race.heuristic_harmful race then "  [likely harmful]" else ""))
+    report.Webracer.filtered;
+  Format.printf "@."
+
+let () =
+  analyze "hint without checking (Southwest bug)" racy_page;
+  analyze "hint with a read-first check (filtered as harmless)" careful_page

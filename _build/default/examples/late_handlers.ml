@@ -1,0 +1,72 @@
+(* Event dispatch races (paper Fig. 5 and the Gomez pattern, §2.5, §6.3).
+
+   Page 1 installs an iframe load handler from a separate script: if the
+   frame loads quickly the handler is never run (Fig. 5).
+
+   Page 2 is the Gomez performance monitor: a setInterval poll attaches
+   onload handlers to images after the fact, racing every image's load
+   event. These were ALL the harmful event-dispatch races in the paper's
+   evaluation.
+
+   Page 3 shows why the single-dispatch filter exists: a delayed menu
+   script attaches hover handlers — a race too, but hovers repeat, so
+   missing one is benign and the filter drops it.
+
+   Run with: dune exec examples/late_handlers.exe *)
+
+let fig5_page =
+  {|<iframe id="frame" src="nested.html"></iframe>
+<script>document.getElementById("frame").onload = function () { return 1; };</script>|}
+
+let gomez_page =
+  {|<img id="banner" src="banner.png">
+<img id="promo" src="promo.png">
+<script>
+var ticks = 0;
+var timer = setInterval(function () {
+  ticks = ticks + 1;
+  if (ticks > 30) { clearInterval(timer); return 0; }
+  var imgs = document.images;
+  var i = 0;
+  for (i = 0; i < imgs.length; i++) {
+    if (!imgs[i].__monitored) {
+      imgs[i].__monitored = true;
+      imgs[i].onload = function () { return 1; };
+    }
+  }
+}, 10);
+</script>|}
+
+let menu_page =
+  {|<a id="nav1" href="#">products</a>
+<a id="nav2" href="#">support</a>
+<script>setTimeout(function () {
+  document.getElementById("nav1").onmouseover = function () { return 1; };
+  document.getElementById("nav2").onmouseover = function () { return 1; };
+}, 25);</script>|}
+
+let analyze name ?(resources = []) page =
+  let report = Webracer.analyze (Webracer.config ~page ~resources ~seed:7 ~explore:true ()) in
+  let dispatch_races =
+    List.filter
+      (fun (r : Wr_detect.Race.t) -> r.Wr_detect.Race.race_type = Wr_detect.Race.Event_dispatch)
+      report.Webracer.races
+  in
+  let kept =
+    List.filter
+      (fun (r : Wr_detect.Race.t) -> r.Wr_detect.Race.race_type = Wr_detect.Race.Event_dispatch)
+      report.Webracer.filtered
+  in
+  Format.printf "--- %s ---@." name;
+  Format.printf "dispatch races: %d raw, %d after the single-dispatch filter@.@."
+    (List.length dispatch_races) (List.length kept);
+  List.iter (fun r -> Format.printf "%a@.@." Wr_detect.Race.pp r) kept
+
+let () =
+  analyze "Fig 5: handler installed from a separate script"
+    ~resources:[ ("nested.html", "<p>nested</p>") ]
+    fig5_page;
+  analyze "Gomez image monitor (harmful: load fires once)"
+    ~resources:[ ("banner.png", "png"); ("promo.png", "png") ]
+    gomez_page;
+  analyze "delayed hover menu (benign: hover repeats, filtered)" menu_page

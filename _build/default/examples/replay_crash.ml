@@ -1,0 +1,38 @@
+(* Adversarial replay: from a race *report* to an observed *crash*.
+
+   The Mozilla function race (paper Fig. 4): an iframe's onload handler
+   calls doNextStep(), declared in a later script. WebRacer reports the
+   race from any single run via happens-before; replay then re-runs the
+   page under many schedules — with parsing given a small virtual cost so
+   network arrivals can beat it — until the bad interleaving actually
+   fires the handler before the declaration and the hidden ReferenceError
+   appears.
+
+   Run with: dune exec examples/replay_crash.exe *)
+
+let page =
+  {|<iframe id="i" src="sub.html" onload="doNextStep();"></iframe>
+<div>lots</div><div>of</div><div>content</div><div>between</div><div>them</div>
+<script>function doNextStep() { return 1; }</script>|}
+
+let resources = [ ("sub.html", "<p>sub</p>") ]
+
+let () =
+  (* Step 1: detect the race (any schedule will do). *)
+  let report = Webracer.analyze (Webracer.config ~page ~resources ~seed:1 ()) in
+  let fraces =
+    List.filter
+      (fun (r : Wr_detect.Race.t) ->
+        r.Wr_detect.Race.race_type = Wr_detect.Race.Function_race)
+      report.Webracer.races
+  in
+  Format.printf "detection run: %d function race(s), %d crash(es) observed@.@."
+    (List.length fraces)
+    (List.length report.Webracer.crashes);
+  List.iter (fun r -> Format.printf "%a@.@." Wr_detect.Race.pp r) fraces;
+  (* Step 2: replay under alternative schedules to make it bite. *)
+  let cfg = Webracer.config ~page ~resources ~explore:false () in
+  let verdict =
+    Webracer.Replay.explore_schedules cfg ~seeds:(List.init 20 (fun i -> i)) ~parse_delay:2. ()
+  in
+  Format.printf "%a@." Webracer.Replay.pp_verdict verdict

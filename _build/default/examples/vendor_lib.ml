@@ -1,0 +1,74 @@
+(* Analyzing a page built on a vendored utility library.
+
+   The paper notes that reported races on production sites were hard to
+   inspect because the code went through "complex JavaScript libraries like
+   jQuery" (§6.2). This example ships a small jQuery-flavoured library in
+   MiniJS — selector, ready(), AJAX get(), hover() — loads it
+   asynchronously like real sites do, and lets page code race with it:
+
+   - the inline page script calls [$] before the async library may have
+     defined it (a function race on [$], and a real crash on bad
+     schedules);
+   - the AJAX config fetch races with the DOM it decorates.
+
+   Run with: dune exec examples/vendor_lib.exe *)
+
+let library =
+  {|var $ = (function () {
+  function select(q) {
+    if (q.charAt(0) === "#") { return document.getElementById(q.substring(1)); }
+    return document.getElementsByTagName(q);
+  }
+  select.ready = function (fn) {
+    if (document.readyState === "complete") { fn(); }
+    else { document.addEventListener("DOMContentLoaded", fn); }
+  };
+  select.get = function (url, cb) {
+    var r = new XMLHttpRequest();
+    r.onreadystatechange = function () {
+      if (r.readyState === 4) { cb(r.responseText); }
+    };
+    r.open("GET", url);
+    r.send();
+  };
+  select.hover = function (el, fn) { el.onmouseover = fn; };
+  select.each = function (list, fn) {
+    var i = 0;
+    for (i = 0; i < list.length; i++) { fn(list[i]); }
+  };
+  return select;
+})();|}
+
+let page =
+  {|<div id="menu">Products</div>
+<div id="promo">...</div>
+<script async="true" src="lib.js"></script>
+<script>
+  // Page enhancement: uses $ from the async library -- a function/variable
+  // race, and a crash when the library loses the race.
+  setTimeout(function () {
+    $.hover($("#menu"), function () { return 1; });
+    $.get("promo.json", function (body) {
+      var cfg = JSON.parse(body);
+      $("#promo").innerHTML = cfg.text;
+    });
+  }, 10);
+</script>|}
+
+let resources =
+  [ ("lib.js", library); ("promo.json", {|{"text": "Big <b>sale</b> today"}|}) ]
+
+let () =
+  let report = Webracer.analyze (Webracer.config ~page ~resources ~seed:4 ~explore:true ()) in
+  Format.printf "%a@.@." Webracer.pp_report report;
+  List.iter
+    (fun r -> Format.printf "%a@.@." Wr_detect.Race.pp r)
+    report.Webracer.races;
+  (* Replay: does the $-before-library race actually crash? *)
+  let verdict =
+    Webracer.Replay.explore_schedules
+      (Webracer.config ~page ~resources ~explore:false ())
+      ~seeds:(List.init 25 (fun i -> i))
+      ()
+  in
+  Format.printf "%a@." Webracer.Replay.pp_verdict verdict

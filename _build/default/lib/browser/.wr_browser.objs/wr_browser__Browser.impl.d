@@ -1,0 +1,1 @@
+lib/browser/browser.ml: Buffer Config Float Hashtbl List Option Printf String Wr_detect Wr_dom Wr_events Wr_hb Wr_html Wr_js Wr_mem Wr_scheduler Wr_support

@@ -1,0 +1,1 @@
+lib/browser/browser.mli: Config Wr_detect Wr_dom Wr_hb

@@ -1,0 +1,1 @@
+lib/browser/config.ml: Wr_hb

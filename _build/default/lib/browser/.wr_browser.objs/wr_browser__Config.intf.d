@@ -1,0 +1,1 @@
+lib/browser/config.mli: Wr_hb

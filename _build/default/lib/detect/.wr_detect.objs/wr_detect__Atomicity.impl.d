@@ -1,0 +1,1 @@
+lib/detect/atomicity.ml: Array Format Hashtbl List Trace Wr_hb Wr_mem

@@ -1,0 +1,1 @@
+lib/detect/atomicity.mli: Format Trace Wr_hb Wr_mem

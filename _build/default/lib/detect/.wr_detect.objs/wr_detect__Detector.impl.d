@@ -1,0 +1,1 @@
+lib/detect/detector.ml: Race Wr_mem

@@ -1,0 +1,1 @@
+lib/detect/detector.mli: Race Wr_mem

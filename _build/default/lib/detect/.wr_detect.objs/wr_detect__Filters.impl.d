@@ -1,0 +1,1 @@
+lib/detect/filters.ml: Access List Location Race Wr_mem

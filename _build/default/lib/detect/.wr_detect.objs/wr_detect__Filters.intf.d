@@ -1,0 +1,1 @@
+lib/detect/filters.mli: Race

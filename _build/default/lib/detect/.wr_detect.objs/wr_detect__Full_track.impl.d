@@ -1,0 +1,1 @@
+lib/detect/full_track.ml: Access Detector List Location Race Wr_hb Wr_mem

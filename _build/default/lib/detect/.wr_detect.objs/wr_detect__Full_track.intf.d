@@ -1,0 +1,1 @@
+lib/detect/full_track.mli: Detector Wr_hb

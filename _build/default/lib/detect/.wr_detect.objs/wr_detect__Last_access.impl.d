@@ -1,0 +1,1 @@
+lib/detect/last_access.ml: Access Detector List Location Race Wr_hb Wr_mem

@@ -1,0 +1,1 @@
+lib/detect/last_access.mli: Detector Wr_hb

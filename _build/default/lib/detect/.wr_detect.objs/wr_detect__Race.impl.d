@@ -1,0 +1,1 @@
+lib/detect/race.ml: Access Format Location Wr_mem Wr_support

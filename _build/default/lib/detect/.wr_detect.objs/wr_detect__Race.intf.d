@@ -1,0 +1,1 @@
+lib/detect/race.mli: Format Wr_mem Wr_support

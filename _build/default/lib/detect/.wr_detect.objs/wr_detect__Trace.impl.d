@@ -1,0 +1,1 @@
+lib/detect/trace.ml: Detector Fun List Printf Wr_hb Wr_mem Wr_support

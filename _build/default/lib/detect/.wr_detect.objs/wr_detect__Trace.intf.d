@@ -1,0 +1,1 @@
+lib/detect/trace.mli: Detector Race Wr_hb Wr_mem Wr_support

@@ -1,0 +1,8 @@
+type t = {
+  name : string;
+  record : Wr_mem.Access.t -> unit;
+  races : unit -> Race.t list;
+  accesses_seen : unit -> int;
+}
+
+let null = { name = "null"; record = ignore; races = (fun () -> []); accesses_seen = (fun () -> 0) }

@@ -1,0 +1,19 @@
+(** The detector interface the instrumented browser feeds.
+
+    The paper notes its framework "allows us to plug in any dynamic race
+    detector" (§5.2); this record is that plug point. {!Last_access} is the
+    paper's detector, {!Full_track} the ablation variant, [null] the
+    uninstrumented baseline for overhead measurements. *)
+
+type t = {
+  name : string;
+  record : Wr_mem.Access.t -> unit;  (** called on every instrumented access *)
+  races : unit -> Race.t list;
+      (** reported races so far, in discovery order; at most one per
+          location per run (paper footnote 13) *)
+  accesses_seen : unit -> int;
+}
+
+(** [null] discards every access and reports nothing — the "instrumentation
+    disabled" baseline of the §6.3 performance comparison. *)
+val null : t

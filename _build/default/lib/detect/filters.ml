@@ -1,0 +1,32 @@
+open Wr_mem
+
+type run_info = { dispatch_count : target:int -> event:string -> int }
+
+let involves_form_field (r : Race.t) =
+  Access.has_flag r.first Form_field || Access.has_flag r.second Form_field
+
+let writer_checked_first (r : Race.t) =
+  let checked (a : Access.t) = a.kind = `Write && Access.has_flag a Checked_read_first in
+  checked r.first || checked r.second
+
+let form_field races =
+  let keep (r : Race.t) =
+    match r.race_type with
+    | Variable -> involves_form_field r && not (writer_checked_first r)
+    | Html | Function_race | Event_dispatch -> true
+  in
+  List.filter keep races
+
+let single_dispatch info races =
+  let keep (r : Race.t) =
+    match r.race_type, r.loc with
+    | Event_dispatch, Location.Event_handler { target; event; _ } ->
+        info.dispatch_count ~target ~event <= 1
+    | Event_dispatch, (Location.Js_var _ | Location.Html_elem _) ->
+        (* Unreachable by classification, but keep such reports visible. *)
+        true
+    | (Variable | Html | Function_race), _ -> true
+  in
+  List.filter keep races
+
+let paper_filters info races = single_dispatch info (form_field races)

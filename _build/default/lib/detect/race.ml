@@ -1,0 +1,63 @@
+open Wr_mem
+
+type race_type = Variable | Html | Function_race | Event_dispatch
+
+type t = {
+  loc : Location.t;
+  first : Access.t;
+  second : Access.t;
+  race_type : race_type;
+}
+
+let classify ~loc ~first ~second =
+  match loc with
+  | Location.Event_handler _ -> Event_dispatch
+  | Location.Html_elem _ -> Html
+  | Location.Js_var _ ->
+      let is_decl_write (a : Access.t) =
+        a.kind = `Write && Access.has_flag a Function_decl
+      in
+      if is_decl_write first || is_decl_write second then Function_race else Variable
+
+let make ~first ~second =
+  let loc = first.Access.loc in
+  { loc; first; second; race_type = classify ~loc ~first ~second }
+
+let type_name = function
+  | Variable -> "variable"
+  | Html -> "html"
+  | Function_race -> "function"
+  | Event_dispatch -> "event-dispatch"
+
+let heuristic_harmful t =
+  let miss = Access.has_flag t.first Observed_miss || Access.has_flag t.second Observed_miss in
+  let lost_input =
+    (Access.has_flag t.first User_input || Access.has_flag t.second User_input)
+    && not
+         (Access.has_flag t.first Checked_read_first
+         || Access.has_flag t.second Checked_read_first)
+  in
+  miss || lost_input
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>%s race on %a:@,%a@,%a@]" (type_name t.race_type) Location.pp
+    t.loc Access.pp t.first Access.pp t.second
+
+let to_json t =
+  let open Wr_support.Json in
+  let access (a : Access.t) =
+    Obj
+      [
+        ("kind", String (match a.kind with `Read -> "read" | `Write -> "write"));
+        ("op", Int a.op);
+        ("context", String a.context);
+      ]
+  in
+  Obj
+    [
+      ("type", String (type_name t.race_type));
+      ("location", String (Location.to_string t.loc));
+      ("first", access t.first);
+      ("second", access t.second);
+      ("harmful_hint", Bool (heuristic_harmful t));
+    ]

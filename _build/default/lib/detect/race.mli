@@ -1,0 +1,38 @@
+(** Race reports and their classification (paper §2, §6.1).
+
+    The paper distinguishes four race types by what the racing accesses
+    touch: ordinary JavaScript locations (variable races), DOM nodes (HTML
+    races), invocations of not-yet-parsed functions (function races), and
+    event-handler registration vs. dispatch (event dispatch races). *)
+
+type race_type = Variable | Html | Function_race | Event_dispatch
+
+type t = {
+  loc : Wr_mem.Location.t;
+  first : Wr_mem.Access.t;  (** the access observed earlier in this run *)
+  second : Wr_mem.Access.t;  (** the access whose recording triggered the report *)
+  race_type : race_type;
+}
+
+(** [classify ~loc ~first ~second] follows §6.1: event-handler locations are
+    event-dispatch races, element locations are HTML races, and a variable
+    race whose racing write is a hoisted function declaration is a function
+    race. *)
+val classify :
+  loc:Wr_mem.Location.t -> first:Wr_mem.Access.t -> second:Wr_mem.Access.t -> race_type
+
+val make : first:Wr_mem.Access.t -> second:Wr_mem.Access.t -> t
+
+val type_name : race_type -> string
+
+(** [heuristic_harmful t] is the tool-side severity hint: a race is flagged
+    when the run produced direct evidence of harm — a lookup or call that
+    observed absence (potential exception, §2.3/§2.4), or user input
+    overwritten without the §5.3 read-before-write check (§2.2). The
+    evaluation harness uses planted ground truth instead; this hint is what
+    the CLI surfaces to a developer. *)
+val heuristic_harmful : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Wr_support.Json.t

@@ -1,0 +1,1 @@
+lib/dom/dom.ml: Format Hashtbl List Printf String Wr_mem

@@ -1,0 +1,1 @@
+lib/dom/dom.mli: Format Hashtbl Wr_mem

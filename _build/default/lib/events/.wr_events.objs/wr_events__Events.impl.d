@@ -1,0 +1,1 @@
+lib/events/events.ml: Hashtbl List Wr_mem

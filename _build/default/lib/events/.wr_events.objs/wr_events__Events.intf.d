@@ -1,0 +1,1 @@
+lib/events/events.mli: Wr_mem

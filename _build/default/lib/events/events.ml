@@ -1,0 +1,156 @@
+module Instr = Wr_mem.Instr
+module Location = Wr_mem.Location
+
+type phase = Capture | At_target | Bubble
+
+let phase_name = function Capture -> "capture" | At_target -> "target" | Bubble -> "bubble"
+
+type 'h registration = { listener_uid : int; handler : 'h; capture : bool }
+
+type 'h slot_state = {
+  mutable inline_handler : 'h option;
+  mutable listener_list : 'h registration list;  (* registration order *)
+  mutable dispatches : int;
+}
+
+type 'h t = { instr : Instr.t; slots : (int * string, 'h slot_state) Hashtbl.t }
+
+let create instr = { instr; slots = Hashtbl.create 64 }
+
+let state t ~target ~event =
+  match Hashtbl.find_opt t.slots (target, event) with
+  | Some s -> s
+  | None ->
+      let s = { inline_handler = None; listener_list = []; dispatches = 0 } in
+      Hashtbl.add t.slots (target, event) s;
+      s
+
+let container_location ~target ~event =
+  Location.Event_handler { target; event; slot = Location.Container }
+
+let inline_location ~target ~event =
+  Location.Event_handler { target; event; slot = Location.Attr }
+
+let listener_location ~target ~event ~uid =
+  Location.Event_handler { target; event; slot = Location.Listener uid }
+
+let set_inline t ~target ~event h =
+  let s = state t ~target ~event in
+  s.inline_handler <- h;
+  Instr.emit t.instr (inline_location ~target ~event) `Write;
+  Instr.emit t.instr (container_location ~target ~event) `Write
+
+let inline t ~target ~event = (state t ~target ~event).inline_handler
+
+let add_listener t ~target ~event ~capture h =
+  let s = state t ~target ~event in
+  let uid = t.instr.Instr.fresh_id () in
+  s.listener_list <- s.listener_list @ [ { listener_uid = uid; handler = h; capture } ];
+  Instr.emit t.instr (listener_location ~target ~event ~uid) `Write;
+  Instr.emit t.instr (container_location ~target ~event) `Write;
+  uid
+
+let remove_listener t ~target ~event ~uid =
+  let s = state t ~target ~event in
+  let before = List.length s.listener_list in
+  s.listener_list <- List.filter (fun r -> r.listener_uid <> uid) s.listener_list;
+  if List.length s.listener_list <> before then begin
+    Instr.emit t.instr (listener_location ~target ~event ~uid) `Write;
+    Instr.emit t.instr (container_location ~target ~event) `Write
+  end
+
+let listeners t ~target ~event = (state t ~target ~event).listener_list
+
+type 'h step = {
+  phase : phase;
+  current_target : int;
+  slot : Wr_mem.Location.handler_slot;
+  callback : 'h;
+}
+
+let steps_at t ~node ~event ~phase =
+  let s = state t ~target:node ~event in
+  let want_capture = phase = Capture in
+  let listener_steps =
+    List.filter_map
+      (fun r ->
+        if r.capture = want_capture then
+          Some
+            {
+              phase;
+              current_target = node;
+              slot = Location.Listener r.listener_uid;
+              callback = r.handler;
+            }
+        else None)
+      s.listener_list
+  in
+  let inline_steps =
+    match s.inline_handler with
+    | Some h when not want_capture ->
+        [ { phase; current_target = node; slot = Location.Attr; callback = h } ]
+    | Some _ | None -> []
+  in
+  (* Inline handler runs before listeners, as in browsers. *)
+  inline_steps @ listener_steps
+
+let plan t ~path ~event ~bubbles =
+  match List.rev path with
+  | [] -> []
+  | target :: ancestors_rev ->
+      let ancestors = List.rev ancestors_rev in
+      (* root .. parent *)
+      let capture =
+        List.concat_map (fun n -> steps_at t ~node:n ~event ~phase:Capture) ancestors
+      in
+      let at_target =
+        (* At the target, the inline handler runs first, then all listeners
+           in registration order regardless of their capture flag. *)
+        let s = state t ~target ~event in
+        let inline_steps =
+          match s.inline_handler with
+          | Some h ->
+              [ { phase = At_target; current_target = target; slot = Location.Attr; callback = h } ]
+          | None -> []
+        in
+        inline_steps
+        @ List.map
+            (fun r ->
+              {
+                phase = At_target;
+                current_target = target;
+                slot = Location.Listener r.listener_uid;
+                callback = r.handler;
+              })
+            s.listener_list
+      in
+      let bubble =
+        if bubbles then
+          List.concat_map (fun n -> steps_at t ~node:n ~event ~phase:Bubble) ancestors_rev
+        else []
+      in
+      capture @ at_target @ bubble
+
+let record_dispatch t ~target ~event =
+  let s = state t ~target ~event in
+  let i = s.dispatches in
+  s.dispatches <- i + 1;
+  i
+
+let dispatch_count t ~target ~event = (state t ~target ~event).dispatches
+
+let targets_with_handlers t =
+  Hashtbl.fold
+    (fun (target, event) s acc ->
+      if s.inline_handler <> None || s.listener_list <> [] then (target, event) :: acc
+      else acc)
+    t.slots []
+  |> List.sort compare
+
+let non_bubbling_events = [ "load"; "unload"; "focus"; "blur"; "mouseenter"; "mouseleave" ]
+
+let exploration_events =
+  [
+    "mouseover"; "mousemove"; "mouseout"; "mouseup"; "mousedown"; "keydown"; "keyup";
+    "keypress"; "change"; "input"; "focus"; "blur";
+  ]

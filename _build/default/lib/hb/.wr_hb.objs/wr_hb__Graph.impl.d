@@ -1,0 +1,1 @@
+lib/hb/graph.ml: Array Buffer List Op Printf String Wr_support

@@ -1,0 +1,1 @@
+lib/hb/graph.mli: Op

@@ -1,0 +1,1 @@
+lib/hb/op.ml: Format

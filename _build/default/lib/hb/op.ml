@@ -1,0 +1,28 @@
+type id = int
+
+type kind =
+  | Initial
+  | Parse
+  | Script
+  | Timeout_callback
+  | Interval_callback of int
+  | Dispatch_anchor of { event : string; index : int }
+  | Handler of { event : string; index : int; phase : string }
+  | User
+  | Segment of { parent : id; part : int }
+
+type info = { id : id; kind : kind; label : string }
+
+let kind_name = function
+  | Initial -> "initial"
+  | Parse -> "parse"
+  | Script -> "script"
+  | Timeout_callback -> "timeout-cb"
+  | Interval_callback _ -> "interval-cb"
+  | Dispatch_anchor _ -> "dispatch"
+  | Handler _ -> "handler"
+  | User -> "user"
+  | Segment _ -> "segment"
+
+let pp ppf { id; kind; label } =
+  Format.fprintf ppf "#%d[%s] %s" id (kind_name kind) label

@@ -1,0 +1,45 @@
+(** Operations — the units of atomic execution (paper §3.2).
+
+    Web-page loading consists of two primitive activities, HTML parsing and
+    script execution; the paper refines script execution into several kinds
+    (inline/external script bodies, timer callbacks, event-handler runs).
+    Each operation gets a unique identifier; the happens-before relation of
+    {!Graph} is a binary relation over these identifiers.
+
+    Identifiers are dense integers assigned in creation order. The browser
+    creates an operation the moment it is scheduled, so every happens-before
+    edge points from a lower identifier to a higher one — the graph is a DAG
+    built in topological order. *)
+
+type id = int
+
+type kind =
+  | Initial  (** the root operation a page load begins with *)
+  | Parse  (** [parse(E)]: parsing one static HTML element *)
+  | Script  (** [exe(E)]: executing a script element's source *)
+  | Timeout_callback  (** [cb(E)]: a [setTimeout] callback *)
+  | Interval_callback of int
+      (** [cbi(E)]: the [i]th firing of a [setInterval] callback *)
+  | Dispatch_anchor of { event : string; index : int }
+      (** the browser-side act of dispatching the [index]th occurrence of
+          [event] on some target: it reads the handler containers and then
+          runs the handler operations. Not a paper operation kind per se,
+          but it carries the "browser reads the onload attribute" access the
+          paper attributes to event dispatch (§2.5). *)
+  | Handler of { event : string; index : int; phase : string }
+      (** one event-handler execution belonging to [disp_index(event, T)] *)
+  | User  (** a simulated user action (automatic exploration, §5.2.2) *)
+  | Segment of { parent : id; part : int }
+      (** [A\[i:j)]: a slice of an operation interrupted by an inline event
+          dispatch (Appendix A, "splitting happens-before") *)
+
+type info = {
+  id : id;
+  kind : kind;
+  label : string;  (** human-readable description for race reports *)
+}
+
+(** [kind_name k] is a short tag ("parse", "script", ...) for rendering. *)
+val kind_name : kind -> string
+
+val pp : Format.formatter -> info -> unit

@@ -1,0 +1,1 @@
+lib/html/html.ml: Buffer Char Format List String

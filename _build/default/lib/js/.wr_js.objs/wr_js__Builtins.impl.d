@@ -1,0 +1,1 @@
+lib/js/builtins.ml: Array Buffer Char Float Hashtbl List Pretty Printf Regex String Value Wr_support

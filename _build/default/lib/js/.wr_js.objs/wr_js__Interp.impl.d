@@ -1,0 +1,1 @@
+lib/js/interp.ml: Ast Builtins Float Hashtbl Int32 List Option Printf String Value Wr_mem

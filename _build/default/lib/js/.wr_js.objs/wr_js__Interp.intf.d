@@ -1,0 +1,1 @@
+lib/js/interp.mli: Ast Value Wr_mem

@@ -1,0 +1,1 @@
+lib/js/lexer.ml: Array Buffer Char Hashtbl List Printf String

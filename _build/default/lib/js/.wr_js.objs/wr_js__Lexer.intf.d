@@ -1,0 +1,1 @@
+lib/js/lexer.mli:

@@ -1,0 +1,1 @@
+lib/js/parser.ml: Array Ast Lexer List Pretty Printf

@@ -1,0 +1,1 @@
+lib/js/pretty.ml: Ast Buffer Char Float List Option Printf String

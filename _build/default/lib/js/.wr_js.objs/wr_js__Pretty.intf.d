@@ -1,0 +1,1 @@
+lib/js/pretty.mli: Ast

@@ -1,0 +1,1 @@
+lib/js/regex.ml: Array Buffer Char List Option Printf String

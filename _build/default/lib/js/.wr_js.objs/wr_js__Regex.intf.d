@@ -1,0 +1,1 @@
+lib/js/regex.mli:

@@ -1,0 +1,1 @@
+lib/js/value.ml: Ast Float Hashtbl Int64 List Pretty Printf String Wr_hb Wr_mem Wr_support

@@ -1,0 +1,1 @@
+lib/js/value.mli: Ast Hashtbl Wr_hb Wr_mem Wr_support

@@ -1,0 +1,77 @@
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq
+  | Strict_eq | Strict_neq
+  | Lt | Le | Gt | Ge
+  | And | Or
+  | Bit_and | Bit_or | Bit_xor | Shl | Shr | Ushr
+  | Instanceof | In
+
+type unop = Neg | Plus | Not | Bit_not | Typeof | Void | Delete
+
+type update_op = Incr | Decr
+
+type update_pos = Prefix | Postfix
+
+type expr =
+  | Number of float
+  | String of string
+  | Regex_lit of string * string
+  | Bool of bool
+  | Null
+  | Ident of string
+  | This
+  | Func of func
+  | Object_lit of (string * expr) list
+  | Array_lit of expr list
+  | Member of expr * string
+  | Index of expr * expr
+  | Call of expr * expr list
+  | New of expr * expr list
+  | Assign of lvalue * expr
+  | Op_assign of lvalue * binop * expr
+  | Update of lvalue * update_op * update_pos
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Cond of expr * expr * expr
+  | Comma of expr * expr
+
+and lvalue = L_var of string | L_member of expr * string | L_index of expr * expr
+
+and func = { fname : string option; params : string list; body : stmt list }
+
+and stmt =
+  | Expr_stmt of expr
+  | Var_decl of (string * expr option) list
+  | Func_decl of func
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Do_while of stmt list * expr
+  | For of for_init option * expr option * expr option * stmt list
+  | For_in of string * expr * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | Throw of expr
+  | Try of stmt list * (string * stmt list) option * stmt list option
+  | Switch of expr * (expr option * stmt list) list
+  | Block of stmt list
+  | Empty
+
+and for_init = Init_expr of expr | Init_decl of (string * expr option) list
+
+type program = stmt list
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Neq -> "!="
+  | Strict_eq -> "===" | Strict_neq -> "!=="
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "&&" | Or -> "||"
+  | Bit_and -> "&" | Bit_or -> "|" | Bit_xor -> "^"
+  | Shl -> "<<" | Shr -> ">>" | Ushr -> ">>>"
+  | Instanceof -> "instanceof" | In -> "in"
+
+let unop_name = function
+  | Neg -> "-" | Plus -> "+" | Not -> "!" | Bit_not -> "~"
+  | Typeof -> "typeof " | Void -> "void " | Delete -> "delete "

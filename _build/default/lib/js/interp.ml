@@ -1,0 +1,680 @@
+open Value
+module Access = Wr_mem.Access
+module Location = Wr_mem.Location
+
+type completion = C_normal | C_break | C_continue | C_return of Value.t
+
+let emit vm ?(flags = []) loc kind =
+  if vm.instrument then
+    vm.sink (Access.make ~flags ~context:vm.context loc kind vm.current_op)
+
+let var_loc vm ~owner name = Location.Js_var { cell = cell_id vm ~owner name; name }
+
+let tick vm =
+  vm.fuel <- vm.fuel - 1;
+  if vm.fuel <= 0 then raise Fuel_exhausted
+
+let refuel vm = vm.fuel <- vm.fuel_limit
+
+(* ------------------------------------------------------------------ *)
+(* Scope access                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec lookup_env env name =
+  match Hashtbl.find_opt env.vars name with
+  | Some cell -> Some (env, cell)
+  | None -> ( match env.parent with Some p -> lookup_env p name | None -> None)
+
+let read_var vm env ?(flags = []) name =
+  match lookup_env env name with
+  | Some (owner, cell) ->
+      emit vm ~flags (var_loc vm ~owner:owner.env_id name) `Read;
+      !cell
+  | None ->
+      emit vm
+        ~flags:(Access.Observed_miss :: flags)
+        (var_loc vm ~owner:vm.global.env_id name)
+        `Read;
+      throw_error vm "ReferenceError" (name ^ " is not defined")
+
+let write_var vm env ?(flags = []) name v =
+  match lookup_env env name with
+  | Some (owner, cell) ->
+      emit vm ~flags (var_loc vm ~owner:owner.env_id name) `Write;
+      cell := v
+  | None ->
+      (* Sloppy-mode implicit global. *)
+      emit vm ~flags (var_loc vm ~owner:vm.global.env_id name) `Write;
+      Hashtbl.replace vm.global.vars name (ref v)
+
+let declare_var env name =
+  if not (Hashtbl.mem env.vars name) then Hashtbl.add env.vars name (ref Undefined)
+
+(* ------------------------------------------------------------------ *)
+(* Property access                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec find_prop_owner obj name =
+  match Hashtbl.find_opt obj.props name with
+  | Some cell -> Some (obj, cell)
+  | None -> ( match obj.proto with Some p -> find_prop_owner p name | None -> None)
+
+let get_prop_plain vm ?(flags = []) obj name =
+  match find_prop_owner obj name with
+  | Some (owner, cell) ->
+      emit vm ~flags (var_loc vm ~owner:owner.oid name) `Read;
+      !cell
+  | None ->
+      emit vm ~flags:(Access.Observed_miss :: flags) (var_loc vm ~owner:obj.oid name) `Read;
+      Undefined
+
+let get_prop vm ?(flags = []) obj name =
+  match obj.host with
+  | Some h -> (
+      match h.host_get vm obj name with
+      | Some v -> v
+      | None -> get_prop_plain vm ~flags obj name)
+  | None -> get_prop_plain vm ~flags obj name
+
+let is_array_index name =
+  name <> "" && String.for_all (fun c -> c >= '0' && c <= '9') name
+
+let set_prop_plain vm ?(flags = []) obj name v =
+  emit vm ~flags (var_loc vm ~owner:obj.oid name) `Write;
+  (* Array length bookkeeping: implicit engine writes stay raw. *)
+  if obj.class_name = "Array" then begin
+    if is_array_index name then begin
+      let idx = int_of_string name in
+      let len =
+        match get_prop_raw obj "length" with Some (Number n) -> int_of_float n | _ -> 0
+      in
+      if idx >= len then set_prop_raw obj "length" (Number (float_of_int (idx + 1)))
+    end
+    else if name = "length" then begin
+      let new_len = int_of_float (to_number v) in
+      let old_len =
+        match get_prop_raw obj "length" with Some (Number n) -> int_of_float n | _ -> 0
+      in
+      for i = new_len to old_len - 1 do
+        Hashtbl.remove obj.props (string_of_int i)
+      done
+    end
+  end;
+  set_prop_raw obj name v
+
+let set_prop vm ?(flags = []) obj name v =
+  match obj.host with
+  | Some h when h.host_set vm obj name v -> ()
+  | Some _ | None -> set_prop_plain vm ~flags obj name v
+
+let member vm ?(flags = []) base name =
+  match base with
+  | Object obj -> get_prop vm ~flags obj name
+  | String s -> (
+      match Builtins.string_member vm s name with
+      | Some v -> v
+      | None -> Undefined)
+  | Number n -> (
+      match Builtins.number_member vm n name with
+      | Some v -> v
+      | None -> Undefined)
+  | Bool _ -> Undefined
+  | Undefined | Null ->
+      throw_error vm "TypeError"
+        (Printf.sprintf "Cannot read property '%s' of %s" name (describe base))
+
+(* ------------------------------------------------------------------ *)
+(* Hoisting (paper §4.1 "Functions")                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Collect var-declared names and function declarations in the current
+   function body, not descending into nested function bodies. *)
+let rec hoist_stmts acc stmts = List.fold_left hoist_stmt acc stmts
+
+and hoist_stmt (vars, funcs) stmt =
+  match stmt with
+  | Ast.Var_decl decls -> (List.rev_append (List.map fst decls) vars, funcs)
+  | Ast.Func_decl f -> (vars, f :: funcs)
+  | Ast.If (_, a, b) -> hoist_stmts (hoist_stmts (vars, funcs) a) b
+  | Ast.While (_, body) | Ast.Do_while (body, _) -> hoist_stmts (vars, funcs) body
+  | Ast.For (init, _, _, body) ->
+      let vars =
+        match init with
+        | Some (Ast.Init_decl decls) -> List.rev_append (List.map fst decls) vars
+        | Some (Ast.Init_expr _) | None -> vars
+      in
+      hoist_stmts (vars, funcs) body
+  | Ast.For_in (name, _, body) -> hoist_stmts (name :: vars, funcs) body
+  | Ast.Try (body, catch, finally) ->
+      let acc = hoist_stmts (vars, funcs) body in
+      let acc = match catch with Some (_, c) -> hoist_stmts acc c | None -> acc in
+      ( match finally with Some f -> hoist_stmts acc f | None -> acc)
+  | Ast.Switch (_, cases) ->
+      List.fold_left (fun acc (_, body) -> hoist_stmts acc body) (vars, funcs) cases
+  | Ast.Block body -> hoist_stmts (vars, funcs) body
+  | Ast.Expr_stmt _ | Ast.Return _ | Ast.Break | Ast.Continue | Ast.Throw _ | Ast.Empty ->
+      (vars, funcs)
+
+let hoist vm env stmts =
+  let vars, funcs = hoist_stmts ([], []) stmts in
+  List.iter (declare_var env) (List.rev vars);
+  List.iter (fun (f : Ast.func) -> declare_var env (Option.get f.fname)) (List.rev funcs);
+  (* Function declarations are writes at the beginning of the scope,
+     flagged so races on them classify as function races. *)
+  List.iter
+    (fun (f : Ast.func) ->
+      let name = Option.get f.fname in
+      let closure = { params = f.params; body = f.body; env; func_name = name } in
+      write_var vm env ~flags:[ Access.Function_decl ] name (Object (new_closure vm closure)))
+    (List.rev funcs)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval vm env ~this (e : Ast.expr) : Value.t =
+  tick vm;
+  match e with
+  | Ast.Number n -> Number n
+  | Ast.String s -> String s
+  | Ast.Regex_lit (pattern, flags) -> Builtins.make_regexp vm ~pattern ~flags
+  | Ast.Bool b -> Bool b
+  | Ast.Null -> Null
+  | Ast.This -> this
+  | Ast.Ident "undefined" -> Undefined
+  | Ast.Ident "NaN" -> Number Float.nan
+  | Ast.Ident "Infinity" -> Number Float.infinity
+  | Ast.Ident name -> read_var vm env name
+  | Ast.Func f ->
+      let closure =
+        { params = f.params; body = f.body; env; func_name = Option.value f.fname ~default:"" }
+      in
+      Object (new_closure vm closure)
+  | Ast.Object_lit props ->
+      let obj = new_object vm () in
+      List.iter (fun (k, ve) -> set_prop vm obj k (eval vm env ~this ve)) props;
+      Object obj
+  | Ast.Array_lit elems ->
+      Object (new_array vm (List.map (eval vm env ~this) elems))
+  | Ast.Member (be, name) -> member vm (eval vm env ~this be) name
+  | Ast.Index (be, ke) ->
+      let base = eval vm env ~this be in
+      let key = to_string vm (eval vm env ~this ke) in
+      member vm base key
+  | Ast.Call (callee, args) -> eval_call vm env ~this callee args
+  | Ast.New (fe, args) ->
+      let f = eval vm env ~this fe in
+      let argv = List.map (eval vm env ~this) args in
+      construct vm f argv
+  | Ast.Assign (lv, re) ->
+      let v = eval_assign vm env ~this lv (fun () -> eval vm env ~this re) in
+      v
+  | Ast.Op_assign (lv, op, re) ->
+      eval_assign vm env ~this lv (fun () ->
+          let cur = read_lvalue vm env ~this lv in
+          binop vm op cur (eval vm env ~this re))
+  | Ast.Update (lv, op, pos) ->
+      let cur = to_number (read_lvalue vm env ~this lv) in
+      let next = match op with Ast.Incr -> cur +. 1. | Ast.Decr -> cur -. 1. in
+      ignore (eval_assign vm env ~this lv (fun () -> Number next));
+      (match pos with Ast.Prefix -> Number next | Ast.Postfix -> Number cur)
+  | Ast.Binop (Ast.And, a, b) ->
+      let va = eval vm env ~this a in
+      if to_boolean va then eval vm env ~this b else va
+  | Ast.Binop (Ast.Or, a, b) ->
+      let va = eval vm env ~this a in
+      if to_boolean va then va else eval vm env ~this b
+  | Ast.Binop (op, a, b) ->
+      (* Force JS's left-to-right evaluation (OCaml's application order is
+         unspecified and in practice right-to-left). *)
+      let va = eval vm env ~this a in
+      let vb = eval vm env ~this b in
+      binop vm op va vb
+  | Ast.Unop (Ast.Typeof, Ast.Ident name) -> (
+      (* typeof never throws on undeclared names. *)
+      match lookup_env env name with
+      | Some (owner, cell) ->
+          emit vm (var_loc vm ~owner:owner.env_id name) `Read;
+          String (type_of !cell)
+      | None ->
+          emit vm ~flags:[ Access.Observed_miss ]
+            (var_loc vm ~owner:vm.global.env_id name)
+            `Read;
+          String "undefined")
+  | Ast.Unop (Ast.Delete, e) -> eval_delete vm env ~this e
+  | Ast.Unop (op, e) -> unop vm op (eval vm env ~this e)
+  | Ast.Cond (c, t, f) ->
+      if to_boolean (eval vm env ~this c) then eval vm env ~this t else eval vm env ~this f
+  | Ast.Comma (a, b) ->
+      ignore (eval vm env ~this a);
+      eval vm env ~this b
+
+and read_lvalue vm env ~this = function
+  | Ast.L_var name -> (
+      match lookup_env env name with
+      | Some _ -> read_var vm env name
+      | None ->
+          (* Compound assignment to an unbound name: JS throws on the read,
+             but implicit creation is kinder to generated pages; the read
+             miss is still recorded. *)
+          emit vm ~flags:[ Access.Observed_miss ]
+            (var_loc vm ~owner:vm.global.env_id name)
+            `Read;
+          Undefined)
+  | Ast.L_member (be, name) -> member vm (eval vm env ~this be) name
+  | Ast.L_index (be, ke) ->
+      let base = eval vm env ~this be in
+      let key = to_string vm (eval vm env ~this ke) in
+      member vm base key
+
+and eval_assign vm env ~this lv rhs =
+  match lv with
+  | Ast.L_var name ->
+      let v = rhs () in
+      write_var vm env name v;
+      v
+  | Ast.L_member (be, name) -> (
+      let base = eval vm env ~this be in
+      let v = rhs () in
+      match base with
+      | Object obj ->
+          set_prop vm obj name v;
+          v
+      | Undefined | Null ->
+          throw_error vm "TypeError"
+            (Printf.sprintf "Cannot set property '%s' of %s" name (describe base))
+      | Bool _ | Number _ | String _ -> v)
+  | Ast.L_index (be, ke) -> (
+      let base = eval vm env ~this be in
+      let key = to_string vm (eval vm env ~this ke) in
+      let v = rhs () in
+      match base with
+      | Object obj ->
+          set_prop vm obj key v;
+          v
+      | Undefined | Null ->
+          throw_error vm "TypeError"
+            (Printf.sprintf "Cannot set property '%s' of %s" key (describe base))
+      | Bool _ | Number _ | String _ -> v)
+
+and eval_delete vm env ~this = function
+  | Ast.Member (be, name) -> (
+      match eval vm env ~this be with
+      | Object obj ->
+          emit vm (var_loc vm ~owner:obj.oid name) `Write;
+          Hashtbl.remove obj.props name;
+          Bool true
+      | _ -> Bool true)
+  | Ast.Index (be, ke) -> (
+      let base = eval vm env ~this be in
+      let key = to_string vm (eval vm env ~this ke) in
+      match base with
+      | Object obj ->
+          emit vm (var_loc vm ~owner:obj.oid key) `Write;
+          Hashtbl.remove obj.props key;
+          Bool true
+      | _ -> Bool true)
+  | _ -> Bool true
+
+and eval_call vm env ~this callee args =
+  let eval_args () = List.map (eval vm env ~this) args in
+  match callee with
+  | Ast.Member (be, name) ->
+      let base = eval vm env ~this be in
+      let f = member vm ~flags:[ Access.Call_position ] base name in
+      let argv = eval_args () in
+      call_function vm f ~this:base argv ~what:name
+  | Ast.Index (be, ke) ->
+      let base = eval vm env ~this be in
+      let key = to_string vm (eval vm env ~this ke) in
+      let f = member vm ~flags:[ Access.Call_position ] base key in
+      let argv = eval_args () in
+      call_function vm f ~this:base argv ~what:key
+  | Ast.Ident name ->
+      let f = read_var vm env ~flags:[ Access.Call_position ] name in
+      let argv = eval_args () in
+      call_function vm f ~this:vm.global_this argv ~what:name
+  | _ ->
+      let f = eval vm env ~this callee in
+      let argv = eval_args () in
+      call_function vm f ~this:vm.global_this argv ~what:"(expression)"
+
+and call_function vm f ~this argv ~what =
+  match f with
+  | Object ({ call = Some c; _ } as fobj) -> (
+      match c with
+      | Builtin (_, fn) -> fn vm ~this argv
+      | Closure cl -> call_closure vm fobj cl ~this argv)
+  | _ -> throw_error vm "TypeError" (Printf.sprintf "%s is not a function" what)
+
+and call_closure vm _fobj cl ~this argv =
+  tick vm;
+  let env = { env_id = fresh_id vm; vars = Hashtbl.create 8; parent = Some cl.env } in
+  List.iteri
+    (fun i p ->
+      let v = match List.nth_opt argv i with Some v -> v | None -> Undefined in
+      Hashtbl.replace env.vars p (ref v))
+    cl.params;
+  Hashtbl.replace env.vars "arguments" (ref (Object (new_array vm argv)));
+  hoist vm env cl.body;
+  match exec_stmts vm env ~this cl.body with
+  | C_return v -> v
+  | C_normal | C_break | C_continue -> Undefined
+
+and construct vm f argv =
+  match f with
+  | Object fobj when fobj.call <> None ->
+      let proto =
+        match get_prop_raw fobj "prototype" with
+        | Some (Object p) -> p
+        | Some _ | None -> vm.object_proto
+      in
+      let class_name =
+        match fobj.call with
+        | Some (Builtin (("Array" | "Date" | "Error" | "TypeError" | "ReferenceError" | "RangeError") as n, _)) ->
+            if n = "Array" then "Array" else if n = "Date" then "Date" else "Error"
+        | _ -> "Object"
+      in
+      let obj = new_object vm ~proto ~class_name () in
+      let result = call_function vm f ~this:(Object obj) argv ~what:"constructor" in
+      (match result with Object _ -> result | _ -> Object obj)
+  | _ -> throw_error vm "TypeError" (describe f ^ " is not a constructor")
+
+and binop vm op a b =
+  match op with
+  | Ast.Add -> (
+      let pa = to_primitive vm a and pb = to_primitive vm b in
+      match pa, pb with
+      | String _, _ | _, String _ -> String (to_string vm pa ^ to_string vm pb)
+      | _ -> Number (to_number pa +. to_number pb))
+  | Ast.Sub -> Number (to_number a -. to_number b)
+  | Ast.Mul -> Number (to_number a *. to_number b)
+  | Ast.Div -> Number (to_number a /. to_number b)
+  | Ast.Mod -> Number (Float.rem (to_number a) (to_number b))
+  | Ast.Eq -> Bool (loose_equals vm a b)
+  | Ast.Neq -> Bool (not (loose_equals vm a b))
+  | Ast.Strict_eq -> Bool (strict_equals a b)
+  | Ast.Strict_neq -> Bool (not (strict_equals a b))
+  | Ast.Lt -> compare_op vm a b (fun c -> c < 0) (fun x y -> x < y)
+  | Ast.Le -> compare_op vm a b (fun c -> c <= 0) (fun x y -> x <= y)
+  | Ast.Gt -> compare_op vm a b (fun c -> c > 0) (fun x y -> x > y)
+  | Ast.Ge -> compare_op vm a b (fun c -> c >= 0) (fun x y -> x >= y)
+  | Ast.And | Ast.Or -> assert false (* short-circuited in [eval] *)
+  | Ast.Bit_and -> Number (Int32.to_float (Int32.logand (to_int32 a) (to_int32 b)))
+  | Ast.Bit_or -> Number (Int32.to_float (Int32.logor (to_int32 a) (to_int32 b)))
+  | Ast.Bit_xor -> Number (Int32.to_float (Int32.logxor (to_int32 a) (to_int32 b)))
+  | Ast.Shl ->
+      Number (Int32.to_float (Int32.shift_left (to_int32 a) (Int32.to_int (to_int32 b) land 31)))
+  | Ast.Shr ->
+      Number (Int32.to_float (Int32.shift_right (to_int32 a) (Int32.to_int (to_int32 b) land 31)))
+  | Ast.Ushr ->
+      Number
+        (Int32.to_float (Int32.shift_right_logical (to_int32 a) (Int32.to_int (to_int32 b) land 31)))
+  | Ast.Instanceof -> (
+      match b with
+      | Object fobj when fobj.call <> None -> (
+          match get_prop_raw fobj "prototype" with
+          | Some (Object proto) ->
+              let rec walk = function
+                | Some p -> if p == proto then true else walk p.proto
+                | None -> false
+              in
+              (match a with Object o -> Bool (walk o.proto) | _ -> Bool false)
+          | Some _ | None -> Bool false)
+      | _ -> throw_error vm "TypeError" "right-hand side of instanceof is not callable")
+  | Ast.In -> (
+      let key = to_string vm a in
+      match b with
+      | Object obj -> (
+          match find_prop_owner obj key with
+          | Some (owner, _) ->
+              emit vm (var_loc vm ~owner:owner.oid key) `Read;
+              Bool true
+          | None ->
+              emit vm ~flags:[ Access.Observed_miss ] (var_loc vm ~owner:obj.oid key) `Read;
+              Bool false)
+      | _ -> throw_error vm "TypeError" "right-hand side of 'in' is not an object")
+
+and compare_op vm a b string_cmp num_cmp =
+  let pa = to_primitive vm a and pb = to_primitive vm b in
+  match pa, pb with
+  | String x, String y -> Bool (string_cmp (compare x y))
+  | _ ->
+      let x = to_number pa and y = to_number pb in
+      if Float.is_nan x || Float.is_nan y then Bool false else Bool (num_cmp x y)
+
+and unop _vm op v =
+  match op with
+  | Ast.Neg -> Number (-.to_number v)
+  | Ast.Plus -> Number (to_number v)
+  | Ast.Not -> Bool (not (to_boolean v))
+  | Ast.Bit_not -> Number (Int32.to_float (Int32.lognot (to_int32 v)))
+  | Ast.Typeof -> String (type_of v)
+  | Ast.Void -> Undefined
+  | Ast.Delete -> Bool true
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+and exec_stmts vm env ~this stmts =
+  match stmts with
+  | [] -> C_normal
+  | s :: rest -> (
+      match exec_stmt vm env ~this s with
+      | C_normal -> exec_stmts vm env ~this rest
+      | (C_break | C_continue | C_return _) as c -> c)
+
+and exec_stmt vm env ~this (s : Ast.stmt) : completion =
+  tick vm;
+  match s with
+  | Ast.Expr_stmt e ->
+      ignore (eval vm env ~this e);
+      C_normal
+  | Ast.Var_decl decls ->
+      (* Bindings were created by hoisting (function scope, not block or
+         catch scope); only the initializers execute here. *)
+      List.iter
+        (fun (name, init) ->
+          match init with
+          | Some e -> write_var vm env name (eval vm env ~this e)
+          | None -> ())
+        decls;
+      C_normal
+  | Ast.Func_decl _ -> C_normal (* installed during hoisting *)
+  | Ast.If (cond, then_, else_) ->
+      if to_boolean (eval vm env ~this cond) then exec_stmts vm env ~this then_
+      else exec_stmts vm env ~this else_
+  | Ast.While (cond, body) ->
+      let rec loop () =
+        if to_boolean (eval vm env ~this cond) then
+          match exec_stmts vm env ~this body with
+          | C_normal | C_continue -> loop ()
+          | C_break -> C_normal
+          | C_return _ as r -> r
+        else C_normal
+      in
+      loop ()
+  | Ast.Do_while (body, cond) ->
+      let rec loop () =
+        match exec_stmts vm env ~this body with
+        | C_normal | C_continue ->
+            if to_boolean (eval vm env ~this cond) then loop () else C_normal
+        | C_break -> C_normal
+        | C_return _ as r -> r
+      in
+      loop ()
+  | Ast.For (init, cond, step, body) ->
+      (match init with
+      | Some (Ast.Init_decl decls) ->
+          List.iter
+            (fun (name, init) ->
+              match init with
+              | Some e -> write_var vm env name (eval vm env ~this e)
+              | None -> ())
+            decls
+      | Some (Ast.Init_expr e) -> ignore (eval vm env ~this e)
+      | None -> ());
+      let check () = match cond with Some e -> to_boolean (eval vm env ~this e) | None -> true in
+      let advance () = match step with Some e -> ignore (eval vm env ~this e) | None -> () in
+      let rec loop () =
+        if check () then
+          match exec_stmts vm env ~this body with
+          | C_normal | C_continue ->
+              advance ();
+              loop ()
+          | C_break -> C_normal
+          | C_return _ as r -> r
+        else C_normal
+      in
+      loop ()
+  | Ast.For_in (name, obj_e, body) -> (
+      match eval vm env ~this obj_e with
+      | Object obj ->
+          let keys = Hashtbl.fold (fun k _ acc -> k :: acc) obj.props [] in
+          let keys =
+            if obj.class_name = "Array" then List.filter (fun k -> k <> "length") keys else keys
+          in
+          let keys = List.sort compare keys in
+          let rec loop = function
+            | [] -> C_normal
+            | k :: rest -> (
+                if not (Hashtbl.mem obj.props k) then loop rest
+                else begin
+                  write_var vm env name (String k);
+                  match exec_stmts vm env ~this body with
+                  | C_normal | C_continue -> loop rest
+                  | C_break -> C_normal
+                  | C_return _ as r -> r
+                end)
+          in
+          loop keys
+      | _ -> C_normal)
+  | Ast.Return e ->
+      let v = match e with Some e -> eval vm env ~this e | None -> Undefined in
+      C_return v
+  | Ast.Break -> C_break
+  | Ast.Continue -> C_continue
+  | Ast.Throw e -> throw (eval vm env ~this e)
+  | Ast.Try (body, catch, finally) -> (
+      let run_finally completion =
+        match finally with
+        | None -> completion
+        | Some f -> (
+            match exec_stmts vm env ~this f with
+            | C_normal -> completion
+            | (C_break | C_continue | C_return _) as c -> c)
+      in
+      let result =
+        try `Done (exec_stmts vm env ~this body) with
+        | Js_throw v -> `Thrown v
+      in
+      match result with
+      | `Done c -> run_finally c
+      | `Thrown v -> (
+          match catch with
+          | Some (name, cbody) ->
+              let cenv =
+                { env_id = fresh_id vm; vars = Hashtbl.create 4; parent = Some env }
+              in
+              Hashtbl.replace cenv.vars name (ref v);
+              let c =
+                try `Done (exec_stmts vm cenv ~this cbody) with Js_throw v' -> `Thrown v'
+              in
+              (match c with
+              | `Done c -> run_finally c
+              | `Thrown v' ->
+                  let fc = run_finally C_normal in
+                  (match fc with C_normal -> throw v' | c -> c))
+          | None ->
+              let fc = run_finally C_normal in
+              (match fc with C_normal -> throw v | c -> c)))
+  | Ast.Switch (scrut_e, cases) ->
+      let scrutinee = eval vm env ~this scrut_e in
+      let matches guard =
+        match guard with
+        | Some g -> strict_equals (eval vm env ~this g) scrutinee
+        | None -> false
+      in
+      let rec find i = function
+        | [] -> None
+        | (guard, _) :: rest -> if matches guard then Some i else find (i + 1) rest
+      in
+      let start =
+        match find 0 cases with
+        | Some i -> Some i
+        | None ->
+            let rec find_default i = function
+              | [] -> None
+              | (None, _) :: _ -> Some i
+              | (Some _, _) :: rest -> find_default (i + 1) rest
+            in
+            find_default 0 cases
+      in
+      (match start with
+      | None -> C_normal
+      | Some start ->
+          let rec run i = function
+            | [] -> C_normal
+            | (_, body) :: rest ->
+                if i < start then run (i + 1) rest
+                else begin
+                  match exec_stmts vm env ~this body with
+                  | C_normal -> run (i + 1) rest
+                  | C_break -> C_normal
+                  | (C_continue | C_return _) as c -> c
+                end
+          in
+          run 0 cases)
+  | Ast.Block body -> exec_stmts vm env ~this body
+  | Ast.Empty -> C_normal
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let call vm f ~this args = call_function vm f ~this args ~what:"(value)"
+
+let run_in_global vm prog =
+  hoist vm vm.global prog;
+  ignore (exec_stmts vm vm.global ~this:vm.global_this prog)
+
+let read_global vm name =
+  match lookup_env vm.global name with
+  | Some (owner, cell) ->
+      emit vm (var_loc vm ~owner:owner.env_id name) `Read;
+      Some !cell
+  | None ->
+      emit vm ~flags:[ Access.Observed_miss ] (var_loc vm ~owner:vm.global.env_id name) `Read;
+      None
+
+let write_global vm name v = write_var vm vm.global name v
+
+let create ?seed ?fuel ~sink () =
+  let vm = create_vm ?seed ?fuel ~sink () in
+  vm.call_value <- (fun f ~this args -> call vm f ~this args);
+  Builtins.install vm;
+  (* Sloppy-mode global [this]: an object whose properties unify with the
+     global scope, so bare calls reading [this.x] behave like real engines.
+     The browser replaces it with the window object. *)
+  let global_obj = new_object vm ~class_name:"Global" () in
+  global_obj.host <-
+    Some
+      {
+        host_id = vm.global.env_id;
+        host_kind = "global";
+        host_get =
+          (fun vm _obj name ->
+            match read_global vm name with Some v -> Some v | None -> Some Undefined);
+        host_set =
+          (fun vm _obj name v ->
+            write_global vm name v;
+            true);
+      };
+  vm.global_this <- Object global_obj;
+  vm
+
+let get_prop = get_prop
+
+let set_prop = set_prop
+

@@ -1,0 +1,292 @@
+type token =
+  | T_number of float
+  | T_string of string
+  | T_ident of string
+  | T_keyword of string
+  | T_punct of string
+  | T_regex of string * string
+  | T_eof
+
+type lexed = { tok : token; line : int; col : int; preceded_by_newline : bool }
+
+exception Lex_error of string * int * int
+
+let keywords =
+  [
+    "function"; "var"; "let"; "const"; "return"; "if"; "else"; "while"; "do"; "for";
+    "break"; "continue"; "new"; "typeof"; "instanceof"; "in"; "null"; "true"; "false";
+    "this"; "throw"; "try"; "catch"; "finally"; "switch"; "case"; "default"; "void";
+    "delete";
+  ]
+
+let is_keyword =
+  let tbl = Hashtbl.create 37 in
+  List.iter (fun k -> Hashtbl.replace tbl k ()) keywords;
+  fun s -> Hashtbl.mem tbl s
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+(* Multi-character punctuators, longest first so greedy matching works. *)
+let puncts =
+  [
+    ">>>="; "==="; "!=="; ">>>"; "<<="; ">>="; "=="; "!="; "<="; ">="; "&&"; "||";
+    "++"; "--"; "+="; "-="; "*="; "/="; "%="; "&="; "|="; "^="; "<<"; ">>";
+    "{"; "}"; "("; ")"; "["; "]"; ";"; ","; "<"; ">"; "+"; "-"; "*"; "/"; "%";
+    "="; "!"; "?"; ":"; "."; "&"; "|"; "^"; "~";
+  ]
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of beginning of current line *)
+  mutable newline_pending : bool;
+}
+
+let error st msg = raise (Lex_error (msg, st.line, st.pos - st.bol + 1))
+
+let peek st i = if st.pos + i < String.length st.src then Some st.src.[st.pos + i] else None
+
+let advance st n =
+  for i = 0 to n - 1 do
+    (match peek st i with
+    | Some '\n' ->
+        st.line <- st.line + 1;
+        st.bol <- st.pos + i + 1;
+        st.newline_pending <- true
+    | Some _ | None -> ());
+    ()
+  done;
+  st.pos <- st.pos + n
+
+let rec skip_trivia st =
+  match peek st 0 with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st 1;
+      skip_trivia st
+  | Some '/' -> (
+      match peek st 1 with
+      | Some '/' ->
+          let rec eat () =
+            match peek st 0 with
+            | Some '\n' | None -> ()
+            | Some _ ->
+                advance st 1;
+                eat ()
+          in
+          advance st 2;
+          eat ();
+          skip_trivia st
+      | Some '*' ->
+          let rec eat () =
+            match peek st 0, peek st 1 with
+            | Some '*', Some '/' -> advance st 2
+            | None, _ -> error st "unterminated block comment"
+            | Some _, _ ->
+                advance st 1;
+                eat ()
+          in
+          advance st 2;
+          eat ();
+          skip_trivia st
+      | Some _ | None -> ())
+  | Some _ | None -> ()
+
+let lex_string st quote =
+  let buf = Buffer.create 16 in
+  advance st 1;
+  let rec loop () =
+    match peek st 0 with
+    | None -> error st "unterminated string literal"
+    | Some c when c = quote -> advance st 1
+    | Some '\n' -> error st "newline in string literal"
+    | Some '\\' -> (
+        match peek st 1 with
+        | None -> error st "unterminated escape"
+        | Some 'n' -> Buffer.add_char buf '\n'; advance st 2; loop ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance st 2; loop ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance st 2; loop ()
+        | Some '0' -> Buffer.add_char buf '\000'; advance st 2; loop ()
+        | Some 'x' ->
+            (match peek st 2, peek st 3 with
+            | Some h1, Some h2 when is_hex_digit h1 && is_hex_digit h2 ->
+                let v = int_of_string (Printf.sprintf "0x%c%c" h1 h2) in
+                Buffer.add_char buf (Char.chr v);
+                advance st 4
+            | _ -> error st "bad \\x escape");
+            loop ()
+        | Some 'u' ->
+            (* \uXXXX: encode the code point as UTF-8. *)
+            let hex i = match peek st i with
+              | Some c when is_hex_digit c -> c
+              | _ -> error st "bad \\u escape"
+            in
+            let v =
+              int_of_string (Printf.sprintf "0x%c%c%c%c" (hex 2) (hex 3) (hex 4) (hex 5))
+            in
+            if v < 0x80 then Buffer.add_char buf (Char.chr v)
+            else if v < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (v lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (v land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (v lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((v lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (v land 0x3F)))
+            end;
+            advance st 6;
+            loop ()
+        | Some c ->
+            Buffer.add_char buf c;
+            advance st 2;
+            loop ())
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st 1;
+        loop ()
+  in
+  loop ();
+  T_string (Buffer.contents buf)
+
+let lex_number st =
+  let start = st.pos in
+  (match peek st 0, peek st 1 with
+  | Some '0', Some ('x' | 'X') ->
+      advance st 2;
+      let rec eat () =
+        match peek st 0 with
+        | Some c when is_hex_digit c -> advance st 1; eat ()
+        | Some _ | None -> ()
+      in
+      eat ()
+  | _ ->
+      let rec digits () =
+        match peek st 0 with
+        | Some c when is_digit c -> advance st 1; digits ()
+        | Some _ | None -> ()
+      in
+      digits ();
+      (match peek st 0 with
+      | Some '.' ->
+          advance st 1;
+          digits ()
+      | Some _ | None -> ());
+      (match peek st 0 with
+      | Some ('e' | 'E') ->
+          advance st 1;
+          (match peek st 0 with
+          | Some ('+' | '-') -> advance st 1
+          | Some _ | None -> ());
+          digits ()
+      | Some _ | None -> ()));
+  let text = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> T_number f
+  | None -> error st (Printf.sprintf "malformed number %S" text)
+
+let lex_ident st =
+  let start = st.pos in
+  let rec eat () =
+    match peek st 0 with
+    | Some c when is_ident_char c -> advance st 1; eat ()
+    | Some _ | None -> ()
+  in
+  eat ();
+  let text = String.sub st.src start (st.pos - start) in
+  if is_keyword text then T_keyword text else T_ident text
+
+let lex_punct st =
+  let matches p =
+    let n = String.length p in
+    st.pos + n <= String.length st.src && String.sub st.src st.pos n = p
+  in
+  match List.find_opt matches puncts with
+  | Some p ->
+      advance st (String.length p);
+      T_punct p
+  | None -> error st (Printf.sprintf "unexpected character %C" st.src.[st.pos])
+
+(* A '/' starts a regex literal only where an expression may start; after a
+   value-ending token it is division. *)
+let regex_allowed = function
+  | None -> true
+  | Some (T_punct (")" | "]")) -> false
+  | Some (T_punct _) -> true
+  (* Keywords that end a value: a following '/' divides. *)
+  | Some (T_keyword ("this" | "null" | "true" | "false")) -> false
+  | Some (T_keyword _) -> true
+  | Some (T_number _ | T_string _ | T_ident _ | T_regex _ | T_eof) -> false
+
+let lex_regex st =
+  (* Past the opening '/'. *)
+  advance st 1;
+  let buf = Buffer.create 16 in
+  let rec body in_class =
+    match peek st 0 with
+    | None | Some '\n' -> error st "unterminated regex literal"
+    | Some '\\' -> (
+        match peek st 1 with
+        | None -> error st "unterminated regex escape"
+        | Some c ->
+            Buffer.add_char buf '\\';
+            Buffer.add_char buf c;
+            advance st 2;
+            body in_class)
+    | Some '[' ->
+        Buffer.add_char buf '[';
+        advance st 1;
+        body true
+    | Some ']' when in_class ->
+        Buffer.add_char buf ']';
+        advance st 1;
+        body false
+    | Some '/' when not in_class -> advance st 1
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st 1;
+        body in_class
+  in
+  body false;
+  let fstart = st.pos in
+  let rec fl () =
+    match peek st 0 with
+    | Some c when is_ident_char c ->
+        advance st 1;
+        fl ()
+    | Some _ | None -> ()
+  in
+  fl ();
+  T_regex (Buffer.contents buf, String.sub st.src fstart (st.pos - fstart))
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; bol = 0; newline_pending = false } in
+  let out = ref [] in
+  let last_tok = ref None in
+  let rec loop () =
+    skip_trivia st;
+    let preceded_by_newline = st.newline_pending in
+    st.newline_pending <- false;
+    let line = st.line and col = st.pos - st.bol + 1 in
+    let tok =
+      match peek st 0 with
+      | None -> T_eof
+      | Some ('"' | '\'') -> lex_string st st.src.[st.pos]
+      | Some c when is_digit c -> lex_number st
+      | Some '.' when (match peek st 1 with Some d -> is_digit d | None -> false) ->
+          lex_number st
+      | Some c when is_ident_start c -> lex_ident st
+      | Some '/' when regex_allowed !last_tok -> lex_regex st
+      | Some _ -> lex_punct st
+    in
+    last_tok := Some tok;
+    out := { tok; line; col; preceded_by_newline } :: !out;
+    match tok with T_eof -> () | _ -> loop ()
+  in
+  loop ();
+  Array.of_list (List.rev !out)

@@ -1,0 +1,542 @@
+open Ast
+
+exception Parse_error of string * int * int
+
+type state = { toks : Lexer.lexed array; mutable idx : int }
+
+let current st = st.toks.(st.idx)
+
+let error st msg =
+  let { Lexer.line; col; _ } = current st in
+  raise (Parse_error (msg, line, col))
+
+let advance st = if st.idx < Array.length st.toks - 1 then st.idx <- st.idx + 1
+
+let peek_tok st = (current st).Lexer.tok
+
+let is_punct st p = match peek_tok st with Lexer.T_punct q -> q = p | _ -> false
+
+let is_keyword st k = match peek_tok st with Lexer.T_keyword q -> q = k | _ -> false
+
+let eat_punct st p =
+  if is_punct st p then advance st
+  else error st (Printf.sprintf "expected %S" p)
+
+let eat_keyword st k =
+  if is_keyword st k then advance st
+  else error st (Printf.sprintf "expected keyword %S" k)
+
+let accept_punct st p =
+  if is_punct st p then begin advance st; true end else false
+
+let ident st =
+  match peek_tok st with
+  | Lexer.T_ident name ->
+      advance st;
+      name
+  | _ -> error st "expected identifier"
+
+(* Automatic semicolon insertion, pragmatic subset: a statement terminator
+   is an explicit ';', or implicitly '}' / EOF / a preceding line break. *)
+let eat_semi st =
+  if accept_punct st ";" then ()
+  else
+    match peek_tok st with
+    | Lexer.T_eof -> ()
+    | Lexer.T_punct "}" -> ()
+    | _ when (current st).Lexer.preceded_by_newline -> ()
+    | _ -> error st "expected ';'"
+
+(* Binary operator precedence; higher binds tighter. Assignment and the
+   conditional operator are handled separately (right-associative). *)
+let binop_of_punct = function
+  | "||" -> Some (Or, 1)
+  | "&&" -> Some (And, 2)
+  | "|" -> Some (Bit_or, 3)
+  | "^" -> Some (Bit_xor, 4)
+  | "&" -> Some (Bit_and, 5)
+  | "==" -> Some (Eq, 6)
+  | "!=" -> Some (Neq, 6)
+  | "===" -> Some (Strict_eq, 6)
+  | "!==" -> Some (Strict_neq, 6)
+  | "<" -> Some (Lt, 7)
+  | "<=" -> Some (Le, 7)
+  | ">" -> Some (Gt, 7)
+  | ">=" -> Some (Ge, 7)
+  | "<<" -> Some (Shl, 8)
+  | ">>" -> Some (Shr, 8)
+  | ">>>" -> Some (Ushr, 8)
+  | "+" -> Some (Add, 9)
+  | "-" -> Some (Sub, 9)
+  | "*" -> Some (Mul, 10)
+  | "/" -> Some (Div, 10)
+  | "%" -> Some (Mod, 10)
+  | _ -> None
+
+let binop_of_keyword = function
+  | "instanceof" -> Some (Instanceof, 7)
+  | "in" -> Some (In, 7)
+  | _ -> None
+
+let op_assign_of_punct = function
+  | "+=" -> Some Add
+  | "-=" -> Some Sub
+  | "*=" -> Some Mul
+  | "/=" -> Some Div
+  | "%=" -> Some Mod
+  | "&=" -> Some Bit_and
+  | "|=" -> Some Bit_or
+  | "^=" -> Some Bit_xor
+  | "<<=" -> Some Shl
+  | ">>=" -> Some Shr
+  | ">>>=" -> Some Ushr
+  | _ -> None
+
+let lvalue_of_expr st = function
+  | Ident name -> L_var name
+  | Member (e, name) -> L_member (e, name)
+  | Index (e, k) -> L_index (e, k)
+  | _ -> error st "invalid assignment target"
+
+let rec parse_primary st =
+  match peek_tok st with
+  | Lexer.T_number n ->
+      advance st;
+      Number n
+  | Lexer.T_string s ->
+      advance st;
+      String s
+  | Lexer.T_regex (body, flags) ->
+      advance st;
+      Regex_lit (body, flags)
+  | Lexer.T_keyword "true" ->
+      advance st;
+      Bool true
+  | Lexer.T_keyword "false" ->
+      advance st;
+      Bool false
+  | Lexer.T_keyword "null" ->
+      advance st;
+      Null
+  | Lexer.T_keyword "this" ->
+      advance st;
+      This
+  | Lexer.T_keyword "function" ->
+      advance st;
+      let fname =
+        match peek_tok st with
+        | Lexer.T_ident name ->
+            advance st;
+            Some name
+        | _ -> None
+      in
+      let params = parse_params st in
+      let body = parse_block st in
+      Func { fname; params; body }
+  | Lexer.T_ident name ->
+      advance st;
+      Ident name
+  | Lexer.T_punct "(" ->
+      advance st;
+      let e = parse_expr st in
+      eat_punct st ")";
+      e
+  | Lexer.T_punct "[" ->
+      advance st;
+      let rec elems acc =
+        if is_punct st "]" then List.rev acc
+        else
+          let e = parse_assign st in
+          if accept_punct st "," then elems (e :: acc) else List.rev (e :: acc)
+      in
+      let es = elems [] in
+      eat_punct st "]";
+      Array_lit es
+  | Lexer.T_punct "{" ->
+      advance st;
+      let prop_name () =
+        match peek_tok st with
+        | Lexer.T_ident name | Lexer.T_keyword name ->
+            advance st;
+            name
+        | Lexer.T_string s ->
+            advance st;
+            s
+        | Lexer.T_number n ->
+            advance st;
+            Pretty.number_to_string n
+        | _ -> error st "expected property name"
+      in
+      let rec props acc =
+        if is_punct st "}" then List.rev acc
+        else begin
+          let name = prop_name () in
+          eat_punct st ":";
+          let v = parse_assign st in
+          let acc = (name, v) :: acc in
+          if accept_punct st "," then props acc else List.rev acc
+        end
+      in
+      let ps = props [] in
+      eat_punct st "}";
+      Object_lit ps
+  | Lexer.T_keyword "new" ->
+      advance st;
+      let callee = parse_member_chain st (parse_primary st) ~allow_call:false in
+      let args = if is_punct st "(" then parse_args st else [] in
+      parse_member_chain st (New (callee, args)) ~allow_call:true
+  | Lexer.T_keyword k -> error st (Printf.sprintf "unexpected keyword %S" k)
+  | Lexer.T_punct p -> error st (Printf.sprintf "unexpected token %S" p)
+  | Lexer.T_eof -> error st "unexpected end of input"
+
+and parse_params st =
+  eat_punct st "(";
+  let rec loop acc =
+    if is_punct st ")" then List.rev acc
+    else
+      let p = ident st in
+      if accept_punct st "," then loop (p :: acc) else List.rev (p :: acc)
+  in
+  let params = loop [] in
+  eat_punct st ")";
+  params
+
+and parse_args st =
+  eat_punct st "(";
+  let rec loop acc =
+    if is_punct st ")" then List.rev acc
+    else
+      let a = parse_assign st in
+      if accept_punct st "," then loop (a :: acc) else List.rev (a :: acc)
+  in
+  let args = loop [] in
+  eat_punct st ")";
+  args
+
+and parse_member_chain st base ~allow_call =
+  if accept_punct st "." then begin
+    let name =
+      match peek_tok st with
+      | Lexer.T_ident n | Lexer.T_keyword n ->
+          advance st;
+          n
+      | _ -> error st "expected property name after '.'"
+    in
+    parse_member_chain st (Member (base, name)) ~allow_call
+  end
+  else if is_punct st "[" then begin
+    advance st;
+    let k = parse_expr st in
+    eat_punct st "]";
+    parse_member_chain st (Index (base, k)) ~allow_call
+  end
+  else if allow_call && is_punct st "(" then
+    let args = parse_args st in
+    parse_member_chain st (Call (base, args)) ~allow_call
+  else base
+
+and parse_postfix st =
+  let e = parse_member_chain st (parse_primary st) ~allow_call:true in
+  (* Postfix ++/-- must be on the same line as its operand. *)
+  if is_punct st "++" && not (current st).Lexer.preceded_by_newline then begin
+    advance st;
+    Update (lvalue_of_expr st e, Incr, Postfix)
+  end
+  else if is_punct st "--" && not (current st).Lexer.preceded_by_newline then begin
+    advance st;
+    Update (lvalue_of_expr st e, Decr, Postfix)
+  end
+  else e
+
+and parse_unary st =
+  match peek_tok st with
+  | Lexer.T_punct "-" ->
+      advance st;
+      Unop (Neg, parse_unary st)
+  | Lexer.T_punct "+" ->
+      advance st;
+      Unop (Plus, parse_unary st)
+  | Lexer.T_punct "!" ->
+      advance st;
+      Unop (Not, parse_unary st)
+  | Lexer.T_punct "~" ->
+      advance st;
+      Unop (Bit_not, parse_unary st)
+  | Lexer.T_punct "++" ->
+      advance st;
+      let e = parse_unary st in
+      Update (lvalue_of_expr st e, Incr, Prefix)
+  | Lexer.T_punct "--" ->
+      advance st;
+      let e = parse_unary st in
+      Update (lvalue_of_expr st e, Decr, Prefix)
+  | Lexer.T_keyword "typeof" ->
+      advance st;
+      Unop (Typeof, parse_unary st)
+  | Lexer.T_keyword "void" ->
+      advance st;
+      Unop (Void, parse_unary st)
+  | Lexer.T_keyword "delete" ->
+      advance st;
+      Unop (Delete, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_binary_rhs st min_prec =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    let op =
+      match peek_tok st with
+      | Lexer.T_punct p -> binop_of_punct p
+      | Lexer.T_keyword k -> binop_of_keyword k
+      | _ -> None
+    in
+    match op with
+    | Some (op, prec) when prec >= min_prec ->
+        advance st;
+        let rhs = parse_binary_rhs st (prec + 1) in
+        loop (Binop (op, lhs, rhs))
+    | Some _ | None -> lhs
+  in
+  loop lhs
+
+and parse_conditional st =
+  let cond = parse_binary_rhs st 1 in
+  if accept_punct st "?" then begin
+    let t = parse_assign st in
+    eat_punct st ":";
+    let f = parse_assign st in
+    Cond (cond, t, f)
+  end
+  else cond
+
+and parse_assign st =
+  let lhs = parse_conditional st in
+  if accept_punct st "=" then
+    let rhs = parse_assign st in
+    Assign (lvalue_of_expr st lhs, rhs)
+  else
+    match peek_tok st with
+    | Lexer.T_punct p -> (
+        match op_assign_of_punct p with
+        | Some op ->
+            advance st;
+            let rhs = parse_assign st in
+            Op_assign (lvalue_of_expr st lhs, op, rhs)
+        | None -> lhs)
+    | _ -> lhs
+
+and parse_expr st =
+  let e = parse_assign st in
+  if accept_punct st "," then Comma (e, parse_expr st) else e
+
+and parse_block st =
+  eat_punct st "{";
+  let rec loop acc =
+    if is_punct st "}" then begin
+      advance st;
+      List.rev acc
+    end
+    else if peek_tok st = Lexer.T_eof then error st "unexpected end of input in block"
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_var_decls st =
+  let rec loop acc =
+    let name = ident st in
+    let init = if accept_punct st "=" then Some (parse_assign st) else None in
+    let acc = (name, init) :: acc in
+    if accept_punct st "," then loop acc else List.rev acc
+  in
+  loop []
+
+and parse_stmt_or_block st =
+  (* Bodies of if/while/for: either a block or a single statement. *)
+  if is_punct st "{" then parse_block st else [ parse_stmt st ]
+
+and parse_stmt st =
+  match peek_tok st with
+  | Lexer.T_punct ";" ->
+      advance st;
+      Empty
+  | Lexer.T_punct "{" -> Block (parse_block st)
+  | Lexer.T_keyword ("var" | "let" | "const") ->
+      advance st;
+      let decls = parse_var_decls st in
+      eat_semi st;
+      Var_decl decls
+  | Lexer.T_keyword "function" ->
+      advance st;
+      let name = ident st in
+      let params = parse_params st in
+      let body = parse_block st in
+      Func_decl { fname = Some name; params; body }
+  | Lexer.T_keyword "if" ->
+      advance st;
+      eat_punct st "(";
+      let cond = parse_expr st in
+      eat_punct st ")";
+      let then_ = parse_stmt_or_block st in
+      let else_ =
+        if is_keyword st "else" then begin
+          advance st;
+          parse_stmt_or_block st
+        end
+        else []
+      in
+      If (cond, then_, else_)
+  | Lexer.T_keyword "while" ->
+      advance st;
+      eat_punct st "(";
+      let cond = parse_expr st in
+      eat_punct st ")";
+      While (cond, parse_stmt_or_block st)
+  | Lexer.T_keyword "do" ->
+      advance st;
+      let body = parse_stmt_or_block st in
+      eat_keyword st "while";
+      eat_punct st "(";
+      let cond = parse_expr st in
+      eat_punct st ")";
+      eat_semi st;
+      Do_while (body, cond)
+  | Lexer.T_keyword "for" ->
+      advance st;
+      eat_punct st "(";
+      (* Distinguish for-in from the three-clause form. *)
+      let is_decl = is_keyword st "var" || is_keyword st "let" || is_keyword st "const" in
+      if is_decl then begin
+        advance st;
+        let name = ident st in
+        if is_keyword st "in" then begin
+          advance st;
+          let obj = parse_expr st in
+          eat_punct st ")";
+          For_in (name, obj, parse_stmt_or_block st)
+        end
+        else begin
+          let init = if accept_punct st "=" then Some (parse_assign st) else None in
+          let decls =
+            if accept_punct st "," then (name, init) :: parse_var_decls st
+            else [ (name, init) ]
+          in
+          eat_punct st ";";
+          parse_for_tail st (Some (Init_decl decls))
+        end
+      end
+      else if accept_punct st ";" then parse_for_tail st None
+      else begin
+        let e = parse_expr st in
+        match e with
+        | Binop (In, Ident name, obj) ->
+            eat_punct st ")";
+            For_in (name, obj, parse_stmt_or_block st)
+        | _ ->
+            eat_punct st ";";
+            parse_for_tail st (Some (Init_expr e))
+      end
+  | Lexer.T_keyword "return" ->
+      advance st;
+      let value =
+        match peek_tok st with
+        | Lexer.T_punct (";" | "}") | Lexer.T_eof -> None
+        | _ when (current st).Lexer.preceded_by_newline -> None
+        | _ -> Some (parse_expr st)
+      in
+      eat_semi st;
+      Return value
+  | Lexer.T_keyword "break" ->
+      advance st;
+      eat_semi st;
+      Break
+  | Lexer.T_keyword "continue" ->
+      advance st;
+      eat_semi st;
+      Continue
+  | Lexer.T_keyword "throw" ->
+      advance st;
+      let e = parse_expr st in
+      eat_semi st;
+      Throw e
+  | Lexer.T_keyword "try" ->
+      advance st;
+      let body = parse_block st in
+      let catch =
+        if is_keyword st "catch" then begin
+          advance st;
+          eat_punct st "(";
+          let name = ident st in
+          eat_punct st ")";
+          Some (name, parse_block st)
+        end
+        else None
+      in
+      let finally =
+        if is_keyword st "finally" then begin
+          advance st;
+          Some (parse_block st)
+        end
+        else None
+      in
+      if catch = None && finally = None then error st "try without catch or finally";
+      Try (body, catch, finally)
+  | Lexer.T_keyword "switch" ->
+      advance st;
+      eat_punct st "(";
+      let scrutinee = parse_expr st in
+      eat_punct st ")";
+      eat_punct st "{";
+      let rec cases acc =
+        if is_punct st "}" then begin
+          advance st;
+          List.rev acc
+        end
+        else if is_keyword st "case" then begin
+          advance st;
+          let guard = parse_expr st in
+          eat_punct st ":";
+          cases ((Some guard, parse_case_body st) :: acc)
+        end
+        else if is_keyword st "default" then begin
+          advance st;
+          eat_punct st ":";
+          cases ((None, parse_case_body st) :: acc)
+        end
+        else error st "expected 'case', 'default' or '}'"
+      in
+      Switch (scrutinee, cases [])
+  | _ ->
+      let e = parse_expr st in
+      eat_semi st;
+      Expr_stmt e
+
+and parse_case_body st =
+  let rec loop acc =
+    if is_punct st "}" || is_keyword st "case" || is_keyword st "default" then List.rev acc
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_for_tail st init =
+  let cond = if is_punct st ";" then None else Some (parse_expr st) in
+  eat_punct st ";";
+  let step = if is_punct st ")" then None else Some (parse_expr st) in
+  eat_punct st ")";
+  For (init, cond, step, parse_stmt_or_block st)
+
+let parse src =
+  let st = { toks = Lexer.tokenize src; idx = 0 } in
+  let rec loop acc =
+    match peek_tok st with
+    | Lexer.T_eof -> List.rev acc
+    | _ -> loop (parse_stmt st :: acc)
+  in
+  loop []
+
+let parse_expression src =
+  let st = { toks = Lexer.tokenize src; idx = 0 } in
+  let e = parse_expr st in
+  (match peek_tok st with
+  | Lexer.T_eof -> ()
+  | _ -> error st "trailing tokens after expression");
+  e

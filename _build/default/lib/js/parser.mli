@@ -1,0 +1,16 @@
+(** Recursive-descent parser for MiniJS.
+
+    Expression parsing is precedence-climbing over the standard ES5
+    operator table; statements are parsed directly. A pragmatic subset of
+    automatic semicolon insertion is supported: a statement may end without
+    [;] before [}], at end of input, or at a line break. *)
+
+exception Parse_error of string * int * int  (** message, line, col *)
+
+(** [parse src] parses a complete program. Raises {!Parse_error} or
+    {!Lexer.Lex_error} on malformed input. *)
+val parse : string -> Ast.program
+
+(** [parse_expression src] parses a single expression (used by tests and by
+    [javascript:] URL handling). *)
+val parse_expression : string -> Ast.expr

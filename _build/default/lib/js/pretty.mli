@@ -1,0 +1,21 @@
+(** Pretty-printer for MiniJS ASTs.
+
+    Emits syntactically valid MiniJS: [parse (program_to_string p)] yields a
+    structurally equal program (a qcheck property in the test suite).
+    Output is fully parenthesized at expression level, so no precedence
+    bookkeeping is needed. *)
+
+(** [number_to_string n] renders a numeric literal the way JavaScript's
+    ToString does for the common cases: integers without a decimal point,
+    [NaN], [Infinity]. *)
+val number_to_string : float -> string
+
+(** [string_literal s] renders [s] as a double-quoted literal with
+    escapes. *)
+val string_literal : string -> string
+
+val expr_to_string : Ast.expr -> string
+
+val stmt_to_string : Ast.stmt -> string
+
+val program_to_string : Ast.program -> string

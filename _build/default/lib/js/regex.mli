@@ -1,0 +1,49 @@
+(** A compact regular-expression engine for MiniJS.
+
+    Implements the JavaScript regex subset production pages of the paper's
+    era lean on: literals, [.], character classes (ranges, negation),
+    escape classes ([\d \w \s] and negations), anchors ([^ $]),
+    alternation, grouping with capture, greedy and lazy [* + ?], and
+    bounded repetition [{m}] / [{m,}] / [{m,n}]. Matching is
+    backtracking, with the [i] (ignore-case) and [g] (global) flags.
+
+    Not supported (rejected at compile time or treated literally, as
+    noted): backreferences, lookaround, named groups, unicode classes. *)
+
+type t
+
+(** [compile ~pattern ~flags] parses the pattern. [Error msg] on malformed
+    patterns or unsupported constructs. Recognized flags: [i], [g], [m]
+    (accepted; [m] only affects [^]/[$], which then match at newlines). *)
+val compile : pattern:string -> flags:string -> (t, string) result
+
+val pattern : t -> string
+
+val flags : t -> string
+
+(** [global t] — the [g] flag. *)
+val global : t -> bool
+
+type match_result = {
+  start : int;  (** byte offset of the match *)
+  stop : int;  (** byte offset one past the match *)
+  groups : (int * int) option array;  (** capture spans; index 0 = whole match *)
+}
+
+(** [exec t s ~start] finds the leftmost match at or after [start]. *)
+val exec : t -> string -> start:int -> match_result option
+
+(** [test t s] — does [s] contain a match? *)
+val test : t -> string -> bool
+
+(** [replace t s ~by] replaces the first match (all matches under [g]).
+    [$1]..[$9] in [by] substitute capture groups; [$&] the whole match;
+    [$$] a literal dollar. *)
+val replace : t -> string -> by:string -> string
+
+(** [split t s] splits [s] on matches. *)
+val split : t -> string -> string list
+
+(** [match_all t s] lists all non-overlapping matches (empty matches
+    advance by one to guarantee progress). *)
+val match_all : t -> string -> match_result list

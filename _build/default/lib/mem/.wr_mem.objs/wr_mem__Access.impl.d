@@ -1,0 +1,1 @@
+lib/mem/access.ml: Format List Location String Wr_hb

@@ -1,0 +1,1 @@
+lib/mem/access.mli: Format Location Wr_hb

@@ -1,0 +1,1 @@
+lib/mem/instr.ml: Access Hashtbl Wr_hb

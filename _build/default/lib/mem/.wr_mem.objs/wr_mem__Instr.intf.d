@@ -1,0 +1,1 @@
+lib/mem/instr.mli: Access Location Wr_hb

@@ -1,0 +1,1 @@
+lib/mem/location.ml: Format Hashtbl String

@@ -1,0 +1,1 @@
+lib/mem/location.mli: Format Hashtbl

@@ -1,0 +1,40 @@
+(** Memory-access records flowing from instrumentation to the detector.
+
+    Every instrumented point in the simulated browser (variable reads,
+    property writes, DOM insertion, handler registration, event dispatch,
+    ...) emits one [t]. Flags carry the side-channel information the race
+    classifier (§6.1) and the report filters (§5.3) need. *)
+
+type kind = [ `Read | `Write ]
+
+type flag =
+  | Function_decl
+      (** a hoisted function-declaration write (§4.1 "Functions"); a race
+          whose write carries this flag is a {e function race} *)
+  | Call_position  (** a variable read used directly as a call target *)
+  | Form_field  (** the value/checked slot of a form field (filter §5.3) *)
+  | Observed_miss
+      (** the read observed absence: [getElementById] returned null, the
+          variable was undefined — evidence for harmfulness classification *)
+  | User_input  (** a write performed on behalf of (simulated) user input *)
+  | Checked_read_first
+      (** detector-added: the writing operation read this location before
+          writing it — the §5.3 form-filter refinement treats such races as
+          harmless *)
+
+type t = {
+  loc : Location.t;
+  kind : kind;
+  op : Wr_hb.Op.id;  (** the operation performing the access *)
+  flags : flag list;
+  context : string;  (** human-readable source context for reports *)
+}
+
+val make : ?flags:flag list -> ?context:string -> Location.t -> kind -> Wr_hb.Op.id -> t
+
+val has_flag : t -> flag -> bool
+
+(** [add_flag t f] is [t] with [f] recorded (idempotent). *)
+val add_flag : t -> flag -> t
+
+val pp : Format.formatter -> t -> unit

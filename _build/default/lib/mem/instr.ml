@@ -1,0 +1,31 @@
+type t = {
+  mutable op : Wr_hb.Op.id;
+  mutable context : string;
+  sink : Access.t -> unit;
+  cell_id : owner:int -> string -> int;
+  fresh_id : unit -> int;
+}
+
+let emit t ?(flags = []) loc kind =
+  t.sink (Access.make ~flags ~context:t.context loc kind t.op)
+
+let null () =
+  let counter = ref 0 in
+  let cells = Hashtbl.create 64 in
+  {
+    op = 0;
+    context = "";
+    sink = ignore;
+    cell_id =
+      (fun ~owner name ->
+        match Hashtbl.find_opt cells (owner, name) with
+        | Some c -> c
+        | None ->
+            incr counter;
+            Hashtbl.add cells (owner, name) !counter;
+            !counter);
+    fresh_id =
+      (fun () ->
+        incr counter;
+        !counter);
+  }

@@ -1,0 +1,63 @@
+type elem_key =
+  | Node of int
+  | Id of { doc : int; id : string }
+  | Collection of { doc : int; name : string }
+
+type handler_slot = Attr | Listener of int | Container
+
+type t =
+  | Js_var of { cell : int; name : string }
+  | Html_elem of elem_key
+  | Event_handler of { target : int; event : string; slot : handler_slot }
+
+let conflict_relevant loc ~kind ~kind' =
+  let both_writes = kind = `Write && kind' = `Write in
+  match loc with
+  | Html_elem (Collection _) | Event_handler { slot = Container; _ } -> not both_writes
+  | Js_var _ | Html_elem (Node _ | Id _) | Event_handler { slot = Attr | Listener _; _ } ->
+      true
+
+let report_key = function
+  | Event_handler { target; event; _ } -> Event_handler { target; event; slot = Container }
+  | (Js_var _ | Html_elem _) as loc -> loc
+
+(* Structural equality is correct here ([t] contains only ints and
+   strings); the explicit definitions exist so [Js_var] name changes for
+   reporting purposes never silently change identity semantics. *)
+let equal (a : t) (b : t) =
+  match a, b with
+  | Js_var { cell = c; _ }, Js_var { cell = c'; _ } -> c = c'
+  | Html_elem k, Html_elem k' -> k = k'
+  | Event_handler h, Event_handler h' ->
+      h.target = h'.target && String.equal h.event h'.event && h.slot = h'.slot
+  | (Js_var _ | Html_elem _ | Event_handler _), _ -> false
+
+let hash = function
+  | Js_var { cell; _ } -> Hashtbl.hash (0, cell)
+  | Html_elem k -> Hashtbl.hash (1, k)
+  | Event_handler { target; event; slot } -> Hashtbl.hash (2, target, event, slot)
+
+let pp_elem_key ppf = function
+  | Node uid -> Format.fprintf ppf "node#%d" uid
+  | Id { doc; id } -> Format.fprintf ppf "doc%d#%s" doc id
+  | Collection { doc; name } -> Format.fprintf ppf "doc%d[%s]" doc name
+
+let pp_slot ppf = function
+  | Attr -> Format.pp_print_string ppf "attr"
+  | Listener uid -> Format.fprintf ppf "listener#%d" uid
+  | Container -> Format.pp_print_string ppf "handlers"
+
+let pp ppf = function
+  | Js_var { cell; name } -> Format.fprintf ppf "var %s@%d" name cell
+  | Html_elem k -> Format.fprintf ppf "elem %a" pp_elem_key k
+  | Event_handler { target; event; slot } ->
+      Format.fprintf ppf "handler (node#%d, %s, %a)" target event pp_slot slot
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

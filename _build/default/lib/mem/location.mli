@@ -1,0 +1,74 @@
+(** Logical memory locations (paper §4).
+
+    The web platform has no natural machine-level notion of a memory access:
+    operations touch JavaScript heap cells, browser-internal DOM structures,
+    or both. The paper therefore defines three classes of logical locations,
+    independent of browser implementation:
+
+    - JavaScript variables ([Js_var]) — local variables captured by
+      closures, object properties, globals (§4.1);
+    - HTML elements ([Html_elem]) — written by insertion/removal, read by
+      accessors like [getElementById] (§4.2);
+    - event handlers ([Event_handler]) — a triple (element, event, handler)
+      so that accesses manipulating disjoint handlers for the same event do
+      not interfere (§4.3).
+
+    Two refinements make the model implementable without WebKit's concrete
+    addresses (both documented in DESIGN.md):
+
+    - element lookups are keyed: [Node] for a concrete element's existence,
+      [Id] for the per-document id cell that a [getElementById] reads
+      whether or not it hits (Fig. 3's race needs the miss to conflict with
+      the later insertion), [Collection] for tag/name-keyed accessors;
+    - each (element, event) pair has one extra [Container] slot that event
+      dispatch reads and every handler registration writes. Write-write
+      conflicts on containers and collections are suppressed by
+      {!conflict_relevant} to preserve the §4.3 non-interference of disjoint
+      handlers. *)
+
+type elem_key =
+  | Node of int  (** a concrete element, by node uid *)
+  | Id of { doc : int; id : string }  (** the per-document id-lookup cell *)
+  | Collection of { doc : int; name : string }
+      (** a document-level collection accessor cell, e.g. "tag:div",
+          "images", "forms" *)
+
+type handler_slot =
+  | Attr  (** the element's [on<event>] attribute/property slot *)
+  | Listener of int  (** an [addEventListener] handler, keyed by function uid *)
+  | Container  (** the per-(element, event) handler container *)
+
+type t =
+  | Js_var of { cell : int; name : string }
+      (** a runtime binding cell or object property slot; [cell] uniquely
+          identifies the heap cell, [name] is for reports *)
+  | Html_elem of elem_key
+  | Event_handler of { target : int; event : string; slot : handler_slot }
+
+(** [conflict_relevant loc ~kind ~kind'] decides whether two accesses of the
+    given kinds on [loc] may constitute a race. Write-write pairs on
+    [Container] and [Collection] locations are exempt (disjoint handler
+    registrations / unrelated insertions must not interfere); everything
+    else follows the usual "at least one write" rule, which the detector
+    has already established before asking. *)
+val conflict_relevant : t -> kind:[ `Read | `Write ] -> kind':[ `Read | `Write ] -> bool
+
+(** [report_key loc] canonicalizes a location for the "at most one race
+    report per location per run" rule (paper footnote 13). Event-handler
+    locations collapse to their (target, event) pair: a single registration
+    races with a single dispatch through both the handler slot and the
+    container, and reporting that twice would double-count what the paper
+    counts as one event dispatch race. Other locations are their own
+    key. *)
+val report_key : t -> t
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** Hash tables keyed by location, used by the detectors. *)
+module Tbl : Hashtbl.S with type key = t

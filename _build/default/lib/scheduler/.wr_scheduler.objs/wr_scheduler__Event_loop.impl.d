@@ -1,0 +1,1 @@
+lib/scheduler/event_loop.ml: Array Float Hashtbl

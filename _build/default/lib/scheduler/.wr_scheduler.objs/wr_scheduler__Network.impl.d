@@ -1,0 +1,1 @@
+lib/scheduler/network.ml: Event_loop Hashtbl Wr_support

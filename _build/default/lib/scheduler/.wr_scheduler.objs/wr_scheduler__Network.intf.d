@@ -1,0 +1,1 @@
+lib/scheduler/network.mli: Event_loop Wr_support

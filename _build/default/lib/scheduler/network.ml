@@ -1,0 +1,29 @@
+type outcome = Fetched of string | Missing
+
+type t = {
+  loop : Event_loop.t;
+  rng : Wr_support.Rng.t;
+  resolve : string -> string option;
+  mean_latency : float;
+  min_latency : float;
+  pinned : (string, float) Hashtbl.t;
+  mutable count : int;
+}
+
+let create ~loop ~rng ~resolve ?(mean_latency = 20.) ?(min_latency = 1.) () =
+  { loop; rng; resolve; mean_latency; min_latency; pinned = Hashtbl.create 8; count = 0 }
+
+let latency t url =
+  match Hashtbl.find_opt t.pinned url with
+  | Some ms -> ms
+  | None -> t.min_latency +. Wr_support.Rng.exponential t.rng ~mean:t.mean_latency
+
+let fetch t ~url k =
+  t.count <- t.count + 1;
+  let delay = latency t url in
+  let outcome = match t.resolve url with Some body -> Fetched body | None -> Missing in
+  ignore (Event_loop.schedule t.loop ~delay (fun () -> k outcome))
+
+let set_latency t ~url ms = Hashtbl.replace t.pinned url ms
+
+let fetches t = t.count

@@ -1,0 +1,1 @@
+lib/sitegen/eval.ml: Gen List Printf Profile Webracer Wr_detect Wr_support

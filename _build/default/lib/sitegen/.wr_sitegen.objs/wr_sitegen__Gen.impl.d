@@ -1,0 +1,1 @@
+lib/sitegen/gen.ml: List Patterns Profile String Wr_html

@@ -1,0 +1,1 @@
+lib/sitegen/gen.mli: Profile

@@ -1,0 +1,1 @@
+lib/sitegen/patterns.ml: List Printf String Wr_detect Wr_html

@@ -1,0 +1,1 @@
+lib/sitegen/patterns.mli: Wr_detect Wr_html

@@ -1,0 +1,98 @@
+module Race = Wr_detect.Race
+
+type outcome = {
+  profile : Profile.t;
+  raw : Profile.counts;
+  filtered : Profile.counts;
+  expected_raw : Profile.counts;
+  expected_filtered : Profile.counts;
+  harmful : Profile.counts;
+  ops : int;
+  accesses : int;
+  crashes : int;
+  wall_clock_s : float;
+}
+
+let counts_of races =
+  let h, f, v, d = Webracer.count_by_type races in
+  { Profile.html = h; func = f; var = v; disp = d }
+
+let run_site ?(seed = 42) profile =
+  let site = Gen.generate profile in
+  let report =
+    Webracer.analyze
+      (Webracer.config ~page:site.Gen.page ~resources:site.Gen.resources ~seed ~explore:true ())
+  in
+  {
+    profile;
+    raw = counts_of report.Webracer.races;
+    filtered = counts_of report.Webracer.filtered;
+    expected_raw = Profile.expected_raw profile;
+    expected_filtered = Profile.expected_filtered profile;
+    harmful = Profile.expected_harmful profile;
+    ops = report.Webracer.ops;
+    accesses = report.Webracer.accesses;
+    crashes = List.length report.Webracer.crashes;
+    wall_clock_s = report.Webracer.wall_clock_s;
+  }
+
+let run_corpus ?(seed = 42) ?limit () =
+  let profiles = Profile.corpus () in
+  let profiles =
+    match limit with
+    | Some n -> List.filteri (fun i _ -> i < n) profiles
+    | None -> profiles
+  in
+  List.mapi (fun i p -> run_site ~seed:(seed + i) p) profiles
+
+let fidelity o = o.filtered = o.expected_filtered
+
+(* Table 1: mean / median / max of raw (unfiltered) counts per type. *)
+let render_table1 outcomes =
+  let stat f =
+    let xs = List.map f outcomes in
+    [
+      Printf.sprintf "%.1f" (Wr_support.Stats.mean xs);
+      Printf.sprintf "%.1f" (Wr_support.Stats.median xs);
+      string_of_int (Wr_support.Stats.max xs);
+    ]
+  in
+  let rows =
+    [
+      "HTML" :: stat (fun o -> o.raw.Profile.html);
+      "Function" :: stat (fun o -> o.raw.Profile.func);
+      "Variable" :: stat (fun o -> o.raw.Profile.var);
+      "Event Dispatch" :: stat (fun o -> o.raw.Profile.disp);
+      "All" :: stat (fun o -> Profile.total o.raw);
+    ]
+  in
+  Wr_support.Table.render ~header:[ "Race type"; "Mean"; "Median"; "Max" ] rows
+
+let cell count harmful = if count = 0 then "0" else Printf.sprintf "%d (%d)" count harmful
+
+let render_table2 outcomes =
+  let visible = List.filter (fun o -> Profile.total o.filtered > 0) outcomes in
+  let row o =
+    let f = o.filtered and h = o.harmful in
+    let mark = if fidelity o then "" else " !" in
+    [
+      o.profile.Profile.name ^ mark;
+      cell f.Profile.html h.Profile.html;
+      cell f.Profile.func h.Profile.func;
+      cell f.Profile.var h.Profile.var;
+      cell f.Profile.disp h.Profile.disp;
+    ]
+  in
+  let sum f = List.fold_left (fun acc o -> acc + f o) 0 visible in
+  let totals =
+    [
+      "Total";
+      cell (sum (fun o -> o.filtered.Profile.html)) (sum (fun o -> o.harmful.Profile.html));
+      cell (sum (fun o -> o.filtered.Profile.func)) (sum (fun o -> o.harmful.Profile.func));
+      cell (sum (fun o -> o.filtered.Profile.var)) (sum (fun o -> o.harmful.Profile.var));
+      cell (sum (fun o -> o.filtered.Profile.disp)) (sum (fun o -> o.harmful.Profile.disp));
+    ]
+  in
+  Wr_support.Table.render
+    ~header:[ "Website"; "HTML"; "Function"; "Variable"; "EventDisp" ]
+    (List.map row visible @ [ totals ])

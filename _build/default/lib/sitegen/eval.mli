@@ -1,0 +1,42 @@
+(** Evaluation harness: run WebRacer over the synthetic corpus and
+    regenerate the paper's Tables 1 and 2.
+
+    Ground truth comes from the profiles; the harness reports both the
+    detected counts (what WebRacer actually found) and the planted counts,
+    and flags any site where they disagree — the fidelity check replacing
+    the paper's manual inspection. *)
+
+type outcome = {
+  profile : Profile.t;
+  raw : Profile.counts;  (** detected, unfiltered *)
+  filtered : Profile.counts;  (** detected, after the §5.3 filters *)
+  expected_raw : Profile.counts;
+  expected_filtered : Profile.counts;
+  harmful : Profile.counts;  (** ground truth for the filtered races *)
+  ops : int;
+  accesses : int;
+  crashes : int;
+  wall_clock_s : float;
+}
+
+(** [run_site ?seed profile] generates the site and analyzes it with
+    exploration on. *)
+val run_site : ?seed:int -> Profile.t -> outcome
+
+(** [run_corpus ?seed ?limit ()] runs the whole corpus (or its first
+    [limit] sites), in profile order. *)
+val run_corpus : ?seed:int -> ?limit:int -> unit -> outcome list
+
+(** [fidelity outcome] — detected filtered counts match the planted
+    ground truth exactly. *)
+val fidelity : outcome -> bool
+
+(** [render_table1 outcomes] formats the Table 1 analogue: mean, median
+    and max of detected raw races per type across sites. *)
+val render_table1 : outcome list -> string
+
+(** [render_table2 outcomes] formats the Table 2 analogue: per-site
+    filtered counts with harmful counts in parentheses; sites with no
+    filtered races are elided, totals appended, mismatch-flagged rows
+    marked with [!]. *)
+val render_table2 : outcome list -> string

@@ -1,0 +1,388 @@
+module Html = Wr_html.Html
+module Race = Wr_detect.Race
+
+type t = {
+  nodes : Html.node list;
+  resources : (string * string) list;
+  raw : Race.race_type * int;
+  filtered : int;
+  harmful : int;
+}
+
+let script code = Html.el "script" [ Html.text code ]
+
+(* Fig. 3 (Valero): the click's default action dereferences an element
+   parsed later. The function itself is declared first so the only race is
+   the HTML one. *)
+let html_unguarded ~idx =
+  let code =
+    Printf.sprintf
+      "function open_%d() { var v = document.getElementById(\"panel_%d\"); v.style.display = \
+       \"block\"; }"
+      idx idx
+  in
+  {
+    nodes =
+      [
+        script code;
+        Html.el "a"
+          ~attrs:[ ("id", Printf.sprintf "lnk_%d" idx);
+                   ("href", Printf.sprintf "javascript:open_%d()" idx) ]
+          [ Html.text "Send Email" ];
+        Html.el "div"
+          ~attrs:[ ("id", Printf.sprintf "panel_%d" idx); ("style", "display:none") ]
+          [ Html.text "panel" ];
+      ];
+    resources = [];
+    raw = (Race.Html, 1);
+    filtered = 1;
+    harmful = 1;
+  }
+
+let html_guarded ~idx =
+  let code =
+    Printf.sprintf
+      "function open_%d() { var v = document.getElementById(\"panel_%d\"); if (v != null) { \
+       v.style.display = \"block\"; } }"
+      idx idx
+  in
+  { (html_unguarded ~idx) with
+    nodes =
+      [
+        script code;
+        Html.el "a"
+          ~attrs:[ ("id", Printf.sprintf "lnk_%d" idx);
+                   ("href", Printf.sprintf "javascript:open_%d()" idx) ]
+          [ Html.text "Open" ];
+        Html.el "div"
+          ~attrs:[ ("id", Printf.sprintf "panel_%d" idx); ("style", "display:none") ]
+          [ Html.text "panel" ];
+      ];
+    harmful = 0;
+  }
+
+(* The Ford pattern (§6.3): poll for a sentinel via setTimeout, then touch
+   n nodes that the page layout guarantees exist. n+1 benign HTML races
+   (the sentinel lookup plus one per touched node). *)
+let html_polling ~idx ~n =
+  let code =
+    Printf.sprintf
+      "function poll_%d() {\n\
+      \  if (document.getElementById(\"sentinel_%d\") != null) {\n\
+      \    var i = 0;\n\
+      \    for (i = 0; i < %d; i++) {\n\
+      \      var el = document.getElementById(\"pn_%d_\" + i);\n\
+      \      el.className = \"ready\";\n\
+      \    }\n\
+      \  } else { setTimeout(poll_%d, 25); }\n\
+       }\n\
+       poll_%d();"
+      idx idx n idx idx idx
+  in
+  let nodes =
+    script code
+    :: (List.init n (fun i ->
+            Html.el "div" ~attrs:[ ("id", Printf.sprintf "pn_%d_%d" idx i) ] [ Html.text "." ])
+       @ [ Html.el "div" ~attrs:[ ("id", Printf.sprintf "sentinel_%d" idx) ] [] ])
+  in
+  { nodes; resources = []; raw = (Race.Html, n + 1); filtered = n + 1; harmful = 0 }
+
+(* §6.3's harmful function races: a hover handler invoking a function a
+   later script declares. *)
+let function_hover ~idx ~guarded =
+  let call =
+    if guarded then
+      Printf.sprintf "if (typeof hover_%d != \"undefined\") { hover_%d(); }" idx idx
+    else Printf.sprintf "hover_%d();" idx
+  in
+  {
+    nodes =
+      [
+        Html.el "div"
+          ~attrs:[ ("id", Printf.sprintf "menu_%d" idx); ("onmouseover", call) ]
+          [ Html.text "Products" ];
+        script (Printf.sprintf "function hover_%d() { return %d; }" idx idx);
+      ];
+    resources = [];
+    raw = (Race.Function_race, 1);
+    filtered = 1;
+    harmful = (if guarded then 0 else 1);
+  }
+
+(* Fig. 2 (Southwest): the hint script erases whatever the user typed. *)
+let form_hint ~idx =
+  {
+    nodes =
+      [
+        Html.el "input"
+          ~attrs:[ ("type", "text"); ("id", Printf.sprintf "search_%d" idx) ]
+          [];
+        script
+          (Printf.sprintf
+             "document.getElementById(\"search_%d\").value = \"City of Departure\";" idx);
+      ];
+    resources = [];
+    raw = (Race.Variable, 1);
+    filtered = 1;
+    harmful = 1;
+  }
+
+(* §5.3 refinement: checking the field first makes the race harmless, and
+   the form filter drops it. *)
+let form_checked ~idx =
+  {
+    nodes =
+      [
+        Html.el "input"
+          ~attrs:[ ("type", "text"); ("id", Printf.sprintf "query_%d" idx) ]
+          [];
+        script
+          (Printf.sprintf
+             "var el_%d = document.getElementById(\"query_%d\");\n\
+              if (el_%d.value === \"\") { el_%d.value = \"Search\"; }"
+             idx idx idx idx);
+      ];
+    resources = [];
+    raw = (Race.Variable, 1);
+    filtered = 0;
+    harmful = 0;
+  }
+
+(* Two initializers (an async library and a timer) write the same field:
+   a form race that survives the filters but loses no user input. *)
+let form_two_writers ~idx =
+  let url = Printf.sprintf "init_%d.js" idx in
+  {
+    nodes =
+      [
+        Html.el "input"
+          ~attrs:[ ("type", "text"); ("id", Printf.sprintf "field_%d" idx) ]
+          [];
+        Html.el "script" ~attrs:[ ("async", "true"); ("src", url) ] [];
+        script
+          (Printf.sprintf
+             "setTimeout(function () { document.getElementById(\"field_%d\").value = \"B\"; }, \
+              30);"
+             idx);
+      ];
+    resources =
+      [ (url, Printf.sprintf "document.getElementById(\"field_%d\").value = \"A\";" idx) ];
+    raw = (Race.Variable, 1);
+    filtered = 1;
+    harmful = 0;
+  }
+
+(* §6.3's only harmful dispatch races: the Gomez monitor polls for new
+   images every 10ms and attaches onload, racing each image's load. *)
+let gomez ~idx ~n =
+  let imgs =
+    List.init n (fun i ->
+        Html.el "img"
+          ~attrs:
+            [ ("id", Printf.sprintf "gz_%d_%d" idx i);
+              ("src", Printf.sprintf "gz_%d_%d.png" idx i) ]
+          [])
+  in
+  (* The monitor clears itself from inside the interval: rule 17 orders the
+     iterations, so the clearTimeout-extension location stays race-free and
+     the planted count is exactly the per-image dispatch races. *)
+  let code =
+    Printf.sprintf
+      "var gzn_%d = 0;\n\
+       var gzt_%d = setInterval(function () {\n\
+      \  gzn_%d = gzn_%d + 1;\n\
+      \  if (gzn_%d > 40) { clearInterval(gzt_%d); return 0; }\n\
+      \  var i = 0;\n\
+      \  for (i = 0; i < %d; i++) {\n\
+      \    var im = document.getElementById(\"gz_%d_\" + i);\n\
+      \    if (im != null && !im.__wr_%d) { im.__wr_%d = true; im.onload = function () { \
+       return 1; }; }\n\
+      \  }\n\
+       }, 10);"
+      idx idx idx idx idx idx n idx idx idx
+  in
+  {
+    nodes = imgs @ [ script code ];
+    resources = List.init n (fun i -> (Printf.sprintf "gz_%d_%d.png" idx i, "png"));
+    raw = (Race.Event_dispatch, n);
+    filtered = n;
+    harmful = n;
+  }
+
+(* A deliberately delayed enhancement attaches an image load handler from a
+   timer: a single-dispatch race the paper's manual inspection classified
+   benign (degraded functionality during load, by design). *)
+let late_load_listener ~idx =
+  let img_id = Printf.sprintf "late_img_%d" idx in
+  {
+    nodes =
+      [
+        Html.el "img" ~attrs:[ ("id", img_id); ("src", img_id ^ ".png") ] [];
+        script
+          (Printf.sprintf
+             "setTimeout(function () { document.getElementById(\"%s\").onload = function () { \
+              return 1; }; }, 5);"
+             img_id);
+      ];
+    resources = [ (img_id ^ ".png", "png") ];
+    raw = (Race.Event_dispatch, 1);
+    filtered = 1;
+    harmful = 0;
+  }
+
+(* n plain variable races between an async library and a timer callback:
+   the raw-report volume the form filter exists to suppress (§6.2). *)
+let bulk_variable ~idx ~n =
+  if n = 0 then
+    { nodes = []; resources = []; raw = (Race.Variable, 0); filtered = 0; harmful = 0 }
+  else begin
+    let url = Printf.sprintf "lib_%d.js" idx in
+    let lib =
+      String.concat "\n" (List.init n (fun i -> Printf.sprintf "g_%d_%d = 1;" idx i))
+    in
+    let writer =
+      String.concat "\n" (List.init n (fun i -> Printf.sprintf "g_%d_%d = 2;" idx i))
+    in
+    {
+      nodes =
+        [
+          Html.el "script" ~attrs:[ ("async", "true"); ("src", url) ] [];
+          script (Printf.sprintf "setTimeout(function () {\n%s\n}, 20);" writer);
+        ];
+      resources = [ (url, lib) ];
+      raw = (Race.Variable, n);
+      filtered = 0;
+      harmful = 0;
+    }
+  end
+
+(* n event-dispatch races on repeatable (hover) events: a delayed menu
+   script attaches handlers the user may beat. Filtered out as
+   multi-dispatch (§5.3). *)
+let bulk_dispatch ~idx ~n =
+  if n = 0 then
+    { nodes = []; resources = []; raw = (Race.Event_dispatch, 0); filtered = 0; harmful = 0 }
+  else begin
+    let links =
+      List.init n (fun i ->
+          Html.el "a"
+            ~attrs:[ ("id", Printf.sprintf "nav_%d_%d" idx i); ("href", "#") ]
+            [ Html.text (Printf.sprintf "item %d" i) ])
+    in
+    let code =
+      Printf.sprintf
+        "setTimeout(function () {\n\
+        \  var i = 0;\n\
+        \  for (i = 0; i < %d; i++) {\n\
+        \    var el = document.getElementById(\"nav_%d_\" + i);\n\
+        \    el.onmouseover = function () { return 1; };\n\
+        \  }\n\
+         }, 25);"
+        n idx
+    in
+    {
+      nodes = links @ [ script code ];
+      resources = [];
+      raw = (Race.Event_dispatch, n);
+      filtered = 0;
+      harmful = 0;
+    }
+  end
+
+(* Two AJAX completions write one global (rule 10 exercised; handlers of
+   different requests stay unordered). *)
+let ajax_shared ~idx =
+  let code =
+    Printf.sprintf
+      "function mk_%d(u) {\n\
+      \  var r = new XMLHttpRequest();\n\
+      \  r.onreadystatechange = function () { if (r.readyState === 4) { shared_%d = u; } };\n\
+      \  r.open(\"GET\", u);\n\
+      \  r.send();\n\
+       }\n\
+       mk_%d(\"data_%d_a.txt\");\n\
+       mk_%d(\"data_%d_b.txt\");"
+      idx idx idx idx idx idx
+  in
+  {
+    nodes = [ script code ];
+    resources =
+      [
+        (Printf.sprintf "data_%d_a.txt" idx, "alpha");
+        (Printf.sprintf "data_%d_b.txt" idx, "beta");
+      ];
+    raw = (Race.Variable, 1);
+    filtered = 0;
+    harmful = 0;
+  }
+
+let decoy ~idx ~n =
+  let articles =
+    List.init (max 0 n) (fun i ->
+        Html.el "div"
+          ~attrs:[ ("id", Printf.sprintf "art_%d_%d" idx i); ("class", "article") ]
+          [
+            Html.el "h3" [ Html.text (Printf.sprintf "Story %d" i) ];
+            Html.el "p" [ Html.text "Lorem ipsum dolor sit amet." ];
+          ])
+  in
+  let images =
+    List.init (min 6 (max 0 (n / 8))) (fun i ->
+        Html.el "img"
+          ~attrs:
+            [ ("id", Printf.sprintf "strip_%d_%d" idx i); ("src", "decoy.png");
+              ("alt", "strip") ]
+          [])
+  in
+  let carousel =
+    script
+      (Printf.sprintf
+         "var slide_%d = 0;
+          var ticks_%d = 0;
+          var rot_%d = setInterval(function () {
+         \  slide_%d = (slide_%d + 1) %% 5;
+         \  ticks_%d = ticks_%d + 1;
+         \  if (ticks_%d > 8) { clearInterval(rot_%d); }
+          }, 40);"
+         idx idx idx idx idx idx idx idx idx)
+  in
+  let search =
+    Html.el "form"
+      ~attrs:[ ("id", Printf.sprintf "searchform_%d" idx) ]
+      [
+        Html.el "input"
+          ~attrs:[ ("type", "text"); ("id", Printf.sprintf "sq_%d" idx) ]
+          [];
+        Html.el "button" [ Html.text "Go" ];
+      ]
+  in
+  (articles @ images @ [ carousel; search ], [ ("decoy.png", "png") ])
+
+let boilerplate ~name =
+  let nodes =
+    [
+      Html.el "div"
+        ~attrs:[ ("id", "header"); ("class", "site-header") ]
+        [
+          Html.el "img" ~attrs:[ ("id", "logo"); ("src", "logo.png"); ("alt", name) ] [];
+          Html.el "h1" [ Html.text name ];
+        ];
+      Html.el "div"
+        ~attrs:[ ("id", "mainnav") ]
+        [
+          Html.el "a" ~attrs:[ ("href", "#products") ] [ Html.text "Products" ];
+          Html.el "a" ~attrs:[ ("href", "#support") ] [ Html.text "Support" ];
+          Html.el "a" ~attrs:[ ("href", "#about") ] [ Html.text "About" ];
+        ];
+      script
+        (Printf.sprintf
+           "var siteName = \"%s\"; var pageStart = Date.now(); var sections = [\"products\", \
+            \"support\", \"about\"];"
+           name);
+      Html.el "div" ~attrs:[ ("id", "content"); ("class", "main") ] [ Html.text "welcome" ];
+      Html.el "div"
+        ~attrs:[ ("id", "footer") ]
+        [ Html.text (Printf.sprintf "(c) 2011 %s Inc." name) ];
+    ]
+  in
+  (nodes, [ ("logo.png", "png") ])

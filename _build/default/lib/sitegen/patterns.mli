@@ -1,0 +1,77 @@
+(** Race-pattern emitters for the synthetic evaluation corpus.
+
+    Each emitter produces a self-contained page fragment that plants a
+    known number of races of a known type and harmfulness — the concrete
+    patterns the paper reports finding on Fortune-100 pages (§2, §6.3):
+
+    - {!html_unguarded}: Fig. 3 (Valero) — a [javascript:] link whose
+      handler dereferences a later-parsed element; harmful (exception).
+    - {!html_guarded}: the same with a null check; benign, still a race.
+    - {!html_polling}: the Ford pattern — [setTimeout] polling for a
+      sentinel node then touching [n] nodes; [n+1] benign HTML races.
+    - {!function_hover}: §6.3's harmful function races — a hover handler
+      invoking a function declared in a later script; the [guarded]
+      variant tests [typeof] first (benign, still a race).
+    - {!form_hint}: Fig. 2 (Southwest) — a script overwrites a text box
+      the user may have typed into; harmful, survives the filters.
+    - {!form_checked}: the §5.3 refinement — the script checks the field
+      first; raw race, removed by the form filter.
+    - {!form_two_writers}: an async script and a timer both initialize a
+      field; benign form race that survives the filters.
+    - {!gomez}: §6.3's harmful dispatch races — a [setInterval] monitor
+      attaching [onload] to [n] images, racing each image's load.
+    - {!late_load_listener}: a timer-delayed [window.addEventListener
+      ("load", ...)]; benign single-dispatch race.
+    - {!bulk_variable}: [n] plain variable races between an async library
+      and a timer callback; raw-only (the form filter removes them).
+    - {!bulk_dispatch}: a delayed script attaching hover handlers to [n]
+      nav links; raw-only (multi-dispatch events are filtered).
+    - {!ajax_shared}: two XHR completion handlers writing one global; one
+      raw-only variable race exercising rule 10.
+
+    [idx] namespaces every id/global so instances never interact. Counts
+    below are exact: the corpus fidelity test asserts detector reports
+    match them one-for-one. *)
+
+type t = {
+  nodes : Wr_html.Html.node list;  (** appended to the page in order *)
+  resources : (string * string) list;
+  raw : Wr_detect.Race.race_type * int;  (** races reported before filters *)
+  filtered : int;  (** of those, how many survive the §5.3 filters *)
+  harmful : int;  (** ground truth: how many are harmful *)
+}
+
+val html_unguarded : idx:int -> t
+
+val html_guarded : idx:int -> t
+
+val html_polling : idx:int -> n:int -> t
+
+val function_hover : idx:int -> guarded:bool -> t
+
+val form_hint : idx:int -> t
+
+val form_checked : idx:int -> t
+
+val form_two_writers : idx:int -> t
+
+val gomez : idx:int -> n:int -> t
+
+val late_load_listener : idx:int -> t
+
+val bulk_variable : idx:int -> n:int -> t
+
+val bulk_dispatch : idx:int -> n:int -> t
+
+val ajax_shared : idx:int -> t
+
+(** [boilerplate ~name] is inert page chrome (header, nav, footer, a logo
+    image) giving sites realistic structure and op volume without races. *)
+val boilerplate : name:string -> Wr_html.Html.node list * (string * string) list
+
+(** [decoy ~idx ~n] is race-free filler realism: an article grid of [n]
+    elements, an image strip, a self-clearing carousel script and a search
+    form. Every access it generates is ordered by the parse chain or a
+    single interval chain, so it adds operations and accesses — page
+    "weight" — but no reports. The corpus fidelity test keeps it honest. *)
+val decoy : idx:int -> n:int -> Wr_html.Html.node list * (string * string) list

@@ -1,0 +1,45 @@
+(** Per-site race profiles for the synthetic Fortune-100 corpus.
+
+    The 41 sites with non-zero filtered counts in the paper's Table 2 are
+    reproduced row-for-row as ground truth (name, per-type filtered counts,
+    harmful subsets); the remaining 59 sites carry only raw-level noise.
+    Raw variable and event-dispatch volumes are drawn from fixed pools
+    calibrated so the corpus-wide statistics land on Table 1's
+    mean/median/max (variable 22.4/5.5/269, dispatch 22.3/7/198; HTML and
+    function races pass the filters unchanged, so their raw counts equal
+    Table 2's column sums). A unit test asserts the calibration. *)
+
+type counts = { html : int; func : int; var : int; disp : int }
+
+val zero : counts
+
+val add : counts -> counts -> counts
+
+val total : counts -> int
+
+type t = {
+  name : string;
+  html_harmful : int;
+  html_benign : int;
+  func_harmful : int;
+  func_benign : int;
+  var_harmful : int;  (** Fig. 2-style form races (survive filters) *)
+  var_benign : int;  (** two-writer form races (survive filters) *)
+  var_checked : int;  (** §5.3-refinement races (raw only) *)
+  disp_harmful : int;  (** Gomez image count *)
+  disp_benign : int;  (** delayed single-dispatch listeners *)
+  bulk_var : int;  (** raw-only plain variable races *)
+  bulk_disp : int;  (** raw-only multi-dispatch races *)
+  ajax : int;  (** raw-only AJAX shared-global races *)
+}
+
+(** [corpus ()] is the full 100-site profile list, paper rows first. *)
+val corpus : unit -> t list
+
+(** [expected_raw p] / [expected_filtered p] / [expected_harmful p] are the
+    ground-truth race counts the generated site plants. *)
+val expected_raw : t -> counts
+
+val expected_filtered : t -> counts
+
+val expected_harmful : t -> counts

@@ -1,0 +1,1 @@
+lib/support/json.ml: Buffer Char Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/support/table.ml: Array List String

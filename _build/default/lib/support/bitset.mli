@@ -1,0 +1,35 @@
+(** Growable dense bitsets over non-negative integers.
+
+    Backing store for the incremental transitive-closure reachability engine
+    in [Wr_hb]: each operation's ancestor set is a bitset indexed by
+    operation id. *)
+
+type t
+
+(** [create n] is an empty set able to hold members [< n] without growing. *)
+val create : int -> t
+
+(** [mem t i] tests membership; [i] beyond the current capacity is absent. *)
+val mem : t -> int -> bool
+
+(** [add t i] inserts [i], growing as needed. Raises [Invalid_argument] on a
+    negative index. *)
+val add : t -> int -> unit
+
+(** [remove t i] deletes [i] if present. *)
+val remove : t -> int -> unit
+
+(** [union_into ~into src] adds every member of [src] to [into]. *)
+val union_into : into:t -> t -> unit
+
+(** [cardinal t] counts members. *)
+val cardinal : t -> int
+
+(** [iter f t] applies [f] to each member in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [copy t] is an independent copy. *)
+val copy : t -> t
+
+(** [clear t] removes all members, keeping capacity. *)
+val clear : t -> unit

@@ -1,0 +1,52 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every source of simulated nondeterminism in the system — network
+    latencies, scheduler jitter, corpus generation — draws from an explicit
+    [Rng.t] seeded by the user, so whole runs are reproducible bit-for-bit
+    from a seed. The global [Random] state is never used. *)
+
+type t
+
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+val create : int64 -> t
+
+(** [of_int seed] is [create] on a widened seed, for convenience. *)
+val of_int : int -> t
+
+(** [copy t] is an independent generator with the same current state. *)
+val copy : t -> t
+
+(** [split t] derives a new generator from [t], advancing [t]. Streams of
+    the parent and child are statistically independent. *)
+val split : t -> t
+
+(** [bits64 t] returns 64 uniformly distributed bits. *)
+val bits64 : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in_range t ~lo ~hi] is uniform in [\[lo, hi\]] (inclusive). *)
+val int_in_range : t -> lo:int -> hi:int -> int
+
+(** [float t bound] is uniform in [\[0, bound)]. *)
+val float : t -> float -> float
+
+(** [bool t] is a fair coin flip. *)
+val bool : t -> bool
+
+(** [chance t p] is true with probability [p] (clamped to [\[0,1\]]). *)
+val chance : t -> float -> bool
+
+(** [choose t arr] picks a uniform element. Raises [Invalid_argument] on an
+    empty array. *)
+val choose : t -> 'a array -> 'a
+
+(** [shuffle t arr] permutes [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [exponential t ~mean] samples an exponential distribution; used for
+    simulated network latencies. *)
+val exponential : t -> mean:float -> float

@@ -1,0 +1,16 @@
+let mean = function
+  | [] -> 0.
+  | xs -> float_of_int (List.fold_left ( + ) 0 xs) /. float_of_int (List.length xs)
+
+let median = function
+  | [] -> 0.
+  | xs ->
+      let arr = Array.of_list xs in
+      Array.sort compare arr;
+      let n = Array.length arr in
+      if n mod 2 = 1 then float_of_int arr.(n / 2)
+      else float_of_int (arr.((n / 2) - 1) + arr.(n / 2)) /. 2.
+
+let max = function [] -> 0 | x :: xs -> List.fold_left Stdlib.max x xs
+
+let sum = List.fold_left ( + ) 0

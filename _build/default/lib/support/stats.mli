@@ -1,0 +1,15 @@
+(** Summary statistics over integer samples (Table 1 reports mean, median
+    and max per race type across sites). *)
+
+(** [mean xs] is the arithmetic mean; [0.] on an empty list. *)
+val mean : int list -> float
+
+(** [median xs] follows the paper's convention of averaging the two middle
+    elements for even-length samples (Table 1 reports 5.5); [0.] on empty. *)
+val median : int list -> float
+
+(** [max xs] is the largest sample; [0] on empty. *)
+val max : int list -> int
+
+(** [sum xs] totals the samples. *)
+val sum : int list -> int

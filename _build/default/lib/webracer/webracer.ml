@@ -1,0 +1,238 @@
+module Config = Wr_browser.Config
+module Browser = Wr_browser.Browser
+module Race = Wr_detect.Race
+module Filters = Wr_detect.Filters
+module Detector = Wr_detect.Detector
+module Graph = Wr_hb.Graph
+
+type report = {
+  races : Race.t list;
+  filtered : Race.t list;
+  crashes : Browser.crash list;
+  console : string list;
+  ops : int;
+  hb_edges : int;
+  accesses : int;
+  virtual_ms : float;
+  explored_events : int;
+  wall_clock_s : float;
+  hb_graph : Wr_hb.Graph.t;
+  trace : Wr_detect.Trace.t option;
+}
+
+let config ~page ?(resources = []) ?(seed = 0) ?(explore = true)
+    ?(detector = Config.Last_access) ?(hb_strategy = Wr_hb.Graph.Closure)
+    ?(time_limit = 60_000.) ?(mean_latency = 20.) ?(parse_delay = 0.) ?(trace = false) () =
+  {
+    (Config.default ~page ()) with
+    Config.resources;
+    seed;
+    explore;
+    detector;
+    hb_strategy;
+    time_limit;
+    mean_latency;
+    parse_delay;
+    trace;
+  }
+
+(* Automatic exploration (§5.2.2): after the page settles, dispatch every
+   registered exploration-set handler, type into text fields, and click
+   javascript: links — then drain the loop again. Repeatable user events
+   fire twice so the single-dispatch filter (§5.3) sees that clicks and
+   hovers are not once-only events; load/DOMContentLoaded keep their
+   natural single dispatch. *)
+let explore browser =
+  let injected = ref 0 in
+  List.iter
+    (fun (target, event) ->
+      injected := !injected + 2;
+      Browser.schedule_user_event browser ~target ~event;
+      Browser.schedule_user_event browser ~target ~event)
+    (Browser.explorable_handler_targets browser);
+  List.iter
+    (fun target ->
+      incr injected;
+      Browser.schedule_user_typing browser ~target ~text:"user input")
+    (Browser.text_input_uids browser);
+  List.iter
+    (fun target ->
+      injected := !injected + 2;
+      Browser.schedule_user_click browser ~target;
+      Browser.schedule_user_click browser ~target)
+    (Browser.javascript_link_uids browser);
+  !injected
+
+let analyze (cfg : Config.t) =
+  let started = Unix.gettimeofday () in
+  let browser = Browser.create cfg in
+  Browser.start browser;
+  ignore (Browser.run browser);
+  let explored_events =
+    if cfg.Config.explore then begin
+      let n = explore browser in
+      ignore (Browser.run browser);
+      n
+    end
+    else 0
+  in
+  let races = (Browser.detector browser).Detector.races () in
+  let filtered = Filters.paper_filters (Browser.run_info browser) races in
+  {
+    races;
+    filtered;
+    crashes = Browser.crashes browser;
+    console = Browser.console browser;
+    ops = Graph.n_ops (Browser.graph browser);
+    hb_edges = Graph.n_edges (Browser.graph browser);
+    accesses = Browser.accesses_seen browser;
+    virtual_ms = Browser.virtual_now browser;
+    explored_events;
+    wall_clock_s = Unix.gettimeofday () -. started;
+    hb_graph = Browser.graph browser;
+    trace = Browser.trace browser;
+  }
+
+type merged_report = {
+  runs : report list;
+  merged : Race.t list;
+  per_run_counts : int list;
+  stable : bool;
+}
+
+(* Races from different runs live in different graphs, so identity is by
+   type plus rendered location (cell numbers are deterministic per seed
+   only; the location's *name* parts are stable, so render without cell
+   ids by masking digits). *)
+let race_key (r : Race.t) =
+  let rendered = Wr_mem.Location.to_string r.Race.loc in
+  let masked =
+    String.map (fun c -> if c >= '0' && c <= '9' then '#' else c) rendered
+  in
+  (Race.type_name r.Race.race_type, masked)
+
+let analyze_many cfg ~seeds =
+  let runs = List.map (fun seed -> analyze { cfg with Config.seed }) seeds in
+  let seen = Hashtbl.create 64 in
+  let merged =
+    List.concat_map (fun r -> r.races) runs
+    |> List.filter (fun race ->
+           let key = race_key race in
+           if Hashtbl.mem seen key then false
+           else begin
+             Hashtbl.add seen key ();
+             true
+           end)
+  in
+  let keys_of r = List.sort_uniq compare (List.map race_key r.races) in
+  let stable =
+    match runs with
+    | [] -> true
+    | first :: rest ->
+        let reference = keys_of first in
+        List.for_all (fun r -> keys_of r = reference) rest
+  in
+  { runs; merged; per_run_counts = List.map (fun r -> List.length r.races) runs; stable }
+
+let count_by_type races =
+  List.fold_left
+    (fun (h, f, v, d) (r : Race.t) ->
+      match r.Race.race_type with
+      | Race.Html -> (h + 1, f, v, d)
+      | Race.Function_race -> (h, f + 1, v, d)
+      | Race.Variable -> (h, f, v + 1, d)
+      | Race.Event_dispatch -> (h, f, v, d + 1))
+    (0, 0, 0, 0) races
+
+let pp_report ppf r =
+  let h, f, v, d = count_by_type r.races in
+  Format.fprintf ppf
+    "@[<v>races: %d (html %d, function %d, variable %d, event-dispatch %d)@,\
+     after filters: %d@,\
+     crashes hidden by the browser: %d@,\
+     operations: %d  hb-edges: %d  accesses: %d@,\
+     virtual time: %.0f ms  wall clock: %.3f s@]"
+    (List.length r.races) h f v d (List.length r.filtered) (List.length r.crashes) r.ops
+    r.hb_edges r.accesses r.virtual_ms r.wall_clock_s
+
+module Replay = struct
+  type observation = {
+    seed : int;
+    crashes : string list;
+    console : string list;
+    races : int;
+  }
+
+  type verdict = {
+    observations : observation list;
+    crashing_seeds : int list;
+    console_variants : string list list;
+  }
+
+  let observe (cfg : Config.t) seed parse_delay =
+    let report = analyze { cfg with Config.seed; parse_delay } in
+    {
+      seed;
+      crashes = List.map (fun (c : Browser.crash) -> c.Browser.message) report.crashes;
+      console = report.console;
+      races = List.length report.races;
+    }
+
+  let explore_schedules cfg ~seeds ?(parse_delay = 2.) () =
+    let observations = List.map (fun seed -> observe cfg seed parse_delay) seeds in
+    let crashing_seeds =
+      List.filter_map (fun o -> if o.crashes <> [] then Some o.seed else None) observations
+    in
+    let console_variants =
+      List.sort_uniq compare (List.map (fun o -> o.console) observations)
+    in
+    { observations; crashing_seeds; console_variants }
+
+  let manifests v = v.crashing_seeds <> [] || List.length v.console_variants > 1
+
+  let pp_verdict ppf v =
+    Format.fprintf ppf "@[<v>%d schedules tried; %d crashed; %d distinct console outputs@,"
+      (List.length v.observations)
+      (List.length v.crashing_seeds)
+      (List.length v.console_variants);
+    List.iter
+      (fun o ->
+        if o.crashes <> [] then
+          Format.fprintf ppf "seed %d crashed: %s@," o.seed (String.concat "; " o.crashes))
+      v.observations;
+    (match v.console_variants with
+    | [ _ ] | [] -> ()
+    | variants ->
+        List.iteri
+          (fun i c ->
+            Format.fprintf ppf "console variant %d: [%s]@," i (String.concat " | " c))
+          variants);
+    Format.fprintf ppf "verdict: %s@]"
+      (if manifests v then "the race manifests under alternative schedules"
+       else "no divergence observed (may still be harmful under other inputs)")
+end
+
+let report_to_json r =
+  let open Wr_support.Json in
+  Obj
+    [
+      ("races", List (List.map Race.to_json r.races));
+      ("filtered", List (List.map Race.to_json r.filtered));
+      ( "crashes",
+        List
+          (List.map
+             (fun (c : Browser.crash) ->
+               Obj
+                 [
+                   ("op", Int c.Browser.op);
+                   ("message", String c.Browser.message);
+                   ("context", String c.Browser.context);
+                 ])
+             r.crashes) );
+      ("console", List (List.map (fun s -> String s) r.console));
+      ("ops", Int r.ops);
+      ("hb_edges", Int r.hb_edges);
+      ("accesses", Int r.accesses);
+      ("virtual_ms", Float r.virtual_ms);
+      ("explored_events", Int r.explored_events);
+    ]

@@ -1,0 +1,125 @@
+(** WebRacer — dynamic race detection for (simulated) web applications.
+
+    The top-level API reproducing the paper's tool: load a page in the
+    instrumented browser, optionally run automatic exploration (§5.2.2),
+    and report the races found by the happens-before detector, raw and
+    with the §5.3 filters applied.
+
+    {[
+      let report =
+        Webracer.analyze
+          (Webracer.config ~page:"<script>x = 1;</script><iframe src=\"a.html\">"
+             ~resources:[ ("a.html", "<script>x = 2;</script>") ]
+             ())
+      in
+      List.iter (fun r -> Format.printf "%a@." Wr_detect.Race.pp r) report.races
+    ]} *)
+
+module Config = Wr_browser.Config
+module Race = Wr_detect.Race
+
+type report = {
+  races : Race.t list;  (** raw reports, discovery order, one per location *)
+  filtered : Race.t list;  (** after the §5.3 form-field + single-dispatch filters *)
+  crashes : Wr_browser.Browser.crash list;
+      (** script crashes the browser swallowed during the run *)
+  console : string list;
+  ops : int;  (** operations in the happens-before graph *)
+  hb_edges : int;
+  accesses : int;  (** instrumented accesses observed *)
+  virtual_ms : float;  (** virtual time consumed by the page *)
+  explored_events : int;  (** user events injected by automatic exploration *)
+  wall_clock_s : float;  (** real time spent analyzing *)
+  hb_graph : Wr_hb.Graph.t;
+      (** the run's happens-before graph (render with
+          [Wr_hb.Graph.to_dot]) *)
+  trace : Wr_detect.Trace.t option;
+      (** the recorded execution trace when [config ~trace:true] *)
+}
+
+(** [config ~page ()] builds a configuration (see {!Config.default}).
+    [resources] maps URLs to bodies for external scripts, frames, images
+    and XHR. *)
+val config :
+  page:string ->
+  ?resources:(string * string) list ->
+  ?seed:int ->
+  ?explore:bool ->
+  ?detector:Config.detector_kind ->
+  ?hb_strategy:Wr_hb.Graph.strategy ->
+  ?time_limit:float ->
+  ?mean_latency:float ->
+  ?parse_delay:float ->
+  ?trace:bool ->
+  unit ->
+  Config.t
+
+(** [analyze config] runs the full pipeline: page load, automatic
+    exploration (typing into every text field, dispatching every
+    registered exploration-set handler, clicking [javascript:] links),
+    then reporting. Deterministic in [config.seed]. *)
+val analyze : Config.t -> report
+
+type merged_report = {
+  runs : report list;
+  merged : Race.t list;  (** union across runs, first occurrence kept *)
+  per_run_counts : int list;  (** raw race count per seed, in seed order *)
+  stable : bool;  (** all runs reported the same race set *)
+}
+
+(** [analyze_many config ~seeds] analyzes the page once per seed and
+    merges the reports: races deduplicated across runs by (type, location
+    rendering), with per-run counts alongside. The paper observes that
+    "races reported across different runs for the same site had little
+    variance" (footnote 14); this makes that check mechanical and catches
+    schedule-dependent stragglers a single run misses. *)
+val analyze_many : Config.t -> seeds:int list -> merged_report
+
+(** [count_by_type races] tallies (html, function, variable, dispatch) —
+    the per-site row shape of Tables 1 and 2. *)
+val count_by_type : Race.t list -> int * int * int * int
+
+(** [pp_report] renders a human-readable summary. *)
+val pp_report : Format.formatter -> report -> unit
+
+(** [report_to_json report] renders the full report for tooling. *)
+val report_to_json : report -> Wr_support.Json.t
+
+(** Adversarial replay: make a detected race {e manifest}.
+
+    WebRacer reports races from a single execution via happens-before
+    reasoning — the bad interleaving need not have happened. This
+    extension re-runs the same page under many alternative schedules
+    (different network-latency seeds, with parsing given a nonzero virtual
+    cost so resource arrivals can interleave with it) and reports which
+    schedules made the race observable: a script crash the browser hid, or
+    divergent console output. It automates the verification step the
+    paper's authors performed manually when classifying races as harmful
+    (§6.3). *)
+module Replay : sig
+  type observation = {
+    seed : int;
+    crashes : string list;  (** crash messages the browser swallowed *)
+    console : string list;
+    races : int;  (** raw races detected under this schedule *)
+  }
+
+  type verdict = {
+    observations : observation list;
+    crashing_seeds : int list;
+    console_variants : string list list;  (** distinct console outputs *)
+  }
+
+  (** [explore_schedules config ~seeds ?parse_delay ()] re-runs [config]
+      once per seed with [parse_delay] (default 2 ms/element); the base
+      config's own seed is ignored. *)
+  val explore_schedules :
+    Config.t -> seeds:int list -> ?parse_delay:float -> unit -> verdict
+
+  (** [manifests verdict] — some schedule crashed, or schedules disagree
+      on console output: direct evidence the nondeterminism is
+      observable. *)
+  val manifests : verdict -> bool
+
+  val pp_verdict : Format.formatter -> verdict -> unit
+end

@@ -1,0 +1,1 @@
+test/test_browser.ml: Alcotest List Webracer Wr_detect Wr_hb Wr_mem

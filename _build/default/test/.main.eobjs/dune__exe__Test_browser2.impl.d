@@ -1,0 +1,1 @@
+test/test_browser2.ml: Alcotest List String Webracer Wr_detect Wr_mem

@@ -1,0 +1,1 @@
+test/test_detect.ml: Access Alcotest Detector Filters Full_track Graph Last_access List Location Op Race Wr_detect Wr_hb Wr_mem

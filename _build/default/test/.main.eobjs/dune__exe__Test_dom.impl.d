@@ -1,0 +1,1 @@
+test/test_dom.ml: Alcotest Dom List Wr_dom Wr_mem

@@ -1,0 +1,1 @@
+test/test_events.ml: Alcotest Events List Wr_events Wr_mem

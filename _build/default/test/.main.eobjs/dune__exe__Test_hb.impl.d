@@ -1,0 +1,1 @@
+test/test_hb.ml: Alcotest Graph List Op Printf QCheck QCheck_alcotest String Wr_hb

@@ -1,0 +1,1 @@
+test/test_html.ml: Alcotest Html List QCheck QCheck_alcotest Wr_html

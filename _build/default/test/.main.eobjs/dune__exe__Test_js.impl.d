@@ -1,0 +1,1 @@
+test/test_js.ml: Alcotest Array Ast Float Hashtbl Interp Lexer List Parser Pretty Printf Value Wr_js Wr_mem

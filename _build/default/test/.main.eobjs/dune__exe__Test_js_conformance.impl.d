@@ -1,0 +1,1 @@
+test/test_js_conformance.ml: Alcotest Test_js

@@ -1,0 +1,1 @@
+test/test_mem.ml: Access Alcotest Instr List Location QCheck QCheck_alcotest Wr_mem

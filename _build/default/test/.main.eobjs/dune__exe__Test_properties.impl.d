@@ -1,0 +1,1 @@
+test/test_properties.ml: Ast Float Hashtbl Interp List Parser Pretty Printf QCheck QCheck_alcotest String Value Webracer Wr_detect Wr_events Wr_hb Wr_html Wr_js Wr_mem

@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Array List Printf Regex String Test_js Wr_js

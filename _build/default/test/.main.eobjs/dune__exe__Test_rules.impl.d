@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest List Option String Webracer Wr_browser Wr_detect Wr_hb Wr_mem

@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Event_loop List Network QCheck QCheck_alcotest Wr_scheduler Wr_support

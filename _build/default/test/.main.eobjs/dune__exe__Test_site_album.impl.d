@@ -1,0 +1,1 @@
+test/test_site_album.ml: Alcotest List Printf String Webracer Wr_detect Wr_mem

@@ -1,0 +1,1 @@
+test/test_sitegen.ml: Alcotest Eval List Patterns Printf Profile Webracer Wr_detect Wr_html Wr_sitegen Wr_support

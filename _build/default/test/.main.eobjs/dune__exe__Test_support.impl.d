@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Bitset Hashtbl Json List QCheck QCheck_alcotest Rng Stats String Table Wr_support

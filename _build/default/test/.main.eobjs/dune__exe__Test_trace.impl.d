@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Atomicity Detector Filename Fun Last_access List Option Race Sys Trace Webracer Wr_detect Wr_hb Wr_mem

@@ -1,0 +1,1 @@
+test/test_webracer.ml: Alcotest List String Webracer Wr_support

@@ -1,0 +1,24 @@
+  $ alias webracer='../../bin/webracer_cli.exe'
+  $ webracer sitegen Allstate site
+  $ webracer run site/index.html --seed 3 | head -2
+  $ webracer run site/index.html --seed 3 --json | tr ',' '\n' | grep -c '"type":"html"'
+  $ cat > checked.html <<'HTML'
+  > <input type="text" id="q" />
+  > <script>var el = document.getElementById("q");
+  > if (el.value === "") { el.value = "hint"; }</script>
+  > HTML
+  $ webracer run checked.html | head -2
+  $ webracer run checked.html --raw | sed -n '7,9p' | sed 's/@[0-9]*/@N/'
+  $ cat > fig4.html <<'HTML'
+  > <iframe id="i" src="sub.html" onload="doNextStep();"></iframe>
+  > <div>a</div><div>b</div><div>c</div>
+  > <script>function doNextStep() { return 1; }</script>
+  > HTML
+  $ cat > sub.html <<'HTML'
+  > <p>sub</p>
+  > HTML
+  $ webracer replay fig4.html --schedules 20 > verdict.txt; echo "exit $?"
+  $ head -1 verdict.txt
+  $ webracer run fig4.html --dump-trace trace.json | head -1
+  $ webracer offline trace.json --detector full-track | head -2
+  $ webracer offline trace.json --atomicity | grep -c 'atomicity violations:'

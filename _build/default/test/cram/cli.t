@@ -1,0 +1,64 @@
+The CLI end to end: generate a corpus site, analyze it, replay a racy page.
+
+  $ alias webracer='../../bin/webracer_cli.exe'
+
+Generate a synthetic site to disk:
+
+  $ webracer sitegen Allstate site
+  wrote site/index.html and 2 resources
+
+Analyze it; counts are deterministic in the seed:
+
+  $ webracer run site/index.html --seed 3 | head -2
+  races: 8 (html 6, function 2, variable 0, event-dispatch 0)
+  after filters: 8
+
+The JSON report carries the same races:
+
+  $ webracer run site/index.html --seed 3 --json | tr ',' '\n' | grep -c '"type":"html"'
+  12
+
+Unfiltered output for a page with a benign checked-write form race:
+
+  $ cat > checked.html <<'HTML'
+  > <input type="text" id="q" />
+  > <script>var el = document.getElementById("q");
+  > if (el.value === "") { el.value = "hint"; }</script>
+  > HTML
+
+  $ webracer run checked.html | head -2
+  races: 1 (html 0, function 0, variable 1, event-dispatch 0)
+  after filters: 0
+
+  $ webracer run checked.html --raw | sed -n '7,9p' | sed 's/@[0-9]*/@N/'
+  1 races (unfiltered):
+  
+   1. variable race on var value@N:
+
+Replay makes a function race manifest (exit code 2):
+
+  $ cat > fig4.html <<'HTML'
+  > <iframe id="i" src="sub.html" onload="doNextStep();"></iframe>
+  > <div>a</div><div>b</div><div>c</div>
+  > <script>function doNextStep() { return 1; }</script>
+  > HTML
+  $ cat > sub.html <<'HTML'
+  > <p>sub</p>
+  > HTML
+
+  $ webracer replay fig4.html --schedules 20 > verdict.txt; echo "exit $?"
+  exit 2
+  $ head -1 verdict.txt
+  20 schedules tried; 6 crashed; 1 distinct console outputs
+
+Trace recording and offline replay:
+
+  $ webracer run fig4.html --dump-trace trace.json | head -1
+  races: 1 (html 0, function 1, variable 0, event-dispatch 0)
+
+  $ webracer offline trace.json --detector full-track | head -2
+  trace: 14 ops, 20 edges, 53 accesses
+  races: 1
+
+  $ webracer offline trace.json --atomicity | grep -c 'atomicity violations:'
+  1

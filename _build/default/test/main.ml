@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "webracer"
+    [
+      ("support", Test_support.suite);
+      ("hb", Test_hb.suite);
+      ("mem", Test_mem.suite);
+      ("detect", Test_detect.suite);
+      ("js", Test_js.suite);
+      ("js-conformance", Test_js_conformance.suite);
+      ("regex", Test_regex.suite);
+      ("html", Test_html.suite);
+      ("scheduler", Test_scheduler.suite);
+      ("dom", Test_dom.suite);
+      ("events", Test_events.suite);
+      ("browser", Test_browser.suite);
+      ("browser-dynamic", Test_browser2.suite);
+      ("hb-rules", Test_rules.suite);
+      ("properties", Test_properties.suite);
+      ("webracer", Test_webracer.suite);
+      ("trace", Test_trace.suite);
+      ("sitegen", Test_sitegen.suite);
+      ("site-album", Test_site_album.suite);
+    ]

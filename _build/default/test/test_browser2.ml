@@ -1,0 +1,462 @@
+(* Second wave of browser integration tests: dynamic DOM mutation, innerHTML,
+   XHR + JSON round trips, removal races, and iframe nesting depth. *)
+
+module Race = Wr_detect.Race
+module Location = Wr_mem.Location
+
+let analyze ?(explore = false) ?(resources = []) ?(seed = 1) page =
+  Webracer.analyze (Webracer.config ~page ~resources ~seed ~explore ())
+
+let read_global (r : Webracer.report) = ignore r
+
+let console_contains (r : Webracer.report) needle =
+  List.exists
+    (fun line ->
+      let n = String.length needle and h = String.length line in
+      let rec go i = i + n <= h && (String.sub line i n = needle || go (i + 1)) in
+      go 0)
+    r.Webracer.console
+
+let test_xhr_json_innerhtml_pipeline () =
+  let page =
+    {|<div id="out">pending</div>
+<script>
+var r = new XMLHttpRequest();
+r.onreadystatechange = function () {
+  if (r.readyState === 4) {
+    var cfg = JSON.parse(r.responseText);
+    document.getElementById("out").innerHTML = "<b>" + cfg.message + "</b>";
+    console.log("decorated: " + document.getElementById("out").innerHTML);
+  }
+};
+r.open("GET", "cfg.json");
+r.send();
+</script>|}
+  in
+  let r = analyze ~resources:[ ("cfg.json", {|{"message": "hello"}|}) ] page in
+  Alcotest.(check int) "no crashes" 0 (List.length r.Webracer.crashes);
+  Alcotest.(check bool) "xhr -> json -> innerHTML worked" true
+    (console_contains r "decorated: <b>hello</b>")
+
+let test_inner_html_scripts_do_not_run () =
+  let page =
+    {|<div id="c">x</div>
+<script>
+document.getElementById("c").innerHTML = "<script>evil = 1;</scr" + "ipt><p>ok</p>";
+marker = typeof evil;
+console.log("marker " + marker);
+</script>|}
+  in
+  let r = analyze page in
+  Alcotest.(check bool) "inserted script did not execute" true
+    (console_contains r "marker undefined")
+
+let test_dynamic_insert_then_lookup_race () =
+  (* A timer inserts a node; another unordered timer looks it up: races on
+     the id cell either way around. *)
+  let page =
+    {|<div id="host">x</div>
+<script>
+setTimeout(function () {
+  var n = document.createElement("div");
+  n.id = "late";
+  document.getElementById("host").appendChild(n);
+}, 10);
+setTimeout(function () { var probe = document.getElementById("late"); }, 11);
+</script>|}
+  in
+  let r = analyze page in
+  let html_races =
+    List.filter
+      (fun (x : Race.t) ->
+        match x.Race.loc with
+        | Location.Html_elem (Location.Id { id = "late"; _ }) -> true
+        | _ -> false)
+      r.Webracer.races
+  in
+  Alcotest.(check int) "insert/lookup race" 1 (List.length html_races)
+
+let test_removal_race () =
+  (* One timer removes a node, another reads it — unordered: a race on the
+     node's id cell (removal writes it). *)
+  let page =
+    {|<div id="victim">x</div>
+<script>
+setTimeout(function () {
+  var v = document.getElementById("victim");
+  if (v != null) { v.parentNode.removeChild(v); }
+}, 10);
+setTimeout(function () { var w = document.getElementById("victim"); }, 12);
+</script>|}
+  in
+  let r = analyze page in
+  let races_on_victim =
+    List.filter
+      (fun (x : Race.t) ->
+        match x.Race.loc with
+        | Location.Html_elem (Location.Id { id = "victim"; _ }) -> true
+        | _ -> false)
+      r.Webracer.races
+  in
+  Alcotest.(check bool) "removal races with lookup" true (races_on_victim <> [])
+
+let test_nested_iframes () =
+  let page = {|<script>depth = 0;</script><iframe src="l1.html"></iframe>|} in
+  let resources =
+    [
+      ("l1.html", {|<script>depth = depth + 1;</script><iframe src="l2.html"></iframe>|});
+      ("l2.html", {|<script>depth = depth + 1; console.log("depth " + depth);</script>|});
+    ]
+  in
+  let r = analyze ~resources page in
+  Alcotest.(check int) "no crashes" 0 (List.length r.Webracer.crashes);
+  Alcotest.(check bool) "nested frame ran last" true (console_contains r "depth 2")
+
+let test_get_elements_by_tag_name_race () =
+  (* A timer enumerates divs while an unordered timer inserts one: the
+     collection read races with the insertion's collection write. *)
+  let page =
+    {|<div id="host">x</div>
+<script>
+setTimeout(function () { var n = document.getElementsByTagName("div").length; }, 10);
+setTimeout(function () {
+  document.getElementById("host").appendChild(document.createElement("div"));
+}, 11);
+</script>|}
+  in
+  let r = analyze page in
+  let collection_races =
+    List.filter
+      (fun (x : Race.t) ->
+        match x.Race.loc with
+        | Location.Html_elem (Location.Collection { name = "tag:div"; _ }) -> true
+        | _ -> false)
+      r.Webracer.races
+  in
+  Alcotest.(check int) "collection race" 1 (List.length collection_races)
+
+let test_set_attribute_vs_lookup () =
+  (* Changing an id dynamically re-keys the index and races with lookups. *)
+  let page =
+    {|<div id="old">x</div>
+<script>
+setTimeout(function () { document.getElementById("old").setAttribute("id", "new"); }, 10);
+setTimeout(function () { var p = document.getElementById("new"); }, 11);
+</script>|}
+  in
+  let r = analyze page in
+  let races_on_new =
+    List.filter
+      (fun (x : Race.t) ->
+        match x.Race.loc with
+        | Location.Html_elem (Location.Id { id = "new"; _ }) -> true
+        | _ -> false)
+      r.Webracer.races
+  in
+  Alcotest.(check int) "id-change race" 1 (List.length races_on_new)
+
+let test_document_write_during_parse_ok () =
+  let page = {|<script>document.write("<div>written</div>"); after = 1;</script>|} in
+  let r = analyze page in
+  (* Parser-driven document.write is supported: no warning. *)
+  Alcotest.(check int) "no warnings" 0 (List.length r.Webracer.crashes);
+  Alcotest.(check bool) "script continued" true (r.Webracer.accesses > 0);
+  read_global r
+
+let test_window_global_unification () =
+  let page =
+    {|<script>window.configured = 41;
+var r = configured + 1;
+console.log("r " + r);
+window.onresize = function () { return 1; };</script>|}
+  in
+  let r = analyze page in
+  Alcotest.(check int) "no crashes" 0 (List.length r.Webracer.crashes);
+  Alcotest.(check bool) "window.x visible as global" true (console_contains r "r 42")
+
+let test_style_and_computed_style () =
+  let page =
+    {|<div id="box" style="display: none; color: red"></div>
+<script>
+var box = document.getElementById("box");
+console.log("display " + box.style.display);
+box.style.display = "block";
+console.log("now " + getComputedStyle(box).display);
+</script>|}
+  in
+  let r = analyze page in
+  Alcotest.(check bool) "style parsed from attribute" true (console_contains r "display none");
+  Alcotest.(check bool) "style write visible" true (console_contains r "now block")
+
+let suite =
+  [
+    Alcotest.test_case "xhr + JSON + innerHTML" `Quick test_xhr_json_innerhtml_pipeline;
+    Alcotest.test_case "innerHTML scripts inert" `Quick test_inner_html_scripts_do_not_run;
+    Alcotest.test_case "dynamic insert/lookup race" `Quick test_dynamic_insert_then_lookup_race;
+    Alcotest.test_case "removal race" `Quick test_removal_race;
+    Alcotest.test_case "nested iframes" `Quick test_nested_iframes;
+    Alcotest.test_case "collection race" `Quick test_get_elements_by_tag_name_race;
+    Alcotest.test_case "setAttribute id race" `Quick test_set_attribute_vs_lookup;
+    Alcotest.test_case "document.write in parse" `Quick test_document_write_during_parse_ok;
+    Alcotest.test_case "window/global unification" `Quick test_window_global_unification;
+    Alcotest.test_case "style objects" `Quick test_style_and_computed_style;
+  ]
+
+(* --- selectors & text ------------------------------------------------ *)
+
+let test_query_selector () =
+  let page =
+    {|<div class="card hot" id="c1">one</div>
+<div class="card" id="c2">two</div>
+<p class="hot">three</p>
+<script>
+console.log("byid " + document.querySelector("#c2").id);
+console.log("bytag " + document.querySelectorAll("div").length);
+console.log("byclass " + document.querySelectorAll(".hot").length);
+console.log("combo " + document.querySelectorAll("div.card").length);
+console.log("classlist " + document.getElementsByClassName("card").length);
+console.log("miss " + (document.querySelector("#nope") === null));
+</script>|}
+  in
+  let r = analyze page in
+  Alcotest.(check int) "no crashes" 0 (List.length r.Webracer.crashes);
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (console_contains r needle))
+    [ "byid c2"; "bytag 2"; "byclass 2"; "combo 2"; "classlist 2"; "miss true" ]
+
+let test_query_selector_race () =
+  (* querySelectorAll by class races with an unordered insertion matching
+     the same class. *)
+  let page =
+    {|<div id="host"></div>
+<script>
+setTimeout(function () { var n = document.querySelectorAll(".widget").length; }, 10);
+setTimeout(function () {
+  var w = document.createElement("div");
+  w.className = "widget";
+  document.getElementById("host").appendChild(w);
+}, 11);
+</script>|}
+  in
+  let r = analyze page in
+  let q_races =
+    List.filter
+      (fun (x : Race.t) ->
+        match x.Race.loc with
+        | Location.Html_elem (Location.Collection { name; _ }) -> name = "class:widget"
+        | _ -> false)
+      r.Webracer.races
+  in
+  Alcotest.(check int) "selector race" 1 (List.length q_races)
+
+let test_text_content () =
+  let page =
+    {|<div id="t"><b>bold</b> and plain</div>
+<script>
+console.log("read [" + document.getElementById("t").textContent + "]");
+document.getElementById("t").textContent = "replaced";
+console.log("children " + document.getElementById("t").childNodes.length);
+console.log("now [" + document.getElementById("t").textContent + "]");
+</script>|}
+  in
+  let r = analyze page in
+  Alcotest.(check int) "no crashes" 0 (List.length r.Webracer.crashes);
+  Alcotest.(check bool) "read" true (console_contains r "read [bold and plain]");
+  Alcotest.(check bool) "write" true (console_contains r "now [replaced]");
+  Alcotest.(check bool) "children cleared" true (console_contains r "children 0")
+
+let test_uri_builtins () =
+  let page =
+    {|<script>
+var enc = encodeURIComponent("a b&c=d");
+console.log("enc " + enc);
+console.log("dec " + decodeURIComponent(enc));
+console.log("fin " + isFinite(1 / 0) + isFinite(3));
+</script>|}
+  in
+  let r = analyze page in
+  Alcotest.(check bool) "encode" true (console_contains r "enc a%20b%26c%3Dd");
+  Alcotest.(check bool) "decode" true (console_contains r "dec a b&c=d");
+  Alcotest.(check bool) "isFinite" true (console_contains r "fin falsetrue")
+
+let extra_suite =
+  [
+    Alcotest.test_case "querySelector family" `Quick test_query_selector;
+    Alcotest.test_case "querySelector race" `Quick test_query_selector_race;
+    Alcotest.test_case "textContent" `Quick test_text_content;
+    Alcotest.test_case "uri builtins" `Quick test_uri_builtins;
+  ]
+
+let suite = suite @ extra_suite
+
+(* --- stopPropagation / preventDefault / document.write ---------------- *)
+
+let test_stop_propagation_direct () =
+  let page =
+    {|<div id="outer"><div id="inner">x</div></div>
+<script>
+window.log = "";
+document.getElementById("outer").addEventListener("click", function () { log = log + "O"; });
+document.getElementById("inner").addEventListener("click", function (e) {
+  log = log + "I";
+  e.stopPropagation();
+});
+document.getElementById("inner").click();
+console.log("log " + log);
+</script>|}
+  in
+  let r = analyze page in
+  Alcotest.(check bool) "outer handler suppressed" true (console_contains r "log I");
+  Alcotest.(check bool) "outer really did not run" false (console_contains r "log IO")
+
+let test_prevent_default () =
+  (* preventDefault on a javascript: link cancels the href execution. *)
+  let page =
+    {|<script>function boom() { window.__boom = 1; }</script>
+<a id="lnk" href="javascript:boom()">go</a>
+<script>
+document.getElementById("lnk").addEventListener("click", function (e) { e.preventDefault(); });
+document.getElementById("lnk").click();
+console.log("boom " + (typeof window.__boom));
+</script>|}
+  in
+  let r = analyze page in
+  Alcotest.(check bool) "default action cancelled" true
+    (console_contains r "boom undefined")
+
+let test_document_write_inline () =
+  let page =
+    {|<script>document.write("<div id='written'>w</div>");</script>
+<script>
+var el = document.getElementById("written");
+console.log("found " + (el != null));
+console.log("order " + document.getElementsByTagName("div").length);
+</script>|}
+  in
+  let r = analyze page in
+  Alcotest.(check int) "no crashes" 0 (List.length r.Webracer.crashes);
+  Alcotest.(check bool) "written element parsed" true (console_contains r "found true")
+
+let test_document_write_script_executes () =
+  (* A script written by document.write executes, in order, before later
+     markup — the classic loader idiom. *)
+  let page =
+    {|<script>document.write("<script>injected = 41;</scr" + "ipt>");</script>
+<script>console.log("injected " + (injected + 1));</script>|}
+  in
+  let r = analyze page in
+  Alcotest.(check int) "no crashes" 0 (List.length r.Webracer.crashes);
+  Alcotest.(check bool) "written script ran first" true (console_contains r "injected 42")
+
+let test_document_write_outside_parsing_ignored () =
+  let page =
+    {|<script>setTimeout(function () { document.write("<p>late</p>"); done = 1; }, 5);</script>|}
+  in
+  let r = analyze page in
+  Alcotest.(check bool) "warning recorded" true (r.Webracer.crashes <> [])
+
+let extra_suite2 =
+  [
+    Alcotest.test_case "stopPropagation (dispatch)" `Quick test_stop_propagation_direct;
+    Alcotest.test_case "preventDefault" `Quick test_prevent_default;
+    Alcotest.test_case "document.write markup" `Quick test_document_write_inline;
+    Alcotest.test_case "document.write script" `Quick test_document_write_script_executes;
+    Alcotest.test_case "document.write after load" `Quick test_document_write_outside_parsing_ignored;
+  ]
+
+let suite = suite @ extra_suite2
+
+(* --- cookie & localStorage races --------------------------------------- *)
+
+let test_cookie_race () =
+  (* Two AJAX completion handlers both write document.cookie: unordered,
+     one shared cell per document (§8's cookie handling, implemented). *)
+  let page =
+    {|<script>
+function beacon(u) {
+  var r = new XMLHttpRequest();
+  r.onreadystatechange = function () {
+    if (r.readyState === 4) { document.cookie = "seen_" + u + "=1"; }
+  };
+  r.open("GET", u);
+  r.send();
+}
+beacon("a.txt");
+beacon("b.txt");
+</script>|}
+  in
+  let r = analyze ~resources:[ ("a.txt", "a"); ("b.txt", "b") ] page in
+  let cookie_races =
+    List.filter
+      (fun (x : Race.t) ->
+        match x.Race.loc with
+        | Location.Js_var { name = "cookie"; _ } -> true
+        | _ -> false)
+      r.Webracer.races
+  in
+  Alcotest.(check int) "cookie write-write race" 1 (List.length cookie_races)
+
+let test_cookie_jar_accumulates () =
+  let page =
+    {|<script>
+document.cookie = "a=1";
+document.cookie = "b=2";
+console.log("jar " + document.cookie);
+</script>|}
+  in
+  let r = analyze page in
+  Alcotest.(check bool) "jar keeps both" true (console_contains r "jar a=1; b=2")
+
+let test_local_storage_race_per_key () =
+  (* Two timers write the same key (race); a third touches another key
+     (no interference). *)
+  let page =
+    {|<script>
+setTimeout(function () { localStorage.setItem("visits", "1"); }, 10);
+setTimeout(function () { localStorage.setItem("visits", "2"); }, 11);
+setTimeout(function () { localStorage.setItem("other", "x"); }, 12);
+</script>|}
+  in
+  let r = analyze page in
+  let storage_races name =
+    List.filter
+      (fun (x : Race.t) ->
+        match x.Race.loc with
+        | Location.Js_var { name = n; _ } -> n = name
+        | _ -> false)
+      r.Webracer.races
+  in
+  Alcotest.(check int) "race on the shared key" 1 (List.length (storage_races "visits"));
+  Alcotest.(check int) "no race on the other key" 0 (List.length (storage_races "other"))
+
+let test_local_storage_check_then_set () =
+  (* The common first-visit idiom: read-miss then write; a concurrent
+     handler's write races with the miss read. *)
+  let page =
+    {|<script>
+setTimeout(function () {
+  if (localStorage.getItem("uid") === null) { localStorage.setItem("uid", "A"); }
+}, 10);
+setTimeout(function () { localStorage.setItem("uid", "B"); }, 11);
+</script>|}
+  in
+  let r = analyze page in
+  let races =
+    List.filter
+      (fun (x : Race.t) ->
+        match x.Race.loc with
+        | Location.Js_var { name = "uid"; _ } -> true
+        | _ -> false)
+      r.Webracer.races
+  in
+  Alcotest.(check int) "uid races" 1 (List.length races)
+
+let storage_suite =
+  [
+    Alcotest.test_case "cookie race" `Quick test_cookie_race;
+    Alcotest.test_case "cookie jar" `Quick test_cookie_jar_accumulates;
+    Alcotest.test_case "localStorage per-key race" `Quick test_local_storage_race_per_key;
+    Alcotest.test_case "localStorage check-then-set" `Quick test_local_storage_check_then_set;
+  ]
+
+let suite = suite @ storage_suite

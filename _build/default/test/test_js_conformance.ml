@@ -1,0 +1,361 @@
+(* A conformance battery for MiniJS: the corner cases that separate a
+   believable ES5 subset from a toy. Helpers are shared with Test_js. *)
+
+let check_number = Test_js.check_number
+
+let check_string = Test_js.check_string
+
+let check_bool = Test_js.check_bool
+
+(* --- scoping & closures ------------------------------------------------ *)
+
+let test_closure_in_loop_shares_binding () =
+  (* The classic var-capture bug: all closures see the final value. *)
+  check_string
+    {|var fs = [];
+for (var i = 0; i < 3; i++) { fs.push(function () { return i; }); }
+var r = "" + fs[0]() + fs[1]() + fs[2]();|}
+    "r" "333"
+
+let test_iife_isolates () =
+  check_string
+    {|var fs = [];
+for (var i = 0; i < 3; i++) {
+  (function (j) { fs.push(function () { return j; }); })(i);
+}
+var r = "" + fs[0]() + fs[1]() + fs[2]();|}
+    "r" "012"
+
+let test_shadowing () =
+  check_number
+    {|var x = 1;
+function f() { var x = 2; return x; }
+var r = f() * 10 + x;|}
+    "r" 21.
+
+let test_assignment_without_var_leaks_global () =
+  check_number {|function f() { leaked = 9; } f(); var r = leaked;|} "r" 9.
+
+let test_nested_closure_mutation () =
+  check_number
+    {|function box() {
+  var v = 0;
+  return { inc: function () { v = v + 1; }, get: function () { return v; } };
+}
+var b = box(); b.inc(); b.inc(); b.inc(); var r = b.get();|}
+    "r" 3.
+
+(* --- this binding -------------------------------------------------- *)
+
+let test_this_method_vs_bare_call () =
+  check_string
+    {|var o = { tag: "obj", read: function () { return this.tag; } };
+var bare = o.read;
+var r = o.read() + "/" + (typeof bare());|}
+    "r" "obj/undefined"
+
+let test_this_in_new () =
+  check_number
+    {|function C() { this.v = 5; }
+var c = new C();
+var r = c.v;|}
+    "r" 5.
+
+let test_call_apply_rebind () =
+  check_string
+    {|function who() { return this.name; }
+var r = who.call({ name: "a" }) + who.apply({ name: "b" });|}
+    "r" "ab"
+
+(* --- prototypes ----------------------------------------------------- *)
+
+let test_prototype_shadowing () =
+  check_string
+    {|function A() {}
+A.prototype.x = "proto";
+var a = new A();
+var before = a.x;
+a.x = "own";
+var r = before + "/" + a.x + "/" + new A().x;|}
+    "r" "proto/own/proto"
+
+let test_prototype_mutation_visible () =
+  check_number
+    {|function A() {}
+var a = new A();
+A.prototype.f = function () { return 7; };
+var r = a.f();|}
+    "r" 7.
+
+let test_constructor_return_object () =
+  (* Returning an object from a constructor overrides `this`. *)
+  check_string
+    {|function C() { this.v = "this"; return { v: "returned" }; }
+function D() { this.v = "this"; return 42; }
+var r = new C().v + "/" + new D().v;|}
+    "r" "returned/this"
+
+let test_has_own_property () =
+  check_string
+    {|function A() { this.own = 1; }
+A.prototype.inherited = 2;
+var a = new A();
+var r = "" + a.hasOwnProperty("own") + a.hasOwnProperty("inherited");|}
+    "r" "truefalse"
+
+(* --- coercions ------------------------------------------------------ *)
+
+let test_string_number_coercions () =
+  check_string {|var r = 1 + "2";|} "r" "12";
+  check_number {|var r = "3" - 1;|} "r" 2.;
+  check_number {|var r = "2" * "3";|} "r" 6.;
+  check_string {|var r = "" + true;|} "r" "true";
+  check_string {|var r = "" + null;|} "r" "null";
+  check_string {|var r = "" + undefined;|} "r" "undefined";
+  check_string {|var r = "" + [1, 2];|} "r" "1,2";
+  check_bool {|var r = isNaN(undefined + 1);|} "r" true
+
+let test_truthiness_table () =
+  check_string
+    {|function t(v) { return v ? "T" : "F"; }
+var r = t(0) + t(-0) + t("") + t(null) + t(undefined) + t(NaN)
+      + t(1) + t("0") + t([]) + t({});|}
+    "r" "FFFFFFTTTT"
+
+let test_loose_equality_table () =
+  check_string
+    {|function e(a, b) { return (a == b) ? "Y" : "N"; }
+var r = e(0, "") + e(0, "0") + e("", "0") + e(null, undefined) + e(null, 0)
+      + e(1, true) + e("1", true);|}
+    "r" "YYNYNYY"
+
+let test_comparison_of_strings () =
+  check_bool {|var r = ("apple" < "banana");|} "r" true;
+  check_bool {|var r = ("10" < "9");|} "r" true;
+  check_bool {|var r = (10 < 9);|} "r" false;
+  check_bool {|var r = ("10" < 9);|} "r" false
+
+(* --- numbers --------------------------------------------------------- *)
+
+let test_float_behavior () =
+  check_bool {|var r = (0.1 + 0.2 === 0.3);|} "r" false;
+  check_bool {|var r = (1 / 0 === Infinity);|} "r" true;
+  check_bool {|var r = (-1 / 0 === -Infinity);|} "r" true;
+  check_bool {|var r = (0 / 0 !== 0 / 0);|} "r" true
+
+let test_integer_ops () =
+  check_number {|var r = 7 % 3;|} "r" 1.;
+  check_number {|var r = -7 % 3;|} "r" (-1.);
+  check_number {|var r = 5 & 3;|} "r" 1.;
+  check_number {|var r = 5 | 3;|} "r" 7.;
+  check_number {|var r = 5 ^ 3;|} "r" 6.;
+  check_number {|var r = ~5;|} "r" (-6.);
+  check_number {|var r = -8 >> 1;|} "r" (-4.);
+  check_number {|var r = -8 >>> 28;|} "r" 15.
+
+let test_parse_int_float () =
+  check_number {|var r = parseInt("42px");|} "r" 42.;
+  check_number {|var r = parseInt("0x1F", 16);|} "r" 31.;
+  check_number {|var r = parseInt("101", 2);|} "r" 5.;
+  check_bool {|var r = isNaN(parseInt("px"));|} "r" true;
+  check_number {|var r = parseFloat("3.25rem");|} "r" 3.25
+
+(* --- statements ----------------------------------------------------- *)
+
+let test_switch_fallthrough_and_default_position () =
+  (* A default in the middle still falls through to later cases. *)
+  check_string
+    {|var r = "";
+switch (0) { case 1: r += "a"; default: r += "d"; case 2: r += "b"; }|}
+    "r" "db"
+
+let test_break_in_nested_loop () =
+  check_number
+    {|var count = 0;
+var i; var j;
+for (i = 0; i < 3; i++) { for (j = 0; j < 3; j++) { if (j === 1) { break; } count++; } }
+var r = count;|}
+    "r" 3.
+
+let test_do_while_runs_once () =
+  check_number {|var r = 0; do { r++; } while (false);|} "r" 1.
+
+let test_comma_operator () =
+  check_number {|var r = (1, 2, 3);|} "r" 3.
+
+let test_conditional_chains () =
+  check_string
+    {|function grade(n) { return n > 89 ? "A" : n > 79 ? "B" : "C"; }
+var r = grade(95) + grade(85) + grade(10);|}
+    "r" "ABC"
+
+let test_ternary_assignment_precedence () =
+  check_number {|var x = 0; var r = true ? x = 5 : x = 9;|} "r" 5.
+
+(* --- exceptions ------------------------------------------------------- *)
+
+let test_exception_unwinds_loops () =
+  check_number
+    {|var r = 0;
+try { var i; for (i = 0; i < 10; i++) { r = i; if (i === 4) { throw "stop"; } } }
+catch (e) { }|}
+    "r" 4.
+
+let test_rethrow () =
+  check_string
+    {|var r = "";
+function inner() { throw new Error("boom"); }
+function middle() { try { inner(); } catch (e) { r += "m"; throw e; } }
+try { middle(); } catch (e) { r += "o:" + e.message; }|}
+    "r" "mo:boom"
+
+let test_finally_ordering () =
+  (* The finally side effect lands before the call returns; the caller
+     concatenates afterwards. *)
+  check_string
+    {|var log = "";
+function f() { try { log += "t"; return "ret"; } finally { log += "f"; } }
+var out = f();
+var r = log + out;|}
+    "r" "tfret"
+
+let test_catch_scoping () =
+  (* The catch parameter shadows but does not leak. *)
+  check_string
+    {|var e = "outer";
+try { throw "inner"; } catch (e) { var seen = e; }
+var r = e + "/" + seen;|}
+    "r" "outer/inner"
+
+(* --- functions ------------------------------------------------------- *)
+
+let test_arguments_object () =
+  check_number
+    {|function sum() {
+  var total = 0;
+  var i;
+  for (i = 0; i < arguments.length; i++) { total += arguments[i]; }
+  return total;
+}
+var r = sum(1, 2, 3, 4);|}
+    "r" 10.
+
+let test_missing_and_extra_args () =
+  check_string
+    {|function f(a, b) { return "" + a + "/" + b; }
+var r = f(1) + " " + f(1, 2, 3);|}
+    "r" "1/undefined 1/2"
+
+let test_recursion_mutual () =
+  check_bool
+    {|function isEven(n) { return n === 0 ? true : isOdd(n - 1); }
+function isOdd(n) { return n === 0 ? false : isEven(n - 1); }
+var r = isEven(10) && isOdd(7);|}
+    "r" true
+
+let test_function_expression_name_not_bound_outside () =
+  check_string
+    {|var f = function named() { return 1; };
+var r = typeof named;|}
+    "r" "undefined"
+
+(* --- objects & arrays ------------------------------------------------- *)
+
+let test_delete_property () =
+  check_string
+    {|var o = { a: 1 };
+var before = "" + o.a;
+delete o.a;
+var r = before + "/" + (typeof o.a);|}
+    "r" "1/undefined"
+
+let test_array_length_truncation () =
+  check_string
+    {|var a = [1, 2, 3, 4];
+a.length = 2;
+var r = a.join(",") + "/" + (typeof a[3]);|}
+    "r" "1,2/undefined"
+
+let test_sparse_array () =
+  check_number {|var a = []; a[9] = 1; var r = a.length;|} "r" 10.
+
+let test_array_methods_chain () =
+  check_string
+    {|var r = [5, 1, 4, 2, 3]
+  .filter(function (x) { return x !== 4; })
+  .map(function (x) { return x * 10; })
+  .sort(function (a, b) { return a - b; })
+  .join("-");|}
+    "r" "10-20-30-50"
+
+let test_object_keys_sorted () =
+  check_string {|var r = Object.keys({ b: 1, a: 2, c: 3 }).join(",");|} "r" "a,b,c"
+
+let test_in_operator () =
+  check_string
+    {|function A() { this.own = 1; }
+A.prototype.proto = 2;
+var a = new A();
+var r = "" + ("own" in a) + ("proto" in a) + ("nope" in a);|}
+    "r" "truetruefalse"
+
+let test_instanceof_chain () =
+  check_string
+    {|function A() {}
+function B() {}
+B.prototype = new A();
+var b = new B();
+var r = "" + (b instanceof B) + (b instanceof A) + ({} instanceof A);|}
+    "r" "truetruefalse"
+
+let test_string_immutability_via_methods () =
+  check_string
+    {|var s = "hello";
+var up = s.toUpperCase();
+var r = s + "/" + up;|}
+    "r" "hello/HELLO"
+
+let suite =
+  [
+    Alcotest.test_case "closure in loop" `Quick test_closure_in_loop_shares_binding;
+    Alcotest.test_case "iife isolation" `Quick test_iife_isolates;
+    Alcotest.test_case "shadowing" `Quick test_shadowing;
+    Alcotest.test_case "implicit global" `Quick test_assignment_without_var_leaks_global;
+    Alcotest.test_case "closure mutation" `Quick test_nested_closure_mutation;
+    Alcotest.test_case "this: method vs bare" `Quick test_this_method_vs_bare_call;
+    Alcotest.test_case "this: new" `Quick test_this_in_new;
+    Alcotest.test_case "this: call/apply" `Quick test_call_apply_rebind;
+    Alcotest.test_case "prototype shadowing" `Quick test_prototype_shadowing;
+    Alcotest.test_case "prototype mutation" `Quick test_prototype_mutation_visible;
+    Alcotest.test_case "constructor return" `Quick test_constructor_return_object;
+    Alcotest.test_case "hasOwnProperty" `Quick test_has_own_property;
+    Alcotest.test_case "coercions" `Quick test_string_number_coercions;
+    Alcotest.test_case "truthiness table" `Quick test_truthiness_table;
+    Alcotest.test_case "loose equality table" `Quick test_loose_equality_table;
+    Alcotest.test_case "string comparison" `Quick test_comparison_of_strings;
+    Alcotest.test_case "float behavior" `Quick test_float_behavior;
+    Alcotest.test_case "integer ops" `Quick test_integer_ops;
+    Alcotest.test_case "parseInt/parseFloat" `Quick test_parse_int_float;
+    Alcotest.test_case "switch default position" `Quick test_switch_fallthrough_and_default_position;
+    Alcotest.test_case "nested loop break" `Quick test_break_in_nested_loop;
+    Alcotest.test_case "do-while" `Quick test_do_while_runs_once;
+    Alcotest.test_case "comma operator" `Quick test_comma_operator;
+    Alcotest.test_case "conditional chains" `Quick test_conditional_chains;
+    Alcotest.test_case "ternary precedence" `Quick test_ternary_assignment_precedence;
+    Alcotest.test_case "exception unwinds" `Quick test_exception_unwinds_loops;
+    Alcotest.test_case "rethrow" `Quick test_rethrow;
+    Alcotest.test_case "finally ordering" `Quick test_finally_ordering;
+    Alcotest.test_case "catch scoping" `Quick test_catch_scoping;
+    Alcotest.test_case "arguments object" `Quick test_arguments_object;
+    Alcotest.test_case "arg count mismatch" `Quick test_missing_and_extra_args;
+    Alcotest.test_case "mutual recursion" `Quick test_recursion_mutual;
+    Alcotest.test_case "function expr name" `Quick test_function_expression_name_not_bound_outside;
+    Alcotest.test_case "delete property" `Quick test_delete_property;
+    Alcotest.test_case "array length truncation" `Quick test_array_length_truncation;
+    Alcotest.test_case "sparse array" `Quick test_sparse_array;
+    Alcotest.test_case "array method chain" `Quick test_array_methods_chain;
+    Alcotest.test_case "Object.keys" `Quick test_object_keys_sorted;
+    Alcotest.test_case "in operator" `Quick test_in_operator;
+    Alcotest.test_case "instanceof chain" `Quick test_instanceof_chain;
+    Alcotest.test_case "string immutability" `Quick test_string_immutability_via_methods;
+  ]

@@ -1,0 +1,171 @@
+(* Tests for the regex engine, standalone and through MiniJS. *)
+
+open Wr_js
+
+let re ?(flags = "") pattern =
+  match Regex.compile ~pattern ~flags with
+  | Ok t -> t
+  | Error msg -> Alcotest.failf "compile %S failed: %s" pattern msg
+
+let matched ?(flags = "") pattern s =
+  match Regex.exec (re ~flags pattern) s ~start:0 with
+  | Some r -> Some (String.sub s r.Regex.start (r.Regex.stop - r.Regex.start))
+  | None -> None
+
+let check_match ?(flags = "") pattern s expected =
+  Alcotest.(check (option string))
+    (Printf.sprintf "/%s/%s on %S" pattern flags s)
+    expected (matched ~flags pattern s)
+
+let test_literals () =
+  check_match "abc" "xxabcyy" (Some "abc");
+  check_match "abc" "ab" None;
+  check_match "a.c" "a!c" (Some "a!c");
+  check_match "a.c" "a\nc" None;
+  check_match "a\\.c" "a.c" (Some "a.c");
+  check_match "a\\.c" "axc" None
+
+let test_classes () =
+  check_match "[abc]+" "zzcabz" (Some "cab");
+  check_match "[^abc]+" "abXYab" (Some "XY");
+  check_match "[a-f0-9]+" "zz3fa9z" (Some "3fa9");
+  check_match "[-a]+" "b-a-b" (Some "-a-");
+  check_match "\\d+" "order 1234 now" (Some "1234");
+  check_match "\\w+" "  hi_there9 " (Some "hi_there9");
+  check_match "\\s+" "ab \t\ncd" (Some " \t\n");
+  check_match "\\D+" "12ab34" (Some "ab");
+  check_match "[\\d]+" "x42" (Some "42")
+
+let test_quantifiers () =
+  check_match "ab*c" "ac" (Some "ac");
+  check_match "ab*c" "abbbc" (Some "abbbc");
+  check_match "ab+c" "ac" None;
+  check_match "ab?c" "abc" (Some "abc");
+  check_match "a{3}" "aaaa" (Some "aaa");
+  check_match "a{2,}" "aaaa" (Some "aaaa");
+  check_match "a{2,3}" "aaaa" (Some "aaa");
+  check_match "a{2,3}?" "aaaa" (Some "aa");
+  (* Greedy vs lazy. *)
+  check_match "<.*>" "<a><b>" (Some "<a><b>");
+  check_match "<.*?>" "<a><b>" (Some "<a>");
+  (* A brace that is not a quantifier stays literal. *)
+  check_match "a{x}" "za{x}z" (Some "a{x}")
+
+let test_alternation_groups () =
+  check_match "cat|dog" "hotdog" (Some "dog");
+  check_match "(ab)+" "ababab" (Some "ababab");
+  check_match "a(b|c)d" "acd" (Some "acd");
+  check_match "(?:ab)+c" "ababc" (Some "ababc")
+
+let test_anchors () =
+  check_match "^abc" "abcdef" (Some "abc");
+  check_match "^bcd" "abcdef" None;
+  check_match "def$" "abcdef" (Some "def");
+  check_match "abc$" "abcdef" None;
+  check_match ~flags:"m" "^b$" "a\nb\nc" (Some "b");
+  check_match "\\bword\\b" "a word here" (Some "word");
+  check_match "\\bword\\b" "sword" None;
+  check_match "\\Bord\\b" "sword" (Some "ord")
+
+let test_case_insensitive () =
+  check_match ~flags:"i" "hello" "say HeLLo!" (Some "HeLLo");
+  check_match ~flags:"i" "[a-z]+" "ABC" (Some "ABC")
+
+let test_groups_capture () =
+  let t = re "(\\d+)-(\\d+)" in
+  match Regex.exec t "range 10-25 end" ~start:0 with
+  | Some r ->
+      let g i =
+        match r.Regex.groups.(i) with
+        | Some (a, b) -> String.sub "range 10-25 end" a (b - a)
+        | None -> "<none>"
+      in
+      Alcotest.(check string) "whole" "10-25" (g 0);
+      Alcotest.(check string) "g1" "10" (g 1);
+      Alcotest.(check string) "g2" "25" (g 2)
+  | None -> Alcotest.fail "no match"
+
+let test_replace () =
+  Alcotest.(check string) "first only" "X-b-a"
+    (Regex.replace (re "a") "a-b-a" ~by:"X");
+  Alcotest.(check string) "global" "X-b-X"
+    (Regex.replace (re ~flags:"g" "a") "a-b-a" ~by:"X");
+  Alcotest.(check string) "group templates" "25-10"
+    (Regex.replace (re "(\\d+)-(\\d+)") "10-25" ~by:"$2-$1");
+  Alcotest.(check string) "whole-match template" "[ab]"
+    (Regex.replace (re "a+b") "ab" ~by:"[$&]");
+  Alcotest.(check string) "dollar escape" "$"
+    (Regex.replace (re "x") "x" ~by:"$$")
+
+let test_split_and_match_all () =
+  Alcotest.(check (list string)) "split" [ "a"; "b"; "c" ]
+    (Regex.split (re ~flags:"g" "\\s*,\\s*") "a, b ,c");
+  Alcotest.(check int) "match_all count" 3
+    (List.length (Regex.match_all (re ~flags:"g" "\\d+") "1 22 333"));
+  (* Empty matches must advance. *)
+  Alcotest.(check bool) "empty match progress" true
+    (List.length (Regex.match_all (re ~flags:"g" "x*") "abc") <= 4)
+
+let test_compile_errors () =
+  let bad pattern =
+    match Regex.compile ~pattern ~flags:"" with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" pattern
+  in
+  List.iter bad [ "("; "[a"; "a)"; "*"; "(?=x)"; "\\1"; "a{3,1}" ];
+  match Regex.compile ~pattern:"a" ~flags:"y" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted bad flag"
+
+(* --- through MiniJS ------------------------------------------------- *)
+
+let check_string = Test_js.check_string
+
+let check_bool = Test_js.check_bool
+
+let check_number = Test_js.check_number
+
+let test_js_regex_literal () =
+  check_bool {|var r = /ab+c/.test("xabbc");|} "r" true;
+  check_bool {|var r = /ab+c/.test("ac");|} "r" false;
+  check_string {|var r = "a1b22c".replace(/\d+/g, "#");|} "r" "a#b#c";
+  check_string {|var m = "v1.2.3".match(/(\d+)\.(\d+)/); var r = m[1] + "+" + m[2];|} "r" "1+2";
+  check_number {|var r = "one two".search(/two/);|} "r" 4.;
+  check_number {|var r = "one two".search(/zzz/);|} "r" (-1.);
+  check_string {|var r = "a , b,c".split(/\s*,\s*/).join("|");|} "r" "a|b|c"
+
+let test_js_regexp_constructor () =
+  check_bool {|var re = new RegExp("^h", "i"); var r = re.test("Hello");|} "r" true;
+  check_string {|var re = new RegExp("l+"); var r = "hello".replace(re, "L");|} "r" "heLo";
+  check_string {|var r = /x/.source + "/" + /x/gi.flags;|} "r" "x/gi"
+
+let test_js_regex_exec () =
+  check_string
+    {|var m = /(\w+)@(\w+)/.exec("mail: bob@host now");
+var r = m[0] + "," + m[1] + "," + m[2] + "," + m.index;|}
+    "r" "bob@host,bob,host,6";
+  check_bool {|var r = (/nope/.exec("hay") === null);|} "r" true
+
+let test_js_regex_division_not_confused () =
+  (* The classic lexer ambiguity: division where a regex cannot start. *)
+  check_number {|var a = 10; var b = 2; var r = a / b / 1;|} "r" 5.;
+  check_number {|var r = (8) / 4;|} "r" 2.;
+  check_bool {|var x = 4; var r = /4/.test("" + x / 2 / 1);|} "r" false
+
+let suite =
+  [
+    Alcotest.test_case "literals" `Quick test_literals;
+    Alcotest.test_case "classes" `Quick test_classes;
+    Alcotest.test_case "quantifiers" `Quick test_quantifiers;
+    Alcotest.test_case "alternation/groups" `Quick test_alternation_groups;
+    Alcotest.test_case "anchors" `Quick test_anchors;
+    Alcotest.test_case "ignore case" `Quick test_case_insensitive;
+    Alcotest.test_case "captures" `Quick test_groups_capture;
+    Alcotest.test_case "replace" `Quick test_replace;
+    Alcotest.test_case "split/match_all" `Quick test_split_and_match_all;
+    Alcotest.test_case "compile errors" `Quick test_compile_errors;
+    Alcotest.test_case "js: regex literals" `Quick test_js_regex_literal;
+    Alcotest.test_case "js: RegExp constructor" `Quick test_js_regexp_constructor;
+    Alcotest.test_case "js: exec" `Quick test_js_regex_exec;
+    Alcotest.test_case "js: division ambiguity" `Quick test_js_regex_division_not_confused;
+  ]

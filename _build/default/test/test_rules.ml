@@ -1,0 +1,416 @@
+(* Rule-by-rule happens-before tests (paper §3.3 rules 1-17 + Appendix A).
+
+   Each test loads a minimal page, then asserts ordering facts directly on
+   the happens-before graph, locating operations by their labels. This
+   pins every rule to an explicit regression, independent of the
+   race-detection layer. *)
+
+module Browser = Wr_browser.Browser
+module Config = Wr_browser.Config
+module Graph = Wr_hb.Graph
+module Op = Wr_hb.Op
+
+let load ?(resources = []) ?(after = fun _ -> ()) page =
+  let cfg =
+    { (Config.default ~page ()) with Config.resources; explore = false; seed = 5 }
+  in
+  let b = Browser.create cfg in
+  Browser.start b;
+  ignore (Browser.run b);
+  after b;
+  ignore (Browser.run b);
+  b
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let ops_matching b needle =
+  let out = ref [] in
+  Graph.iter_ops
+    (fun info -> if contains ~needle info.Op.label then out := info.Op.id :: !out)
+    (Browser.graph b);
+  List.rev !out
+
+let the_op b needle =
+  match ops_matching b needle with
+  | [ op ] -> op
+  | l -> Alcotest.failf "expected exactly one op matching %S, got %d" needle (List.length l)
+
+let the_op_exact b label =
+  let out = ref [] in
+  Graph.iter_ops
+    (fun info -> if String.equal info.Op.label label then out := info.Op.id :: !out)
+    (Browser.graph b);
+  match !out with
+  | [ op ] -> op
+  | l -> Alcotest.failf "expected exactly one op labelled %S, got %d" label (List.length l)
+
+let first_op b needle =
+  match ops_matching b needle with
+  | op :: _ -> op
+  | [] -> Alcotest.failf "no op matching %S" needle
+
+let hb b x y = Graph.happens_before (Browser.graph b) x y
+
+let check_hb b ~msg x y = Alcotest.(check bool) msg true (hb b x y)
+
+let check_not_hb b ~msg x y = Alcotest.(check bool) msg false (hb b x y)
+
+(* Rule 1a: parse(E1) -> parse(E2) in syntactic order. *)
+let test_rule_1a () =
+  let b = load {|<div>x</div><p>y</p>|} in
+  check_hb b ~msg:"parse div -> parse p" (the_op b "parse <div>") (the_op b "parse <p>")
+
+(* Rule 1b: an inline script's execution precedes later parses. *)
+let test_rule_1b () =
+  let b = load {|<script>x = 1;</script><div>y</div>|} in
+  check_hb b ~msg:"exe inline -> parse div" (the_op b "script (inline)")
+    (the_op b "parse <div>")
+
+(* Rule 1c: a synchronous script's load event precedes later parses. *)
+let test_rule_1c () =
+  let b = load ~resources:[ ("s.js", "x = 1;") ] {|<script src="s.js"></script><div>y</div>|} in
+  let script_load = first_op b "dispatch load" in
+  check_hb b ~msg:"ld(script) -> parse div" script_load (the_op b "parse <div>")
+
+(* Rule 2: create(E) -> exe(E). *)
+let test_rule_2 () =
+  let b = load ~resources:[ ("s.js", "x = 1;") ] {|<script async="true" src="s.js"></script>|} in
+  check_hb b ~msg:"parse script -> exe" (the_op b "parse <script>") (the_op b "script s.js")
+
+(* Rule 3: exe(E) -> ld(E). *)
+let test_rule_3 () =
+  let b = load ~resources:[ ("s.js", "x = 1;") ] {|<script src="s.js"></script>|} in
+  check_hb b ~msg:"exe -> ld(script)" (the_op b "script s.js") (first_op b "dispatch load")
+
+(* Rule 4: elements created before DOMContentLoaded precede deferred
+   execution. *)
+let test_rule_4 () =
+  let b =
+    load ~resources:[ ("d.js", "x = 1;") ]
+      {|<div>early</div><script defer="true" src="d.js"></script>|}
+  in
+  check_hb b ~msg:"parse div -> exe defer" (the_op b "parse <div>") (the_op b "d.js (defer)")
+
+(* Rule 5: deferred scripts execute in syntactic order. *)
+let test_rule_5 () =
+  let b =
+    load
+      ~resources:[ ("d1.js", "x = 1;"); ("d2.js", "y = 2;") ]
+      {|<script defer="true" src="d1.js"></script><script defer="true" src="d2.js"></script>|}
+  in
+  check_hb b ~msg:"defer1 -> defer2" (the_op b "d1.js (defer)") (the_op b "d2.js (defer)")
+
+(* Rule 6: create(I) precedes everything in the nested document. *)
+let test_rule_6 () =
+  let b = load ~resources:[ ("f.html", "<p>inner</p>") ] {|<iframe src="f.html"></iframe>|} in
+  check_hb b ~msg:"parse iframe -> nested parse" (the_op b "parse <iframe>")
+    (the_op b "parse <p>")
+
+(* Rules 7 and 15: nested window load -> iframe load -> outer window load. *)
+let test_rules_7_and_15 () =
+  let b = load ~resources:[ ("f.html", "<p>inner</p>") ] {|<iframe src="f.html"></iframe>|} in
+  match ops_matching b "dispatch load" with
+  | [ child_window; iframe_elem; main_window ] ->
+      check_hb b ~msg:"rule 7: ld(W_I) -> ld(I)" child_window iframe_elem;
+      check_hb b ~msg:"rule 15: ld(I) -> ld(W)" iframe_elem main_window
+  | l -> Alcotest.failf "expected 3 load dispatches, got %d" (List.length l)
+
+(* Rule 8: create(T) precedes any dispatch on T. *)
+let test_rule_8 () =
+  let b = load ~resources:[ ("i.png", "png") ] {|<img src="i.png">|} in
+  check_hb b ~msg:"parse img -> ld(img)" (the_op b "parse <img>") (first_op b "dispatch load")
+
+(* Rule 9: the i-th dispatch of an event precedes the (i+1)-th. *)
+let test_rule_9 () =
+  let b =
+    load {|<div id="d" onmouseover="x = 1;">go</div>|} ~after:(fun b ->
+        match Browser.explorable_handler_targets b with
+        | (target, "mouseover") :: _ ->
+            Browser.schedule_user_event b ~target ~event:"mouseover";
+            Browser.schedule_user_event b ~target ~event:"mouseover"
+        | _ -> Alcotest.fail "no mouseover target registered")
+  in
+  check_hb b ~msg:"mouseover[0] -> mouseover[1]"
+    (the_op b "dispatch mouseover[0]")
+    (the_op b "dispatch mouseover[1]")
+
+(* Rule 10: invoking send() precedes the readystatechange dispatch. *)
+let test_rule_10 () =
+  let b =
+    load
+      ~resources:[ ("d.txt", "data") ]
+      {|<script>var r = new XMLHttpRequest(); r.open("GET", "d.txt"); r.send();</script>|}
+  in
+  check_hb b ~msg:"send -> readystatechange" (the_op b "script (inline)")
+    (the_op b "dispatch readystatechange[0]")
+
+(* Rule 11: DOMContentLoaded precedes window load. *)
+let test_rule_11 () =
+  let b = load {|<div>x</div>|} in
+  check_hb b ~msg:"dcl -> ld(W)" (the_op b "dispatch DOMContentLoaded")
+    (first_op b "dispatch load")
+
+(* Rules 12 and 13: static parses and inline executions precede
+   DOMContentLoaded. *)
+let test_rules_12_13 () =
+  let b = load {|<script>x = 1;</script><div>y</div>|} in
+  let dcl = the_op b "dispatch DOMContentLoaded" in
+  check_hb b ~msg:"rule 12: parse -> dcl" (the_op b "parse <div>") dcl;
+  check_hb b ~msg:"rule 13: exe inline -> dcl" (the_op b "script (inline)") dcl
+
+(* Rule 14: a deferred script's load event precedes DOMContentLoaded. *)
+let test_rule_14 () =
+  let b =
+    load ~resources:[ ("d.js", "x = 1;") ] {|<script defer="true" src="d.js"></script>|}
+  in
+  check_hb b ~msg:"ld(defer) -> dcl" (first_op b "dispatch load")
+    (the_op b "dispatch DOMContentLoaded")
+
+(* Rule 15 for images: ld(img) -> ld(W). *)
+let test_rule_15_image () =
+  let b = load ~resources:[ ("i.png", "png") ] {|<img src="i.png">|} in
+  match ops_matching b "dispatch load" with
+  | [ img_load; window_load ] -> check_hb b ~msg:"ld(img) -> ld(W)" img_load window_load
+  | l -> Alcotest.failf "expected 2 load dispatches, got %d" (List.length l)
+
+(* Rule 16: the operation calling setTimeout precedes the callback. *)
+let test_rule_16 () =
+  let b = load {|<script>setTimeout(function () { return 1; }, 10);</script>|} in
+  check_hb b ~msg:"caller -> cb" (the_op b "script (inline)") (the_op b "setTimeout callback")
+
+(* Rule 17: interval iterations are chained. *)
+let test_rule_17 () =
+  let b =
+    load
+      {|<script>var n = 0; var t = setInterval(function () { n = n + 1; if (n >= 3) { clearInterval(t); } }, 10);</script>|}
+  in
+  let caller = the_op b "script (inline)" in
+  let cb0 = the_op b "setInterval callback #0" in
+  let cb1 = the_op b "setInterval callback #1" in
+  let cb2 = the_op b "setInterval callback #2" in
+  check_hb b ~msg:"caller -> cb0" caller cb0;
+  check_hb b ~msg:"cb0 -> cb1" cb0 cb1;
+  check_hb b ~msg:"cb1 -> cb2" cb1 cb2
+
+(* Async scripts are NOT chained into the parse order (only rules 2/3/15
+   apply) — the negative case that exposes races. *)
+let test_async_unordered () =
+  let b =
+    load ~resources:[ ("a.js", "x = 1;") ]
+      {|<script async="true" src="a.js"></script><script>y = 2;</script>|}
+  in
+  let async_exe = the_op b "script a.js" in
+  let inline_exe = the_op b "script (inline)" in
+  check_not_hb b ~msg:"async not before inline" async_exe inline_exe;
+  check_not_hb b ~msg:"inline not before async" inline_exe async_exe
+
+(* Appendix A: inline dispatch splits the interrupted operation. *)
+let test_appendix_a_splitting () =
+  let b =
+    load
+      {|<div id="d" onclick="marker = 1;">go</div>
+<script>document.getElementById("d").click(); tail = 2;</script>|}
+  in
+  let script = the_op_exact b "script (inline)" in
+  let anchor = the_op b "dispatch click[0]" in
+  let handler = the_op b "click handler" in
+  let segment = the_op b "[segment" in
+  check_hb b ~msg:"A[0:k) -> dispatch" script anchor;
+  check_hb b ~msg:"dispatch -> handlers" anchor handler;
+  check_hb b ~msg:"handlers -> A[k+1:)" handler segment;
+  check_hb b ~msg:"A[0:k) -> A[k+1:)" script segment
+
+(* Appendix A phasing: a capture handler on an ancestor precedes the
+   target-phase handler of the same dispatch. *)
+let test_appendix_a_phasing () =
+  let b =
+    load
+      {|<div id="outer"><button id="inner">hit</button></div>
+<script>
+  document.getElementById("outer").addEventListener("mouseover", function () { a = 1; }, true);
+  document.getElementById("inner").onmouseover = function () { b = 2; };
+</script>|}
+      ~after:(fun b ->
+        match
+          List.filter (fun (_, e) -> e = "mouseover") (Browser.explorable_handler_targets b)
+        with
+        | targets -> (
+            (* The innermost registered target has the largest uid. *)
+            match List.rev targets with
+            | (target, _) :: _ -> Browser.schedule_user_event b ~target ~event:"mouseover"
+            | [] -> Alcotest.fail "no mouseover targets"))
+  in
+  let capture = the_op b "mouseover handler (capture)" in
+  let target = the_op b "mouseover handler (target)" in
+  check_hb b ~msg:"capture phase -> target phase" capture target
+
+(* clearTimeout extension: cancelling from an unordered op races with the
+   callback's liveness read; cancelling from the scheduling chain does
+   not fire the callback at all. *)
+let test_clear_timeout_cancels () =
+  let b =
+    load
+      {|<script>var t = setTimeout(function () { fired = 1; }, 50);
+clearTimeout(t);</script>|}
+  in
+  Alcotest.(check int) "callback never ran" 0 (List.length (ops_matching b "setTimeout callback"))
+
+let suite =
+  [
+    Alcotest.test_case "rule 1a: static order" `Quick test_rule_1a;
+    Alcotest.test_case "rule 1b: inline script chains" `Quick test_rule_1b;
+    Alcotest.test_case "rule 1c: sync script blocks" `Quick test_rule_1c;
+    Alcotest.test_case "rule 2: create -> exe" `Quick test_rule_2;
+    Alcotest.test_case "rule 3: exe -> load" `Quick test_rule_3;
+    Alcotest.test_case "rule 4: creates -> defer exe" `Quick test_rule_4;
+    Alcotest.test_case "rule 5: defer order" `Quick test_rule_5;
+    Alcotest.test_case "rule 6: iframe -> nested" `Quick test_rule_6;
+    Alcotest.test_case "rules 7+15: load cascade" `Quick test_rules_7_and_15;
+    Alcotest.test_case "rule 8: create -> dispatch" `Quick test_rule_8;
+    Alcotest.test_case "rule 9: dispatch order" `Quick test_rule_9;
+    Alcotest.test_case "rule 10: xhr send" `Quick test_rule_10;
+    Alcotest.test_case "rule 11: dcl -> load" `Quick test_rule_11;
+    Alcotest.test_case "rules 12+13: before dcl" `Quick test_rules_12_13;
+    Alcotest.test_case "rule 14: defer load -> dcl" `Quick test_rule_14;
+    Alcotest.test_case "rule 15: image load" `Quick test_rule_15_image;
+    Alcotest.test_case "rule 16: setTimeout" `Quick test_rule_16;
+    Alcotest.test_case "rule 17: setInterval chain" `Quick test_rule_17;
+    Alcotest.test_case "async scripts unordered" `Quick test_async_unordered;
+    Alcotest.test_case "appendix A: splitting" `Quick test_appendix_a_splitting;
+    Alcotest.test_case "appendix A: phasing" `Quick test_appendix_a_phasing;
+    Alcotest.test_case "clearTimeout cancels" `Quick test_clear_timeout_cancels;
+  ]
+
+(* Nested inline dispatches: each one splits the op again, and the
+   segments chain (Appendix A applied twice). *)
+let test_appendix_a_nested_splitting () =
+  let b =
+    load
+      {|<div id="a" onclick="document.getElementById('b').click(); afterInner = 1;">A</div>
+<div id="b" onclick="innerRan = 1;">B</div>
+<script>document.getElementById("a").click(); afterOuter = 1;</script>|}
+  in
+  (* Two dispatches, two handler runs, and at least two segments. *)
+  Alcotest.(check int) "two dispatches (one per target)" 2
+    (List.length (ops_matching b "dispatch click[0] @node"));
+  let segments = ops_matching b "[segment" in
+  Alcotest.(check bool) "two segments" true (List.length segments >= 2);
+  (* The outer script's segment follows the inner handler's ops. *)
+  let script = the_op_exact b "script (inline)" in
+  let last_segment = List.fold_left max 0 segments in
+  check_hb b ~msg:"script -> final segment" script last_segment
+
+(* The virtual-time horizon bounds unbounded interval chains (config
+   time_limit; the paper's tool just stops observing). *)
+let test_time_limit_bounds_intervals () =
+  let cfg =
+    {
+      (Config.default ~page:{|<script>setInterval(function () { spin = 1; }, 10);</script>|} ())
+      with
+      Config.time_limit = 200.;
+      explore = false;
+    }
+  in
+  let b = Browser.create cfg in
+  Browser.start b;
+  ignore (Browser.run b);
+  let cbs = ops_matching b "setInterval callback" in
+  Alcotest.(check bool) "interval ran" true (List.length cbs >= 5);
+  Alcotest.(check bool) "but was bounded" true (List.length cbs <= 25);
+  Alcotest.(check bool) "virtual clock at horizon" true (Browser.virtual_now b <= 200.)
+
+let more_rules =
+  [
+    Alcotest.test_case "appendix A: nested splitting" `Quick test_appendix_a_nested_splitting;
+    Alcotest.test_case "time limit bounds intervals" `Quick test_time_limit_bounds_intervals;
+  ]
+
+let suite = suite @ more_rules
+
+(* Rule 4's precondition is happens-before, not wall-clock: an element
+   inserted by an ASYNC script has no create(E) -> dcl(D) edge, so the
+   deferred script is NOT ordered after it — the pair can race. *)
+let test_rule_4_negative_async_creation () =
+  let b =
+    load
+      ~resources:
+        [
+          ( "inserter.js",
+            "var n = document.createElement(\"div\"); n.id = \"dyn\"; \
+             document.getElementById(\"host\").appendChild(n);" );
+          ("d.js", "var probe = document.getElementById(\"dyn\");");
+        ]
+      {|<div id="host"></div>
+<script async="true" src="inserter.js"></script>
+<script defer="true" src="d.js"></script>|}
+  in
+  let async_exe = the_op b "script inserter.js" in
+  let defer_exe = the_op b "d.js (defer)" in
+  check_not_hb b ~msg:"async insertion not before defer" async_exe defer_exe;
+  check_not_hb b ~msg:"defer not before async insertion" defer_exe async_exe
+
+(* Appendix A deliberately leaves handlers of the SAME dispatch, phase and
+   current-target unordered (the paper errs toward fewer edges). *)
+let test_appendix_a_same_group_unordered () =
+  let b =
+    load
+      {|<div id="d">x</div>
+<script>
+document.getElementById("d").addEventListener("mouseover", function () { a = 1; });
+document.getElementById("d").addEventListener("mouseover", function () { b = 2; });
+</script>|}
+      ~after:(fun b ->
+        match Browser.explorable_handler_targets b with
+        | (target, "mouseover") :: _ -> Browser.schedule_user_event b ~target ~event:"mouseover"
+        | _ -> Alcotest.fail "no target")
+  in
+  match ops_matching b "mouseover handler (target)" with
+  | [ h1; h2 ] ->
+      check_not_hb b ~msg:"h1 not before h2" h1 h2;
+      check_not_hb b ~msg:"h2 not before h1" h2 h1;
+      let anchor = the_op b "dispatch mouseover[0]" in
+      check_hb b ~msg:"anchor before both" anchor h1;
+      check_hb b ~msg:"anchor before both (2)" anchor h2
+  | l -> Alcotest.failf "expected 2 handler ops, got %d" (List.length l)
+
+(* Accesses after an inline dispatch belong to the resumption segment, not
+   to the interrupted prefix (verified through a recorded trace). *)
+let test_segment_access_attribution () =
+  let report =
+    Webracer.analyze
+      (Webracer.config
+         ~page:
+           {|<div id="d" onclick="inHandler = 1;">x</div>
+<script>before = 1; document.getElementById("d").click(); after = 2;</script>|}
+         ~explore:false ~trace:true ())
+  in
+  let trace = Option.get report.Webracer.trace in
+  let op_of_var name =
+    List.find_map
+      (fun (a : Wr_mem.Access.t) ->
+        match a.Wr_mem.Access.loc with
+        | Wr_mem.Location.Js_var { name = n; _ } when n = name && a.Wr_mem.Access.kind = `Write ->
+            Some a.Wr_mem.Access.op
+        | _ -> None)
+      trace.Wr_detect.Trace.accesses
+  in
+  let before = Option.get (op_of_var "before") in
+  let in_handler = Option.get (op_of_var "inHandler") in
+  let after = Option.get (op_of_var "after") in
+  Alcotest.(check bool) "prefix and tail differ" true (before <> after);
+  Alcotest.(check bool) "handler between them" true (before < in_handler && in_handler < after);
+  let g = Wr_detect.Trace.rebuild_graph trace in
+  Alcotest.(check bool) "prefix -> handler" true (Wr_hb.Graph.happens_before g before in_handler);
+  Alcotest.(check bool) "handler -> tail" true (Wr_hb.Graph.happens_before g in_handler after)
+
+let faithfulness_suite =
+  [
+    Alcotest.test_case "rule 4 negative (async create)" `Quick test_rule_4_negative_async_creation;
+    Alcotest.test_case "appendix A: same group unordered" `Quick test_appendix_a_same_group_unordered;
+    Alcotest.test_case "segment attribution" `Quick test_segment_access_attribution;
+  ]
+
+let suite = suite @ faithfulness_suite

@@ -1,0 +1,223 @@
+(* The site album: full-page integration scenarios that exercise the whole
+   stack at once — parser, interpreter (incl. regex and JSON), DOM, events,
+   timers, XHR, storage — each with an exact expected race inventory. *)
+
+module Race = Wr_detect.Race
+module Location = Wr_mem.Location
+
+let analyze ?(explore = true) ?(resources = []) ?(seed = 2) page =
+  Webracer.analyze (Webracer.config ~page ~resources ~seed ~explore ())
+
+let counts r = Webracer.count_by_type r.Webracer.races
+
+let console_contains (r : Webracer.report) needle =
+  List.exists
+    (fun line ->
+      let n = String.length needle and h = String.length line in
+      let rec go i = i + n <= h && (String.sub line i n = needle || go (i + 1)) in
+      go 0)
+    r.Webracer.console
+
+(* --- 1. News portal ---------------------------------------------------- *)
+
+(* A headline rotator (interval, self-clearing), a delayed "personalize"
+   script that polls for the layout sentinel (Ford-style; benign HTML
+   races), and a weather widget loaded async that races page code on a
+   shared global. *)
+let news_portal () =
+  let page =
+    {|<div id="masthead"><h1>The Daily Build</h1></div>
+<div id="headline">loading...</div>
+<script>
+var stories = ["Compiler ships", "Tests pass", "Bench is green"];
+var at = 0;
+var spins = 0;
+var rotator = setInterval(function () {
+  at = (at + 1) % stories.length;
+  document.getElementById("headline").textContent = stories[at];
+  spins = spins + 1;
+  if (spins > 6) { clearInterval(rotator); }
+}, 15);
+function personalize() {
+  if (document.getElementById("layout-ready") != null) {
+    var slots = document.getElementsByTagName("p");
+    greetingDone = 1;
+  } else { setTimeout(personalize, 25); }
+}
+setTimeout(personalize, 1);
+</script>
+<script async="true" src="weather.js"></script>
+<script>units = "C";</script>
+<p>story one</p>
+<p>story two</p>
+<div id="layout-ready"></div>|}
+  in
+  let resources = [ ("weather.js", "units = \"F\"; forecast = \"rain\";") ] in
+  analyze ~resources page
+
+let test_news_portal () =
+  let r = news_portal () in
+  let html, func, var, disp = counts r in
+  (* The personalize poll races with the sentinel parse (benign HTML), the
+     async weather script races page code on `units` (variable); the
+     rotator and masthead are race-free. *)
+  Alcotest.(check bool) "benign HTML poll races" true (html >= 1);
+  Alcotest.(check int) "weather units race" 1 var;
+  Alcotest.(check int) "no function races" 0 func;
+  Alcotest.(check int) "no dispatch races" 0 disp;
+  Alcotest.(check int) "no crashes" 0 (List.length r.Webracer.crashes);
+  (* The headline rotator really rotated. *)
+  Alcotest.(check bool) "rotator ran" true (r.Webracer.ops > 10)
+
+(* --- 2. Storefront ------------------------------------------------------ *)
+
+(* A cart in localStorage written by both the page and an AJAX "restore
+   cart" handler (storage race), a search box with a hint script (the
+   Southwest bug), and regex-validated promo codes (race-free). *)
+let storefront () =
+  let page =
+    {|<input type="text" id="search" />
+<input type="text" id="promo" />
+<div id="cart-count">0</div>
+<script>
+document.getElementById("search").value = "Search products...";
+function validatePromo(code) {
+  return /^[A-Z]{3}-\d{4}$/.test(code);
+}
+promoOk = validatePromo("SAVE-2024") ? "yes" : "no";
+console.log("promo " + promoOk);
+var restore = new XMLHttpRequest();
+restore.onreadystatechange = function () {
+  if (restore.readyState === 4) {
+    var saved = JSON.parse(restore.responseText);
+    localStorage.setItem("cart", "" + saved.items);
+    document.getElementById("cart-count").textContent = "" + saved.items;
+  }
+};
+restore.open("GET", "cart.json");
+restore.send();
+setTimeout(function () { localStorage.setItem("cart", "0"); }, 8);
+</script>|}
+  in
+  analyze ~resources:[ ("cart.json", {|{"items": 3}|}) ] page
+
+let test_storefront () =
+  let r = storefront () in
+  let races_on name =
+    List.filter
+      (fun (x : Race.t) ->
+        match x.Race.loc with
+        | Location.Js_var { name = n; _ } -> n = name
+        | _ -> false)
+      r.Webracer.races
+  in
+  Alcotest.(check int) "cart storage race" 1 (List.length (races_on "cart"));
+  Alcotest.(check bool) "search hint race (form)" true (List.length (races_on "value") >= 1);
+  Alcotest.(check bool) "promo regex validated" true (console_contains r "promo no");
+  Alcotest.(check int) "no crashes" 0 (List.length r.Webracer.crashes)
+
+(* --- 3. Login page ------------------------------------------------------ *)
+
+(* Email validation on blur, a submit link driven by a function in a
+   late-loading script (harmful function race), and a remember-me checkbox
+   read at load. *)
+let login_page () =
+  let page =
+    {|<input type="text" id="email" onblur="checkEmail();" />
+<input type="checkbox" id="remember" checked="true" />
+<a href="javascript:submitLogin()">Sign in</a>
+<script src="auth.js"></script>
+<script>
+function checkEmail() {
+  var v = document.getElementById("email").value;
+  emailOk = /\w+@\w+\.\w+/.test(v);
+}
+var remembered = document.getElementById("remember").checked;
+console.log("remember " + remembered);
+</script>|}
+  in
+  analyze
+    ~resources:[ ("auth.js", "function submitLogin() { submitted = 1; }") ]
+    page
+
+let test_login_page () =
+  let r = login_page () in
+  let _, func, _, _ = counts r in
+  (* Two function races: submitLogin (the link can be clicked before
+     auth.js loads) and checkEmail (blur can fire before the inline script
+     that declares it — its handler was registered at parse time). *)
+  Alcotest.(check int) "function races" 2 func;
+  let on_submit =
+    List.exists
+      (fun (x : Race.t) ->
+        match x.Race.loc with
+        | Location.Js_var { name = "submitLogin"; _ } -> true
+        | _ -> false)
+      r.Webracer.races
+  in
+  Alcotest.(check bool) "one is submitLogin" true on_submit;
+  Alcotest.(check bool) "checkbox read" true (console_contains r "remember true");
+  Alcotest.(check int) "no crashes in this schedule" 0 (List.length r.Webracer.crashes)
+
+(* --- 4. Ad-laden page ---------------------------------------------------- *)
+
+(* Two ad iframes sharing a frequency-cap global with the host page
+   (cross-frame variable races, Fig. 1 at scale) and a Gomez-style tracker
+   racing image loads. *)
+let ad_page () =
+  let page =
+    {|<script>adImpressions = 0;</script>
+<img id="hero" src="hero.png">
+<iframe src="ad1.html"></iframe>
+<iframe src="ad2.html"></iframe>
+<script>
+var trackTicks = 0;
+var tracker = setInterval(function () {
+  trackTicks = trackTicks + 1;
+  if (trackTicks > 20) { clearInterval(tracker); return 0; }
+  var imgs = document.images;
+  var i = 0;
+  for (i = 0; i < imgs.length; i++) {
+    if (!imgs[i].__tracked) { imgs[i].__tracked = true; imgs[i].onload = function () { return 1; }; }
+  }
+}, 10);
+</script>|}
+  in
+  let ad n =
+    Printf.sprintf
+      "<script>adImpressions = adImpressions + 1; console.log(\"ad%d saw \" + adImpressions);</script>"
+      n
+  in
+  analyze
+    ~resources:[ ("hero.png", "png"); ("ad1.html", ad 1); ("ad2.html", ad 2) ]
+    page
+
+let test_ad_page () =
+  let r = ad_page () in
+  let _, _, var, disp = counts r in
+  (* The two ad frames race each other on adImpressions (the host's write
+     is ordered before both); the tracker races the hero image's load. *)
+  Alcotest.(check int) "frequency-cap race" 1 var;
+  Alcotest.(check bool) "tracker dispatch race" true (disp >= 1);
+  Alcotest.(check int) "no crashes" 0 (List.length r.Webracer.crashes)
+
+(* --- 5. The album is deterministic -------------------------------------- *)
+
+let test_album_deterministic () =
+  let snapshot build =
+    let r = build () in
+    (counts r, List.length r.Webracer.filtered, r.Webracer.ops)
+  in
+  List.iter
+    (fun build ->
+      Alcotest.(check bool) "same outcome twice" true (snapshot build = snapshot build))
+    [ news_portal; storefront; login_page; ad_page ]
+
+let suite =
+  [
+    Alcotest.test_case "news portal" `Quick test_news_portal;
+    Alcotest.test_case "storefront" `Quick test_storefront;
+    Alcotest.test_case "login page" `Quick test_login_page;
+    Alcotest.test_case "ad-laden page" `Quick test_ad_page;
+    Alcotest.test_case "album determinism" `Quick test_album_deterministic;
+  ]

@@ -1,0 +1,221 @@
+(* Unit and property tests for Wr_support. *)
+
+open Wr_support
+
+let test_rng_determinism () =
+  let a = Rng.of_int 42 and b = Rng.of_int 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.of_int 1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    if v < 0 || v >= 10 then Alcotest.failf "out of range: %d" v;
+    let f = Rng.float r 2.5 in
+    if f < 0. || f >= 2.5 then Alcotest.failf "float out of range: %f" f;
+    let x = Rng.int_in_range r ~lo:5 ~hi:7 in
+    if x < 5 || x > 7 then Alcotest.failf "range violation: %d" x
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.of_int 3 in
+  let child = Rng.split parent in
+  let a = Rng.bits64 parent and b = Rng.bits64 child in
+  if a = b then Alcotest.fail "split streams should diverge"
+
+let test_bitset_basic () =
+  let s = Bitset.create 10 in
+  Alcotest.(check bool) "initially empty" false (Bitset.mem s 3);
+  Bitset.add s 3;
+  Bitset.add s 64;
+  Bitset.add s 1000;
+  Alcotest.(check bool) "mem 3" true (Bitset.mem s 3);
+  Alcotest.(check bool) "mem 64" true (Bitset.mem s 64);
+  Alcotest.(check bool) "mem 1000" true (Bitset.mem s 1000);
+  Alcotest.(check bool) "mem 999" false (Bitset.mem s 999);
+  Alcotest.(check int) "cardinal" 3 (Bitset.cardinal s);
+  Bitset.remove s 64;
+  Alcotest.(check bool) "removed" false (Bitset.mem s 64);
+  Alcotest.(check int) "cardinal after remove" 2 (Bitset.cardinal s)
+
+let test_bitset_union () =
+  let a = Bitset.create 8 and b = Bitset.create 8 in
+  Bitset.add a 1;
+  Bitset.add b 2;
+  Bitset.add b 200;
+  Bitset.union_into ~into:a b;
+  List.iter (fun i -> Alcotest.(check bool) (string_of_int i) true (Bitset.mem a i)) [ 1; 2; 200 ];
+  Alcotest.(check int) "cardinal" 3 (Bitset.cardinal a)
+
+let test_bitset_iter_order () =
+  let s = Bitset.create 4 in
+  List.iter (Bitset.add s) [ 17; 3; 99 ];
+  let seen = ref [] in
+  Bitset.iter (fun i -> seen := i :: !seen) s;
+  Alcotest.(check (list int)) "increasing order" [ 3; 17; 99 ] (List.rev !seen)
+
+let prop_bitset_model =
+  QCheck.Test.make ~name:"bitset agrees with set model" ~count:200
+    QCheck.(list (pair bool (int_bound 500)))
+    (fun ops ->
+      let s = Bitset.create 16 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (add, i) ->
+          if add then begin
+            Bitset.add s i;
+            Hashtbl.replace model i ()
+          end
+          else begin
+            Bitset.remove s i;
+            Hashtbl.remove model i
+          end)
+        ops;
+      Hashtbl.fold (fun i () acc -> acc && Bitset.mem s i) model true
+      && Bitset.cardinal s = Hashtbl.length model)
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "mean" 2. (Stats.mean [ 1; 2; 3 ]);
+  Alcotest.(check (float 1e-9)) "median odd" 2. (Stats.median [ 3; 1; 2 ]);
+  Alcotest.(check (float 1e-9)) "median even" 5.5 (Stats.median [ 4; 7; 5; 6 ]);
+  Alcotest.(check int) "max" 7 (Stats.max [ 4; 7; 5 ]);
+  Alcotest.(check int) "sum" 16 (Stats.sum [ 4; 7; 5 ]);
+  Alcotest.(check (float 1e-9)) "mean empty" 0. (Stats.mean []);
+  Alcotest.(check int) "max empty" 0 (Stats.max [])
+
+let test_json () =
+  let j =
+    Json.Obj
+      [
+        ("a", Json.Int 1);
+        ("s", Json.String "x\"y\n");
+        ("l", Json.List [ Json.Bool true; Json.Null ]);
+        ("f", Json.Float 1.5);
+      ]
+  in
+  Alcotest.(check string) "compact"
+    {|{"a":1,"s":"x\"y\n","l":[true,null],"f":1.5}|} (Json.to_string j)
+
+let test_table_render () =
+  let s = Table.render ~header:[ "name"; "n" ] [ [ "a"; "1" ]; [ "bb"; "22" ] ] in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "line count (incl. trailing)" 5 (List.length lines);
+  Alcotest.(check string) "header" "name   n" (List.nth lines 0);
+  Alcotest.(check string) "row alignment" "bb    22" (List.nth lines 3)
+
+let suite =
+  [
+    Alcotest.test_case "rng: determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng: bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng: split" `Quick test_rng_split_independent;
+    Alcotest.test_case "bitset: basic" `Quick test_bitset_basic;
+    Alcotest.test_case "bitset: union" `Quick test_bitset_union;
+    Alcotest.test_case "bitset: iter order" `Quick test_bitset_iter_order;
+    QCheck_alcotest.to_alcotest prop_bitset_model;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "json" `Quick test_json;
+    Alcotest.test_case "table" `Quick test_table_render;
+  ]
+
+(* --- JSON parsing -------------------------------------------------- *)
+
+let test_json_parse_basics () =
+  let open Json in
+  Alcotest.(check bool) "scalar" true (of_string "42" = Int 42);
+  Alcotest.(check bool) "float" true (of_string "1.5" = Float 1.5);
+  Alcotest.(check bool) "negative exponent" true (of_string "-2e2" = Float (-200.));
+  Alcotest.(check bool) "string escapes" true (of_string {|"a\n\"b"|} = String "a\n\"b");
+  Alcotest.(check bool) "null/bool" true (of_string "[null, true, false]" = List [ Null; Bool true; Bool false ]);
+  Alcotest.(check bool) "object" true
+    (of_string {|{"a": 1, "b": [2]}|} = Obj [ ("a", Int 1); ("b", List [ Int 2 ]) ]);
+  Alcotest.(check bool) "nested" true
+    (of_string {|{"o": {"k": "v"}}|} = Obj [ ("o", Obj [ ("k", String "v") ]) ])
+
+let test_json_parse_errors () =
+  let bad s =
+    match Json.of_string s with
+    | exception Json.Parse_error _ -> ()
+    | _ -> Alcotest.failf "accepted bad JSON %S" s
+  in
+  List.iter bad [ "{"; "[1,]"; "{\"a\" 1}"; "tru"; "\"unterminated"; "1 2"; "" ]
+
+let gen_json =
+  let open QCheck.Gen in
+  let key = string_size ~gen:(char_range 'a' 'z') (int_range 1 5) in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) (int_range (-1000) 1000);
+        map (fun s -> Json.String s) (string_size ~gen:printable (int_bound 8));
+      ]
+  in
+  let rec node depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          (1, map (fun l -> Json.List l) (list_size (int_bound 3) (node (depth - 1))));
+          ( 1,
+            map
+              (fun kvs ->
+                (* Duplicate keys are legal JSON but not preserved; dedup. *)
+                Json.Obj (List.sort_uniq (fun (a, _) (b, _) -> compare a b) kvs))
+              (list_size (int_bound 3) (pair key (node (depth - 1)))) );
+        ]
+  in
+  node 3
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"json: of_string (to_string j) = j" ~count:300 (QCheck.make gen_json)
+    (fun j ->
+      (* Floats are excluded from the generator; Int/strings round-trip
+         exactly. *)
+      Json.of_string (Json.to_string j) = j)
+
+let json_suite =
+  [
+    Alcotest.test_case "json: parse basics" `Quick test_json_parse_basics;
+    Alcotest.test_case "json: parse errors" `Quick test_json_parse_errors;
+    QCheck_alcotest.to_alcotest prop_json_roundtrip;
+  ]
+
+let suite = suite @ json_suite
+
+(* --- remaining small-surface coverage ------------------------------- *)
+
+let test_table_align_option () =
+  let s =
+    Table.render ~header:[ "l"; "r" ]
+      ~align:[ Table.Left; Table.Left ]
+      [ [ "x"; "1" ]; [ "yy"; "22" ] ]
+  in
+  Alcotest.(check bool) "left-aligned numbers" true
+    (List.nth (String.split_on_char '\n' s) 2 = "x   1")
+
+let test_rng_choose_shuffle () =
+  let r = Rng.of_int 5 in
+  let arr = [| 1; 2; 3; 4; 5 |] in
+  let picked = Rng.choose r arr in
+  Alcotest.(check bool) "choose picks a member" true (Array.exists (( = ) picked) arr);
+  let arr2 = Array.copy arr in
+  Rng.shuffle r arr2;
+  Alcotest.(check bool) "shuffle permutes" true
+    (List.sort compare (Array.to_list arr2) = Array.to_list arr);
+  (match Rng.choose r [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty choose accepted");
+  let e = Rng.exponential r ~mean:10. in
+  Alcotest.(check bool) "exponential nonnegative" true (e >= 0.)
+
+let coverage_suite =
+  [
+    Alcotest.test_case "table: align option" `Quick test_table_align_option;
+    Alcotest.test_case "rng: choose/shuffle/exp" `Quick test_rng_choose_shuffle;
+  ]
+
+let suite = suite @ coverage_suite
