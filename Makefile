@@ -1,0 +1,29 @@
+# Convenience targets; `make check` is the CI gate.
+
+.PHONY: all build test bench fmt check clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Formatting is checked only when ocamlformat is available (the CI/dev
+# container may not ship it); the build and the tests always run.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt || exit 1; \
+	else \
+	  echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+check: build fmt test
+	@echo "check OK"
+
+clean:
+	dune clean

@@ -296,6 +296,52 @@ let perf_overhead () =
      emission disabled, isolating instrumentation and detection costs.)"
 
 (* ------------------------------------------------------------------ *)
+(* Perf-3: telemetry overhead — the disabled recorder must be a        *)
+(* near-no-op, and the enabled one cheap enough to leave on            *)
+(* ------------------------------------------------------------------ *)
+
+let perf_telemetry () =
+  section "Perf-3 — telemetry overhead (disabled must be a near-no-op)";
+  let ford =
+    List.find (fun (p : Profile.t) -> p.Profile.name = "Ford") (Profile.corpus ())
+  in
+  let site = Gen.generate ford in
+  let analyze ~telemetry () =
+    ignore
+      (Webracer.analyze
+         (Webracer.config ~page:site.Gen.page ~resources:site.Gen.resources ~seed:3
+            ?telemetry ()))
+  in
+  let tests =
+    [
+      Test.make ~name:"analyze-ford/telemetry-off"
+        (Staged.stage (analyze ~telemetry:None));
+      Test.make ~name:"analyze-ford/telemetry-on"
+        (Staged.stage (fun () ->
+             analyze ~telemetry:(Some (Wr_telemetry.Telemetry.create ())) ()));
+    ]
+  in
+  let results = run_bench_group ~name:"perf3" tests in
+  print_bench_results results;
+  (match
+     ( List.assoc_opt "perf3/analyze-ford/telemetry-off" results,
+       List.assoc_opt "perf3/analyze-ford/telemetry-on" results )
+   with
+  | Some off, Some on_ ->
+      Printf.printf "\ntelemetry-on / telemetry-off: %.3fx\n" (on_ /. off)
+  | _ -> ());
+  (* One instrumented run's metrics, saved for tooling alongside stdout. *)
+  let tm = Wr_telemetry.Telemetry.create () in
+  ignore
+    (Webracer.analyze
+       (Webracer.config ~page:site.Gen.page ~resources:site.Gen.resources ~seed:3
+          ~telemetry:tm ()));
+  let oc = open_out_bin "bench_metrics.json" in
+  output_string oc (Wr_support.Json.to_string (Wr_telemetry.Telemetry.metrics_json tm));
+  close_out oc;
+  print_endline "wrote bench_metrics.json (one instrumented Ford run)"
+
+(* ------------------------------------------------------------------ *)
 (* Abl-1: happens-before query strategy (§5.2.1)                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -459,6 +505,7 @@ let () =
   figures ();
   perf_pages ();
   perf_overhead ();
+  perf_telemetry ();
   ablation_hb ();
   ablation_detector ();
   stability ();

@@ -5,6 +5,7 @@
    webracer sitegen NAME DIR   write a synthetic corpus site to disk *)
 
 open Cmdliner
+module Telemetry = Wr_telemetry.Telemetry
 
 let read_file path =
   let ic = open_in_bin path in
@@ -93,13 +94,32 @@ let run_cmd =
           ~doc:"Record the execution trace (operations, edges, accesses) as JSON for \
                 offline analysis with $(b,webracer offline).")
   in
-  let action page seed no_explore raw json detector hb time_limit dump_hb dump_trace =
+  let trace_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write a Chrome trace_event JSON profile of the run (open in \
+                chrome://tracing or Perfetto).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Collect telemetry during the run and print a metrics summary (also \
+                embedded under $(b,telemetry) with $(b,--json)).")
+  in
+  let action page seed no_explore raw json detector hb time_limit dump_hb dump_trace
+      trace_out metrics =
+    let tm = if trace_out <> None || metrics then Telemetry.create () else Telemetry.disabled in
     let cfg =
       Webracer.config ~page:(read_file page) ~resources:(resources_around page) ~seed
         ~explore:(not no_explore) ~detector ~hb_strategy:hb ~time_limit
-        ~trace:(dump_trace <> None) ()
+        ~trace:(dump_trace <> None) ~telemetry:tm ()
     in
     let report = Webracer.analyze cfg in
+    (match trace_out with
+    | Some file -> write_file file (Wr_support.Json.to_string (Telemetry.to_chrome_trace tm))
+    | None -> ());
     (match dump_trace, report.Webracer.trace with
     | Some file, Some trace -> Wr_detect.Trace.save trace file
     | _ -> ());
@@ -137,7 +157,9 @@ let run_cmd =
             Format.printf "  - %s (in %s)@." c.Wr_browser.Browser.message
               c.Wr_browser.Browser.context)
           report.Webracer.crashes
-      end
+      end;
+      if metrics then
+        print_endline (Wr_support.Json.to_string (Telemetry.metrics_json tm))
     end
   in
   let doc = "Analyze a web page for races (WebRacer, PLDI 2012)." in
@@ -145,7 +167,7 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       const action $ page $ seed $ explore $ raw $ json $ detector $ hb $ time_limit
-      $ dump_hb $ dump_trace)
+      $ dump_hb $ dump_trace $ trace_out $ metrics)
 
 (* --- corpus ------------------------------------------------------------ *)
 
@@ -262,6 +284,58 @@ let replay_cmd =
   in
   Cmd.v (Cmd.info "replay" ~doc) Term.(const action $ page $ schedules $ parse_delay)
 
+(* --- profile ------------------------------------------------------------ *)
+
+let profile_cmd =
+  let page =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"PAGE" ~doc:"HTML page to profile.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Seed for network latencies and Math.random.")
+  in
+  let no_explore =
+    Arg.(
+      value & flag
+      & info [ "no-explore" ] ~doc:"Disable automatic exploration of user events (§5.2.2).")
+  in
+  let trace_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Also write the Chrome trace_event JSON profile (open in chrome://tracing \
+                or Perfetto).")
+  in
+  let action page seed no_explore trace_out =
+    let tm = Telemetry.create () in
+    let cfg =
+      Webracer.config ~page:(read_file page) ~resources:(resources_around page) ~seed
+        ~explore:(not no_explore) ~telemetry:tm ()
+    in
+    let report = Webracer.analyze cfg in
+    print_string (Telemetry.phase_table tm);
+    Printf.printf "\nspans: %d  races: %d raw, %d after filters\n" (Telemetry.n_spans tm)
+      (List.length report.Webracer.races)
+      (List.length report.Webracer.filtered);
+    (match Telemetry.counters tm with
+    | [] -> ()
+    | counters ->
+        print_newline ();
+        print_endline "counters:";
+        List.iter (fun (k, v) -> Printf.printf "  %-30s %d\n" k v) counters);
+    match trace_out with
+    | Some file ->
+        write_file file (Wr_support.Json.to_string (Telemetry.to_chrome_trace tm));
+        Printf.printf "\ntrace written to %s\n" file
+    | None -> ()
+  in
+  let doc =
+    "Analyze a page with telemetry enabled and print the per-phase wall-clock breakdown \
+     (parse, js-exec, event-dispatch, scheduler, network, detector)."
+  in
+  Cmd.v (Cmd.info "profile" ~doc) Term.(const action $ page $ seed $ no_explore $ trace_out)
+
 (* --- sitegen ------------------------------------------------------------ *)
 
 let sitegen_cmd =
@@ -300,4 +374,7 @@ let sitegen_cmd =
 let () =
   let doc = "dynamic race detection for (simulated) web applications" in
   let info = Cmd.info "webracer" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; corpus_cmd; sitegen_cmd; replay_cmd; offline_cmd ]))
+    exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; corpus_cmd; sitegen_cmd; replay_cmd; offline_cmd; profile_cmd ]))

@@ -13,6 +13,7 @@ module Value = Wr_js.Value
 module Interp = Wr_js.Interp
 module Parser = Wr_js.Parser
 module Lexer = Wr_js.Lexer
+module Telemetry = Wr_telemetry.Telemetry
 
 type crash = { op : Op.id; message : string; context : string }
 
@@ -144,6 +145,14 @@ let describe_throw t v =
       | _ -> Value.describe v)
   | _ -> Value.describe v
 
+let tel t = t.config.Config.telemetry
+
+(* Guarded span: the disabled path must not even allocate the closure's
+   span bookkeeping, so hot callers stay at seed-baseline cost. *)
+let span t ~cat ~name f =
+  let tm = tel t in
+  if Telemetry.enabled tm then Telemetry.with_span tm ~cat ~name f else f ()
+
 let record_crash t message =
   t.crashes <- { op = current_op t; message; context = t.instr.Instr.context } :: t.crashes
 
@@ -197,6 +206,12 @@ let make_event_object t ~event ~target_value =
 
 let rec dispatch t ?win ~target ~path ~event ~bubbles ~preds ?(target_value = Value.Undefined)
     ?default_action () =
+  span t ~cat:"dispatch" ~name:("dispatch " ^ event) (fun () ->
+      dispatch_body t ?win ~target ~path ~event ~bubbles ~preds ~target_value ?default_action
+        ())
+
+and dispatch_body t ?win ~target ~path ~event ~bubbles ~preds ~target_value ?default_action ()
+    =
   let index = Events.record_dispatch t.registry ~target ~event in
   let preds =
     let create_pred =
@@ -261,14 +276,15 @@ let rec dispatch t ?win ~target ~path ~event ~bubbles ~preds ?(target_value = Va
           ~label:hlabel ~preds:!prior_ops
       in
       let final =
-        within_op t op ~label:hlabel (fun () ->
-            Instr.emit t.instr
-              (Location.Event_handler
-                 { target = step.Events.current_target; event; slot = step.Events.slot })
-              `Read;
-            ignore
-              (Interp.call t.vm step.Events.callback ~this:target_value
-                 [ Value.Object event_obj ]))
+        span t ~cat:"dispatch" ~name:hlabel (fun () ->
+            within_op t op ~label:hlabel (fun () ->
+                Instr.emit t.instr
+                  (Location.Event_handler
+                     { target = step.Events.current_target; event; slot = step.Events.slot })
+                  `Read;
+                ignore
+                  (Interp.call t.vm step.Events.callback ~this:target_value
+                     [ Value.Object event_obj ])))
       in
       group := final :: !group;
       all_ops := final :: !all_ops
@@ -283,7 +299,7 @@ let rec dispatch t ?win ~target ~path ~event ~bubbles ~preds ?(target_value = Va
         fresh_op t (Op.Handler { event; index; phase = "default" }) ~label:dlabel
           ~preds:!prior_ops
       in
-      let final = within_op t op ~label:dlabel f in
+      let final = span t ~cat:"dispatch" ~name:dlabel (fun () -> within_op t op ~label:dlabel f) in
       all_ops := final :: !all_ops
   | None -> ());
   let ops = List.rev !all_ops in
@@ -315,6 +331,7 @@ and dispatch_inline t ?win ~target ~path ~event ~bubbles ?default_action () =
 let rec maybe_fire_window_load t w =
   if w.parsing_done && w.dcl_done && w.pending_loads = 0 && not w.load_fired then begin
     w.load_fired <- true;
+    if w.frame = None then Telemetry.mark (tel t) ~cat:"page" "load";
     let preds = w.dcl_ops @ w.load_preds in
     let ops =
       dispatch t ~win:w ~target:w.win_uid ~path:[ w.win_uid ] ~event:"load" ~bubbles:false
@@ -344,6 +361,7 @@ and element_load t w node ~event ~preds =
 let fire_dcl t w =
   if not w.dcl_done then begin
     w.dcl_done <- true;
+    if w.frame = None then Telemetry.mark (tel t) ~cat:"page" "DOMContentLoaded";
     let root = Dom.root w.doc in
     let preds = w.parse_preds @ w.defer_ld_ops in
     let ops =
@@ -360,7 +378,7 @@ let fire_dcl t w =
 
 let run_script_source t w ~source ~label =
   enter_window t w;
-  match Parser.parse source with
+  match Parser.parse ~tm:(tel t) source with
   | exception Parser.Parse_error (msg, line, col) ->
       record_crash t (Printf.sprintf "%s: syntax error at %d:%d: %s" label line col msg)
   | exception Lexer.Lex_error (msg, line, col) ->
@@ -408,7 +426,7 @@ let start_external_script t w node ~url =
 (* ------------------------------------------------------------------ *)
 
 let compile_handler_code t ~code ~label =
-  match Parser.parse code with
+  match Parser.parse ~tm:(tel t) code with
   | exception _ ->
       record_crash t (Printf.sprintf "bad handler code on %s" label);
       None
@@ -442,7 +460,9 @@ let rec schedule_parse t w =
 
 (* One parse(E) operation per static element (§3.2), chained in syntactic
    order (rule 1a) with inline-script and sync-script chaining (1b, 1c). *)
-and parse_step t w =
+and parse_step t w = span t ~cat:"parse" ~name:"parse-step" (fun () -> parse_step_inner t w)
+
+and parse_step_inner t w =
   match w.parse_items with
   | [] -> if not w.parsing_done then finish_parsing t w
   | I_text { content; item_parent } :: rest ->
@@ -517,7 +537,7 @@ and exec_parser_script t w node ~source ~preds ~label =
             (function
               | Html.Element e -> I_elem { elem = e; item_parent = parent }
               | Html.Text s -> I_text { content = s; item_parent = parent })
-            (Html.parse (Buffer.contents buf))
+            (Html.parse ~tm:(tel t) (Buffer.contents buf))
         in
         w.parse_items <- written @ w.parse_items
     | None -> ()
@@ -570,6 +590,7 @@ and handle_static_script t w node ~parse_op =
 
 and finish_parsing t w =
   w.parsing_done <- true;
+  if w.frame = None then Telemetry.mark (tel t) ~cat:"page" "parsing-done";
   run_deferred t w
 
 (* Deferred scripts run in syntactic order after parsing (rules 4, 5, 14),
@@ -619,7 +640,7 @@ and start_frame_document t ~parent ~iframe_node ~html ~url =
       (function
         | Html.Element e -> I_elem { elem = e; item_parent = Dom.root child.doc }
         | Html.Text s -> I_text { content = s; item_parent = Dom.root child.doc })
-      (Html.parse html);
+      (Html.parse ~tm:(tel t) html);
   schedule_parse t child
 
 (* --- dynamic insertion ---------------------------------------------- *)
@@ -868,7 +889,7 @@ and set_inner_html t w node html =
       let child = build h in
       Dom.append w.doc ~parent:node ~child;
       if Dom.is_attached w.doc node then after_attach t w ~run_scripts:false child)
-    (Html.parse html)
+    (Html.parse ~tm:(tel t) html)
 
 and install_node_methods t w node obj =
   let vm = t.vm in
@@ -1507,12 +1528,14 @@ and make_window t ~frame ~url =
 (* ------------------------------------------------------------------ *)
 
 let create (config : Config.t) =
-  let loop = Event_loop.create () in
+  let tm = config.Config.telemetry in
+  let loop = Event_loop.create ~tm () in
+  Telemetry.set_virtual_clock tm (fun () -> Event_loop.now loop);
   let rng = Wr_support.Rng.of_int config.Config.seed in
   let resolve url = List.assoc_opt url config.Config.resources in
   let net =
     Network.create ~loop ~rng:(Wr_support.Rng.split rng) ~resolve
-      ~mean_latency:config.Config.mean_latency ()
+      ~mean_latency:config.Config.mean_latency ~tm ()
   in
   let graph = Graph.create ~strategy:config.Config.hb_strategy () in
   let det =
@@ -1527,12 +1550,14 @@ let create (config : Config.t) =
       (det, Some read)
     else (det, None)
   in
+  let det = Detector.with_telemetry tm det in
   let vm =
     Interp.create ~seed:config.Config.seed ~fuel:config.Config.fuel
       ~sink:(fun a -> det.Detector.record a)
       ()
   in
   vm.Value.now <- (fun () -> Event_loop.now loop);
+  vm.Value.tm <- tm;
   let instr =
     {
       Instr.op = 0;
@@ -1552,7 +1577,7 @@ let create (config : Config.t) =
       instr;
       loop;
       net;
-      registry = Events.create instr;
+      registry = Events.create ~tm instr;
       init_op;
       main = None;
       windows = [];
@@ -1575,6 +1600,7 @@ let create (config : Config.t) =
   t
 
 let start t =
+  Telemetry.mark (tel t) ~cat:"page" "start";
   let w = make_window t ~frame:None ~url:"http://site.test/" in
   t.main <- Some w;
   w.parse_items <-
@@ -1582,7 +1608,7 @@ let start t =
       (function
         | Html.Element e -> I_elem { elem = e; item_parent = Dom.root w.doc }
         | Html.Text s -> I_text { content = s; item_parent = Dom.root w.doc })
-      (Html.parse t.config.Config.page);
+      (Html.parse ~tm:(tel t) t.config.Config.page);
   schedule_parse t w
 
 let run t = Event_loop.run_until t.loop ~deadline:t.config.Config.time_limit

@@ -12,6 +12,7 @@ type t = {
   parse_delay : float;
   explore : bool;
   trace : bool;
+  telemetry : Wr_telemetry.Telemetry.t;
 }
 
 let default ~page () =
@@ -27,4 +28,5 @@ let default ~page () =
     parse_delay = 0.;
     explore = true;
     trace = false;
+    telemetry = Wr_telemetry.Telemetry.disabled;
   }

@@ -23,6 +23,9 @@ type t = {
   trace : bool;
       (** record the full execution trace (operations, edges, accesses)
           for offline analysis — see [Wr_detect.Trace] *)
+  telemetry : Wr_telemetry.Telemetry.t;
+      (** spans/counters/histograms across the pipeline; the disabled
+          default is a near-no-op (see [Wr_telemetry.Telemetry]) *)
 }
 
 (** [default ~page ()] — seed 0, no extra resources, 60 s virtual horizon,

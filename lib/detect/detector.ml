@@ -6,3 +6,23 @@ type t = {
 }
 
 let null = { name = "null"; record = ignore; races = (fun () -> []); accesses_seen = (fun () -> 0) }
+
+(* Per-access span allocation would dominate the hot path; accounted time
+   plus counters keep detector bookkeeping visible in the phase table at a
+   bounded cost, and only when telemetry is on. *)
+let with_telemetry tm d =
+  let module T = Wr_telemetry.Telemetry in
+  if not (T.enabled tm) then d
+  else
+    {
+      d with
+      record =
+        (fun a ->
+          T.incr tm "detect.accesses";
+          T.account tm ~cat:"detect" ~name:"record" (fun () -> d.record a));
+      races =
+        (fun () ->
+          let rs = T.account tm ~cat:"detect" ~name:"races" (fun () -> d.races ()) in
+          T.set_counter tm "detect.races" (List.length rs);
+          rs);
+    }

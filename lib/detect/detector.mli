@@ -17,3 +17,8 @@ type t = {
 (** [null] discards every access and reports nothing — the "instrumentation
     disabled" baseline of the §6.3 performance comparison. *)
 val null : t
+
+(** [with_telemetry tm d] wraps [d] so each [record] call is counted and
+    its cost accumulated under the ["detect"] phase; identity when [tm] is
+    disabled. *)
+val with_telemetry : Wr_telemetry.Telemetry.t -> t -> t

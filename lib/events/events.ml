@@ -13,9 +13,14 @@ type 'h slot_state = {
   mutable dispatches : int;
 }
 
-type 'h t = { instr : Instr.t; slots : (int * string, 'h slot_state) Hashtbl.t }
+type 'h t = {
+  instr : Instr.t;
+  slots : (int * string, 'h slot_state) Hashtbl.t;
+  tm : Wr_telemetry.Telemetry.t;
+}
 
-let create instr = { instr; slots = Hashtbl.create 64 }
+let create ?(tm = Wr_telemetry.Telemetry.disabled) instr =
+  { instr; slots = Hashtbl.create 64; tm }
 
 let state t ~target ~event =
   match Hashtbl.find_opt t.slots (target, event) with
@@ -43,6 +48,7 @@ let set_inline t ~target ~event h =
 let inline t ~target ~event = (state t ~target ~event).inline_handler
 
 let add_listener t ~target ~event ~capture h =
+  Wr_telemetry.Telemetry.incr t.tm "events.listeners_registered";
   let s = state t ~target ~event in
   let uid = t.instr.Instr.fresh_id () in
   s.listener_list <- s.listener_list @ [ { listener_uid = uid; handler = h; capture } ];
@@ -132,6 +138,7 @@ let plan t ~path ~event ~bubbles =
       capture @ at_target @ bubble
 
 let record_dispatch t ~target ~event =
+  Wr_telemetry.Telemetry.incr t.tm "events.dispatches";
   let s = state t ~target ~event in
   let i = s.dispatches in
   s.dispatches <- i + 1;

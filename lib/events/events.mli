@@ -31,7 +31,7 @@ type 'h registration = {
 
 type 'h t
 
-val create : Wr_mem.Instr.t -> 'h t
+val create : ?tm:Wr_telemetry.Telemetry.t -> Wr_mem.Instr.t -> 'h t
 
 (** [set_inline t ~target ~event h] installs the inline handler (writes the
     [(el,e,Attr)] and container locations). [h = None] clears it. *)

@@ -287,8 +287,7 @@ let tokenize src =
 
 type frame = { f_tag : string; f_attrs : attr list; mutable f_children : node list }
 
-let parse src =
-  let tokens = tokenize src in
+let tree_build tokens =
   let root = { f_tag = "#root"; f_attrs = []; f_children = [] } in
   let stack = ref [ root ] in
   let top () = List.hd !stack in
@@ -328,6 +327,16 @@ let parse src =
     close_frame ()
   done;
   List.rev root.f_children
+
+let parse ?(tm = Wr_telemetry.Telemetry.disabled) src =
+  let module T = Wr_telemetry.Telemetry in
+  if not (T.enabled tm) then tree_build (tokenize src)
+  else begin
+    let tokens = T.with_span tm ~cat:"parse" ~name:"tokenize" (fun () -> tokenize src) in
+    T.incr tm ~by:(List.length tokens) "html.tokens";
+    T.incr tm ~by:(String.length src) "html.bytes";
+    T.with_span tm ~cat:"parse" ~name:"tree-build" (fun () -> tree_build tokens)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Serialization                                                       *)

@@ -19,8 +19,9 @@ type node = Element of element | Text of string
 and element = { tag : string; attrs : attr list; children : node list }
 
 (** [parse src] parses a document or fragment into a forest. Never raises
-    on malformed markup. Tag and attribute names are lowercased. *)
-val parse : string -> node list
+    on malformed markup. Tag and attribute names are lowercased. [tm]
+    records tokenize/tree-build spans and token counts when enabled. *)
+val parse : ?tm:Wr_telemetry.Telemetry.t -> string -> node list
 
 (** [attr elem name] finds an attribute value (first wins, names
     case-insensitive at parse time). *)

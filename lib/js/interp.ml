@@ -636,8 +636,13 @@ and exec_stmt vm env ~this (s : Ast.stmt) : completion =
 let call vm f ~this args = call_function vm f ~this args ~what:"(value)"
 
 let run_in_global vm prog =
-  hoist vm vm.global prog;
-  ignore (exec_stmts vm vm.global ~this:vm.global_this prog)
+  let body () =
+    hoist vm vm.global prog;
+    ignore (exec_stmts vm vm.global ~this:vm.global_this prog)
+  in
+  if Wr_telemetry.Telemetry.enabled vm.tm then
+    Wr_telemetry.Telemetry.with_span vm.tm ~cat:"js" ~name:"eval" body
+  else body ()
 
 let read_global vm name =
   match lookup_env vm.global name with

@@ -524,14 +524,15 @@ and parse_for_tail st init =
   eat_punct st ")";
   For (init, cond, step, parse_stmt_or_block st)
 
-let parse src =
-  let st = { toks = Lexer.tokenize src; idx = 0 } in
-  let rec loop acc =
-    match peek_tok st with
-    | Lexer.T_eof -> List.rev acc
-    | _ -> loop (parse_stmt st :: acc)
-  in
-  loop []
+let parse ?(tm = Wr_telemetry.Telemetry.disabled) src =
+  Wr_telemetry.Telemetry.with_span tm ~cat:"js" ~name:"js-parse" (fun () ->
+      let st = { toks = Lexer.tokenize src; idx = 0 } in
+      let rec loop acc =
+        match peek_tok st with
+        | Lexer.T_eof -> List.rev acc
+        | _ -> loop (parse_stmt st :: acc)
+      in
+      loop [])
 
 let parse_expression src =
   let st = { toks = Lexer.tokenize src; idx = 0 } in

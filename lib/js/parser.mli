@@ -8,8 +8,9 @@
 exception Parse_error of string * int * int  (** message, line, col *)
 
 (** [parse src] parses a complete program. Raises {!Parse_error} or
-    {!Lexer.Lex_error} on malformed input. *)
-val parse : string -> Ast.program
+    {!Lexer.Lex_error} on malformed input. [tm] wraps lexing and parsing
+    in a ["js-parse"] span when enabled. *)
+val parse : ?tm:Wr_telemetry.Telemetry.t -> string -> Ast.program
 
 (** [parse_expression src] parses a single expression (used by tests and by
     [javascript:] URL handling). *)

@@ -49,6 +49,7 @@ and vm = {
   mutable now : unit -> float;
   mutable call_value : t -> this:t -> t list -> t;
   console : string list ref;
+  mutable tm : Wr_telemetry.Telemetry.t;
 }
 
 exception Js_throw of t
@@ -105,6 +106,7 @@ let create_vm ?(seed = 0) ?(fuel = 50_000_000) ~sink () =
     call_value =
       (fun _ ~this:_ _ -> failwith "Value.call_value: interpreter not initialized");
     console = ref [];
+    tm = Wr_telemetry.Telemetry.disabled;
   }
 
 let new_object vm ?proto ?(class_name = "Object") () =

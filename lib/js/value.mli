@@ -75,6 +75,8 @@ and vm = {
   mutable now : unit -> float;  (** virtual clock hook ([Date.now]) *)
   mutable call_value : t -> this:t -> t list -> t;  (** tied by [Interp] *)
   console : string list ref;  (** [console.log] output, newest first *)
+  mutable tm : Wr_telemetry.Telemetry.t;
+      (** telemetry context; spans script evaluation when enabled *)
 }
 
 (** Raised by [throw] for JavaScript exceptions; the payload is the thrown

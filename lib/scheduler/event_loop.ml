@@ -9,12 +9,20 @@ type t = {
   mutable clock : float;
   mutable next_seq : int;
   cancelled : (int, unit) Hashtbl.t;
+  tm : Wr_telemetry.Telemetry.t;
 }
 
 let dummy = { due = 0.; seq = -1; run = ignore }
 
-let create () =
-  { heap = Array.make 64 dummy; size = 0; clock = 0.; next_seq = 0; cancelled = Hashtbl.create 16 }
+let create ?(tm = Wr_telemetry.Telemetry.disabled) () =
+  {
+    heap = Array.make 64 dummy;
+    size = 0;
+    clock = 0.;
+    next_seq = 0;
+    cancelled = Hashtbl.create 16;
+    tm;
+  }
 
 let now t = t.clock
 
@@ -73,7 +81,20 @@ let schedule t ~delay run =
   push t { due = t.clock +. Float.max 0. delay; seq; run };
   seq
 
-let cancel t h = Hashtbl.replace t.cancelled h ()
+let cancel t h =
+  Wr_telemetry.Telemetry.incr t.tm "scheduler.cancelled";
+  Hashtbl.replace t.cancelled h ()
+
+(* Run a task under telemetry: a ["task"] span plus a queue-depth sample.
+   The guard keeps the disabled path allocation-free. *)
+let run_task t task =
+  let module T = Wr_telemetry.Telemetry in
+  if T.enabled t.tm then begin
+    T.incr t.tm "scheduler.tasks";
+    T.observe t.tm "scheduler.queue_depth" (float_of_int (t.size + 1));
+    T.with_span t.tm ~cat:"scheduler" ~name:"task" task.run
+  end
+  else task.run ()
 
 let rec run_one t =
   match pop t with
@@ -85,7 +106,7 @@ let rec run_one t =
       end
       else begin
         t.clock <- Float.max t.clock task.due;
-        task.run ();
+        run_task t task;
         true
       end
 
@@ -103,7 +124,7 @@ let run_until t ~deadline =
         else begin
           ignore (pop t);
           t.clock <- Float.max t.clock task.due;
-          task.run ();
+          run_task t task;
           loop (n + 1)
         end
   in

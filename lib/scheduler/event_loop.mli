@@ -14,8 +14,9 @@ type t
 (** Identifies a scheduled task for cancellation ([clearTimeout]). *)
 type handle
 
-(** [create ()] is an empty loop at time 0. *)
-val create : unit -> t
+(** [create ()] is an empty loop at time 0. [tm] wraps every task run in
+    a ["scheduler"] span and samples queue depth per task when enabled. *)
+val create : ?tm:Wr_telemetry.Telemetry.t -> unit -> t
 
 (** [now t] is the current virtual time in milliseconds. *)
 val now : t -> float

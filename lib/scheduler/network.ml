@@ -8,10 +8,21 @@ type t = {
   min_latency : float;
   pinned : (string, float) Hashtbl.t;
   mutable count : int;
+  tm : Wr_telemetry.Telemetry.t;
 }
 
-let create ~loop ~rng ~resolve ?(mean_latency = 20.) ?(min_latency = 1.) () =
-  { loop; rng; resolve; mean_latency; min_latency; pinned = Hashtbl.create 8; count = 0 }
+let create ~loop ~rng ~resolve ?(mean_latency = 20.) ?(min_latency = 1.)
+    ?(tm = Wr_telemetry.Telemetry.disabled) () =
+  {
+    loop;
+    rng;
+    resolve;
+    mean_latency;
+    min_latency;
+    pinned = Hashtbl.create 8;
+    count = 0;
+    tm;
+  }
 
 let latency t url =
   match Hashtbl.find_opt t.pinned url with
@@ -22,6 +33,12 @@ let fetch t ~url k =
   t.count <- t.count + 1;
   let delay = latency t url in
   let outcome = match t.resolve url with Some body -> Fetched body | None -> Missing in
+  let module T = Wr_telemetry.Telemetry in
+  if T.enabled t.tm then begin
+    T.incr t.tm "net.fetches";
+    T.observe t.tm "net.latency_ms" delay;
+    (match outcome with Missing -> T.incr t.tm "net.missing" | Fetched _ -> ())
+  end;
   ignore (Event_loop.schedule t.loop ~delay (fun () -> k outcome))
 
 let set_latency t ~url ms = Hashtbl.replace t.pinned url ms

@@ -21,6 +21,7 @@ val create :
   resolve:(string -> string option) ->
   ?mean_latency:float ->
   ?min_latency:float ->
+  ?tm:Wr_telemetry.Telemetry.t ->
   unit ->
   t
 

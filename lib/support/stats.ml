@@ -6,7 +6,7 @@ let median = function
   | [] -> 0.
   | xs ->
       let arr = Array.of_list xs in
-      Array.sort compare arr;
+      Array.sort Int.compare arr;
       let n = Array.length arr in
       if n mod 2 = 1 then float_of_int arr.(n / 2)
       else float_of_int (arr.((n / 2) - 1) + arr.(n / 2)) /. 2.
@@ -14,3 +14,37 @@ let median = function
 let max = function [] -> 0 | x :: xs -> List.fold_left Stdlib.max x xs
 
 let sum = List.fold_left ( + ) 0
+
+(* --- float samples -------------------------------------------------- *)
+
+let fsum = List.fold_left ( +. ) 0.
+
+let fmean = function [] -> 0. | xs -> fsum xs /. float_of_int (List.length xs)
+
+let fmax = function [] -> 0. | x :: xs -> List.fold_left Float.max x xs
+
+let fpercentile xs p =
+  match xs with
+  | [] -> 0.
+  | xs ->
+      let arr = Array.of_list xs in
+      Array.sort Float.compare arr;
+      let n = Array.length arr in
+      let p = Float.min 100. (Float.max 0. p) in
+      (* Linear interpolation between closest ranks. *)
+      let rank = p /. 100. *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = int_of_float (Float.ceil rank) in
+      if lo = hi then arr.(lo)
+      else begin
+        let frac = rank -. float_of_int lo in
+        (arr.(lo) *. (1. -. frac)) +. (arr.(hi) *. frac)
+      end
+
+let fstddev = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+      let m = fmean xs in
+      let n = float_of_int (List.length xs) in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+      Float.sqrt (ss /. n)

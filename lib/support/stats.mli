@@ -13,3 +13,26 @@ val max : int list -> int
 
 (** [sum xs] totals the samples. *)
 val sum : int list -> int
+
+(** {1 Float samples}
+
+    Used by the telemetry histograms (latency, queue depth, span
+    durations), which are float-valued. *)
+
+(** [fsum xs] totals float samples. *)
+val fsum : float list -> float
+
+(** [fmean xs] is the arithmetic mean; [0.] on an empty list. *)
+val fmean : float list -> float
+
+(** [fmax xs] is the largest sample; [0.] on empty. *)
+val fmax : float list -> float
+
+(** [fpercentile xs p] is the [p]-th percentile ([p] in [0..100], clamped)
+    with linear interpolation between closest ranks; [0.] on empty.
+    [fpercentile xs 50.] is the median. *)
+val fpercentile : float list -> float -> float
+
+(** [fstddev xs] is the population standard deviation; [0.] on fewer than
+    two samples. *)
+val fstddev : float list -> float

@@ -1,0 +1,392 @@
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_depth : int;
+  sp_start : float;  (* wall seconds since context creation *)
+  sp_vstart : float;  (* virtual ms at span start *)
+  mutable sp_dur : float;
+  mutable sp_vdur : float;
+  mutable sp_child : float;  (* wall time inside child spans/accounts *)
+  mutable sp_vchild : float;
+}
+
+type series = { mutable buf : float array; mutable len : int }
+
+type t = {
+  enabled : bool;
+  clock : unit -> float;
+  mutable vclock : unit -> float;
+  t0 : float;
+  mutable spans : span array;  (* completed spans, completion order *)
+  mutable n_spans : int;
+  mutable stack : span list;  (* open spans, innermost first *)
+  counters : (string, int ref) Hashtbl.t;
+  histos : (string, series) Hashtbl.t;
+  accounts : (string * string, float ref) Hashtbl.t;
+  mutable marks : (string * string * float * float) list;  (* cat, name, wall s, virtual ms *)
+}
+
+let no_span =
+  {
+    sp_name = ""; sp_cat = ""; sp_depth = 0; sp_start = 0.; sp_vstart = 0.;
+    sp_dur = 0.; sp_vdur = 0.; sp_child = 0.; sp_vchild = 0.;
+  }
+
+let make ~enabled ~clock =
+  {
+    enabled;
+    clock;
+    vclock = (fun () -> 0.);
+    t0 = (if enabled then clock () else 0.);
+    spans = Array.make 64 no_span;
+    n_spans = 0;
+    stack = [];
+    counters = Hashtbl.create 16;
+    histos = Hashtbl.create 16;
+    accounts = Hashtbl.create 16;
+    marks = [];
+  }
+
+let disabled = make ~enabled:false ~clock:(fun () -> 0.)
+
+let create ?(clock = Unix.gettimeofday) () = make ~enabled:true ~clock
+
+let enabled t = t.enabled
+
+let set_virtual_clock t f = if t.enabled then t.vclock <- f
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let push_span t sp =
+  if t.n_spans = Array.length t.spans then begin
+    let spans = Array.make (2 * t.n_spans) no_span in
+    Array.blit t.spans 0 spans 0 t.n_spans;
+    t.spans <- spans
+  end;
+  t.spans.(t.n_spans) <- sp;
+  t.n_spans <- t.n_spans + 1
+
+let finish_span t sp =
+  sp.sp_dur <- t.clock () -. t.t0 -. sp.sp_start;
+  sp.sp_vdur <- t.vclock () -. sp.sp_vstart;
+  (match t.stack with
+  | top :: rest when top == sp ->
+      t.stack <- rest;
+      (match rest with
+      | parent :: _ ->
+          parent.sp_child <- parent.sp_child +. sp.sp_dur;
+          parent.sp_vchild <- parent.sp_vchild +. sp.sp_vdur
+      | [] -> ())
+  | _ ->
+      (* Unbalanced close (an exception skipped an inner span): drop the
+         stale frames above [sp] without attributing child time. *)
+      t.stack <- List.filter (fun s -> not (s == sp)) t.stack);
+  push_span t sp
+
+let with_span t ~cat ~name f =
+  if not t.enabled then f ()
+  else begin
+    let sp =
+      {
+        sp_name = name;
+        sp_cat = cat;
+        sp_depth = List.length t.stack;
+        sp_start = t.clock () -. t.t0;
+        sp_vstart = t.vclock ();
+        sp_dur = 0.;
+        sp_vdur = 0.;
+        sp_child = 0.;
+        sp_vchild = 0.;
+      }
+    in
+    t.stack <- sp :: t.stack;
+    match f () with
+    | v ->
+        finish_span t sp;
+        v
+    | exception e ->
+        finish_span t sp;
+        raise e
+  end
+
+let mark t ~cat name =
+  if t.enabled then t.marks <- (cat, name, t.clock () -. t.t0, t.vclock ()) :: t.marks
+
+(* ------------------------------------------------------------------ *)
+(* Counters, histograms, accounted time                                *)
+(* ------------------------------------------------------------------ *)
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counters name r;
+      r
+
+let incr t ?(by = 1) name =
+  if t.enabled then begin
+    let r = counter_ref t name in
+    r := !r + by
+  end
+
+let set_counter t name v = if t.enabled then counter_ref t name := v
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let observe t name v =
+  if t.enabled then begin
+    let s =
+      match Hashtbl.find_opt t.histos name with
+      | Some s -> s
+      | None ->
+          let s = { buf = Array.make 64 0.; len = 0 } in
+          Hashtbl.add t.histos name s;
+          s
+    in
+    if s.len = Array.length s.buf then begin
+      let buf = Array.make (2 * s.len) 0. in
+      Array.blit s.buf 0 buf 0 s.len;
+      s.buf <- buf
+    end;
+    s.buf.(s.len) <- v;
+    s.len <- s.len + 1
+  end
+
+let account t ~cat ~name f =
+  if not t.enabled then f ()
+  else begin
+    let started = t.clock () in
+    let finish () =
+      let dt = t.clock () -. started in
+      (match Hashtbl.find_opt t.accounts (cat, name) with
+      | Some r -> r := !r +. dt
+      | None -> Hashtbl.add t.accounts (cat, name) (ref dt));
+      match t.stack with top :: _ -> top.sp_child <- top.sp_child +. dt | [] -> ()
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Summaries                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type histogram_summary = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+let summarize s =
+  let xs = Array.sub s.buf 0 s.len in
+  Array.sort Float.compare xs;
+  let l = Array.to_list xs in
+  {
+    count = s.len;
+    mean = Wr_support.Stats.fmean l;
+    p50 = Wr_support.Stats.fpercentile l 50.;
+    p95 = Wr_support.Stats.fpercentile l 95.;
+    max = (if s.len = 0 then 0. else xs.(s.len - 1));
+  }
+
+let histogram t name = Option.map summarize (Hashtbl.find_opt t.histos name)
+
+let histograms t =
+  Hashtbl.fold (fun name s acc -> (name, summarize s) :: acc) t.histos []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let n_spans t = t.n_spans
+
+(* The pipeline's category order; unknown categories sort after, by name. *)
+let canonical_cats = [ "parse"; "js"; "dispatch"; "scheduler"; "net"; "detect"; "page" ]
+
+let phase_totals t =
+  let totals : (string, float ref * float ref) Hashtbl.t = Hashtbl.create 8 in
+  let cell cat =
+    match Hashtbl.find_opt totals cat with
+    | Some c -> c
+    | None ->
+        let c = (ref 0., ref 0.) in
+        Hashtbl.add totals cat c;
+        c
+  in
+  for i = 0 to t.n_spans - 1 do
+    let sp = t.spans.(i) in
+    let w, v = cell sp.sp_cat in
+    w := !w +. Float.max 0. (sp.sp_dur -. sp.sp_child);
+    v := !v +. Float.max 0. (sp.sp_vdur -. sp.sp_vchild)
+  done;
+  Hashtbl.iter
+    (fun (cat, _) r ->
+      let w, _ = cell cat in
+      w := !w +. !r)
+    t.accounts;
+  let rank cat =
+    let rec idx i = function
+      | [] -> List.length canonical_cats
+      | c :: rest -> if c = cat then i else idx (i + 1) rest
+    in
+    idx 0 canonical_cats
+  in
+  Hashtbl.fold (fun cat (w, v) acc -> (cat, !w, !v) :: acc) totals []
+  |> List.sort (fun (a, _, _) (b, _, _) ->
+         match compare (rank a) (rank b) with 0 -> String.compare a b | c -> c)
+
+let total_wall t =
+  let total = ref 0. in
+  for i = 0 to t.n_spans - 1 do
+    let sp = t.spans.(i) in
+    if sp.sp_depth = 0 then total := !total +. sp.sp_dur
+  done;
+  !total
+
+let phase_label = function
+  | "parse" -> "parse"
+  | "js" -> "js-exec"
+  | "dispatch" -> "event-dispatch"
+  | "scheduler" -> "scheduler"
+  | "net" -> "network"
+  | "detect" -> "detector"
+  | "page" -> "other"
+  | cat -> cat
+
+let phase_table t =
+  let total = total_wall t in
+  let pct w = if total > 0. then 100. *. w /. total else 0. in
+  let row (cat, w, v) =
+    [
+      phase_label cat;
+      Printf.sprintf "%.2f" (w *. 1e3);
+      Printf.sprintf "%.1f%%" (pct w);
+      Printf.sprintf "%.1f" v;
+    ]
+  in
+  let rows = List.map row (phase_totals t) in
+  let total_row =
+    [ "total"; Printf.sprintf "%.2f" (total *. 1e3); "100.0%"; "" ]
+  in
+  Wr_support.Table.render
+    ~header:[ "phase"; "wall(ms)"; "share"; "virtual(ms)" ]
+    (rows @ [ total_row ])
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let to_chrome_trace t =
+  let open Wr_support.Json in
+  let us s = Float (s *. 1e6) in
+  let meta =
+    Obj
+      [
+        ("name", String "process_name");
+        ("ph", String "M");
+        ("pid", Int 1);
+        ("tid", Int 1);
+        ("args", Obj [ ("name", String "webracer") ]);
+      ]
+  in
+  let span_events = ref [] in
+  for i = t.n_spans - 1 downto 0 do
+    let sp = t.spans.(i) in
+    span_events :=
+      Obj
+        [
+          ("name", String sp.sp_name);
+          ("cat", String sp.sp_cat);
+          ("ph", String "X");
+          ("ts", us sp.sp_start);
+          ("dur", us sp.sp_dur);
+          ("pid", Int 1);
+          ("tid", Int 1);
+          ( "args",
+            Obj
+              [
+                ("virtual_ts_ms", Float sp.sp_vstart);
+                ("virtual_dur_ms", Float sp.sp_vdur);
+              ] );
+        ]
+      :: !span_events
+  done;
+  let mark_events =
+    List.rev_map
+      (fun (cat, name, wall, virt) ->
+        Obj
+          [
+            ("name", String name);
+            ("cat", String cat);
+            ("ph", String "i");
+            ("ts", us wall);
+            ("pid", Int 1);
+            ("tid", Int 1);
+            ("s", String "t");
+            ("args", Obj [ ("virtual_ts_ms", Float virt) ]);
+          ])
+      t.marks
+  in
+  let end_ts = if t.enabled then t.clock () -. t.t0 else 0. in
+  let counter_events =
+    List.map
+      (fun (name, v) ->
+        Obj
+          [
+            ("name", String name);
+            ("ph", String "C");
+            ("ts", us end_ts);
+            ("pid", Int 1);
+            ("tid", Int 1);
+            ("args", Obj [ ("value", Int v) ]);
+          ])
+      (counters t)
+  in
+  Obj
+    [
+      ("traceEvents", List ((meta :: !span_events) @ mark_events @ counter_events));
+      ("displayTimeUnit", String "ms");
+    ]
+
+let metrics_json t =
+  let open Wr_support.Json in
+  let phases =
+    List.map
+      (fun (cat, w, v) ->
+        (cat, Obj [ ("wall_s", Float w); ("virtual_ms", Float v) ]))
+      (phase_totals t)
+  in
+  let histo_fields =
+    List.map
+      (fun (name, h) ->
+        ( name,
+          Obj
+            [
+              ("count", Int h.count);
+              ("mean", Float h.mean);
+              ("p50", Float h.p50);
+              ("p95", Float h.p95);
+              ("max", Float h.max);
+            ] ))
+      (histograms t)
+  in
+  Obj
+    [
+      ("total_wall_s", Float (total_wall t));
+      ("spans", Int t.n_spans);
+      ("phases", Obj phases);
+      ("counters", Obj (List.map (fun (k, v) -> (k, Int v)) (counters t)));
+      ("histograms", Obj histo_fields);
+    ]

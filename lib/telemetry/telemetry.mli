@@ -1,0 +1,102 @@
+(** Structured telemetry for the detection pipeline.
+
+    A context records three kinds of signal, all behind a single [enabled]
+    flag so a disabled context is a near-no-op on hot paths:
+
+    - {e spans}: nested timed regions ([with_span]) capturing wall-clock
+      and virtual-time start/duration. Exclusive (self) time per category
+      is what the phase-breakdown table reports, so the phases of one run
+      sum to the root span's duration;
+    - {e counters} and {e accounted time}: monotonic tallies ([incr]) and
+      aggregate timers ([account]) for paths too hot to give each call its
+      own span (the detector records one access per instrumented read or
+      write). Accounted time is deducted from the enclosing span's self
+      time, keeping the phase table additive;
+    - {e histograms}: raw float samples ([observe]) summarized as
+      count/mean/p50/p95/max (scheduler queue depth, network latency).
+
+    Exporters: [to_chrome_trace] emits Chrome [trace_event] JSON loadable
+    in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto};
+    [metrics_json] a compact summary; [phase_table] the CLI's breakdown. *)
+
+type t
+
+(** [disabled] is the shared inert context: every recording operation on
+    it is a cheap guard-and-return. *)
+val disabled : t
+
+(** [create ?clock ()] builds an enabled context. [clock] returns wall
+    seconds (default [Unix.gettimeofday]); tests inject a fake clock. *)
+val create : ?clock:(unit -> float) -> unit -> t
+
+val enabled : t -> bool
+
+(** [set_virtual_clock t f] installs the virtual-time source (ms), e.g.
+    [Event_loop.now]. Until set, virtual timestamps read 0. *)
+val set_virtual_clock : t -> (unit -> float) -> unit
+
+(** [with_span t ~cat ~name f] runs [f] inside a span. Spans nest with the
+    dynamic call structure; exceptions still close the span. *)
+val with_span : t -> cat:string -> name:string -> (unit -> 'a) -> 'a
+
+(** [mark t ~cat name] records an instant event (page lifecycle edges:
+    DOMContentLoaded, load, ...). *)
+val mark : t -> cat:string -> string -> unit
+
+(** [incr t ?by name] bumps a monotonic counter. *)
+val incr : t -> ?by:int -> string -> unit
+
+(** [set_counter t name v] overwrites a counter (final gauges). *)
+val set_counter : t -> string -> int -> unit
+
+(** [observe t name v] appends a sample to histogram [name]. *)
+val observe : t -> string -> float -> unit
+
+(** [account t ~cat ~name f] times [f] into the aggregate timer
+    [(cat, name)] without allocating a span, and attributes the time to
+    [cat] in the phase totals (deducting it from the enclosing span). *)
+val account : t -> cat:string -> name:string -> (unit -> 'a) -> 'a
+
+type histogram_summary = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val counter_value : t -> string -> int
+(** 0 when absent. *)
+
+val histogram : t -> string -> histogram_summary option
+
+val histograms : t -> (string * histogram_summary) list
+(** Sorted by name. *)
+
+(** [phase_totals t] is the exclusive wall seconds and virtual ms per
+    category: span self-times plus accounted time, in canonical pipeline
+    order (parse, js, dispatch, scheduler, net, detect, page) followed by
+    any other categories alphabetically. *)
+val phase_totals : t -> (string * float * float) list
+
+(** [total_wall t] is the summed duration of completed depth-0 spans —
+    the denominator of the phase table's percentages. *)
+val total_wall : t -> float
+
+val n_spans : t -> int
+
+(** [phase_table t] renders the per-phase breakdown as an aligned text
+    table (phase, wall ms, %, virtual ms) with a total row. *)
+val phase_table : t -> string
+
+(** [to_chrome_trace t] is the run as Chrome [trace_event] JSON:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}] with one complete
+    ("ph":"X") event per span, instants for marks, and counter events. *)
+val to_chrome_trace : t -> Wr_support.Json.t
+
+(** [metrics_json t] is the compact summary: phases, counters, histogram
+    summaries, span count and total wall time. *)
+val metrics_json : t -> Wr_support.Json.t

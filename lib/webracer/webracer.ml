@@ -4,6 +4,7 @@ module Race = Wr_detect.Race
 module Filters = Wr_detect.Filters
 module Detector = Wr_detect.Detector
 module Graph = Wr_hb.Graph
+module Telemetry = Wr_telemetry.Telemetry
 
 type report = {
   races : Race.t list;
@@ -18,11 +19,13 @@ type report = {
   wall_clock_s : float;
   hb_graph : Wr_hb.Graph.t;
   trace : Wr_detect.Trace.t option;
+  metrics : Wr_support.Json.t option;
 }
 
 let config ~page ?(resources = []) ?(seed = 0) ?(explore = true)
     ?(detector = Config.Last_access) ?(hb_strategy = Wr_hb.Graph.Closure)
-    ?(time_limit = 60_000.) ?(mean_latency = 20.) ?(parse_delay = 0.) ?(trace = false) () =
+    ?(time_limit = 60_000.) ?(mean_latency = 20.) ?(parse_delay = 0.) ?(trace = false)
+    ?(telemetry = Telemetry.disabled) () =
   {
     (Config.default ~page ()) with
     Config.resources;
@@ -34,6 +37,7 @@ let config ~page ?(resources = []) ?(seed = 0) ?(explore = true)
     mean_latency;
     parse_delay;
     trace;
+    telemetry;
   }
 
 (* Automatic exploration (§5.2.2): after the page settles, dispatch every
@@ -64,34 +68,48 @@ let explore browser =
   !injected
 
 let analyze (cfg : Config.t) =
+  let tm = cfg.Config.telemetry in
   let started = Unix.gettimeofday () in
-  let browser = Browser.create cfg in
-  Browser.start browser;
-  ignore (Browser.run browser);
-  let explored_events =
-    if cfg.Config.explore then begin
-      let n = explore browser in
+  Telemetry.with_span tm ~cat:"page" ~name:"analyze" (fun () ->
+      let browser = Browser.create cfg in
+      Browser.start browser;
       ignore (Browser.run browser);
-      n
-    end
-    else 0
-  in
-  let races = (Browser.detector browser).Detector.races () in
-  let filtered = Filters.paper_filters (Browser.run_info browser) races in
-  {
-    races;
-    filtered;
-    crashes = Browser.crashes browser;
-    console = Browser.console browser;
-    ops = Graph.n_ops (Browser.graph browser);
-    hb_edges = Graph.n_edges (Browser.graph browser);
-    accesses = Browser.accesses_seen browser;
-    virtual_ms = Browser.virtual_now browser;
-    explored_events;
-    wall_clock_s = Unix.gettimeofday () -. started;
-    hb_graph = Browser.graph browser;
-    trace = Browser.trace browser;
-  }
+      Telemetry.mark tm ~cat:"page" "settled";
+      let explored_events =
+        if cfg.Config.explore then begin
+          Telemetry.mark tm ~cat:"page" "explore";
+          let n = explore browser in
+          ignore (Browser.run browser);
+          Telemetry.mark tm ~cat:"page" "drained";
+          n
+        end
+        else 0
+      in
+      let races =
+        Telemetry.account tm ~cat:"detect" ~name:"races" (fun () ->
+            (Browser.detector browser).Detector.races ())
+      in
+      let filtered = Filters.paper_filters (Browser.run_info browser) races in
+      Telemetry.set_counter tm "hb.ops" (Graph.n_ops (Browser.graph browser));
+      Telemetry.set_counter tm "hb.edges" (Graph.n_edges (Browser.graph browser));
+      Telemetry.set_counter tm "detect.races" (List.length races);
+      Telemetry.set_counter tm "detect.filtered" (List.length filtered);
+      Telemetry.set_counter tm "explore.injected" explored_events;
+      {
+        races;
+        filtered;
+        crashes = Browser.crashes browser;
+        console = Browser.console browser;
+        ops = Graph.n_ops (Browser.graph browser);
+        hb_edges = Graph.n_edges (Browser.graph browser);
+        accesses = Browser.accesses_seen browser;
+        virtual_ms = Browser.virtual_now browser;
+        explored_events;
+        wall_clock_s = Unix.gettimeofday () -. started;
+        hb_graph = Browser.graph browser;
+        trace = Browser.trace browser;
+        metrics = (if Telemetry.enabled tm then Some (Telemetry.metrics_json tm) else None);
+      })
 
 type merged_report = {
   runs : report list;
@@ -212,10 +230,20 @@ module Replay = struct
        else "no divergence observed (may still be harmful under other inputs)")
 end
 
+let by_type_json races =
+  let h, f, v, d = count_by_type races in
+  Wr_support.Json.Obj
+    [
+      ("html", Wr_support.Json.Int h);
+      ("function", Wr_support.Json.Int f);
+      ("variable", Wr_support.Json.Int v);
+      ("event_dispatch", Wr_support.Json.Int d);
+    ]
+
 let report_to_json r =
   let open Wr_support.Json in
   Obj
-    [
+    ([
       ("races", List (List.map Race.to_json r.races));
       ("filtered", List (List.map Race.to_json r.filtered));
       ( "crashes",
@@ -235,4 +263,10 @@ let report_to_json r =
       ("accesses", Int r.accesses);
       ("virtual_ms", Float r.virtual_ms);
       ("explored_events", Int r.explored_events);
+      ("wall_clock_s", Float r.wall_clock_s);
+      ("races_total", Int (List.length r.races));
+      ("filtered_total", Int (List.length r.filtered));
+      ("races_by_type", by_type_json r.races);
+      ("filtered_by_type", by_type_json r.filtered);
     ]
+    @ (match r.metrics with None -> [] | Some m -> [ ("telemetry", m) ]))

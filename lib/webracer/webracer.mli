@@ -35,6 +35,9 @@ type report = {
           [Wr_hb.Graph.to_dot]) *)
   trace : Wr_detect.Trace.t option;
       (** the recorded execution trace when [config ~trace:true] *)
+  metrics : Wr_support.Json.t option;
+      (** telemetry metrics summary ([Wr_telemetry.Telemetry.metrics_json])
+          when [config ~telemetry] passed an enabled recorder *)
 }
 
 (** [config ~page ()] builds a configuration (see {!Config.default}).
@@ -51,6 +54,7 @@ val config :
   ?mean_latency:float ->
   ?parse_delay:float ->
   ?trace:bool ->
+  ?telemetry:Wr_telemetry.Telemetry.t ->
   unit ->
   Config.t
 

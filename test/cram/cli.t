@@ -62,3 +62,32 @@ Trace recording and offline replay:
 
   $ webracer offline trace.json --atomicity | grep -c 'atomicity violations:'
   1
+
+Profiling prints the per-phase breakdown (durations vary; phase names and
+column layout are stable):
+
+  $ webracer profile site/index.html --seed 3 | awk 'NR<=9 {print $1}'
+  phase
+  --------------
+  parse
+  js-exec
+  event-dispatch
+  scheduler
+  detector
+  other
+  total
+
+  $ webracer profile site/index.html --seed 3 --trace-out prof.json | tail -1
+  trace written to prof.json
+
+The trace is Chrome trace_event JSON:
+
+  $ head -c 16 prof.json; echo
+  {"traceEvents":[
+  $ tr ',' '\n' < prof.json | grep -c '"ph":"M"'
+  1
+
+Metrics ride along with run --json under the "telemetry" key:
+
+  $ webracer run site/index.html --seed 3 --metrics --json | tr ',' '\n' | grep -c '"telemetry":{'
+  1

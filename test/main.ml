@@ -2,6 +2,7 @@ let () =
   Alcotest.run "webracer"
     [
       ("support", Test_support.suite);
+      ("telemetry", Test_telemetry.suite);
       ("hb", Test_hb.suite);
       ("mem", Test_mem.suite);
       ("detect", Test_detect.suite);

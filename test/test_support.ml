@@ -2,6 +2,8 @@
 
 open Wr_support
 
+let feq' = Alcotest.(check (float 1e-9))
+
 let test_rng_determinism () =
   let a = Rng.of_int 42 and b = Rng.of_int 42 in
   for _ = 1 to 100 do
@@ -85,6 +87,29 @@ let test_stats () =
   Alcotest.(check (float 1e-9)) "mean empty" 0. (Stats.mean []);
   Alcotest.(check int) "max empty" 0 (Stats.max [])
 
+let test_float_stats () =
+  feq' "fsum" 6. (Stats.fsum [ 1.; 2.; 3. ]);
+  feq' "fmean" 2. (Stats.fmean [ 1.; 2.; 3. ]);
+  feq' "fmean empty" 0. (Stats.fmean []);
+  feq' "fmax" 3.5 (Stats.fmax [ 1.; 3.5; 2. ]);
+  feq' "fmax empty" 0. (Stats.fmax []);
+  (* Percentiles with linear interpolation between closest ranks. *)
+  let xs = [ 10.; 20.; 30.; 40. ] in
+  feq' "p0 = min" 10. (Stats.fpercentile xs 0.);
+  feq' "p100 = max" 40. (Stats.fpercentile xs 100.);
+  feq' "p50 interpolates" 25. (Stats.fpercentile xs 50.);
+  feq' "p75" 32.5 (Stats.fpercentile xs 75.);
+  feq' "clamped above" 40. (Stats.fpercentile xs 150.);
+  feq' "clamped below" 10. (Stats.fpercentile xs (-5.));
+  feq' "empty" 0. (Stats.fpercentile [] 50.);
+  feq' "singleton" 7. (Stats.fpercentile [ 7. ] 95.);
+  feq' "fpercentile 50 = median" (Stats.median [ 4; 7; 5; 6 ])
+    (Stats.fpercentile [ 4.; 7.; 5.; 6. ] 50.);
+  feq' "fstddev" 2. (Stats.fstddev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ]);
+  feq' "fstddev singleton" 0. (Stats.fstddev [ 1. ]);
+  (* median must sort numerically, not lexicographically/polymorphically *)
+  feq' "median large ints" 1_000_000. (Stats.median [ 2_000_000; 3; 1_000_000 ])
+
 let test_json () =
   let j =
     Json.Obj
@@ -115,6 +140,7 @@ let suite =
     Alcotest.test_case "bitset: iter order" `Quick test_bitset_iter_order;
     QCheck_alcotest.to_alcotest prop_bitset_model;
     Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "stats: float samples" `Quick test_float_stats;
     Alcotest.test_case "json" `Quick test_json;
     Alcotest.test_case "table" `Quick test_table_render;
   ]

@@ -1,0 +1,201 @@
+(* Unit tests for Wr_telemetry: span nesting and self-time accounting,
+   counters, histograms, and exporter shape. A fake clock makes every
+   duration deterministic. *)
+
+module Telemetry = Wr_telemetry.Telemetry
+open Wr_support
+
+(* A controllable clock: [tick dt] advances it. Spans then have exact,
+   assertable durations. *)
+let fake_clock () =
+  let now = ref 0. in
+  let tick dt = now := !now +. dt in
+  (Telemetry.create ~clock:(fun () -> !now) (), tick)
+
+let phase_wall tm cat =
+  match List.find_opt (fun (c, _, _) -> c = cat) (Telemetry.phase_totals tm) with
+  | Some (_, w, _) -> w
+  | None -> 0.
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_span_nesting_self_time () =
+  let tm, tick = fake_clock () in
+  Telemetry.with_span tm ~cat:"page" ~name:"root" (fun () ->
+      tick 1.;
+      Telemetry.with_span tm ~cat:"parse" ~name:"tokenize" (fun () -> tick 2.);
+      tick 3.;
+      Telemetry.with_span tm ~cat:"js" ~name:"eval" (fun () ->
+          tick 4.;
+          Telemetry.with_span tm ~cat:"dispatch" ~name:"handler" (fun () -> tick 5.));
+      tick 1.);
+  feq "total wall = root duration" 16. (Telemetry.total_wall tm);
+  (* Self times: root 1+3+1, parse 2, js 4, dispatch 5. *)
+  feq "root (page) self" 5. (phase_wall tm "page");
+  feq "parse self" 2. (phase_wall tm "parse");
+  feq "js self excludes nested dispatch" 4. (phase_wall tm "js");
+  feq "dispatch self" 5. (phase_wall tm "dispatch");
+  let phase_sum =
+    List.fold_left (fun acc (_, w, _) -> acc +. w) 0. (Telemetry.phase_totals tm)
+  in
+  feq "phases partition the root exactly" (Telemetry.total_wall tm) phase_sum;
+  Alcotest.(check int) "span count" 4 (Telemetry.n_spans tm)
+
+let test_account_deducts_from_span () =
+  let tm, tick = fake_clock () in
+  Telemetry.with_span tm ~cat:"scheduler" ~name:"task" (fun () ->
+      tick 1.;
+      for _ = 1 to 3 do
+        Telemetry.account tm ~cat:"detect" ~name:"record" (fun () -> tick 2.)
+      done;
+      tick 1.);
+  feq "accounted time lands in its category" 6. (phase_wall tm "detect");
+  feq "enclosing span keeps only its own time" 2. (phase_wall tm "scheduler");
+  feq "still partitions the total" 8. (Telemetry.total_wall tm)
+
+let test_span_exception_safety () =
+  let tm, tick = fake_clock () in
+  (try
+     Telemetry.with_span tm ~cat:"page" ~name:"root" (fun () ->
+         (try
+            Telemetry.with_span tm ~cat:"js" ~name:"eval" (fun () ->
+                tick 2.;
+                failwith "script crash")
+          with Failure _ -> ());
+         tick 1.;
+         failwith "outer")
+   with Failure _ -> ());
+  Alcotest.(check int) "both spans closed" 2 (Telemetry.n_spans tm);
+  feq "inner duration captured" 2. (phase_wall tm "js");
+  feq "outer self time captured" 1. (phase_wall tm "page")
+
+let test_counters () =
+  let tm, _ = fake_clock () in
+  Telemetry.incr tm "a";
+  Telemetry.incr tm ~by:4 "a";
+  Telemetry.incr tm "b";
+  Telemetry.set_counter tm "c" 42;
+  Alcotest.(check int) "incr total" 5 (Telemetry.counter_value tm "a");
+  Alcotest.(check int) "absent counter" 0 (Telemetry.counter_value tm "zzz");
+  Alcotest.(check (list (pair string int)))
+    "sorted listing"
+    [ ("a", 5); ("b", 1); ("c", 42) ]
+    (Telemetry.counters tm)
+
+let test_histograms () =
+  let tm, _ = fake_clock () in
+  for i = 1 to 100 do
+    Telemetry.observe tm "depth" (float_of_int i)
+  done;
+  match Telemetry.histogram tm "depth" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      Alcotest.(check int) "count" 100 h.Telemetry.count;
+      feq "mean" 50.5 h.Telemetry.mean;
+      feq "p50" 50.5 h.Telemetry.p50;
+      feq "p95" 95.05 h.Telemetry.p95;
+      feq "max" 100. h.Telemetry.max
+
+let test_disabled_noop () =
+  let tm = Telemetry.disabled in
+  Alcotest.(check bool) "disabled" false (Telemetry.enabled tm);
+  let r = Telemetry.with_span tm ~cat:"x" ~name:"y" (fun () -> 7) in
+  Alcotest.(check int) "with_span passes through" 7 r;
+  Telemetry.incr tm "a";
+  Telemetry.observe tm "h" 1.;
+  Telemetry.mark tm ~cat:"x" "m";
+  Alcotest.(check int) "records nothing" 0 (Telemetry.n_spans tm);
+  Alcotest.(check int) "no counters" 0 (List.length (Telemetry.counters tm))
+
+(* The Chrome trace must round-trip through the repo's own JSON parser and
+   contain the right event kinds. *)
+let test_chrome_trace_shape () =
+  let tm, tick = fake_clock () in
+  Telemetry.with_span tm ~cat:"parse" ~name:"tokenize" (fun () -> tick 1.);
+  Telemetry.mark tm ~cat:"page" "DOMContentLoaded";
+  Telemetry.incr tm "html.tokens";
+  let j = Json.of_string (Json.to_string (Telemetry.to_chrome_trace tm)) in
+  match j with
+  | Json.Obj fields -> (
+      (match List.assoc_opt "displayTimeUnit" fields with
+      | Some (Json.String "ms") -> ()
+      | _ -> Alcotest.fail "displayTimeUnit missing");
+      match List.assoc_opt "traceEvents" fields with
+      | Some (Json.List events) ->
+          let ph e =
+            match e with
+            | Json.Obj f -> (
+                match List.assoc_opt "ph" f with Some (Json.String p) -> p | _ -> "?")
+            | _ -> "?"
+          in
+          let count p = List.length (List.filter (fun e -> ph e = p) events) in
+          Alcotest.(check int) "one complete span event" 1 (count "X");
+          Alcotest.(check int) "one instant event" 1 (count "i");
+          Alcotest.(check int) "one counter event" 1 (count "C");
+          Alcotest.(check bool) "metadata present" true (count "M" >= 1);
+          let span =
+            List.find (fun e -> ph e = "X") events |> function
+            | Json.Obj f -> f
+            | _ -> assert false
+          in
+          (match List.assoc_opt "dur" span with
+          | Some (Json.Float d) -> feq "dur is 1s in us" 1e6 d
+          | _ -> Alcotest.fail "dur missing");
+          List.iter
+            (fun key ->
+              if not (List.mem_assoc key span) then Alcotest.failf "span lacks %S" key)
+            [ "name"; "cat"; "ts"; "pid"; "tid" ]
+      | _ -> Alcotest.fail "traceEvents missing")
+  | _ -> Alcotest.fail "trace is not an object"
+
+let test_metrics_json_shape () =
+  let tm, tick = fake_clock () in
+  Telemetry.with_span tm ~cat:"parse" ~name:"p" (fun () -> tick 2.);
+  Telemetry.incr tm ~by:3 "html.tokens";
+  Telemetry.observe tm "lat" 5.;
+  match Json.of_string (Json.to_string (Telemetry.metrics_json tm)) with
+  | Json.Obj fields ->
+      List.iter
+        (fun key ->
+          if not (List.mem_assoc key fields) then Alcotest.failf "metrics lack %S" key)
+        [ "total_wall_s"; "spans"; "phases"; "counters"; "histograms" ]
+  | _ -> Alcotest.fail "metrics not an object"
+
+(* End to end through the real pipeline: every acceptance phase shows up
+   and the table's phases cover the analyze span. *)
+let test_pipeline_phases () =
+  let tm = Telemetry.create () in
+  let page =
+    {|<div id="a">x</div><script>var n = 0; document.getElementById("a").onclick = function () { n = n + 1; };</script>|}
+  in
+  ignore (Webracer.analyze (Webracer.config ~page ~telemetry:tm ()));
+  let cats = List.map (fun (c, _, _) -> c) (Telemetry.phase_totals tm) in
+  List.iter
+    (fun c ->
+      if not (List.mem c cats) then Alcotest.failf "phase %S missing from totals" c)
+    [ "parse"; "js"; "dispatch"; "scheduler"; "detect"; "page" ];
+  let phase_sum =
+    List.fold_left (fun acc (_, w, _) -> acc +. w) 0. (Telemetry.phase_totals tm)
+  in
+  let total = Telemetry.total_wall tm in
+  Alcotest.(check bool) "phases sum to within 10% of total" true
+    (Float.abs (phase_sum -. total) <= 0.1 *. total);
+  Alcotest.(check bool) "tasks counted" true
+    (Telemetry.counter_value tm "scheduler.tasks" > 0);
+  Alcotest.(check bool) "accesses counted" true
+    (Telemetry.counter_value tm "detect.accesses" > 0);
+  Alcotest.(check bool) "tokens counted" true
+    (Telemetry.counter_value tm "html.tokens" > 0)
+
+let suite =
+  [
+    Alcotest.test_case "span nesting and self time" `Quick test_span_nesting_self_time;
+    Alcotest.test_case "account deducts from span" `Quick test_account_deducts_from_span;
+    Alcotest.test_case "span exception safety" `Quick test_span_exception_safety;
+    Alcotest.test_case "counters" `Quick test_counters;
+    Alcotest.test_case "histograms" `Quick test_histograms;
+    Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+    Alcotest.test_case "chrome trace shape" `Quick test_chrome_trace_shape;
+    Alcotest.test_case "metrics json shape" `Quick test_metrics_json_shape;
+    Alcotest.test_case "pipeline phase coverage" `Quick test_pipeline_phases;
+  ]
