@@ -1,11 +1,13 @@
 (* The WebRacer command-line interface.
 
    webracer run PAGE.html      analyze one page for races
+   webracer explain PAGE.html  show checkable witnesses for each race
    webracer corpus             regenerate the paper's evaluation tables
    webracer sitegen NAME DIR   write a synthetic corpus site to disk *)
 
 open Cmdliner
 module Telemetry = Wr_telemetry.Telemetry
+module Log = Wr_support.Log
 
 let read_file path =
   let ic = open_in_bin path in
@@ -32,6 +34,23 @@ let resources_around page_path =
              f <> page_base && not (Sys.is_directory (Filename.concat dir f)))
       |> List.map (fun f -> (f, read_file (Filename.concat dir f)))
   | exception Sys_error _ -> []
+
+(* [--log-out FILE] routes the structured event log to a JSONL file; if
+   WEBRACER_LOG did not already pick a level, recording everything is the
+   useful default for an explicitly requested log file. *)
+let setup_event_log log_out =
+  match log_out with
+  | None -> ()
+  | Some file ->
+      Log.open_sink_file file;
+      if Log.current_level () = None then Log.set_level (Some Log.Debug)
+
+let log_out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "log-out" ] ~docv:"FILE"
+        ~doc:"Write the structured pipeline event log as JSONL to $(docv) (level \
+              $(b,debug) unless $(b,WEBRACER_LOG) says otherwise).")
 
 (* --- run -------------------------------------------------------------- *)
 
@@ -109,7 +128,8 @@ let run_cmd =
                 embedded under $(b,telemetry) with $(b,--json)).")
   in
   let action page seed no_explore raw json detector hb time_limit dump_hb dump_trace
-      trace_out metrics =
+      trace_out metrics log_out =
+    setup_event_log log_out;
     let tm = if trace_out <> None || metrics then Telemetry.create () else Telemetry.disabled in
     let cfg =
       Webracer.config ~page:(read_file page) ~resources:(resources_around page) ~seed
@@ -160,14 +180,125 @@ let run_cmd =
       end;
       if metrics then
         print_endline (Wr_support.Json.to_string (Telemetry.metrics_json tm))
-    end
+    end;
+    Log.close_sink ();
+    (* CI-gate contract: exit 2 iff a likely-harmful race survives the
+       filters, so `webracer run` can guard a pipeline (README: exit codes). *)
+    if List.exists Wr_detect.Race.heuristic_harmful report.Webracer.filtered then exit 2
   in
   let doc = "Analyze a web page for races (WebRacer, PLDI 2012)." in
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(
       const action $ page $ seed $ explore $ raw $ json $ detector $ hb $ time_limit
-      $ dump_hb $ dump_trace $ trace_out $ metrics)
+      $ dump_hb $ dump_trace $ trace_out $ metrics $ log_out_arg)
+
+(* --- explain ------------------------------------------------------------ *)
+
+let explain_cmd =
+  let page =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"PAGE" ~doc:"HTML page whose races should be explained.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Seed for network latencies and Math.random.")
+  in
+  let no_explore =
+    Arg.(
+      value & flag
+      & info [ "no-explore" ] ~doc:"Disable automatic exploration of user events (§5.2.2).")
+  in
+  let race_n =
+    Arg.(
+      value & opt (some int) None
+      & info [ "race" ] ~docv:"N" ~doc:"Explain only the $(docv)-th reported race (1-based).")
+  in
+  let dot_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:"Export the witness evidence as a Graphviz DOT $(i,subgraph): only the \
+                provenance, frontier and ancestor operations, racing ops outlined red, \
+                provenance paths bold red.")
+  in
+  let json_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the selected witnesses as JSON to $(docv).")
+  in
+  let action page seed no_explore race_n dot_out json_out log_out =
+    setup_event_log log_out;
+    let cfg =
+      Webracer.config ~page:(read_file page) ~resources:(resources_around page) ~seed
+        ~explore:(not no_explore) ()
+    in
+    let report = Webracer.analyze cfg in
+    let g = report.Webracer.hb_graph in
+    let races = report.Webracer.races in
+    let selected =
+      match race_n with
+      | None -> List.mapi (fun i r -> (i + 1, r)) races
+      | Some n ->
+          if n < 1 || n > List.length races then begin
+            Printf.eprintf "explain: --race %d out of range (page has %d races)\n" n
+              (List.length races);
+            exit 1
+          end;
+          [ (n, List.nth races (n - 1)) ]
+    in
+    let witnesses = List.map (fun (i, r) -> (i, r, Wr_explain.of_race g r)) selected in
+    Printf.printf "races: %d raw, %d after filters\n\n" (List.length races)
+      (List.length report.Webracer.filtered);
+    if races = [] then print_endline "No races detected; nothing to explain."
+    else
+      List.iter
+        (fun (i, race, w) ->
+          let suppression =
+            match List.find_opt (fun (_, r) -> r == race) report.Webracer.suppressed with
+            | Some (filter, _) -> Printf.sprintf " [suppressed by %s filter]" filter
+            | None -> ""
+          in
+          Format.printf "%2d.%s %a@.@." i suppression (Wr_explain.pp g) w)
+        witnesses;
+    (match dot_out with
+    | Some file ->
+        write_file file (Wr_explain.dot_many g (List.map (fun (_, _, w) -> w) witnesses));
+        Printf.printf "witness subgraph written to %s\n" file
+    | None -> ());
+    (match json_out with
+    | Some file ->
+        let entries =
+          List.map
+            (fun (i, race, w) ->
+              Wr_support.Json.Obj
+                [
+                  ("index", Wr_support.Json.Int i);
+                  ( "race",
+                    Wr_detect.Race.to_json
+                      ~extra:[ ("witness", Wr_explain.to_json g w) ]
+                      race );
+                ])
+            witnesses
+        in
+        write_file file (Wr_support.Json.to_string (Wr_support.Json.List entries));
+        Printf.printf "witnesses written to %s\n" file
+    | None -> ());
+    Log.close_sink ();
+    if List.exists (fun (_, _, w) -> not (Wr_explain.verify g w)) witnesses then begin
+      prerr_endline "explain: internal error: a witness failed its own certificate";
+      exit 3
+    end
+  in
+  let doc =
+    "Explain each detected race with a checkable witness: the racing operations' \
+     provenance chains, their nearest common happens-before ancestor, and the no-path \
+     frontier certifying that neither access happens-before the other."
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc)
+    Term.(
+      const action $ page $ seed $ no_explore $ race_n $ dot_out $ json_out $ log_out_arg)
 
 (* --- corpus ------------------------------------------------------------ *)
 
@@ -377,4 +508,5 @@ let () =
     exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; corpus_cmd; sitegen_cmd; replay_cmd; offline_cmd; profile_cmd ]))
+          [ run_cmd; explain_cmd; corpus_cmd; sitegen_cmd; replay_cmd; offline_cmd;
+            profile_cmd ]))

@@ -154,6 +154,12 @@ let span t ~cat ~name f =
   if Telemetry.enabled tm then Telemetry.with_span tm ~cat ~name f else f ()
 
 let record_crash t message =
+  Wr_support.Log.warn "browser.crash"
+    [
+      ("op", Wr_support.Json.Int (current_op t));
+      ("message", Wr_support.Json.String message);
+      ("context", Wr_support.Json.String t.instr.Instr.context);
+    ];
   t.crashes <- { op = current_op t; message; context = t.instr.Instr.context } :: t.crashes
 
 (* Run [f] as operation [op]; swallow script crashes like a browser (§2.3).
@@ -332,6 +338,9 @@ let rec maybe_fire_window_load t w =
   if w.parsing_done && w.dcl_done && w.pending_loads = 0 && not w.load_fired then begin
     w.load_fired <- true;
     if w.frame = None then Telemetry.mark (tel t) ~cat:"page" "load";
+    if w.frame = None then
+      Wr_support.Log.info "page.load"
+        [ ("virtual_ms", Wr_support.Json.Float (Event_loop.now t.loop)) ];
     let preds = w.dcl_ops @ w.load_preds in
     let ops =
       dispatch t ~win:w ~target:w.win_uid ~path:[ w.win_uid ] ~event:"load" ~bubbles:false
@@ -362,6 +371,9 @@ let fire_dcl t w =
   if not w.dcl_done then begin
     w.dcl_done <- true;
     if w.frame = None then Telemetry.mark (tel t) ~cat:"page" "DOMContentLoaded";
+    if w.frame = None then
+      Wr_support.Log.info "page.DOMContentLoaded"
+        [ ("virtual_ms", Wr_support.Json.Float (Event_loop.now t.loop)) ];
     let root = Dom.root w.doc in
     let preds = w.parse_preds @ w.defer_ld_ops in
     let ops =
@@ -591,6 +603,9 @@ and handle_static_script t w node ~parse_op =
 and finish_parsing t w =
   w.parsing_done <- true;
   if w.frame = None then Telemetry.mark (tel t) ~cat:"page" "parsing-done";
+    if w.frame = None then
+      Wr_support.Log.info "page.parsing_done"
+        [ ("virtual_ms", Wr_support.Json.Float (Event_loop.now t.loop)) ];
   run_deferred t w
 
 (* Deferred scripts run in syntactic order after parsing (rules 4, 5, 14),

@@ -7,11 +7,43 @@ type t = {
 
 let null = { name = "null"; record = ignore; races = (fun () -> []); accesses_seen = (fun () -> 0) }
 
+(* The record path is far too hot for per-access events; a power-of-two
+   batch counter keeps the disabled-path cost at one increment and mask. *)
+let batch_mask = 1024 - 1
+
+let with_logging d =
+  let module L = Wr_support.Log in
+  let seen = ref 0 in
+  {
+    d with
+    record =
+      (fun a ->
+        incr seen;
+        if !seen land batch_mask = 0 && L.enabled L.Debug then
+          L.debug "detect.batch"
+            [
+              ("detector", Wr_support.Json.String d.name);
+              ("accesses", Wr_support.Json.Int !seen);
+            ];
+        d.record a);
+    races =
+      (fun () ->
+        let rs = d.races () in
+        if L.enabled L.Debug then
+          L.debug "detect.races"
+            [
+              ("detector", Wr_support.Json.String d.name);
+              ("races", Wr_support.Json.Int (List.length rs));
+            ];
+        rs);
+  }
+
 (* Per-access span allocation would dominate the hot path; accounted time
    plus counters keep detector bookkeeping visible in the phase table at a
    bounded cost, and only when telemetry is on. *)
 let with_telemetry tm d =
   let module T = Wr_telemetry.Telemetry in
+  let d = with_logging d in
   if not (T.enabled tm) then d
   else
     {

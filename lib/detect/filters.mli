@@ -23,6 +23,27 @@ val form_field : Race.t list -> Race.t list
 
 val single_dispatch : run_info -> Race.t list -> Race.t list
 
-(** [paper_filters info races] applies both filters, the §6.3
+(** Filter names used in {!outcome.counts}, suppression attributions,
+    [filter.suppress] log events and the JSON report. *)
+val form_field_name : string
+
+val single_dispatch_name : string
+
+(** The result of running the filter chain with attribution: which filter
+    suppressed which race (invisible in the plain filtered list), plus a
+    per-filter suppression tally in chain order. *)
+type outcome = {
+  kept : Race.t list;  (** races surviving every filter, input order *)
+  suppressed : (string * Race.t) list;
+      (** (filter name, race) for each suppression, in chain order *)
+  counts : (string * int) list;  (** suppression tally per filter *)
+}
+
+(** [apply info races] runs the §6.3 filter chain, recording which filter
+    suppressed which race and emitting one [filter.suppress] log event
+    per suppression ({!Wr_support.Log}). *)
+val apply : run_info -> Race.t list -> outcome
+
+(** [paper_filters info races] is [(apply info races).kept] — the §6.3
     configuration. *)
 val paper_filters : run_info -> Race.t list -> Race.t list

@@ -43,7 +43,7 @@ let pp ppf t =
   Format.fprintf ppf "@[<v 2>%s race on %a:@,%a@,%a@]" (type_name t.race_type) Location.pp
     t.loc Access.pp t.first Access.pp t.second
 
-let to_json t =
+let to_json ?(extra = []) t =
   let open Wr_support.Json in
   let access (a : Access.t) =
     Obj
@@ -54,10 +54,11 @@ let to_json t =
       ]
   in
   Obj
-    [
-      ("type", String (type_name t.race_type));
-      ("location", String (Location.to_string t.loc));
-      ("first", access t.first);
-      ("second", access t.second);
-      ("harmful_hint", Bool (heuristic_harmful t));
-    ]
+    ([
+       ("type", String (type_name t.race_type));
+       ("location", String (Location.to_string t.loc));
+       ("first", access t.first);
+       ("second", access t.second);
+       ("harmful_hint", Bool (heuristic_harmful t));
+     ]
+    @ extra)

@@ -35,4 +35,7 @@ val heuristic_harmful : t -> bool
 
 val pp : Format.formatter -> t -> unit
 
-val to_json : t -> Wr_support.Json.t
+(** [to_json ?extra t] renders the race; [extra] fields (e.g. a witness
+    from [Wr_explain], which this library cannot depend on) are appended
+    to the object. *)
+val to_json : ?extra:(string * Wr_support.Json.t) list -> t -> Wr_support.Json.t

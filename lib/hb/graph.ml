@@ -234,23 +234,47 @@ let dot_escape s =
          | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
-let to_dot ?(highlight = []) t =
+(* Shared renderer behind [to_dot] (all nodes) and [to_dot_subgraph] (a
+   selection). [include_node] restricts both the node list and the edges;
+   [highlight_edges] render bold red (witness paths). Successor lists are
+   deduplicated in the output so a node never prints the same edge twice. *)
+let render_dot ~include_node ~highlight ~highlight_edges t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "digraph happens_before {\n  rankdir=TB;\n  node [style=filled];\n";
   iter_ops
     (fun info ->
-      let extra =
-        if List.mem info.Op.id highlight then ", color=red, penwidth=3" else ""
-      in
-      Buffer.add_string buf
-        (Printf.sprintf "  n%d [label=\"#%d %s\", fillcolor=%s%s];\n" info.Op.id info.Op.id
-           (dot_escape info.Op.label)
-           (dot_color info.Op.kind) extra))
+      if include_node info.Op.id then begin
+        let extra =
+          if List.mem info.Op.id highlight then ", color=red, penwidth=3" else ""
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d [label=\"#%d %s\", fillcolor=%s%s];\n" info.Op.id info.Op.id
+             (dot_escape info.Op.label)
+             (dot_color info.Op.kind) extra)
+      end)
     t;
   for i = 0 to t.count - 1 do
-    List.iter
-      (fun succ -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" i succ))
-      t.nodes.(i).succs
+    if include_node i then
+      List.iter
+        (fun succ ->
+          if include_node succ then
+            let attrs =
+              if List.mem (i, succ) highlight_edges then
+                " [color=red, penwidth=2.5, style=bold]"
+              else ""
+            in
+            Buffer.add_string buf (Printf.sprintf "  n%d -> n%d%s;\n" i succ attrs))
+        (List.sort_uniq compare t.nodes.(i).succs)
   done;
   Buffer.add_string buf "}\n";
   Buffer.contents buf
+
+let to_dot ?(highlight = []) ?(highlight_edges = []) t =
+  render_dot ~include_node:(fun _ -> true) ~highlight ~highlight_edges t
+
+let to_dot_subgraph ?(highlight = []) ?(highlight_edges = []) ~nodes t =
+  let wanted = Wr_support.Bitset.create (max 1 t.count) in
+  List.iter
+    (fun id -> if id >= 0 && id < t.count then Wr_support.Bitset.add wanted id)
+    nodes;
+  render_dot ~include_node:(Wr_support.Bitset.mem wanted) ~highlight ~highlight_edges t

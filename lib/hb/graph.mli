@@ -76,7 +76,16 @@ val succs : t -> Op.id -> Op.id list
 (** [iter_ops f t] visits all operations in id order. *)
 val iter_ops : (Op.info -> unit) -> t -> unit
 
-(** [to_dot ?highlight t] renders the direct-edge graph in Graphviz DOT
-    (operations labelled and colored by kind; ids in [highlight] drawn
-    bold red — used to mark a race's endpoints). *)
-val to_dot : ?highlight:Op.id list -> t -> string
+(** [to_dot ?highlight ?highlight_edges t] renders the direct-edge graph
+    in Graphviz DOT (operations labelled and colored by kind; ids in
+    [highlight] drawn bold red — used to mark a race's endpoints; direct
+    edges in [highlight_edges] drawn bold red — used to mark witness
+    paths). Duplicate successor entries are deduplicated in the output. *)
+val to_dot : ?highlight:Op.id list -> ?highlight_edges:(Op.id * Op.id) list -> t -> string
+
+(** [to_dot_subgraph ?highlight ?highlight_edges ~nodes t] renders only
+    the operations in [nodes] (ids outside the graph are ignored) and the
+    direct edges between them — full-page graphs are unreadable, so race
+    witnesses export just their evidence ops. Highlights as {!to_dot}. *)
+val to_dot_subgraph :
+  ?highlight:Op.id list -> ?highlight_edges:(Op.id * Op.id) list -> nodes:Op.id list -> t -> string

@@ -1,0 +1,94 @@
+type level = Error | Warn | Info | Debug
+
+let level_name = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "error" -> Some Error
+  | "warn" | "warning" -> Some Warn
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+let rank = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+
+(* Global state: one page under analysis per process, so a process-wide
+   level and sink keep every call site plumbing-free. *)
+let threshold : level option ref = ref None
+
+let sink : out_channel option ref = ref None
+
+let sink_owned = ref false  (* close on replacement iff we opened it *)
+
+let started = Unix.gettimeofday ()
+
+let set_level l = threshold := l
+
+let current_level () = !threshold
+
+let enabled l = match !threshold with None -> false | Some t -> rank l <= rank t
+
+let close_sink () =
+  (match !sink with
+  | Some oc ->
+      flush oc;
+      if !sink_owned then close_out_noerr oc
+  | None -> ());
+  sink := None;
+  sink_owned := false
+
+let set_sink oc =
+  close_sink ();
+  sink := oc
+
+let open_sink_file path =
+  close_sink ();
+  sink := Some (open_out path);
+  sink_owned := true
+
+let init_from_env () =
+  (match Sys.getenv_opt "WEBRACER_LOG" with
+  | Some s -> set_level (level_of_string s)
+  | None -> ());
+  match Sys.getenv_opt "WEBRACER_LOG_FILE" with
+  | Some path when path <> "" -> open_sink_file path
+  | _ -> ()
+
+let () = init_from_env ()
+
+let () = at_exit (fun () -> match !sink with Some oc -> flush oc | None -> ())
+
+let emit level event fields =
+  if enabled level then begin
+    let ts = Unix.gettimeofday () -. started in
+    match !sink with
+    | Some oc ->
+        let obj =
+          Json.Obj
+            (("ts", Json.Float ts)
+            :: ("level", Json.String (level_name level))
+            :: ("event", Json.String event)
+            :: fields)
+        in
+        output_string oc (Json.to_string obj);
+        output_char oc '\n'
+    | None ->
+        let field (k, v) =
+          Printf.sprintf " %s=%s" k
+            (match v with Json.String s -> s | v -> Json.to_string v)
+        in
+        Printf.eprintf "[webracer %7.3f] %-5s %s%s\n%!" ts (level_name level) event
+          (String.concat "" (List.map field fields))
+  end
+
+let error event fields = emit Error event fields
+
+let warn event fields = emit Warn event fields
+
+let info event fields = emit Info event fields
+
+let debug event fields = emit Debug event fields

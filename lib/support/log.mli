@@ -1,0 +1,68 @@
+(** Leveled structured event log for the detection pipeline.
+
+    Every layer (browser, detector, filters, top-level driver) reports
+    what it is doing as {e events}: a severity, a dotted event name
+    ([page.load], [filter.suppress], [detect.batch]) and a list of
+    structured fields. Two outputs exist:
+
+    - a human-readable line on [stderr], enabled by setting a level
+      (default: disabled, so library users and tests see nothing);
+    - a JSONL sink — one JSON object per line — for tooling
+      ([webracer run --log-out FILE]).
+
+    Control is global (the process analyzes one page at a time) and
+    environment-driven so no plumbing is needed:
+
+    - [WEBRACER_LOG=error|warn|info|debug|off] sets the level;
+    - [WEBRACER_LOG_FILE=path] opens a JSONL sink at startup.
+
+    Emission is cheap when disabled: {!enabled} is one comparison, and
+    callers building expensive fields should guard on it. *)
+
+type level = Error | Warn | Info | Debug
+
+val level_name : level -> string
+
+(** [level_of_string s] parses ["error"], ["warn"], ["info"], ["debug"]
+    (case-insensitive); ["off"], ["none"] and [""] mean disabled. Unknown
+    strings are [None] (treated as disabled by {!init_from_env}). *)
+val level_of_string : string -> level option
+
+(** [set_level l] sets the threshold; [None] disables all output. *)
+val set_level : level option -> unit
+
+val current_level : unit -> level option
+
+(** [enabled l] — would an event at level [l] be recorded? *)
+val enabled : level -> bool
+
+(** [set_sink oc] directs events to [oc] as JSONL (one object per line:
+    [{"ts":…,"level":…,"event":…,…fields}]). [None] reverts to the
+    stderr text renderer. The channel is not closed by this module unless
+    it was opened by {!open_sink_file}. *)
+val set_sink : out_channel option -> unit
+
+(** [open_sink_file path] opens (truncates) [path] and installs it as the
+    JSONL sink, closing any sink previously opened by this function. *)
+val open_sink_file : string -> unit
+
+(** [close_sink ()] flushes and detaches the sink, closing it if this
+    module opened it. *)
+val close_sink : unit -> unit
+
+(** [init_from_env ()] applies [WEBRACER_LOG] / [WEBRACER_LOG_FILE]. The
+    module runs it once at load time; the CLI may call it again after
+    overriding defaults. *)
+val init_from_env : unit -> unit
+
+(** [emit level event fields] records one event if [level] is enabled.
+    [event] is a stable dotted name; fields are structured JSON. *)
+val emit : level -> string -> (string * Json.t) list -> unit
+
+val error : string -> (string * Json.t) list -> unit
+
+val warn : string -> (string * Json.t) list -> unit
+
+val info : string -> (string * Json.t) list -> unit
+
+val debug : string -> (string * Json.t) list -> unit

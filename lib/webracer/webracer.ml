@@ -5,10 +5,13 @@ module Filters = Wr_detect.Filters
 module Detector = Wr_detect.Detector
 module Graph = Wr_hb.Graph
 module Telemetry = Wr_telemetry.Telemetry
+module Log = Wr_support.Log
 
 type report = {
   races : Race.t list;
   filtered : Race.t list;
+  suppressed : (string * Race.t) list;
+  filter_counts : (string * int) list;
   crashes : Browser.crash list;
   console : string list;
   ops : int;
@@ -89,7 +92,21 @@ let analyze (cfg : Config.t) =
         Telemetry.account tm ~cat:"detect" ~name:"races" (fun () ->
             (Browser.detector browser).Detector.races ())
       in
-      let filtered = Filters.paper_filters (Browser.run_info browser) races in
+      let outcome = Filters.apply (Browser.run_info browser) races in
+      let filtered = outcome.Filters.kept in
+      if Log.enabled Log.Info then begin
+        Log.info "page.analyzed"
+          [
+            ("ops", Wr_support.Json.Int (Graph.n_ops (Browser.graph browser)));
+            ("hb_edges", Wr_support.Json.Int (Graph.n_edges (Browser.graph browser)));
+            ("accesses", Wr_support.Json.Int (Browser.accesses_seen browser));
+            ("explored_events", Wr_support.Json.Int explored_events);
+          ];
+        Log.info "filters.applied"
+          (("races", Wr_support.Json.Int (List.length races))
+          :: ("kept", Wr_support.Json.Int (List.length filtered))
+          :: List.map (fun (f, n) -> (f, Wr_support.Json.Int n)) outcome.Filters.counts)
+      end;
       Telemetry.set_counter tm "hb.ops" (Graph.n_ops (Browser.graph browser));
       Telemetry.set_counter tm "hb.edges" (Graph.n_edges (Browser.graph browser));
       Telemetry.set_counter tm "detect.races" (List.length races);
@@ -98,6 +115,8 @@ let analyze (cfg : Config.t) =
       {
         races;
         filtered;
+        suppressed = outcome.Filters.suppressed;
+        filter_counts = outcome.Filters.counts;
         crashes = Browser.crashes browser;
         console = Browser.console browser;
         ops = Graph.n_ops (Browser.graph browser);
@@ -164,14 +183,21 @@ let count_by_type races =
 
 let pp_report ppf r =
   let h, f, v, d = count_by_type r.races in
+  let suppression =
+    if List.exists (fun (_, n) -> n > 0) r.filter_counts then
+      Printf.sprintf " (suppressed: %s)"
+        (String.concat ", "
+           (List.map (fun (f, n) -> Printf.sprintf "%s %d" f n) r.filter_counts))
+    else ""
+  in
   Format.fprintf ppf
     "@[<v>races: %d (html %d, function %d, variable %d, event-dispatch %d)@,\
-     after filters: %d@,\
+     after filters: %d%s@,\
      crashes hidden by the browser: %d@,\
      operations: %d  hb-edges: %d  accesses: %d@,\
      virtual time: %.0f ms  wall clock: %.3f s@]"
-    (List.length r.races) h f v d (List.length r.filtered) (List.length r.crashes) r.ops
-    r.hb_edges r.accesses r.virtual_ms r.wall_clock_s
+    (List.length r.races) h f v d (List.length r.filtered) suppression
+    (List.length r.crashes) r.ops r.hb_edges r.accesses r.virtual_ms r.wall_clock_s
 
 module Replay = struct
   type observation = {
@@ -242,10 +268,22 @@ let by_type_json races =
 
 let report_to_json r =
   let open Wr_support.Json in
+  (* Every race ships with its checkable witness (provenance chains,
+     nearest common HB ancestor, no-path frontier, certificate result). *)
+  let race_json race =
+    let w = Wr_explain.of_race r.hb_graph race in
+    Race.to_json ~extra:[ ("witness", Wr_explain.to_json r.hb_graph w) ] race
+  in
+  let suppressed_json (filter, race) =
+    Obj [ ("filter", String filter); ("race", Race.to_json race) ]
+  in
   Obj
     ([
-      ("races", List (List.map Race.to_json r.races));
-      ("filtered", List (List.map Race.to_json r.filtered));
+      ("races", List (List.map race_json r.races));
+      ("filtered", List (List.map race_json r.filtered));
+      ("suppressed", List (List.map suppressed_json r.suppressed));
+      ( "filter_suppressed",
+        Obj (List.map (fun (f, n) -> (f, Int n)) r.filter_counts) );
       ( "crashes",
         List
           (List.map

@@ -21,6 +21,10 @@ module Race = Wr_detect.Race
 type report = {
   races : Race.t list;  (** raw reports, discovery order, one per location *)
   filtered : Race.t list;  (** after the §5.3 form-field + single-dispatch filters *)
+  suppressed : (string * Race.t) list;
+      (** (filter name, race) attribution for each suppressed report *)
+  filter_counts : (string * int) list;
+      (** per-filter suppression tally ({!Wr_detect.Filters.outcome}) *)
   crashes : Wr_browser.Browser.crash list;
       (** script crashes the browser swallowed during the run *)
   console : string list;
@@ -86,7 +90,11 @@ val count_by_type : Race.t list -> int * int * int * int
 (** [pp_report] renders a human-readable summary. *)
 val pp_report : Format.formatter -> report -> unit
 
-(** [report_to_json report] renders the full report for tooling. *)
+(** [report_to_json report] renders the full report for tooling. Each
+    race (raw and filtered) carries a ["witness"] object — provenance
+    chains, nearest common HB ancestor, no-path frontier and certificate
+    status from [Wr_explain] — and the report carries the per-filter
+    suppression attribution (["suppressed"], ["filter_suppressed"]). *)
 val report_to_json : report -> Wr_support.Json.t
 
 (** Adversarial replay: make a detected race {e manifest}.

@@ -28,7 +28,7 @@ Unfiltered output for a page with a benign checked-write form race:
 
   $ webracer run checked.html | head -2
   races: 1 (html 0, function 0, variable 1, event-dispatch 0)
-  after filters: 0
+  after filters: 0 (suppressed: form-field 1, single-dispatch 0)
 
   $ webracer run checked.html --raw | sed -n '7,9p' | sed 's/@[0-9]*/@N/'
   1 races (unfiltered):
