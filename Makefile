@@ -10,6 +10,8 @@ build:
 test:
 	dune runtest
 
+# Regenerates every table/figure and writes BENCH_results.json
+# ({section: {benchmark: value}}, see README "Benchmarks").
 bench:
 	dune exec bench/main.exe
 

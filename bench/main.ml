@@ -17,6 +17,42 @@ let section title =
   Printf.printf "==============================================================\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results (BENCH_results.json)                       *)
+(*                                                                     *)
+(* Every section also records its numbers here; the file is written    *)
+(* next to the stdout tables so the perf trajectory is trackable       *)
+(* across PRs. Format (documented in README "Benchmarks"):             *)
+(*   { "<section>": { "<benchmark>": <number>, ... }, ... }            *)
+(* Bechamel sections are ns/run; *_s entries are wall-clock seconds;   *)
+(* *_ratio and *_speedup entries are dimensionless.                    *)
+(* ------------------------------------------------------------------ *)
+
+let bench_results : (string * (string * Wr_support.Json.t) list ref) list ref = ref []
+
+let record_result sec name v =
+  let entries =
+    match List.assoc_opt sec !bench_results with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        bench_results := !bench_results @ [ (sec, r) ];
+        r
+  in
+  entries := !entries @ [ (name, v) ]
+
+let record_float sec name v = record_result sec name (Wr_support.Json.Float v)
+
+let write_bench_results path =
+  let obj =
+    Wr_support.Json.Obj
+      (List.map (fun (s, entries) -> (s, Wr_support.Json.Obj !entries)) !bench_results)
+  in
+  let oc = open_out_bin path in
+  output_string oc (Wr_support.Json.to_string obj);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel plumbing                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -29,13 +65,17 @@ let run_bench_group ~name tests =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  Hashtbl.fold
-    (fun test_name ols acc ->
-      match Analyze.OLS.estimates ols with
-      | Some (est :: _) -> (test_name, est) :: acc
-      | Some [] | None -> acc)
-    results []
-  |> List.sort compare
+  let estimates =
+    Hashtbl.fold
+      (fun test_name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) -> (test_name, est) :: acc
+        | Some [] | None -> acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter (fun (test_name, ns) -> record_float name test_name ns) estimates;
+  estimates
 
 let pp_ns ns =
   if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
@@ -52,13 +92,13 @@ let print_bench_results results =
 (* ------------------------------------------------------------------ *)
 
 let paper_table1 =
-  (* type, mean, median, max from the paper *)
+  (* race type -> (mean, median, max) from the paper *)
   [
-    ("HTML", 2.2, 0.0, 112);
-    ("Function", 0.4, 0.0, 6);
-    ("Variable", 22.4, 5.5, 269);
-    ("Event Dispatch", 22.3, 7.0, 198);
-    ("All", 47.3, 27.0, 278);
+    ("HTML", (2.2, 0.0, 112));
+    ("Function", (0.4, 0.0, 6));
+    ("Variable", (22.4, 5.5, 269));
+    ("Event Dispatch", (22.3, 7.0, 198));
+    ("All", (47.3, 27.0, 278));
   ]
 
 let table1 outcomes =
@@ -80,11 +120,7 @@ let table1 outcomes =
     List.map
       (fun (name, f) ->
         let mean, median, mx = stat f in
-        let pm, pmed, pmax =
-          let _, m, md, x = List.find (fun (n, _, _, _) -> n = name)
-            (List.map (fun (a,b,c,d) -> (a,b,c,d)) paper_table1) in
-          (m, md, x)
-        in
+        let pm, pmed, pmax = List.assoc name paper_table1 in
         [
           name;
           Printf.sprintf "%.1f" pm;
@@ -173,6 +209,7 @@ let perf_pages () =
         let started = Unix.gettimeofday () in
         let r = Webracer.analyze (Webracer.config ~page ~seed:1 ~explore:true ()) in
         let dt = Unix.gettimeofday () -. started in
+        record_float "perf1" (Printf.sprintf "%d-elements_s" n) dt;
         [
           Printf.sprintf "%d elements" n;
           string_of_int r.Webracer.ops;
@@ -342,6 +379,143 @@ let perf_telemetry () =
   print_endline "wrote bench_metrics.json (one instrumented Ford run)"
 
 (* ------------------------------------------------------------------ *)
+(* Perf-4: access dedup ratio + domain-parallel corpus analysis        *)
+(* ------------------------------------------------------------------ *)
+
+(* The §6.3 motivating pattern for dedup: loops that re-touch the *same*
+   cells every iteration (polling a flag, re-reading a[0]/a.length, an
+   accumulator read-modify-write). Perf-2's kernels mostly touch fresh
+   cells; these are the op-granular worst case the front-end targets. *)
+let loop_kernels =
+  [
+    ( "poll-flag",
+      "var ready = 0; var ticks = 0; var i = 0;\n\
+       for (i = 0; i < 500; i++) { if (ready === 0) { ticks = ticks + 1; } }" );
+    ( "hot-read",
+      "var a = []; var i = 0;\n\
+       for (i = 0; i < 8; i++) { a.push(i); }\n\
+       var first = 0; var j = 0;\n\
+       for (j = 0; j < 500; j++) { first = first + a[0] + a.length; }" );
+  ]
+
+(* Feed a kernel's access stream through last-access twice — raw, and
+   behind the dedup front-end — and compare how many records the detector
+   processed and what it found. *)
+let kernel_dedup (_, source) =
+  let run ~dedup =
+    let graph = Graph.create () in
+    let inner = Wr_detect.Last_access.create graph in
+    let det, stats =
+      if dedup then Wr_detect.Dedup.wrap inner
+      else (inner, fun () -> { Wr_detect.Dedup.seen = 0; forwarded = 0 })
+    in
+    let vm = Wr_js.Interp.create ~sink:det.Wr_detect.Detector.record () in
+    vm.Wr_js.Value.current_op <- Graph.fresh graph Op.Script ~label:"kernel";
+    Wr_js.Interp.run_in_global vm (Wr_js.Parser.parse source);
+    (inner.Wr_detect.Detector.accesses_seen (), List.length (inner.Wr_detect.Detector.races ()),
+     stats ())
+  in
+  let raw_records, raw_races, _ = run ~dedup:false in
+  let fwd_records, dedup_races, stats = run ~dedup:true in
+  (raw_records, fwd_records, raw_races, dedup_races, stats)
+
+let perf_dedup () =
+  section "Perf-4a — per-operation access dedup on the detector hot path";
+  let rows =
+    List.map
+      (fun (name, src) ->
+        let raw, fwd, raw_races, dedup_races, stats = kernel_dedup (name, src) in
+        record_float "perf4" (name ^ "_dedup_ratio") (Wr_detect.Dedup.ratio stats);
+        [
+          name;
+          string_of_int raw;
+          string_of_int fwd;
+          Printf.sprintf "%.1fx" (Wr_detect.Dedup.ratio stats);
+          (if raw_races = dedup_races then "identical" else "DIFFERS");
+        ])
+      (kernels @ loop_kernels)
+  in
+  Table.print
+    ~header:[ "kernel"; "record calls (raw)"; "record calls (dedup)"; "ratio"; "races" ]
+    rows;
+  print_newline ();
+  (* Wall-clock effect on the loop-heavy kernels. *)
+  let tests =
+    List.concat_map
+      (fun (name, src) ->
+        let run ~dedup () =
+          let graph = Graph.create () in
+          let inner = Wr_detect.Last_access.create graph in
+          let det = if dedup then fst (Wr_detect.Dedup.wrap inner) else inner in
+          let vm = Wr_js.Interp.create ~sink:det.Wr_detect.Detector.record () in
+          vm.Wr_js.Value.current_op <- Graph.fresh graph Op.Script ~label:"kernel";
+          Wr_js.Interp.run_in_global vm (Wr_js.Parser.parse src)
+        in
+        [
+          Test.make ~name:(name ^ "/raw") (Staged.stage (run ~dedup:false));
+          Test.make ~name:(name ^ "/dedup") (Staged.stage (run ~dedup:true));
+        ])
+      loop_kernels
+  in
+  print_bench_results (run_bench_group ~name:"perf4-kernels" tests)
+
+(* Outcomes projected onto their deterministic components: everything but
+   the wall clock must be invariant under both [jobs] and [dedup]. *)
+let outcome_signature (o : Eval.outcome) =
+  (o.Eval.profile.Profile.name, o.Eval.raw, o.Eval.filtered, o.Eval.ops, o.Eval.accesses,
+   o.Eval.crashes)
+
+let perf_parallel () =
+  section "Perf-4b — domain-parallel corpus analysis (OCaml 5 worker pool)";
+  Printf.printf "hardware parallelism (Domain.recommended_domain_count): %d\n\n"
+    (Wr_support.Pool.default_jobs ());
+  (* Corpus-wide dedup effect and race-count identity, dedup on vs off. *)
+  let on = Eval.run_corpus ~seed:42 ~dedup:true () in
+  let off = Eval.run_corpus ~seed:42 ~dedup:false () in
+  let sum f xs = List.fold_left (fun acc o -> acc + f o) 0 xs in
+  let records xs = sum (fun o -> o.Eval.detector_records) xs in
+  let identical =
+    List.for_all2 (fun a b -> outcome_signature a = outcome_signature b) on off
+  in
+  let corpus_ratio = float_of_int (records off) /. float_of_int (max 1 (records on)) in
+  Printf.printf
+    "corpus detector records: %d raw -> %d after dedup (%.2fx); race counts %s\n\n"
+    (records off) (records on) corpus_ratio
+    (if identical then "identical across all sites" else "DIFFER (fidelity regression!)");
+  record_float "perf4" "corpus_dedup_ratio" corpus_ratio;
+  record_result "perf4" "corpus_races_identical" (Wr_support.Json.Bool identical);
+  (* Speedup curve: same corpus, growing worker fleets. *)
+  let reference = List.map outcome_signature on in
+  let timings =
+    List.map
+      (fun jobs ->
+        let started = Unix.gettimeofday () in
+        let outcomes = Eval.run_corpus ~seed:42 ~jobs () in
+        let dt = Unix.gettimeofday () -. started in
+        let same = List.map outcome_signature outcomes = reference in
+        record_float "perf4" (Printf.sprintf "corpus_jobs%d_s" jobs) dt;
+        (jobs, dt, same))
+      [ 1; 2; 4; 8 ]
+  in
+  let base = match timings with (_, dt, _) :: _ -> dt | [] -> 1. in
+  Table.print
+    ~header:[ "jobs"; "wall clock"; "speedup"; "outcomes vs sequential" ]
+    (List.map
+       (fun (jobs, dt, same) ->
+         record_float "perf4" (Printf.sprintf "corpus_jobs%d_speedup" jobs) (base /. dt);
+         [
+           string_of_int jobs;
+           Printf.sprintf "%.3f s" dt;
+           Printf.sprintf "%.2fx" (base /. dt);
+           (if same then "identical" else "DIFFER (determinism regression!)");
+         ])
+       timings);
+  print_endline
+    "\n(Per-worker graphs, detectors and VMs are domain-local; the pool only\n\
+     shares the task channel, so outcomes are input-ordered and identical\n\
+     whatever the job count. Speedup tracks the hardware's core count.)"
+
+(* ------------------------------------------------------------------ *)
 (* Abl-1: happens-before query strategy (§5.2.1)                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -499,14 +673,22 @@ let stability () =
 let () =
   let t0 = Unix.gettimeofday () in
   print_endline "WebRacer-OCaml benchmark harness (paper: PLDI 2012, WebRacer)";
+  let corpus_t0 = Unix.gettimeofday () in
   let outcomes = Eval.run_corpus ~seed:42 () in
+  record_float "corpus" "run_corpus_s" (Unix.gettimeofday () -. corpus_t0);
+  record_result "corpus" "fidelity_sites"
+    (Wr_support.Json.Int (List.length (List.filter Eval.fidelity outcomes)));
   table1 outcomes;
   table2 outcomes;
   figures ();
   perf_pages ();
   perf_overhead ();
   perf_telemetry ();
+  perf_dedup ();
+  perf_parallel ();
   ablation_hb ();
   ablation_detector ();
   stability ();
-  Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0);
+  record_float "total" "bench_s" (Unix.gettimeofday () -. t0);
+  write_bench_results "BENCH_results.json"

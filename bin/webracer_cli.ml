@@ -1,6 +1,7 @@
 (* The WebRacer command-line interface.
 
    webracer run PAGE.html      analyze one page for races
+   webracer batch PAGES...     analyze many pages over a domain pool
    webracer explain PAGE.html  show checkable witnesses for each race
    webracer corpus             regenerate the paper's evaluation tables
    webracer sitegen NAME DIR   write a synthetic corpus site to disk *)
@@ -127,14 +128,21 @@ let run_cmd =
           ~doc:"Collect telemetry during the run and print a metrics summary (also \
                 embedded under $(b,telemetry) with $(b,--json)).")
   in
+  let no_dedup =
+    Arg.(
+      value & flag
+      & info [ "no-dedup" ]
+          ~doc:"Disable the per-operation access-dedup front-end, feeding the detector \
+                every raw access (slower; race results are identical either way).")
+  in
   let action page seed no_explore raw json detector hb time_limit dump_hb dump_trace
-      trace_out metrics log_out =
+      trace_out metrics no_dedup log_out =
     setup_event_log log_out;
     let tm = if trace_out <> None || metrics then Telemetry.create () else Telemetry.disabled in
     let cfg =
       Webracer.config ~page:(read_file page) ~resources:(resources_around page) ~seed
         ~explore:(not no_explore) ~detector ~hb_strategy:hb ~time_limit
-        ~trace:(dump_trace <> None) ~telemetry:tm ()
+        ~trace:(dump_trace <> None) ~dedup:(not no_dedup) ~telemetry:tm ()
     in
     let report = Webracer.analyze cfg in
     (match trace_out with
@@ -191,7 +199,106 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       const action $ page $ seed $ explore $ raw $ json $ detector $ hb $ time_limit
-      $ dump_hb $ dump_trace $ trace_out $ metrics $ log_out_arg)
+      $ dump_hb $ dump_trace $ trace_out $ metrics $ no_dedup $ log_out_arg)
+
+(* --- batch -------------------------------------------------------------- *)
+
+let batch_cmd =
+  let pages =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"PAGES" ~doc:"HTML pages to analyze (each with its directory's \
+                                    files as fetchable resources).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Analyze up to $(docv) pages concurrently on an OCaml-domain worker pool \
+                (0 = one per hardware thread). Results are aggregated in input order, so \
+                the report is identical whatever $(docv) is.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Seed for network latencies and Math.random.")
+  in
+  let no_explore =
+    Arg.(
+      value & flag
+      & info [ "no-explore" ] ~doc:"Disable automatic exploration of user events (§5.2.2).")
+  in
+  let no_dedup =
+    Arg.(
+      value & flag
+      & info [ "no-dedup" ] ~doc:"Disable the per-operation access-dedup front-end.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the aggregated report as JSON.") in
+  let action pages jobs seed no_explore no_dedup json log_out =
+    setup_event_log log_out;
+    let jobs = if jobs = 0 then Wr_support.Pool.default_jobs () else max 1 jobs in
+    let started = Unix.gettimeofday () in
+    let cfgs =
+      List.map
+        (fun page ->
+          Webracer.config ~page:(read_file page) ~resources:(resources_around page) ~seed
+            ~explore:(not no_explore) ~dedup:(not no_dedup) ())
+        pages
+    in
+    let reports = Webracer.analyze_batch ~jobs cfgs in
+    let rows = List.combine pages reports in
+    if json then
+      print_endline
+        (Wr_support.Json.to_string
+           (Wr_support.Json.List
+              (List.map
+                 (fun (page, r) ->
+                   Wr_support.Json.Obj
+                     [
+                       ("page", Wr_support.Json.String page);
+                       ("report", Webracer.report_to_json r);
+                     ])
+                 rows)))
+    else begin
+      let harmful r =
+        List.length (List.filter Wr_detect.Race.heuristic_harmful r.Webracer.filtered)
+      in
+      Wr_support.Table.print
+        ~header:[ "page"; "races"; "filtered"; "harmful"; "ops"; "accesses" ]
+        (List.map
+           (fun (page, r) ->
+             [
+               page;
+               string_of_int (List.length r.Webracer.races);
+               string_of_int (List.length r.Webracer.filtered);
+               string_of_int (harmful r);
+               string_of_int r.Webracer.ops;
+               string_of_int r.Webracer.accesses;
+             ])
+           rows);
+      let sum f = List.fold_left (fun acc (_, r) -> acc + f r) 0 rows in
+      Printf.printf "\n%d pages: %d races, %d after filters, %d likely harmful\n"
+        (List.length rows)
+        (sum (fun r -> List.length r.Webracer.races))
+        (sum (fun r -> List.length r.Webracer.filtered))
+        (sum harmful);
+      Printf.printf "wall clock: %.3f s (%d jobs)\n" (Unix.gettimeofday () -. started) jobs
+    end;
+    Log.close_sink ();
+    (* Same CI-gate contract as `run`: exit 2 iff any page keeps a
+       likely-harmful race after filtering. *)
+    if
+      List.exists
+        (fun (_, r) ->
+          List.exists Wr_detect.Race.heuristic_harmful r.Webracer.filtered)
+        rows
+    then exit 2
+  in
+  let doc =
+    "Analyze many pages concurrently on an OCaml 5 domain pool and aggregate the \
+     reports deterministically (input order, independent of completion order)."
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc)
+    Term.(const action $ pages $ jobs $ seed $ no_explore $ no_dedup $ json $ log_out_arg)
 
 (* --- explain ------------------------------------------------------------ *)
 
@@ -309,8 +416,16 @@ let corpus_cmd =
       value & opt (some int) None
       & info [ "limit" ] ~doc:"Only analyze the first $(docv) sites." ~docv:"N")
   in
-  let action seed limit =
-    let outcomes = Wr_sitegen.Eval.run_corpus ~seed ?limit () in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Analyze up to $(docv) sites concurrently (0 = one per hardware thread); \
+                per-site seeds are position-fixed so the tables do not depend on $(docv).")
+  in
+  let action seed limit jobs =
+    let jobs = if jobs = 0 then Wr_support.Pool.default_jobs () else max 1 jobs in
+    let outcomes = Wr_sitegen.Eval.run_corpus ~seed ?limit ~jobs () in
     print_endline "Table 1 analogue (raw races per type across sites):\n";
     print_string (Wr_sitegen.Eval.render_table1 outcomes);
     print_endline "\nTable 2 analogue (filtered races per site, harmful in parens):\n";
@@ -321,7 +436,7 @@ let corpus_cmd =
       (List.length outcomes)
   in
   let doc = "Regenerate the paper's evaluation tables over the synthetic corpus." in
-  Cmd.v (Cmd.info "corpus" ~doc) Term.(const action $ seed $ limit)
+  Cmd.v (Cmd.info "corpus" ~doc) Term.(const action $ seed $ limit $ jobs)
 
 (* --- offline ------------------------------------------------------------ *)
 
@@ -508,5 +623,5 @@ let () =
     exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; explain_cmd; corpus_cmd; sitegen_cmd; replay_cmd; offline_cmd;
-            profile_cmd ]))
+          [ run_cmd; batch_cmd; explain_cmd; corpus_cmd; sitegen_cmd; replay_cmd;
+            offline_cmd; profile_cmd ]))

@@ -82,6 +82,7 @@ type t = {
   mutable crashes : crash list;
   mutable segment_counter : int;
   recorded_accesses : (unit -> Access.t list) option;
+  dedup_stats : (unit -> Wr_detect.Dedup.stats) option;
   mutable doc_write : (window * Dom.node * Buffer.t) option;
       (* accumulates document.write output while a parser-driven script
          runs; flushed into the parse stream when the script completes *)
@@ -102,6 +103,8 @@ let console t = List.rev !(t.vm.Value.console)
 let virtual_now t = Event_loop.now t.loop
 
 let accesses_seen t = t.det.Detector.accesses_seen ()
+
+let dedup_stats t = match t.dedup_stats with Some read -> Some (read ()) | None -> None
 
 let trace t =
   match t.recorded_accesses with
@@ -1559,6 +1562,15 @@ let create (config : Config.t) =
     | Config.Full_track -> Wr_detect.Full_track.create graph
     | Config.No_detector -> Detector.null
   in
+  (* Wrapper order matters: the dedup cache sits closest to the detector so
+     the trace recorder still captures the raw access stream (offline replay
+     must see what the page did, not what the cache forwarded). *)
+  let det, dedup_stats =
+    if config.Config.dedup && config.Config.detector <> Config.No_detector then
+      let det, stats = Wr_detect.Dedup.wrap det in
+      (det, Some stats)
+    else (det, None)
+  in
   let det, recorded_accesses =
     if config.Config.trace then
       let det, read = Wr_detect.Trace.recorder det in
@@ -1608,6 +1620,7 @@ let create (config : Config.t) =
       crashes = [];
       segment_counter = 0;
       recorded_accesses;
+      dedup_stats;
       doc_write = None;
     }
   in

@@ -98,5 +98,11 @@ val schedule_user_typing : t -> target:int -> text:string -> unit
     default action for [javascript:] links. *)
 val schedule_user_click : t -> target:int -> unit
 
-(** [accesses_seen t] is the number of instrumented accesses so far. *)
+(** [accesses_seen t] is the number of instrumented accesses so far (raw:
+    the dedup front-end does not change this count). *)
 val accesses_seen : t -> int
+
+(** [dedup_stats t] — raw vs forwarded access counts of the
+    [Wr_detect.Dedup] front-end; [None] when [Config.dedup] is off or no
+    detector is attached. *)
+val dedup_stats : t -> Wr_detect.Dedup.stats option

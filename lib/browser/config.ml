@@ -12,6 +12,7 @@ type t = {
   parse_delay : float;
   explore : bool;
   trace : bool;
+  dedup : bool;
   telemetry : Wr_telemetry.Telemetry.t;
 }
 
@@ -28,5 +29,6 @@ let default ~page () =
     parse_delay = 0.;
     explore = true;
     trace = false;
+    dedup = true;
     telemetry = Wr_telemetry.Telemetry.disabled;
   }

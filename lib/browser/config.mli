@@ -23,6 +23,10 @@ type t = {
   trace : bool;
       (** record the full execution trace (operations, edges, accesses)
           for offline analysis — see [Wr_detect.Trace] *)
+  dedup : bool;
+      (** per-operation access deduplication in front of the detector
+          (see [Wr_detect.Dedup]) — semantics-preserving, on by default;
+          turn off to measure raw detector pressure *)
   telemetry : Wr_telemetry.Telemetry.t;
       (** spans/counters/histograms across the pipeline; the disabled
           default is a near-no-op (see [Wr_telemetry.Telemetry]) *)

@@ -1,0 +1,82 @@
+open Wr_mem
+
+type stats = { seen : int; forwarded : int }
+
+let swallowed s = s.seen - s.forwarded
+
+let ratio s = if s.forwarded = 0 then 1.0 else float_of_int s.seen /. float_of_int s.forwarded
+
+(* One cache line per location, valid only for the operation in [epoch]:
+   a slot whose epoch differs from the incoming access's op is logically
+   empty. Epochs make the op-switch flush free (an interleaved operation
+   only invalidates the locations it actually touches) and make the
+   duplicate test cheap — a cache hit already proves same location, same
+   kind slot and same operation, leaving flags and context. *)
+type slots = {
+  mutable epoch : Wr_hb.Op.id;
+  mutable read : Access.t option;
+  mutable wrote : Access.t option;
+}
+
+type state = {
+  cache : slots Location.Tbl.t;
+  mutable seen : int;
+  mutable forwarded : int;
+}
+
+let slots_for st loc =
+  match Location.Tbl.find_opt st.cache loc with
+  | Some s -> s
+  | None ->
+      let s = { epoch = -1; read = None; wrote = None } in
+      Location.Tbl.add st.cache loc s;
+      s
+
+(* [p] comes from the same epoch (same op) and the same location/kind slot
+   as [a], so only flags and context can distinguish them. Context strings
+   are shared per operation by the emitters, so the physical check almost
+   always decides. *)
+let same_record (p : Access.t) (a : Access.t) =
+  p.Access.flags = a.Access.flags
+  && (p.Access.context == a.Access.context || String.equal p.Access.context a.Access.context)
+
+let record st (inner : Detector.t) (a : Access.t) =
+  st.seen <- st.seen + 1;
+  let s = slots_for st a.Access.loc in
+  if s.epoch <> a.Access.op then begin
+    s.epoch <- a.Access.op;
+    s.read <- None;
+    s.wrote <- None
+  end;
+  let duplicate =
+    match a.Access.kind with
+    | `Read -> (
+        (* A read arms the Checked_read_first transition for the op's next
+           write, so the cached write is no longer a faithful duplicate. *)
+        s.wrote <- None;
+        match s.read with
+        | Some p when same_record p a -> true
+        | Some _ | None ->
+            s.read <- Some a;
+            false)
+    | `Write -> (
+        match s.wrote with
+        | Some p when same_record p a -> true
+        | Some _ | None ->
+            s.wrote <- Some a;
+            false)
+  in
+  if not duplicate then begin
+    st.forwarded <- st.forwarded + 1;
+    inner.Detector.record a
+  end
+
+let wrap (inner : Detector.t) =
+  let st = { cache = Location.Tbl.create 256; seen = 0; forwarded = 0 } in
+  ( {
+      inner with
+      Detector.name = inner.Detector.name ^ "+dedup";
+      record = record st inner;
+      accesses_seen = (fun () -> st.seen);
+    },
+    fun () -> { seen = st.seen; forwarded = st.forwarded } )

@@ -4,6 +4,7 @@ type node = {
   info : Op.info;
   mutable preds : Op.id list;
   mutable succs : Op.id list;
+  mutable last_succ : Op.id;  (* most recently added successor; -1 if none *)
   ancestors : Wr_support.Bitset.t option;  (* Some iff strategy = Closure *)
   mutable vc : int array;  (* Chain_vc: chain -> highest reaching index + 1 *)
   mutable chain : int;  (* Chain_vc: -1 while unassigned *)
@@ -15,6 +16,7 @@ type t = {
   mutable nodes : node array;  (* dense array indexed by op id *)
   mutable count : int;
   mutable edges : int;
+  edge_set : (Op.id * Op.id, unit) Hashtbl.t;  (* O(1) duplicate-edge check *)
   mutable chain_tops : Op.id array;  (* Chain_vc: last op of each chain *)
   mutable chain_count : int;
 }
@@ -25,6 +27,7 @@ let create ?(strategy = Closure) () =
     nodes = [||];
     count = 0;
     edges = 0;
+    edge_set = Hashtbl.create 1024;
     chain_tops = Array.make 16 (-1);
     chain_count = 0;
   }
@@ -42,7 +45,8 @@ let fresh t kind ~label =
     let capacity = max 64 (Array.length t.nodes * 2) in
     let dummy =
       { info = { Op.id = -1; kind = Op.Initial; label = "" };
-        preds = []; succs = []; ancestors = None; vc = [||]; chain = -1; chain_idx = 0 }
+        preds = []; succs = []; last_succ = -1; ancestors = None; vc = [||]; chain = -1;
+        chain_idx = 0 }
     in
     let nodes = Array.make capacity dummy in
     Array.blit t.nodes 0 nodes 0 t.count;
@@ -54,8 +58,8 @@ let fresh t kind ~label =
     | Dfs | Chain_vc -> None
   in
   t.nodes.(id) <-
-    { info = { Op.id; kind; label }; preds = []; succs = []; ancestors; vc = [||];
-      chain = -1; chain_idx = 0 };
+    { info = { Op.id; kind; label }; preds = []; succs = []; last_succ = -1; ancestors;
+      vc = [||]; chain = -1; chain_idx = 0 };
   t.count <- id + 1;
   id
 
@@ -144,7 +148,13 @@ let add_edge t a b =
           from an older operation to a newer one)"
          a b);
   let na = node t a and nb = node t b in
-  if not (List.mem b na.succs) then begin
+  (* Duplicate insertions are common (every access-pair rule re-derives the
+     same edge) and used to pay O(out-degree) in [List.mem]; the last-succ
+     slot catches the consecutive-repeat pattern for free and the edge set
+     answers the rest in O(1), so dense pages no longer go quadratic. *)
+  if na.last_succ <> b && not (Hashtbl.mem t.edge_set (a, b)) then begin
+    na.last_succ <- b;
+    Hashtbl.add t.edge_set (a, b) ();
     na.succs <- b :: na.succs;
     nb.preds <- a :: nb.preds;
     t.edges <- t.edges + 1;

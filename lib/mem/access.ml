@@ -20,6 +20,13 @@ let make ?(flags = []) ?(context = "") loc kind op = { loc; kind; op; flags; con
 
 let has_flag t f = List.mem f t.flags
 
+(* Emission sites build flags and context deterministically, so a repeat of
+   the same source-level access produces a structurally equal record; list
+   order is stable per site and needs no normalization. *)
+let same_shape a b =
+  a.op = b.op && a.kind = b.kind && a.flags = b.flags && a.context = b.context
+  && Location.equal a.loc b.loc
+
 let add_flag t f = if has_flag t f then t else { t with flags = f :: t.flags }
 
 let flag_name = function

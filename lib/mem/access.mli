@@ -34,6 +34,12 @@ val make : ?flags:flag list -> ?context:string -> Location.t -> kind -> Wr_hb.Op
 
 val has_flag : t -> flag -> bool
 
+(** [same_shape a b] — the two records are indistinguishable to a detector:
+    same location, kind, operation, flags and context. A repeat execution of
+    one source-level access inside one operation (a read in a loop body)
+    satisfies this; the dedup front-end uses it to swallow such repeats. *)
+val same_shape : t -> t -> bool
+
 (** [add_flag t f] is [t] with [f] recorded (idempotent). *)
 val add_flag : t -> flag -> t
 

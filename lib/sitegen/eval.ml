@@ -9,6 +9,7 @@ type outcome = {
   harmful : Profile.counts;
   ops : int;
   accesses : int;
+  detector_records : int;
   crashes : int;
   wall_clock_s : float;
 }
@@ -17,11 +18,12 @@ let counts_of races =
   let h, f, v, d = Webracer.count_by_type races in
   { Profile.html = h; func = f; var = v; disp = d }
 
-let run_site ?(seed = 42) profile =
+let run_site ?(seed = 42) ?(dedup = true) profile =
   let site = Gen.generate profile in
   let report =
     Webracer.analyze
-      (Webracer.config ~page:site.Gen.page ~resources:site.Gen.resources ~seed ~explore:true ())
+      (Webracer.config ~page:site.Gen.page ~resources:site.Gen.resources ~seed ~explore:true
+         ~dedup ())
   in
   {
     profile;
@@ -32,18 +34,24 @@ let run_site ?(seed = 42) profile =
     harmful = Profile.expected_harmful profile;
     ops = report.Webracer.ops;
     accesses = report.Webracer.accesses;
+    detector_records = report.Webracer.detector_records;
     crashes = List.length report.Webracer.crashes;
     wall_clock_s = report.Webracer.wall_clock_s;
   }
 
-let run_corpus ?(seed = 42) ?limit () =
+(* Per-site seeds are fixed by corpus position before the fan-out, so the
+   outcome list is independent of [jobs] (site generation and analysis are
+   self-contained per item; the pool returns results in input order). *)
+let run_corpus ?(seed = 42) ?limit ?(jobs = 1) ?(dedup = true) () =
   let profiles = Profile.corpus () in
   let profiles =
     match limit with
     | Some n -> List.filteri (fun i _ -> i < n) profiles
     | None -> profiles
   in
-  List.mapi (fun i p -> run_site ~seed:(seed + i) p) profiles
+  Wr_support.Pool.map_jobs ~jobs
+    (fun (i, p) -> run_site ~seed:(seed + i) ~dedup p)
+    (List.mapi (fun i p -> (i, p)) profiles)
 
 let fidelity o = o.filtered = o.expected_filtered
 

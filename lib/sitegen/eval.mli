@@ -15,17 +15,21 @@ type outcome = {
   harmful : Profile.counts;  (** ground truth for the filtered races *)
   ops : int;
   accesses : int;
+  detector_records : int;  (** accesses reaching the detector after dedup *)
   crashes : int;
   wall_clock_s : float;
 }
 
-(** [run_site ?seed profile] generates the site and analyzes it with
-    exploration on. *)
-val run_site : ?seed:int -> Profile.t -> outcome
+(** [run_site ?seed ?dedup profile] generates the site and analyzes it with
+    exploration on ([dedup] defaults to on, matching production). *)
+val run_site : ?seed:int -> ?dedup:bool -> Profile.t -> outcome
 
-(** [run_corpus ?seed ?limit ()] runs the whole corpus (or its first
-    [limit] sites), in profile order. *)
-val run_corpus : ?seed:int -> ?limit:int -> unit -> outcome list
+(** [run_corpus ?seed ?limit ?jobs ?dedup ()] runs the whole corpus (or its
+    first [limit] sites), in profile order. [jobs > 1] spreads sites over
+    that many domains; per-site seeds are position-fixed, so the outcomes
+    are identical to the sequential run — only the wall clock changes. *)
+val run_corpus :
+  ?seed:int -> ?limit:int -> ?jobs:int -> ?dedup:bool -> unit -> outcome list
 
 (** [fidelity outcome] — detected filtered counts match the planted
     ground truth exactly. *)

@@ -1,0 +1,124 @@
+type task = Run of (unit -> unit) | Quit
+
+type t = {
+  jobs : int;
+  queue : task Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable workers : unit Domain.t list;
+  mutable closed : bool;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let pop_blocking t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue do
+    Condition.wait t.nonempty t.lock
+  done;
+  let task = Queue.pop t.queue in
+  Mutex.unlock t.lock;
+  task
+
+let rec worker_loop t =
+  match pop_blocking t with
+  | Run f ->
+      f ();
+      worker_loop t
+  | Quit -> ()
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      workers = [];
+      closed = false;
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let push t task =
+  Mutex.lock t.lock;
+  Queue.push task t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock
+
+(* The submitting domain drains the same channel until the batch counter
+   hits zero, so a [jobs:1] pool (no workers) still completes every task
+   and an n-job pool runs n tasks at once. Tasks never block on each
+   other, so running them on the submitter cannot deadlock. *)
+let map t f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if n = 0 then []
+  else if t.jobs = 1 || n = 1 then List.map f xs
+  else begin
+    if t.closed then invalid_arg "Pool.map: pool is closed";
+    let results = Array.make n None in
+    let batch = Mutex.create () in
+    let all_done = Condition.create () in
+    let remaining = ref n in
+    let error = ref None in
+    (* Result publication and the countdown share [batch], which also
+       gives the submitter's final reads of [results] their
+       happens-before edge from every worker's writes. *)
+    let step i =
+      let outcome = match f items.(i) with r -> Ok r | exception e -> Error e in
+      Mutex.lock batch;
+      (match outcome with
+      | Ok r -> results.(i) <- Some r
+      | Error e -> ( match !error with None -> error := Some e | Some _ -> ()));
+      decr remaining;
+      if !remaining = 0 then Condition.signal all_done;
+      Mutex.unlock batch
+    in
+    for i = 0 to n - 1 do
+      push t (Run (fun () -> step i))
+    done;
+    (* Help out: drain our own channel, then sleep until the workers'
+       in-flight tasks finish. *)
+    let rec help () =
+      let task =
+        Mutex.lock t.lock;
+        let task = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+        Mutex.unlock t.lock;
+        task
+      in
+      match task with
+      | Some (Run f) ->
+          f ();
+          help ()
+      | Some Quit | None -> ()
+    in
+    help ();
+    Mutex.lock batch;
+    while !remaining > 0 do
+      Condition.wait all_done batch
+    done;
+    Mutex.unlock batch;
+    (match !error with Some e -> raise e | None -> ());
+    Array.to_list
+      (Array.map (function Some r -> r | None -> assert false) results)
+  end
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    List.iter (fun _ -> push t Quit) t.workers;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let map_jobs ~jobs f xs =
+  if jobs <= 1 then List.map f xs else with_pool ~jobs (fun t -> map t f xs)

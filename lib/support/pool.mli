@@ -1,0 +1,41 @@
+(** A fixed-size fleet of OCaml 5 domains behind a blocking task channel.
+
+    The analysis pipeline is embarrassingly parallel at page granularity:
+    every page (or seed, or corpus site) builds its own graph, detector and
+    VM, so nothing mutable crosses domains. This pool is the one shared
+    primitive — a plain [Queue.t] guarded by a mutex/condition pair (no
+    work stealing; page analyses are coarse enough that a single channel
+    never contends) feeding [jobs] long-lived worker domains.
+
+    [map] is deterministic: results come back in input order, independent
+    of completion order, so parallel runs aggregate byte-identically to
+    sequential ones. *)
+
+type t
+
+(** [create ~jobs] spawns [jobs - 1] worker domains ([jobs <= 1] spawns
+    none and [map] degenerates to [List.map]); the submitting domain
+    always works alongside the fleet, so [jobs] bounds total
+    parallelism. *)
+val create : jobs:int -> t
+
+val jobs : t -> int
+
+(** [map pool f xs] applies [f] to every element, spread across the pool,
+    and returns the results in input order. The first exception raised by
+    any [f] is re-raised (after all items finish or are abandoned). A
+    pool is reusable across [map] calls but a single [map] at a time. *)
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [close pool] shuts the workers down and joins them; idempotent. *)
+val close : t -> unit
+
+(** [with_pool ~jobs f] — create, run [f], always close. *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+
+(** [map_jobs ~jobs f xs] is a one-shot [with_pool] + [map]; [~jobs:1]
+    costs nothing over [List.map]. *)
+val map_jobs : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** The hardware's useful parallelism ([Domain.recommended_domain_count]). *)
+val default_jobs : unit -> int

@@ -17,6 +17,9 @@ type report = {
   ops : int;
   hb_edges : int;
   accesses : int;
+  detector_records : int;
+      (* accesses that reached the detector after the dedup front-end;
+         equals [accesses] when dedup is off *)
   virtual_ms : float;
   explored_events : int;
   wall_clock_s : float;
@@ -28,7 +31,7 @@ type report = {
 let config ~page ?(resources = []) ?(seed = 0) ?(explore = true)
     ?(detector = Config.Last_access) ?(hb_strategy = Wr_hb.Graph.Closure)
     ?(time_limit = 60_000.) ?(mean_latency = 20.) ?(parse_delay = 0.) ?(trace = false)
-    ?(telemetry = Telemetry.disabled) () =
+    ?(dedup = true) ?(telemetry = Telemetry.disabled) () =
   {
     (Config.default ~page ()) with
     Config.resources;
@@ -40,6 +43,7 @@ let config ~page ?(resources = []) ?(seed = 0) ?(explore = true)
     mean_latency;
     parse_delay;
     trace;
+    dedup;
     telemetry;
   }
 
@@ -112,6 +116,13 @@ let analyze (cfg : Config.t) =
       Telemetry.set_counter tm "detect.races" (List.length races);
       Telemetry.set_counter tm "detect.filtered" (List.length filtered);
       Telemetry.set_counter tm "explore.injected" explored_events;
+      let detector_records =
+        match Browser.dedup_stats browser with
+        | Some s ->
+            Telemetry.set_counter tm "detect.deduped" (Wr_detect.Dedup.swallowed s);
+            s.Wr_detect.Dedup.forwarded
+        | None -> Browser.accesses_seen browser
+      in
       {
         races;
         filtered;
@@ -122,6 +133,7 @@ let analyze (cfg : Config.t) =
         ops = Graph.n_ops (Browser.graph browser);
         hb_edges = Graph.n_edges (Browser.graph browser);
         accesses = Browser.accesses_seen browser;
+        detector_records;
         virtual_ms = Browser.virtual_now browser;
         explored_events;
         wall_clock_s = Unix.gettimeofday () -. started;
@@ -148,8 +160,14 @@ let race_key (r : Race.t) =
   in
   (Race.type_name r.Race.race_type, masked)
 
-let analyze_many cfg ~seeds =
-  let runs = List.map (fun seed -> analyze { cfg with Config.seed }) seeds in
+(* [analyze] shares nothing mutable across calls (each run owns its graph,
+   detector and VM; the logger's channel writes are runtime-locked), so a
+   batch of runs spreads over a domain pool with results kept in input
+   order — aggregation is byte-identical whatever [jobs] is. *)
+let analyze_batch ?(jobs = 1) cfgs = Wr_support.Pool.map_jobs ~jobs analyze cfgs
+
+let analyze_many ?(jobs = 1) cfg ~seeds =
+  let runs = analyze_batch ~jobs (List.map (fun seed -> { cfg with Config.seed }) seeds) in
   let seen = Hashtbl.create 64 in
   let merged =
     List.concat_map (fun r -> r.races) runs
@@ -299,6 +317,7 @@ let report_to_json r =
       ("ops", Int r.ops);
       ("hb_edges", Int r.hb_edges);
       ("accesses", Int r.accesses);
+      ("detector_records", Int r.detector_records);
       ("virtual_ms", Float r.virtual_ms);
       ("explored_events", Int r.explored_events);
       ("wall_clock_s", Float r.wall_clock_s);

@@ -30,7 +30,10 @@ type report = {
   console : string list;
   ops : int;  (** operations in the happens-before graph *)
   hb_edges : int;
-  accesses : int;  (** instrumented accesses observed *)
+  accesses : int;  (** instrumented accesses observed (raw, pre-dedup) *)
+  detector_records : int;
+      (** accesses the detector actually processed after the
+          [Wr_detect.Dedup] front-end; equals [accesses] with dedup off *)
   virtual_ms : float;  (** virtual time consumed by the page *)
   explored_events : int;  (** user events injected by automatic exploration *)
   wall_clock_s : float;  (** real time spent analyzing *)
@@ -58,6 +61,7 @@ val config :
   ?mean_latency:float ->
   ?parse_delay:float ->
   ?trace:bool ->
+  ?dedup:bool ->
   ?telemetry:Wr_telemetry.Telemetry.t ->
   unit ->
   Config.t
@@ -67,6 +71,14 @@ val config :
     registered exploration-set handler, clicking [javascript:] links),
     then reporting. Deterministic in [config.seed]. *)
 val analyze : Config.t -> report
+
+(** [analyze_batch ?jobs cfgs] analyzes each configuration, spread over a
+    [Wr_support.Pool] of [jobs] domains (default 1 = sequential), and
+    returns the reports in input order regardless of completion order.
+    Each run owns its whole stack (graph, detector, VM, RNG), so runs
+    share no mutable state and the aggregate is byte-identical across
+    [jobs] settings (modulo [wall_clock_s]). *)
+val analyze_batch : ?jobs:int -> Config.t list -> report list
 
 type merged_report = {
   runs : report list;
@@ -80,8 +92,10 @@ type merged_report = {
     rendering), with per-run counts alongside. The paper observes that
     "races reported across different runs for the same site had little
     variance" (footnote 14); this makes that check mechanical and catches
-    schedule-dependent stragglers a single run misses. *)
-val analyze_many : Config.t -> seeds:int list -> merged_report
+    schedule-dependent stragglers a single run misses. [jobs] runs the
+    seeds in parallel ({!analyze_batch}); the merge is seed-ordered either
+    way. *)
+val analyze_many : ?jobs:int -> Config.t -> seeds:int list -> merged_report
 
 (** [count_by_type races] tallies (html, function, variable, dispatch) —
     the per-site row shape of Tables 1 and 2. *)

@@ -6,6 +6,7 @@ let () =
       ("hb", Test_hb.suite);
       ("mem", Test_mem.suite);
       ("detect", Test_detect.suite);
+      ("dedup", Test_dedup.suite);
       ("explain", Test_explain.suite);
       ("js", Test_js.suite);
       ("js-conformance", Test_js_conformance.suite);

@@ -165,6 +165,38 @@ let test_fidelity_valero () = test_site_fidelity "ValeroEnergy"
 
 let test_fidelity_filler () = test_site_fidelity "Company01"
 
+let outcome_projection (o : Eval.outcome) =
+  (* Everything but [wall_clock_s], which legitimately varies run to run. *)
+  ( o.Eval.profile.Profile.name,
+    o.Eval.raw,
+    o.Eval.filtered,
+    o.Eval.ops,
+    o.Eval.accesses,
+    o.Eval.detector_records,
+    o.Eval.crashes )
+
+let test_corpus_parallel_deterministic () =
+  (* The domain pool must be invisible in the results: same sites, same
+     order, same counts — only the wall clock may differ. *)
+  let sequential = Eval.run_corpus ~seed:7 ~limit:6 ~jobs:1 () in
+  let parallel = Eval.run_corpus ~seed:7 ~limit:6 ~jobs:4 () in
+  Alcotest.(check int) "same number of sites" (List.length sequential) (List.length parallel);
+  Alcotest.(check bool) "jobs:4 outcomes = jobs:1 outcomes" true
+    (List.map outcome_projection sequential = List.map outcome_projection parallel)
+
+let test_corpus_dedup_invisible () =
+  (* Dedup changes detector_records, never verdicts or raw access counts. *)
+  let strip (name, raw, filtered, ops, accesses, _records, crashes) =
+    (name, raw, filtered, ops, accesses, crashes)
+  in
+  let on = Eval.run_corpus ~seed:7 ~limit:6 ~dedup:true () in
+  let off = Eval.run_corpus ~seed:7 ~limit:6 ~dedup:false () in
+  Alcotest.(check bool) "dedup on = dedup off (modulo detector_records)" true
+    (List.map (fun o -> strip (outcome_projection o)) on
+    = List.map (fun o -> strip (outcome_projection o)) off);
+  let records l = List.fold_left (fun acc o -> acc + o.Eval.detector_records) 0 l in
+  Alcotest.(check bool) "dedup forwards no more than raw" true (records on <= records off)
+
 let suite =
   [
     Alcotest.test_case "pattern: html unguarded" `Quick test_html_unguarded;
@@ -189,4 +221,6 @@ let suite =
     Alcotest.test_case "fidelity: MetLife" `Quick test_fidelity_metlife;
     Alcotest.test_case "fidelity: ValeroEnergy" `Quick test_fidelity_valero;
     Alcotest.test_case "fidelity: filler site" `Quick test_fidelity_filler;
+    Alcotest.test_case "corpus: jobs:4 = jobs:1" `Quick test_corpus_parallel_deterministic;
+    Alcotest.test_case "corpus: dedup invisible in verdicts" `Quick test_corpus_dedup_invisible;
   ]
