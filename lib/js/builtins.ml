@@ -54,16 +54,24 @@ let install_math vm =
 (* ------------------------------------------------------------------ *)
 
 (* Compiled patterns are memoized by (pattern, flags): RegExp objects only
-   carry strings, so they serialize and compare like plain data. *)
+   carry strings, so they serialize and compare like plain data. The cache
+   is process-global while [analyze] batches run across domains, and
+   Hashtbl is not domain-safe, so every table access holds [regex_lock];
+   compilation itself is pure and stays outside the critical section. *)
 let regex_cache : (string * string, Regex.t) Hashtbl.t = Hashtbl.create 64
 
+let regex_lock = Mutex.create ()
+
 let compile_regex vm ~pattern ~flags =
-  match Hashtbl.find_opt regex_cache (pattern, flags) with
+  let key = (pattern, flags) in
+  let cached = Mutex.protect regex_lock (fun () -> Hashtbl.find_opt regex_cache key) in
+  match cached with
   | Some t -> t
   | None -> (
       match Regex.compile ~pattern ~flags with
       | Ok t ->
-          Hashtbl.add regex_cache (pattern, flags) t;
+          Mutex.protect regex_lock (fun () ->
+              if not (Hashtbl.mem regex_cache key) then Hashtbl.add regex_cache key t);
           t
       | Error msg -> throw_error vm "SyntaxError" ("Invalid regular expression: " ^ msg))
 

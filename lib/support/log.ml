@@ -74,8 +74,10 @@ let emit level event fields =
             :: ("event", Json.String event)
             :: fields)
         in
-        output_string oc (Json.to_string obj);
-        output_char oc '\n'
+        (* One channel op per line: the runtime lock makes a single
+           [output_string] atomic across domains, so concurrent emitters
+           never interleave inside a JSONL record. *)
+        output_string oc (Json.to_string obj ^ "\n")
     | None ->
         let field (k, v) =
           Printf.sprintf " %s=%s" k

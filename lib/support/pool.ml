@@ -60,7 +60,10 @@ let map t f xs =
   if n = 0 then []
   else if t.jobs = 1 || n = 1 then List.map f xs
   else begin
-    if t.closed then invalid_arg "Pool.map: pool is closed";
+    Mutex.lock t.lock;
+    let closed = t.closed in
+    Mutex.unlock t.lock;
+    if closed then invalid_arg "Pool.map: pool is closed";
     let results = Array.make n None in
     let batch = Mutex.create () in
     let all_done = Condition.create () in
@@ -95,7 +98,12 @@ let map t f xs =
       | Some (Run f) ->
           f ();
           help ()
-      | Some Quit | None -> ()
+      | Some Quit ->
+          (* Not ours: a racing [close] pushed it for a worker. Put it
+             back so that worker still gets its shutdown signal, and stop
+             helping. *)
+          push t Quit
+      | None -> ()
     in
     help ();
     Mutex.lock batch;
@@ -109,8 +117,11 @@ let map t f xs =
   end
 
 let close t =
-  if not t.closed then begin
-    t.closed <- true;
+  Mutex.lock t.lock;
+  let was_closed = t.closed in
+  t.closed <- true;
+  Mutex.unlock t.lock;
+  if not was_closed then begin
     List.iter (fun _ -> push t Quit) t.workers;
     List.iter Domain.join t.workers;
     t.workers <- []

@@ -2,7 +2,8 @@
 
     The analysis pipeline is embarrassingly parallel at page granularity:
     every page (or seed, or corpus site) builds its own graph, detector and
-    VM, so nothing mutable crosses domains. This pool is the one shared
+    VM, so nothing mutable crosses domains unguarded (the few
+    process-global caches, e.g. the JS regex cache, take a mutex). This pool is the one shared
     primitive — a plain [Queue.t] guarded by a mutex/condition pair (no
     work stealing; page analyses are coarse enough that a single channel
     never contends) feeding [jobs] long-lived worker domains.

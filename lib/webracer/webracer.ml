@@ -160,14 +160,26 @@ let race_key (r : Race.t) =
   in
   (Race.type_name r.Race.race_type, masked)
 
-(* [analyze] shares nothing mutable across calls (each run owns its graph,
-   detector and VM; the logger's channel writes are runtime-locked), so a
-   batch of runs spreads over a domain pool with results kept in input
-   order — aggregation is byte-identical whatever [jobs] is. *)
+(* [analyze] shares nothing mutable across calls without a lock (each run
+   owns its graph, detector and VM; the process-global regex cache is
+   mutex-guarded; the logger emits one channel write per line, which the
+   runtime lock makes atomic), so a batch of runs spreads over a domain
+   pool with results kept in input order — aggregation is byte-identical
+   whatever [jobs] is. Callers passing their own configs must not share
+   an enabled [Telemetry.t] across them when [jobs > 1]. *)
 let analyze_batch ?(jobs = 1) cfgs = Wr_support.Pool.map_jobs ~jobs analyze cfgs
 
 let analyze_many ?(jobs = 1) cfg ~seeds =
-  let runs = analyze_batch ~jobs (List.map (fun seed -> { cfg with Config.seed }) seeds) in
+  (* A [Telemetry.t] is mutable and single-domain; cloning [cfg] per seed
+     would alias one handle across every worker, so the parallel path
+     forces it off rather than corrupt spans/counters silently. *)
+  let telemetry =
+    if jobs > 1 then Telemetry.disabled else cfg.Config.telemetry
+  in
+  let runs =
+    analyze_batch ~jobs
+      (List.map (fun seed -> { cfg with Config.seed; telemetry }) seeds)
+  in
   let seen = Hashtbl.create 64 in
   let merged =
     List.concat_map (fun r -> r.races) runs

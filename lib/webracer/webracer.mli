@@ -76,8 +76,10 @@ val analyze : Config.t -> report
     [Wr_support.Pool] of [jobs] domains (default 1 = sequential), and
     returns the reports in input order regardless of completion order.
     Each run owns its whole stack (graph, detector, VM, RNG), so runs
-    share no mutable state and the aggregate is byte-identical across
-    [jobs] settings (modulo [wall_clock_s]). *)
+    share no unguarded mutable state and the aggregate is byte-identical
+    across [jobs] settings (modulo [wall_clock_s]). With [jobs > 1] the
+    configs must not share an enabled [Telemetry.t] — its span stack and
+    counters are single-domain. *)
 val analyze_batch : ?jobs:int -> Config.t list -> report list
 
 type merged_report = {
@@ -94,7 +96,9 @@ type merged_report = {
     variance" (footnote 14); this makes that check mechanical and catches
     schedule-dependent stragglers a single run misses. [jobs] runs the
     seeds in parallel ({!analyze_batch}); the merge is seed-ordered either
-    way. *)
+    way. In the parallel path telemetry is forced to
+    [Telemetry.disabled] on the per-seed configs, since one mutable
+    [Telemetry.t] cannot be shared across domains. *)
 val analyze_many : ?jobs:int -> Config.t -> seeds:int list -> merged_report
 
 (** [count_by_type races] tallies (html, function, variable, dispatch) —
