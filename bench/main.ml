@@ -367,16 +367,16 @@ let perf_telemetry () =
   | Some off, Some on_ ->
       Printf.printf "\ntelemetry-on / telemetry-off: %.3fx\n" (on_ /. off)
   | _ -> ());
-  (* One instrumented run's metrics, saved for tooling alongside stdout. *)
+  (* One instrumented run's headline numbers go into BENCH_results.json
+     (which superseded the old free-standing bench_metrics.json dump). *)
   let tm = Wr_telemetry.Telemetry.create () in
   ignore
     (Webracer.analyze
        (Webracer.config ~page:site.Gen.page ~resources:site.Gen.resources ~seed:3
           ~telemetry:tm ()));
-  let oc = open_out_bin "bench_metrics.json" in
-  output_string oc (Wr_support.Json.to_string (Wr_telemetry.Telemetry.metrics_json tm));
-  close_out oc;
-  print_endline "wrote bench_metrics.json (one instrumented Ford run)"
+  record_result "perf3" "instrumented_ford_spans"
+    (Wr_support.Json.Int (Wr_telemetry.Telemetry.n_spans tm));
+  record_float "perf3" "instrumented_ford_wall_s" (Wr_telemetry.Telemetry.total_wall tm)
 
 (* ------------------------------------------------------------------ *)
 (* Perf-4: access dedup ratio + domain-parallel corpus analysis        *)
@@ -514,6 +514,66 @@ let perf_parallel () =
     "\n(Per-worker graphs, detectors and VMs are domain-local; the pool only\n\
      shares the task channel, so outcomes are input-ordered and identical\n\
      whatever the job count. Speedup tracks the hardware's core count.)"
+
+(* ------------------------------------------------------------------ *)
+(* Perf-5: the serve API hot path — wire decode, dispatch, cache hit    *)
+(* ------------------------------------------------------------------ *)
+
+(* The daemon's per-request cost splits into (a) decoding the wire line
+   into a Request.t, (b) hashing the params into a cache key, and (c) on
+   a hit, replaying the stored document. All three must stay far below a
+   page analysis for the service to amortize; this group pins them. *)
+let perf_serve () =
+  section "Perf-5 — serve API: request decode / cache key / cache-hit service";
+  let module Request = Wr_serve.Request in
+  let module Api = Wr_serve.Api in
+  let module Cache = Wr_serve.Cache in
+  let site = Gen.generate (List.nth (Profile.corpus ()) 20) in
+  let params =
+    Request.analyze_params ~page:site.Gen.page ~resources:site.Gen.resources ()
+  in
+  let line =
+    Request.to_line { Request.id = Wr_support.Json.Int 1; verb = Request.Analyze params }
+  in
+  Printf.printf "wire request: %d bytes (page %d bytes, %d resources)\n\n"
+    (String.length line) (String.length site.Gen.page)
+    (List.length site.Gen.resources);
+  let report = Wr_support.Json.Obj [ ("races", Wr_support.Json.Int 3) ] in
+  let warm = Cache.create ~cap:8 in
+  Cache.store warm (Cache.key params) report;
+  let tests =
+    [
+      Test.make ~name:"decode-analyze-line"
+        (Staged.stage (fun () ->
+             match Request.of_line line with Ok r -> r | Error _ -> assert false));
+      Test.make ~name:"cache-key"
+        (Staged.stage (fun () -> Cache.key params));
+      Test.make ~name:"cache-hit-service"
+        (Staged.stage (fun () ->
+             (* what the daemon does per hit: key, find, wrap in an envelope *)
+             match Cache.find warm (Cache.key params) with
+             | Some doc ->
+                 Wr_serve.Response.to_line
+                   (Wr_serve.Response.ok ~id:(Wr_support.Json.Int 1) doc)
+             | None -> assert false));
+      Test.make ~name:"dispatch-ping"
+        (Staged.stage (fun () ->
+             Api.dispatch { Request.id = Wr_support.Json.Int 1; verb = Request.Ping }));
+    ]
+  in
+  let results = run_bench_group ~name:"perf5" tests in
+  print_bench_results results;
+  (match
+     ( List.assoc_opt "perf5/cache-hit-service" results,
+       List.assoc_opt "perf5/decode-analyze-line" results )
+   with
+  | Some hit, Some decode ->
+      Printf.printf
+        "\n(A cache hit costs decode + %s of service — vs a full re-analysis; the\n\
+         daemon answers it on the accept loop without waking a worker.)\n"
+        (pp_ns hit);
+      record_float "perf5" "hit_over_decode_ratio" (hit /. decode)
+  | _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Abl-1: happens-before query strategy (§5.2.1)                       *)
@@ -686,6 +746,7 @@ let () =
   perf_telemetry ();
   perf_dedup ();
   perf_parallel ();
+  perf_serve ();
   ablation_hb ();
   ablation_detector ();
   stability ();

@@ -4,11 +4,20 @@
    webracer batch PAGES...     analyze many pages over a domain pool
    webracer explain PAGE.html  show checkable witnesses for each race
    webracer corpus             regenerate the paper's evaluation tables
-   webracer sitegen NAME DIR   write a synthetic corpus site to disk *)
+   webracer sitegen NAME DIR   write a synthetic corpus site to disk
+   webracer serve              long-lived analysis daemon (socket/TCP)
+   webracer call VERB          client for a running serve daemon
+
+   The page-analyzing subcommands all construct [Wr_serve.Request]
+   values and go through [Wr_serve.Api], the same decode/dispatch path
+   the daemon uses — `run --json` output and a served `analyze` result
+   are byte-identical (modulo wall_clock_s). *)
 
 open Cmdliner
 module Telemetry = Wr_telemetry.Telemetry
 module Log = Wr_support.Log
+module Request = Wr_serve.Request
+module Api = Wr_serve.Api
 
 let read_file path =
   let ic = open_in_bin path in
@@ -139,12 +148,12 @@ let run_cmd =
       trace_out metrics no_dedup log_out =
     setup_event_log log_out;
     let tm = if trace_out <> None || metrics then Telemetry.create () else Telemetry.disabled in
-    let cfg =
-      Webracer.config ~page:(read_file page) ~resources:(resources_around page) ~seed
-        ~explore:(not no_explore) ~detector ~hb_strategy:hb ~time_limit
-        ~trace:(dump_trace <> None) ~dedup:(not no_dedup) ~telemetry:tm ()
+    let params =
+      Request.analyze_params ~page:(read_file page) ~resources:(resources_around page)
+        ~seed ~explore:(not no_explore) ~detector ~hb ~time_limit
+        ~dedup:(not no_dedup) ()
     in
-    let report = Webracer.analyze cfg in
+    let report = Api.analyze ~trace:(dump_trace <> None) ~telemetry:tm params in
     (match trace_out with
     | Some file -> write_file file (Wr_support.Json.to_string (Telemetry.to_chrome_trace tm))
     | None -> ());
@@ -336,25 +345,20 @@ let explain_cmd =
   in
   let action page seed no_explore race_n dot_out json_out log_out =
     setup_event_log log_out;
-    let cfg =
-      Webracer.config ~page:(read_file page) ~resources:(resources_around page) ~seed
-        ~explore:(not no_explore) ()
+    let params =
+      Request.analyze_params ~page:(read_file page) ~resources:(resources_around page)
+        ~seed ~explore:(not no_explore) ()
     in
-    let report = Webracer.analyze cfg in
+    let report = Api.analyze params in
     let g = report.Webracer.hb_graph in
     let races = report.Webracer.races in
-    let selected =
-      match race_n with
-      | None -> List.mapi (fun i r -> (i + 1, r)) races
-      | Some n ->
-          if n < 1 || n > List.length races then begin
-            Printf.eprintf "explain: --race %d out of range (page has %d races)\n" n
-              (List.length races);
-            exit 1
-          end;
-          [ (n, List.nth races (n - 1)) ]
+    let witnesses =
+      match Api.select_witnesses report ~race:race_n with
+      | Ok selection -> selection
+      | Error msg ->
+          Printf.eprintf "explain: %s\n" msg;
+          exit 1
     in
-    let witnesses = List.map (fun (i, r) -> (i, r, Wr_explain.of_race g r)) selected in
     Printf.printf "races: %d raw, %d after filters\n\n" (List.length races)
       (List.length report.Webracer.filtered);
     if races = [] then print_endline "No races detected; nothing to explain."
@@ -375,20 +379,7 @@ let explain_cmd =
     | None -> ());
     (match json_out with
     | Some file ->
-        let entries =
-          List.map
-            (fun (i, race, w) ->
-              Wr_support.Json.Obj
-                [
-                  ("index", Wr_support.Json.Int i);
-                  ( "race",
-                    Wr_detect.Race.to_json
-                      ~extra:[ ("witness", Wr_explain.to_json g w) ]
-                      race );
-                ])
-            witnesses
-        in
-        write_file file (Wr_support.Json.to_string (Wr_support.Json.List entries));
+        write_file file (Wr_support.Json.to_string (Api.explain_json report witnesses));
         Printf.printf "witnesses written to %s\n" file
     | None -> ());
     Log.close_sink ();
@@ -511,16 +502,26 @@ let replay_cmd =
           ~doc:"Virtual ms per parsed element, letting resource arrivals interleave with \
                 parsing.")
   in
-  let action page schedules parse_delay =
-    let cfg =
-      Webracer.config ~page:(read_file page) ~resources:(resources_around page)
-        ~explore:false ()
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Try up to $(docv) schedules concurrently (0 = one per hardware \
+                thread); the verdict stays seed-ordered whatever $(docv) is.")
+  in
+  let action page schedules parse_delay jobs =
+    let jobs = if jobs = 0 then Wr_support.Pool.default_jobs () else max 1 jobs in
+    let params =
+      {
+        Request.target =
+          Request.analyze_params ~page:(read_file page)
+            ~resources:(resources_around page) ~explore:false ();
+        schedules;
+        parse_delay;
+        jobs;
+      }
     in
-    let verdict =
-      Webracer.Replay.explore_schedules cfg
-        ~seeds:(List.init schedules (fun i -> i))
-        ~parse_delay ()
-    in
+    let verdict = Api.replay params in
     Format.printf "%a@." Webracer.Replay.pp_verdict verdict;
     if Webracer.Replay.manifests verdict then exit 2
   in
@@ -528,7 +529,7 @@ let replay_cmd =
     "Re-run a page under alternative schedules until a detected race manifests as a crash \
      or divergent output (exit 2 when it does)."
   in
-  Cmd.v (Cmd.info "replay" ~doc) Term.(const action $ page $ schedules $ parse_delay)
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const action $ page $ schedules $ parse_delay $ jobs)
 
 (* --- profile ------------------------------------------------------------ *)
 
@@ -617,6 +618,271 @@ let sitegen_cmd =
   let doc = "Write a synthetic corpus site to disk (then: webracer run DIR/index.html)." in
   Cmd.v (Cmd.info "sitegen" ~doc) Term.(const action $ site_name $ out_dir)
 
+(* --- serve / call ------------------------------------------------------- *)
+
+let address_term =
+  let socket =
+    Arg.(
+      value & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on (or connect to) a Unix socket.")
+  in
+  let port =
+    Arg.(
+      value & opt (some int) None
+      & info [ "port" ] ~docv:"N"
+          ~doc:"Listen on (or connect to) TCP 127.0.0.1:$(docv) instead of a Unix \
+                socket.")
+  in
+  let combine socket port =
+    match (socket, port) with
+    | Some path, None -> `Ok (Wr_serve.Daemon.Unix_socket path)
+    | None, Some p -> `Ok (Wr_serve.Daemon.Tcp p)
+    | None, None -> `Error (true, "one of --socket PATH or --port N is required")
+    | Some _, Some _ -> `Error (true, "--socket and --port are mutually exclusive")
+  in
+  Term.(ret (const combine $ socket $ port))
+
+let address_string = function
+  | Wr_serve.Daemon.Unix_socket p -> "unix:" ^ p
+  | Wr_serve.Daemon.Tcp p -> Printf.sprintf "tcp:127.0.0.1:%d" p
+
+let serve_cmd =
+  let jobs =
+    Arg.(
+      value & opt int 4
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains analyzing requests (0 = one per hardware thread); the \
+                accept loop runs besides them.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 128
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Bounded admission queue: requests arriving while $(docv) jobs are in \
+                flight get an $(b,overload) error instead of piling up.")
+  in
+  let cache =
+    Arg.(
+      value & opt int 64
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"LRU result-cache entries keyed by content hash of (page, resources, \
+                config); 0 disables caching.")
+  in
+  let wall_limit =
+    Arg.(
+      value & opt float 60.
+      & info [ "wall-limit" ] ~docv:"SECONDS"
+          ~doc:"Per-request wall-clock budget; an overdue request is answered with a \
+                $(b,timeout) error (0 = unlimited).")
+  in
+  let max_vtime =
+    Arg.(
+      value & opt float 600_000.
+      & info [ "max-time-limit" ] ~docv:"MS"
+          ~doc:"Clamp on the virtual-time horizon a request may ask for.")
+  in
+  let action address jobs queue cache wall_limit max_vtime log_out =
+    setup_event_log log_out;
+    let jobs = if jobs = 0 then Wr_support.Pool.default_jobs () else max 1 jobs in
+    let cfg =
+      {
+        Wr_serve.Daemon.address;
+        jobs;
+        queue_cap = max 1 queue;
+        cache_cap = max 0 cache;
+        wall_limit;
+        max_time_limit = max_vtime;
+      }
+    in
+    let stopped = Atomic.make false in
+    let request_stop = Sys.Signal_handle (fun _ -> Atomic.set stopped true) in
+    Sys.set_signal Sys.sigint request_stop;
+    Sys.set_signal Sys.sigterm request_stop;
+    let on_ready addr =
+      Printf.eprintf "webracer serve: listening on %s (jobs %d, queue %d, cache %d)\n%!"
+        (address_string addr) jobs cfg.Wr_serve.Daemon.queue_cap
+        cfg.Wr_serve.Daemon.cache_cap
+    in
+    let final =
+      Wr_serve.Daemon.run
+        ~stop:(fun () -> Atomic.get stopped)
+        ~on_ready ~telemetry:(Telemetry.create ()) cfg
+    in
+    Printf.eprintf "webracer serve: drained and stopped\n%s\n%!"
+      (Wr_support.Json.to_string final);
+    Log.close_sink ()
+  in
+  let doc =
+    "Run the long-lived analysis daemon: newline-delimited JSON requests \
+     ($(b,ping), $(b,stats), $(b,analyze), $(b,explain), $(b,replay)) over a Unix \
+     socket or TCP, dispatched to a domain worker pool behind a bounded queue with \
+     an LRU result cache. SIGINT/SIGTERM drain in-flight work before exit."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const action $ address_term $ jobs $ queue $ cache $ wall_limit $ max_vtime
+      $ log_out_arg)
+
+let call_cmd =
+  let verb =
+    let verb_conv =
+      Arg.enum
+        [ ("ping", `Ping); ("stats", `Stats); ("analyze", `Analyze);
+          ("explain", `Explain); ("replay", `Replay); ("raw", `Raw) ]
+    in
+    Arg.(
+      required & pos 0 (some verb_conv) None
+      & info [] ~docv:"VERB"
+          ~doc:"One of $(b,ping), $(b,stats), $(b,analyze), $(b,explain), \
+                $(b,replay), or $(b,raw) (send stdin lines verbatim).")
+  in
+  let page =
+    Arg.(
+      value & pos 1 (some file) None
+      & info [] ~docv:"PAGE" ~doc:"HTML page (analyze/explain/replay).")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Pipeline $(docv) copies of the request (ids 1..$(docv)) over one \
+                connection; responses print in arrival order.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Seed for network latencies and Math.random.")
+  in
+  let no_explore =
+    Arg.(value & flag & info [ "no-explore" ] ~doc:"Disable automatic exploration (§5.2.2).")
+  in
+  let no_dedup =
+    Arg.(value & flag & info [ "no-dedup" ] ~doc:"Disable the access-dedup front-end.")
+  in
+  let detector =
+    Arg.(
+      value
+      & opt detector_conv Webracer.Config.Last_access
+      & info [ "detector" ] ~doc:"Race detector: $(b,last-access) or $(b,full-track).")
+  in
+  let hb =
+    Arg.(
+      value & opt hb_conv Wr_hb.Graph.Closure
+      & info [ "hb" ] ~doc:"Happens-before queries: $(b,closure), $(b,chain-vc) or $(b,dfs).")
+  in
+  let time_limit =
+    Arg.(
+      value & opt float 60_000.
+      & info [ "time-limit" ] ~doc:"Virtual-time horizon in milliseconds.")
+  in
+  let race_n =
+    Arg.(
+      value & opt (some int) None
+      & info [ "race" ] ~docv:"N" ~doc:"(explain) only the $(docv)-th race, 1-based.")
+  in
+  let schedules =
+    Arg.(
+      value & opt int 25
+      & info [ "schedules" ] ~doc:"(replay) alternative schedules to try.")
+  in
+  let parse_delay =
+    Arg.(
+      value & opt float 2.
+      & info [ "parse-delay" ] ~doc:"(replay) virtual ms per parsed element.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"(replay) server-side schedule parallelism.")
+  in
+  let connect_timeout =
+    Arg.(
+      value & opt float 10.
+      & info [ "connect-timeout" ] ~docv:"SECONDS"
+          ~doc:"Keep retrying the connection this long (covers a daemon still \
+                starting up).")
+  in
+  let action verb page address repeat seed no_explore no_dedup detector hb time_limit
+      race_n schedules parse_delay jobs connect_timeout =
+    let client =
+      try Wr_serve.Client.connect ~retry_for:connect_timeout address
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "call: cannot connect to %s: %s\n" (address_string address)
+          (Unix.error_message e);
+        exit 3
+    in
+    let target () =
+      match page with
+      | Some p ->
+          Request.analyze_params ~page:(read_file p) ~resources:(resources_around p)
+            ~seed ~explore:(not no_explore) ~detector ~hb ~time_limit
+            ~dedup:(not no_dedup) ()
+      | None ->
+          prerr_endline "call: this verb needs a PAGE argument";
+          exit 1
+    in
+    let print_and_check n_expected =
+      let all_ok = ref true in
+      for _ = 1 to n_expected do
+        match Wr_serve.Client.recv_line client with
+        | None ->
+            prerr_endline "call: connection closed before all responses arrived";
+            exit 3
+        | Some line ->
+            print_endline line;
+            (match Wr_serve.Response.of_line line with
+            | Ok r -> if not (Wr_serve.Response.is_ok r) then all_ok := false
+            | Error _ -> all_ok := false)
+      done;
+      !all_ok
+    in
+    let ok =
+      match verb with
+      | `Raw ->
+          let sent = ref 0 in
+          In_channel.fold_lines
+            (fun () line ->
+              Wr_serve.Client.send_line client line;
+              if String.trim line <> "" then incr sent)
+            () In_channel.stdin;
+          print_and_check !sent
+      | (`Ping | `Stats | `Analyze | `Explain | `Replay) as v ->
+          let verb_value =
+            match v with
+            | `Ping -> Request.Ping
+            | `Stats -> Request.Stats
+            | `Analyze -> Request.Analyze (target ())
+            | `Explain -> Request.Explain { Request.target = target (); race = race_n }
+            | `Replay ->
+                Request.Replay
+                  {
+                    Request.target = target ();
+                    schedules;
+                    parse_delay;
+                    jobs = max 1 jobs;
+                  }
+          in
+          let repeat = max 1 repeat in
+          for i = 1 to repeat do
+            Wr_serve.Client.send client
+              { Request.id = Wr_support.Json.Int i; verb = verb_value }
+          done;
+          print_and_check repeat
+    in
+    Wr_serve.Client.close client;
+    if not ok then exit 1
+  in
+  let doc =
+    "Send requests to a running $(b,webracer serve) daemon and print the raw \
+     response lines (exit 1 if any response is an error, 3 if the daemon is \
+     unreachable)."
+  in
+  Cmd.v
+    (Cmd.info "call" ~doc)
+    Term.(
+      const action $ verb $ page $ address_term $ repeat $ seed $ no_explore $ no_dedup
+      $ detector $ hb $ time_limit $ race_n $ schedules $ parse_delay $ jobs
+      $ connect_timeout)
+
 let () =
   let doc = "dynamic race detection for (simulated) web applications" in
   let info = Cmd.info "webracer" ~version:"1.0.0" ~doc in
@@ -624,4 +890,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; batch_cmd; explain_cmd; corpus_cmd; sitegen_cmd; replay_cmd;
-            offline_cmd; profile_cmd ]))
+            offline_cmd; profile_cmd; serve_cmd; call_cmd ]))

@@ -200,6 +200,7 @@ let to_json g w =
   let chain_json chain = Json.List (List.map (fun (i : Op.info) -> op_json i.Op.id) chain) in
   Json.Obj
     [
+      Wr_support.Schema.tag;
       ("older_op", Json.Int w.older);
       ("newer_op", Json.Int w.newer);
       ("older_provenance", chain_json w.older_provenance);

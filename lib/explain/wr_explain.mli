@@ -101,5 +101,6 @@ val dot_many : Graph.t -> witness list -> string
 val pp : Graph.t -> Format.formatter -> witness -> unit
 
 (** [to_json g w] includes the witness fields plus [certified], the
-    result of {!verify} at export time. *)
+    result of {!verify} at export time, under a top-level
+    ["schema_version"] ({!Wr_support.Schema.version}). *)
 val to_json : Graph.t -> witness -> Wr_support.Json.t

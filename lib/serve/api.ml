@@ -1,0 +1,82 @@
+module Json = Wr_support.Json
+module Schema = Wr_support.Schema
+module Race = Wr_detect.Race
+
+let config_of_params ?(trace = false) ?telemetry (p : Request.analyze_params) =
+  Webracer.config ~page:p.Request.page ~resources:p.Request.resources
+    ~seed:p.Request.seed ~explore:p.Request.explore ~detector:p.Request.detector
+    ~hb_strategy:p.Request.hb ~time_limit:p.Request.time_limit
+    ~dedup:p.Request.dedup ~trace ?telemetry ()
+
+let analyze ?trace ?telemetry p =
+  Webracer.analyze (config_of_params ?trace ?telemetry p)
+
+let select_witnesses (report : Webracer.report) ~race =
+  let races = report.Webracer.races in
+  match race with
+  | None ->
+      Ok
+        (List.mapi
+           (fun i r -> (i + 1, r, Wr_explain.of_race report.Webracer.hb_graph r))
+           races)
+  | Some n ->
+      if n < 1 || n > List.length races then
+        Error
+          (Printf.sprintf "race %d out of range (page has %d races)" n
+             (List.length races))
+      else
+        let r = List.nth races (n - 1) in
+        Ok [ (n, r, Wr_explain.of_race report.Webracer.hb_graph r) ]
+
+let explain_json (report : Webracer.report) selection =
+  let g = report.Webracer.hb_graph in
+  Json.Obj
+    [
+      Schema.tag;
+      ("races", Json.Int (List.length report.Webracer.races));
+      ("filtered", Json.Int (List.length report.Webracer.filtered));
+      ( "witnesses",
+        Json.List
+          (List.map
+             (fun (i, race, w) ->
+               Json.Obj
+                 [
+                   ("index", Json.Int i);
+                   ( "race",
+                     Race.to_json ~extra:[ ("witness", Wr_explain.to_json g w) ] race
+                   );
+                 ])
+             selection) );
+    ]
+
+let replay (p : Request.replay_params) =
+  Webracer.Replay.explore_schedules ~jobs:p.Request.jobs
+    (config_of_params p.Request.target)
+    ~seeds:(List.init p.Request.schedules (fun i -> i))
+    ~parse_delay:p.Request.parse_delay ()
+
+let ping_result = Json.Obj [ ("pong", Json.Bool true) ]
+
+let no_stats () =
+  failwith "stats is only served by a running daemon, not a one-shot dispatch"
+
+let dispatch ?(stats = no_stats) (req : Request.t) =
+  let id = req.Request.id in
+  match
+    match req.Request.verb with
+    | Request.Ping -> Response.ok ~id ping_result
+    | Request.Stats -> Response.ok ~id (stats ())
+    | Request.Analyze p -> Response.ok ~id (Webracer.report_to_json (analyze p))
+    | Request.Explain { target; race } -> (
+        let report = analyze target in
+        match select_witnesses report ~race with
+        | Ok selection -> Response.ok ~id (explain_json report selection)
+        | Error msg -> Response.error ~id Response.Bad_request msg)
+    | Request.Replay p ->
+        Response.ok ~id (Webracer.Replay.verdict_to_json (replay p))
+  with
+  | resp -> resp
+  | exception e ->
+      (* Crash isolation: a pathological page must answer, not abort the
+         worker (let alone the daemon). *)
+      Response.error ~id Response.Internal (Printexc.to_string e)

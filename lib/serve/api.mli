@@ -1,0 +1,51 @@
+(** The single dispatch path from {!Request.t} values to results.
+
+    Both the daemon's worker domains and the one-shot CLI subcommands go
+    through this module, so a page analyzed over the socket and one
+    analyzed by [webracer run --json] produce byte-identical documents
+    (modulo [wall_clock_s]). *)
+
+module Race = Wr_detect.Race
+
+(** [config_of_params p] is the one params -> [Config.t] mapping.
+    [trace] and [telemetry] are process-local concerns (trace dumps,
+    profiling) that never travel on the wire, so they ride alongside. *)
+val config_of_params :
+  ?trace:bool ->
+  ?telemetry:Wr_telemetry.Telemetry.t ->
+  Request.analyze_params ->
+  Webracer.Config.t
+
+val analyze :
+  ?trace:bool ->
+  ?telemetry:Wr_telemetry.Telemetry.t ->
+  Request.analyze_params ->
+  Webracer.report
+
+(** [select_witnesses report ~race] builds the explain selection:
+    every race, or the 1-based [race] only. [Error] is the out-of-range
+    message (a bad request, not an internal error). *)
+val select_witnesses :
+  Webracer.report ->
+  race:int option ->
+  ((int * Race.t * Wr_explain.witness) list, string) result
+
+(** [explain_json report selection] — the explain document:
+    [{"schema_version":1, "races":n, "filtered":n, "witnesses":[...]}];
+    [webracer explain --json] writes exactly this. *)
+val explain_json :
+  Webracer.report -> (int * Race.t * Wr_explain.witness) list -> Wr_support.Json.t
+
+val replay : Request.replay_params -> Webracer.Replay.verdict
+
+(** [ping_result] is the constant [{"pong":true}]. *)
+val ping_result : Wr_support.Json.t
+
+(** [dispatch ?stats req] runs the request to completion on the calling
+    domain and never raises: analysis exceptions become [Internal]
+    error responses (crash isolation), explain selection errors
+    [Bad_request]. [stats] supplies the [stats] verb's result — the
+    daemon passes its live counters; the default answers with an
+    [Internal] error since a one-shot process has no service state. *)
+val dispatch :
+  ?stats:(unit -> Wr_support.Json.t) -> Request.t -> Response.t

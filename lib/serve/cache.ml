@@ -1,0 +1,26 @@
+module Json = Wr_support.Json
+
+type t = {
+  lru : Json.t Wr_support.Lru.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~cap = { lru = Wr_support.Lru.create ~cap; hits = 0; misses = 0 }
+
+let key p = Wr_support.Hash.hex (Json.to_string (Request.analyze_params_to_json p))
+
+let find t k =
+  match Wr_support.Lru.find t.lru k with
+  | Some _ as hit ->
+      t.hits <- t.hits + 1;
+      hit
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let store t k v = Wr_support.Lru.add t.lru k v
+let hits t = t.hits
+let misses t = t.misses
+let length t = Wr_support.Lru.length t.lru
+let cap t = Wr_support.Lru.cap t.lru

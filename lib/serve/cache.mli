@@ -1,0 +1,29 @@
+(** The daemon's LRU result cache.
+
+    Keyed by a content hash of the canonical analyze params — page,
+    resources and every config knob that can change the report — so two
+    requests share an entry iff they would run the identical analysis.
+    Values are the full report documents ([Webracer.report_to_json]); a
+    hit replays the original run's JSON verbatim, including its
+    [wall_clock_s] (byte-identical output matters more than a
+    fresh-looking timer). Analyze results only: explain and replay are
+    rare, and their documents dominate the memory a slot is worth.
+
+    Not domain-safe by design — the daemon does every lookup and store
+    on its accept loop, which also keeps the hit/miss counters exact. *)
+
+type t
+
+val create : cap:int -> t
+
+(** [key p] — 32 hex chars over the canonical params JSON. *)
+val key : Request.analyze_params -> string
+
+(** [find t k] bumps the hit or miss counter. *)
+val find : t -> string -> Wr_support.Json.t option
+
+val store : t -> string -> Wr_support.Json.t -> unit
+val hits : t -> int
+val misses : t -> int
+val length : t -> int
+val cap : t -> int

@@ -1,0 +1,62 @@
+type t = { fd : Unix.file_descr; ic : in_channel; mutable closed : bool }
+
+let sockaddr_of = function
+  | Daemon.Unix_socket path -> Unix.ADDR_UNIX path
+  | Daemon.Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+let retriable = function
+  | Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET | Unix.EAGAIN -> true
+  | _ -> false
+
+let connect ?(retry_for = 0.) address =
+  let deadline = Unix.gettimeofday () +. retry_for in
+  let rec attempt () =
+    let fd =
+      Unix.socket
+        (match address with Daemon.Unix_socket _ -> Unix.PF_UNIX | Daemon.Tcp _ -> Unix.PF_INET)
+        Unix.SOCK_STREAM 0
+    in
+    match Unix.connect fd (sockaddr_of address) with
+    | () -> fd
+    | exception Unix.Unix_error (e, _, _) when retriable e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if Unix.gettimeofday () >= deadline then raise (Unix.Unix_error (e, "connect", ""));
+        Unix.sleepf 0.05;
+        attempt ()
+  in
+  let fd = attempt () in
+  { fd; ic = Unix.in_channel_of_descr fd; closed = false }
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go ofs =
+    if ofs < len then
+      match Unix.write_substring fd s ofs (len - ofs) with
+      | n -> go (ofs + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ofs
+  in
+  go 0
+
+let send_line t s = write_all t.fd (s ^ "\n")
+let send t req = send_line t (Request.to_line req)
+
+(* A peer that resets the connection (e.g. a daemon closing with unread
+   input) surfaces as [Sys_error], not end-of-file; both mean "no more
+   responses" to a client. *)
+let recv_line t = try In_channel.input_line t.ic with Sys_error _ -> None
+
+let recv t =
+  match recv_line t with
+  | None -> Error "connection closed by server"
+  | Some line -> Response.of_line line
+
+let request t req =
+  send t req;
+  recv t
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (* closes the underlying fd too *)
+    try In_channel.close t.ic with Sys_error _ -> ()
+  end

@@ -1,0 +1,33 @@
+(** A minimal blocking client for the serve wire protocol.
+
+    One connection, synchronous I/O: [send] as many requests as you
+    like (they pipeline), then [recv] one response per request.
+    [webracer call], the cram tests and the CI smoke step are the
+    consumers. *)
+
+type t
+
+(** [connect addr] — [retry_for] (default 0) keeps retrying
+    connection-refused / socket-not-there errors for that many seconds,
+    which papers over the daemon's startup window in scripts that
+    launch it in the background. Raises [Unix.Unix_error] once the
+    budget is spent. *)
+val connect : ?retry_for:float -> Daemon.address -> t
+
+val send : t -> Request.t -> unit
+
+(** [send_line t s] ships a raw line verbatim (protocol testing:
+    malformed requests). *)
+val send_line : t -> string -> unit
+
+(** [recv t] blocks for the next response line; [Error] is an EOF or a
+    line that does not decode as a response. *)
+val recv : t -> (Response.t, string) result
+
+(** [recv_line t] — the raw line, [None] on EOF or a reset connection. *)
+val recv_line : t -> string option
+
+(** [request t req] = [send] then [recv]. *)
+val request : t -> Request.t -> (Response.t, string) result
+
+val close : t -> unit

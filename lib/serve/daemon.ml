@@ -1,0 +1,496 @@
+module Json = Wr_support.Json
+module Schema = Wr_support.Schema
+module Pool = Wr_support.Pool
+module Telemetry = Wr_telemetry.Telemetry
+module Log = Wr_support.Log
+
+type address = Unix_socket of string | Tcp of int
+
+type config = {
+  address : address;
+  jobs : int;
+  queue_cap : int;
+  cache_cap : int;
+  wall_limit : float;
+  max_time_limit : float;
+}
+
+let default_config address =
+  {
+    address;
+    jobs = 4;
+    queue_cap = 128;
+    cache_cap = 64;
+    wall_limit = 60.;
+    max_time_limit = 600_000.;
+  }
+
+(* A request line larger than this is rejected outright: it is almost
+   certainly a protocol error, and buffering it unbounded would let one
+   client exhaust the daemon. *)
+let max_request_bytes = 16 * 1024 * 1024
+
+type conn = {
+  cid : int;
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  out : Buffer.t;  (** bytes not yet written; [out_ofs] already sent *)
+  mutable out_ofs : int;
+  mutable alive : bool;  (** peer still readable; dead conns drop replies *)
+}
+
+type job = {
+  jid : int;
+  job_cid : int;
+  verb : string;
+  cache_key : string option;
+  deadline : float option;
+  mutable answered : bool;  (** timeout already replied; drop the result *)
+}
+
+type state = {
+  cfg : config;
+  cache : Cache.t;
+  pool : Pool.t;
+  tm : Telemetry.t;
+  started : float;
+  conns : (int, conn) Hashtbl.t;
+  jobs_live : (int, job) Hashtbl.t;
+  completions : (int * Response.t) Queue.t;
+  completions_lock : Mutex.t;
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+  mutable next_cid : int;
+  mutable next_jid : int;
+  (* counters, accept-loop-only *)
+  requests : (string, int) Hashtbl.t;  (** by verb *)
+  responses : (string, int) Hashtbl.t;  (** by "ok" / error code *)
+  mutable analyses_run : int;
+  mutable timeouts : int;
+}
+
+let bump table key =
+  Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+
+let count table key = Option.value ~default:0 (Hashtbl.find_opt table key)
+
+let sync_telemetry st =
+  let tm = st.tm in
+  if Telemetry.enabled tm then begin
+    Telemetry.set_counter tm "serve.cache.hits" (Cache.hits st.cache);
+    Telemetry.set_counter tm "serve.cache.misses" (Cache.misses st.cache);
+    Telemetry.set_counter tm "serve.cache.entries" (Cache.length st.cache);
+    Telemetry.set_counter tm "serve.analyses" st.analyses_run;
+    Telemetry.set_counter tm "serve.timeouts" st.timeouts;
+    Telemetry.set_counter tm "serve.in_flight" (Hashtbl.length st.jobs_live);
+    Hashtbl.iter
+      (fun verb n -> Telemetry.set_counter tm ("serve.requests." ^ verb) n)
+      st.requests;
+    Hashtbl.iter
+      (fun code n -> Telemetry.set_counter tm ("serve.responses." ^ code) n)
+      st.responses
+  end
+
+let stats_json st =
+  let verbs = [ "ping"; "stats"; "analyze"; "explain"; "replay" ] in
+  let total = List.fold_left (fun acc v -> acc + count st.requests v) 0 verbs in
+  Json.Obj
+    [
+      Schema.tag;
+      ("uptime_s", Json.Float (Unix.gettimeofday () -. st.started));
+      ("jobs", Json.Int st.cfg.jobs);
+      ( "queue",
+        Json.Obj
+          [
+            ("cap", Json.Int st.cfg.queue_cap);
+            ("in_flight", Json.Int (Hashtbl.length st.jobs_live));
+          ] );
+      ( "requests",
+        Json.Obj
+          (("total", Json.Int total)
+          :: List.map (fun v -> (v, Json.Int (count st.requests v))) verbs) );
+      ( "responses",
+        Json.Obj
+          (("ok", Json.Int (count st.responses "ok"))
+          :: List.map
+               (fun c ->
+                 let name = Response.code_name c in
+                 (name, Json.Int (count st.responses name)))
+               [ Response.Bad_request; Response.Timeout; Response.Overload;
+                 Response.Internal ]) );
+      ( "cache",
+        Json.Obj
+          [
+            ("cap", Json.Int (Cache.cap st.cache));
+            ("entries", Json.Int (Cache.length st.cache));
+            ("hits", Json.Int (Cache.hits st.cache));
+            ("misses", Json.Int (Cache.misses st.cache));
+          ] );
+      ("analyses_run", Json.Int st.analyses_run);
+      ("timeouts", Json.Int st.timeouts);
+      ( "telemetry",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Int v)) (Telemetry.counters st.tm)) );
+    ]
+
+(* --- replies ----------------------------------------------------------- *)
+
+let respond st conn (resp : Response.t) =
+  bump st.responses
+    (match resp with
+    | Response.Ok _ -> "ok"
+    | Response.Error { code; _ } -> Response.code_name code);
+  if conn.alive then begin
+    Buffer.add_string conn.out (Response.to_line resp);
+    Buffer.add_char conn.out '\n'
+  end;
+  sync_telemetry st
+
+let respond_cid st cid resp =
+  match Hashtbl.find_opt st.conns cid with
+  | Some conn -> respond st conn resp
+  | None ->
+      (* The client vanished before its answer; still tally the outcome. *)
+      bump st.responses
+        (match resp with
+        | Response.Ok _ -> "ok"
+        | Response.Error { code; _ } -> Response.code_name code)
+
+(* --- job submission ---------------------------------------------------- *)
+
+let submit_job st conn ~verb ~cache_key (work : unit -> Response.t) =
+  let jid = st.next_jid in
+  st.next_jid <- jid + 1;
+  let deadline =
+    if st.cfg.wall_limit > 0. then Some (Unix.gettimeofday () +. st.cfg.wall_limit)
+    else None
+  in
+  Hashtbl.replace st.jobs_live jid
+    { jid; job_cid = conn.cid; verb; cache_key; deadline; answered = false };
+  Pool.submit st.pool (fun () ->
+      let resp = work () in
+      Mutex.lock st.completions_lock;
+      Queue.push (jid, resp) st.completions;
+      Mutex.unlock st.completions_lock;
+      (* Wake the accept loop; EAGAIN just means it is already awake. *)
+      try ignore (Unix.write st.pipe_w (Bytes.make 1 '!') 0 1)
+      with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE), _, _) -> ())
+
+let drain_completions st =
+  let batch =
+    Mutex.lock st.completions_lock;
+    let xs = List.of_seq (Queue.to_seq st.completions) in
+    Queue.clear st.completions;
+    Mutex.unlock st.completions_lock;
+    xs
+  in
+  List.iter
+    (fun (jid, resp) ->
+      match Hashtbl.find_opt st.jobs_live jid with
+      | None -> ()
+      | Some job ->
+          Hashtbl.remove st.jobs_live jid;
+          (match (job.cache_key, resp) with
+          | Some key, Response.Ok { result; _ } ->
+              st.analyses_run <- st.analyses_run + 1;
+              Cache.store st.cache key result
+          | Some _, Response.Error _ | None, _ -> ());
+          if not job.answered then respond_cid st job.job_cid resp
+          else sync_telemetry st)
+    batch
+
+let sweep_deadlines st now =
+  Hashtbl.iter
+    (fun _ job ->
+      match job.deadline with
+      | Some d when (not job.answered) && d <= now ->
+          job.answered <- true;
+          st.timeouts <- st.timeouts + 1;
+          respond_cid st job.job_cid
+            (Response.error ~id:Json.Null Response.Timeout
+               (Printf.sprintf "request exceeded the %.0f s wall-clock limit"
+                  st.cfg.wall_limit))
+      | _ -> ())
+    st.jobs_live
+
+(* --- request handling -------------------------------------------------- *)
+
+let clamp_target st (p : Request.analyze_params) =
+  { p with Request.time_limit = Float.min p.Request.time_limit st.cfg.max_time_limit }
+
+let handle_request st conn (req : Request.t) =
+  let id = req.Request.id in
+  bump st.requests (Request.verb_name req.Request.verb);
+  let admit ~verb ~cache_key work =
+    if Hashtbl.length st.jobs_live >= st.cfg.queue_cap then
+      respond st conn
+        (Response.error ~id Response.Overload
+           (Printf.sprintf "queue full (%d requests in flight); retry later"
+              st.cfg.queue_cap))
+    else submit_job st conn ~verb ~cache_key work
+  in
+  match req.Request.verb with
+  | Request.Ping -> respond st conn (Response.ok ~id Api.ping_result)
+  | Request.Stats -> respond st conn (Response.ok ~id (stats_json st))
+  | Request.Analyze p -> (
+      let p = clamp_target st p in
+      let key = Cache.key p in
+      match Cache.find st.cache key with
+      | Some result -> respond st conn (Response.ok ~id result)
+      | None ->
+          admit ~verb:"analyze" ~cache_key:(Some key) (fun () ->
+              Api.dispatch { req with Request.verb = Request.Analyze p }))
+  | Request.Explain e ->
+      let e = { e with Request.target = clamp_target st e.Request.target } in
+      admit ~verb:"explain" ~cache_key:None (fun () ->
+          Api.dispatch { req with Request.verb = Request.Explain e })
+  | Request.Replay r ->
+      (* A replay fans out inside one worker; clamp its parallelism so a
+         single request cannot oversubscribe the fleet. *)
+      let r =
+        {
+          r with
+          Request.target = clamp_target st r.Request.target;
+          jobs = max 1 (min r.Request.jobs st.cfg.jobs);
+        }
+      in
+      admit ~verb:"replay" ~cache_key:None (fun () ->
+          Api.dispatch { req with Request.verb = Request.Replay r })
+
+let handle_line st conn line =
+  if String.trim line <> "" then begin
+    if Log.enabled Log.Debug then
+      Log.debug "serve.request"
+        [ ("conn", Json.Int conn.cid); ("bytes", Json.Int (String.length line)) ];
+    match Request.of_line line with
+    | Ok req -> handle_request st conn req
+    | Error (id, msg) ->
+        bump st.requests "invalid";
+        respond st conn (Response.error ~id Response.Bad_request msg)
+  end
+
+(* Split complete lines out of the connection's input buffer. *)
+let process_input st conn =
+  let data = Buffer.contents conn.inbuf in
+  let n = String.length data in
+  let pos = ref 0 in
+  (try
+     while !pos < n do
+       match String.index_from data !pos '\n' with
+       | nl ->
+           handle_line st conn (String.sub data !pos (nl - !pos));
+           pos := nl + 1
+       | exception Not_found -> raise Exit
+     done
+   with Exit -> ());
+  Buffer.clear conn.inbuf;
+  Buffer.add_substring conn.inbuf data !pos (n - !pos);
+  if Buffer.length conn.inbuf > max_request_bytes then begin
+    respond st conn
+      (Response.error ~id:Json.Null Response.Bad_request
+         (Printf.sprintf "request line exceeds %d bytes" max_request_bytes));
+    conn.alive <- false;
+    Buffer.clear conn.inbuf
+  end
+
+(* --- sockets ----------------------------------------------------------- *)
+
+let listen_on address =
+  match address with
+  | Unix_socket path ->
+      if Sys.file_exists path then Unix.unlink path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      (fd, address)
+  | Tcp port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.listen fd 64;
+      let bound =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> Tcp p
+        | _ -> address
+      in
+      (fd, bound)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_conn st listen_fd =
+  match Unix.accept listen_fd with
+  | fd, _ ->
+      Unix.set_nonblock fd;
+      let cid = st.next_cid in
+      st.next_cid <- cid + 1;
+      Hashtbl.replace st.conns cid
+        {
+          cid;
+          fd;
+          inbuf = Buffer.create 1024;
+          out = Buffer.create 1024;
+          out_ofs = 0;
+          alive = true;
+        }
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      ()
+
+let read_conn st conn =
+  let chunk = Bytes.create 65536 in
+  match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> conn.alive <- false
+  | n ->
+      Buffer.add_subbytes conn.inbuf chunk 0 n;
+      process_input st conn
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      ()
+  | exception Unix.Unix_error _ -> conn.alive <- false
+
+let flush_conn conn =
+  let pending = Buffer.length conn.out - conn.out_ofs in
+  if pending > 0 then begin
+    match
+      Unix.write_substring conn.fd (Buffer.contents conn.out) conn.out_ofs pending
+    with
+    | n ->
+        conn.out_ofs <- conn.out_ofs + n;
+        if conn.out_ofs = Buffer.length conn.out then begin
+          Buffer.clear conn.out;
+          conn.out_ofs <- 0
+        end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error _ ->
+        conn.alive <- false;
+        Buffer.clear conn.out;
+        conn.out_ofs <- 0
+  end
+
+let has_output conn = Buffer.length conn.out - conn.out_ofs > 0
+
+(* --- the accept loop --------------------------------------------------- *)
+
+let run ?(stop = fun () -> false) ?on_ready ?(telemetry = Telemetry.disabled) cfg =
+  let jobs = max 1 cfg.jobs in
+  (* [jobs + 1] because the accept loop never helps the pool: the +1
+     "submitter slot" stays idle, leaving [jobs] worker domains. *)
+  let pool = Pool.create ~jobs:(jobs + 1) in
+  let listen_fd, bound = listen_on cfg.address in
+  let pipe_r, pipe_w = Unix.pipe () in
+  Unix.set_nonblock pipe_r;
+  Unix.set_nonblock pipe_w;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let st =
+    {
+      cfg = { cfg with jobs };
+      cache = Cache.create ~cap:cfg.cache_cap;
+      pool;
+      tm = telemetry;
+      started = Unix.gettimeofday ();
+      conns = Hashtbl.create 16;
+      jobs_live = Hashtbl.create 64;
+      completions = Queue.create ();
+      completions_lock = Mutex.create ();
+      pipe_r;
+      pipe_w;
+      next_cid = 0;
+      next_jid = 0;
+      requests = Hashtbl.create 8;
+      responses = Hashtbl.create 8;
+      analyses_run = 0;
+      timeouts = 0;
+    }
+  in
+  (match on_ready with Some f -> f bound | None -> ());
+  if Log.enabled Log.Info then
+    Log.info "serve.listening"
+      [
+        ( "address",
+          Json.String
+            (match bound with
+            | Unix_socket p -> "unix:" ^ p
+            | Tcp p -> Printf.sprintf "tcp:127.0.0.1:%d" p) );
+        ("jobs", Json.Int jobs);
+        ("queue_cap", Json.Int cfg.queue_cap);
+      ];
+  let draining = ref false in
+  let drain_started = ref 0. in
+  let running = ref true in
+  while !running do
+    if (not !draining) && stop () then begin
+      (* Graceful shutdown: no new connections or requests; in-flight
+         jobs finish and their responses flush before we exit. *)
+      draining := true;
+      drain_started := Unix.gettimeofday ();
+      close_quietly listen_fd
+    end;
+    let now = Unix.gettimeofday () in
+    let conns = Hashtbl.fold (fun _ c acc -> c :: acc) st.conns [] in
+    let read_fds =
+      st.pipe_r
+      :: (if !draining then []
+          else listen_fd :: List.filter_map (fun c -> if c.alive then Some c.fd else None) conns)
+    in
+    let write_fds = List.filter_map (fun c -> if has_output c then Some c.fd else None) conns in
+    let timeout =
+      Hashtbl.fold
+        (fun _ job acc ->
+          match job.deadline with
+          | Some d when not job.answered -> Float.min acc (Float.max 0.01 (d -. now))
+          | _ -> acc)
+        st.jobs_live 0.25
+    in
+    (match Unix.select read_fds write_fds [] timeout with
+    | readable, writable, _ ->
+        if List.mem st.pipe_r readable then begin
+          let buf = Bytes.create 512 in
+          try
+            while Unix.read st.pipe_r buf 0 512 > 0 do
+              ()
+            done
+          with
+          | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+          | Unix.Unix_error _ -> ()
+        end;
+        if (not !draining) && List.mem listen_fd readable then accept_conn st listen_fd;
+        List.iter
+          (fun c -> if c.alive && List.mem c.fd readable then read_conn st c)
+          conns;
+        drain_completions st;
+        sweep_deadlines st (Unix.gettimeofday ());
+        List.iter (fun c -> if List.mem c.fd writable then flush_conn c) conns
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    (* Reap connections that are gone and fully flushed. *)
+    Hashtbl.iter
+      (fun _ c ->
+        if (not c.alive) && not (has_output c) then close_quietly c.fd)
+      st.conns;
+    Hashtbl.filter_map_inplace
+      (fun _ c -> if (not c.alive) && not (has_output c) then None else Some c)
+      st.conns;
+    if !draining then begin
+      drain_completions st;
+      if Hashtbl.length st.jobs_live = 0 then begin
+        (* Give the flushed responses one last write pass, then stop. *)
+        Hashtbl.iter (fun _ c -> flush_conn c) st.conns;
+        let unflushed =
+          Hashtbl.fold (fun _ c acc -> acc || has_output c) st.conns false
+        in
+        (* A peer that stopped reading must not wedge shutdown: give the
+           flush five seconds, then abandon its bytes. *)
+        if (not unflushed) || Unix.gettimeofday () -. !drain_started > 5. then
+          running := false
+      end
+    end
+  done;
+  Hashtbl.iter (fun _ c -> close_quietly c.fd) st.conns;
+  close_quietly pipe_r;
+  close_quietly pipe_w;
+  Pool.close pool;
+  (match bound with
+  | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+  | Tcp _ -> ());
+  let final = stats_json st in
+  if Log.enabled Log.Info then Log.info "serve.stopped" [ ("stats", final) ];
+  final

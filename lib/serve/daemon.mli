@@ -1,0 +1,54 @@
+(** The [webracer serve] daemon: a long-lived analysis service.
+
+    One accept loop (the calling domain) multiplexes every connection
+    with [select], speaking newline-delimited JSON ({!Request} in,
+    {!Response} out, many requests pipelined per connection). Work is
+    fed to a {!Wr_support.Pool} of worker domains through a bounded
+    admission queue:
+
+    - [ping] and [stats] answer inline from the accept loop;
+    - [analyze] first consults the LRU result {!Cache} — a hit answers
+      without touching a worker — then claims a queue slot;
+    - a request arriving while [queue_cap] jobs are in flight gets an
+      [overload] error immediately (backpressure, never a crash);
+    - a job still unfinished [wall_limit] seconds after admission is
+      answered with a [timeout] error; its worker keeps the slot until
+      the analysis actually returns, so abandoned work still counts
+      against the queue. Requested virtual horizons are clamped to
+      [max_time_limit];
+    - a worker exception answers [internal] and the daemon carries on
+      (crash isolation is {!Api.dispatch}'s contract).
+
+    Shutdown is graceful: once [stop] reads true (the CLI wires
+    SIGINT/SIGTERM to it) the daemon stops accepting and reading,
+    drains in-flight jobs, flushes every pending response, closes and
+    returns its final stats document. *)
+
+type address = Unix_socket of string | Tcp of int
+
+type config = {
+  address : address;
+  jobs : int;  (** worker domains (the accept loop is extra) *)
+  queue_cap : int;  (** max in-flight jobs before [overload] *)
+  cache_cap : int;  (** LRU entries; 0 disables the result cache *)
+  wall_limit : float;  (** seconds per request; 0 = unlimited *)
+  max_time_limit : float;  (** clamp on requested virtual horizons (ms) *)
+}
+
+(** jobs 4, queue 128, cache 64, wall limit 60 s, virtual clamp
+    600 000 ms. *)
+val default_config : address -> config
+
+(** [run config] blocks until [stop] reads true, then drains and
+    returns the final [stats] document. [stop] is polled at least every
+    0.25 s. [on_ready] fires once listening, with the bound address
+    ([Tcp 0] resolves to the kernel-chosen port). [telemetry] receives
+    the serve counters ([serve.requests], [serve.cache.hits], ...);
+    they are also embedded in every [stats] response. SIGPIPE is
+    ignored for the process (clients may vanish mid-response). *)
+val run :
+  ?stop:(unit -> bool) ->
+  ?on_ready:(address -> unit) ->
+  ?telemetry:Wr_telemetry.Telemetry.t ->
+  config ->
+  Wr_support.Json.t

@@ -1,0 +1,231 @@
+module Config = Wr_browser.Config
+module Json = Wr_support.Json
+module Schema = Wr_support.Schema
+
+type analyze_params = {
+  page : string;
+  resources : (string * string) list;
+  seed : int;
+  explore : bool;
+  detector : Config.detector_kind;
+  hb : Wr_hb.Graph.strategy;
+  time_limit : float;
+  dedup : bool;
+}
+
+type explain_params = { target : analyze_params; race : int option }
+
+type replay_params = {
+  target : analyze_params;
+  schedules : int;
+  parse_delay : float;
+  jobs : int;
+}
+
+type verb =
+  | Ping
+  | Stats
+  | Analyze of analyze_params
+  | Explain of explain_params
+  | Replay of replay_params
+
+type t = { id : Json.t; verb : verb }
+
+let analyze_params ~page ?(resources = []) ?(seed = 0) ?(explore = true)
+    ?(detector = Config.Last_access) ?(hb = Wr_hb.Graph.Closure)
+    ?(time_limit = 60_000.) ?(dedup = true) () =
+  { page; resources; seed; explore; detector; hb; time_limit; dedup }
+
+let verb_name = function
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Analyze _ -> "analyze"
+  | Explain _ -> "explain"
+  | Replay _ -> "replay"
+
+let detector_names =
+  [ ("last-access", Config.Last_access); ("full-track", Config.Full_track);
+    ("none", Config.No_detector) ]
+
+let hb_names =
+  [ ("closure", Wr_hb.Graph.Closure); ("chain-vc", Wr_hb.Graph.Chain_vc);
+    ("dfs", Wr_hb.Graph.Dfs) ]
+
+let name_of assoc v = fst (List.find (fun (_, x) -> x = v) assoc)
+
+(* --- encoding ---------------------------------------------------------- *)
+
+let analyze_params_to_json p =
+  Json.Obj
+    [
+      ("page", Json.String p.page);
+      ("resources", Json.Obj (List.map (fun (u, b) -> (u, Json.String b)) p.resources));
+      ("seed", Json.Int p.seed);
+      ("explore", Json.Bool p.explore);
+      ("detector", Json.String (name_of detector_names p.detector));
+      ("hb", Json.String (name_of hb_names p.hb));
+      ("time_limit", Json.Float p.time_limit);
+      ("dedup", Json.Bool p.dedup);
+    ]
+
+let params_to_json = function
+  | Ping | Stats -> []
+  | Analyze p -> [ ("params", analyze_params_to_json p) ]
+  | Explain { target; race } ->
+      let extra =
+        match race with None -> [] | Some n -> [ ("race", Json.Int n) ]
+      in
+      let fields =
+        match analyze_params_to_json target with
+        | Json.Obj fields -> fields @ extra
+        | _ -> assert false
+      in
+      [ ("params", Json.Obj fields) ]
+  | Replay { target; schedules; parse_delay; jobs } ->
+      let fields =
+        match analyze_params_to_json target with
+        | Json.Obj fields ->
+            fields
+            @ [
+                ("schedules", Json.Int schedules);
+                ("parse_delay", Json.Float parse_delay);
+                ("jobs", Json.Int jobs);
+              ]
+        | _ -> assert false
+      in
+      [ ("params", Json.Obj fields) ]
+
+let to_json t =
+  Json.Obj
+    ((Schema.tag :: (if t.id = Json.Null then [] else [ ("id", t.id) ]))
+    @ (("verb", Json.String (verb_name t.verb)) :: params_to_json t.verb))
+
+let to_line t = Json.to_string (to_json t)
+
+(* --- decoding ---------------------------------------------------------- *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let field name fields = List.assoc_opt name fields
+
+let get_int name fields ~default =
+  match field name fields with
+  | None -> default
+  | Some (Json.Int i) -> i
+  | Some _ -> bad "%S must be an integer" name
+
+let get_bool name fields ~default =
+  match field name fields with
+  | None -> default
+  | Some (Json.Bool b) -> b
+  | Some _ -> bad "%S must be a boolean" name
+
+let get_float name fields ~default =
+  match field name fields with
+  | None -> default
+  | Some (Json.Float f) -> f
+  | Some (Json.Int i) -> float_of_int i
+  | Some _ -> bad "%S must be a number" name
+
+let get_enum name assoc fields ~default =
+  match field name fields with
+  | None -> default
+  | Some (Json.String s) -> (
+      match List.assoc_opt s assoc with
+      | Some v -> v
+      | None ->
+          bad "%S must be one of %s" name
+            (String.concat ", " (List.map (fun (k, _) -> Printf.sprintf "%S" k) assoc)))
+  | Some _ -> bad "%S must be a string" name
+
+let decode_analyze fields =
+  let page =
+    match field "page" fields with
+    | Some (Json.String s) -> s
+    | Some _ -> bad "\"page\" must be a string"
+    | None -> bad "\"params\" needs a \"page\" field"
+  in
+  let resources =
+    match field "resources" fields with
+    | None -> []
+    | Some (Json.Obj entries) ->
+        List.map
+          (function
+            | (url, Json.String body) -> (url, body)
+            | (url, _) -> bad "resource %S must map to a string body" url)
+          entries
+    | Some _ -> bad "\"resources\" must be an object of url -> body"
+  in
+  let time_limit = get_float "time_limit" fields ~default:60_000. in
+  if time_limit <= 0. then bad "\"time_limit\" must be positive";
+  {
+    page;
+    resources;
+    seed = get_int "seed" fields ~default:0;
+    explore = get_bool "explore" fields ~default:true;
+    detector = get_enum "detector" detector_names fields ~default:Config.Last_access;
+    hb = get_enum "hb" hb_names fields ~default:Wr_hb.Graph.Closure;
+    time_limit;
+    dedup = get_bool "dedup" fields ~default:true;
+  }
+
+let decode_verb verb params =
+  let params_fields =
+    match params with
+    | None -> []
+    | Some (Json.Obj fields) -> fields
+    | Some _ -> bad "\"params\" must be an object"
+  in
+  match verb with
+  | "ping" -> Ping
+  | "stats" -> Stats
+  | "analyze" -> Analyze (decode_analyze params_fields)
+  | "explain" ->
+      let race =
+        match field "race" params_fields with
+        | None -> None
+        | Some (Json.Int n) when n >= 1 -> Some n
+        | Some _ -> bad "\"race\" must be a positive integer"
+      in
+      Explain { target = decode_analyze params_fields; race }
+  | "replay" ->
+      let schedules = get_int "schedules" params_fields ~default:25 in
+      if schedules < 1 then bad "\"schedules\" must be at least 1";
+      let parse_delay = get_float "parse_delay" params_fields ~default:2. in
+      if parse_delay < 0. then bad "\"parse_delay\" must be non-negative";
+      let jobs = get_int "jobs" params_fields ~default:1 in
+      if jobs < 1 then bad "\"jobs\" must be at least 1";
+      Replay { target = decode_analyze params_fields; schedules; parse_delay; jobs }
+  | other ->
+      bad "unknown verb %S (expected ping, stats, analyze, explain or replay)" other
+
+let of_json j =
+  let id = ref Json.Null in
+  match
+    match j with
+    | Json.Obj fields ->
+        (match field "id" fields with Some v -> id := v | None -> ());
+        (match field Schema.field fields with
+        | None -> ()
+        | Some (Json.Int v) when v = Schema.version -> ()
+        | Some (Json.Int v) ->
+            bad "unsupported schema_version %d (this server speaks %d)" v Schema.version
+        | Some _ -> bad "%S must be an integer" Schema.field);
+        let verb =
+          match field "verb" fields with
+          | Some (Json.String s) -> s
+          | Some _ -> bad "\"verb\" must be a string"
+          | None -> bad "request needs a \"verb\" field"
+        in
+        decode_verb verb (field "params" fields)
+    | _ -> bad "request must be a JSON object"
+  with
+  | verb -> Ok { id = !id; verb }
+  | exception Bad msg -> Error (!id, msg)
+
+let of_line s =
+  match Json.of_string s with
+  | j -> of_json j
+  | exception Json.Parse_error msg -> Error (Json.Null, "invalid JSON: " ^ msg)

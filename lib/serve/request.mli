@@ -1,0 +1,90 @@
+(** The first-class request side of the WebRacer service API.
+
+    Every entry point — the [webracer serve] daemon, the [webracer call]
+    client, and the one-shot CLI subcommands — constructs these values;
+    {!of_line} is the single decode path from the newline-delimited JSON
+    wire protocol, and [Api.dispatch] the single dispatch path.
+
+    Wire shape (one object per line, no raw newlines inside):
+
+    {v
+    {"schema_version":1, "id":<any>, "verb":"analyze", "params":{...}}
+    v}
+
+    ["schema_version"] defaults to {!Wr_support.Schema.version} when
+    absent and is rejected when it names a version this build does not
+    speak. ["id"] is any JSON value, echoed verbatim on the response so
+    clients can pipeline requests over one connection. *)
+
+module Config = Wr_browser.Config
+
+(** Parameters shared by every page-analyzing verb; the JSON shape
+    mirrors the [webracer run] flags. Only [page] is required on the
+    wire. *)
+type analyze_params = {
+  page : string;  (** HTML of the main page *)
+  resources : (string * string) list;
+      (** URL -> body, wire shape [{"url": "body", ...}] *)
+  seed : int;
+  explore : bool;
+  detector : Config.detector_kind;
+      (** ["last-access"] (default), ["full-track"] or ["none"] *)
+  hb : Wr_hb.Graph.strategy;  (** ["closure"] (default), ["chain-vc"], ["dfs"] *)
+  time_limit : float;  (** virtual-ms horizon; servers may clamp it *)
+  dedup : bool;
+}
+
+type explain_params = {
+  target : analyze_params;
+  race : int option;  (** 1-based selection, [None] = all races *)
+}
+
+type replay_params = {
+  target : analyze_params;
+  schedules : int;
+  parse_delay : float;
+  jobs : int;  (** parallelism for the schedule sweep, verdict-invariant *)
+}
+
+type verb =
+  | Ping
+  | Stats
+  | Analyze of analyze_params
+  | Explain of explain_params
+  | Replay of replay_params
+
+type t = { id : Wr_support.Json.t; verb : verb }
+
+(** [analyze_params ~page ()] with the same defaults as
+    [Webracer.config]. *)
+val analyze_params :
+  page:string ->
+  ?resources:(string * string) list ->
+  ?seed:int ->
+  ?explore:bool ->
+  ?detector:Config.detector_kind ->
+  ?hb:Wr_hb.Graph.strategy ->
+  ?time_limit:float ->
+  ?dedup:bool ->
+  unit ->
+  analyze_params
+
+val verb_name : verb -> string
+
+(** Canonical JSON of the params (every field explicit, fixed order) —
+    the wire encoding, and the [Cache] key material. *)
+val analyze_params_to_json : analyze_params -> Wr_support.Json.t
+
+(** [to_json t] is the wire document ({!of_json} round-trips it). *)
+val to_json : t -> Wr_support.Json.t
+
+val to_line : t -> string
+
+(** [of_json j] validates and decodes one request. [Error (id, msg)]
+    carries the request's ["id"] when one was present, so the error
+    response can still be correlated. *)
+val of_json : Wr_support.Json.t -> (t, Wr_support.Json.t * string) result
+
+(** [of_line s] parses one wire line then decodes it; JSON syntax errors
+    come back as [Error (Null, msg)]. *)
+val of_line : string -> (t, Wr_support.Json.t * string) result

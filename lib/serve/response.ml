@@ -1,0 +1,74 @@
+module Json = Wr_support.Json
+module Schema = Wr_support.Schema
+
+type code = Bad_request | Timeout | Overload | Internal
+
+let code_name = function
+  | Bad_request -> "bad_request"
+  | Timeout -> "timeout"
+  | Overload -> "overload"
+  | Internal -> "internal"
+
+let codes = [ Bad_request; Timeout; Overload; Internal ]
+let code_of_name s = List.find_opt (fun c -> code_name c = s) codes
+
+type t =
+  | Ok of { id : Json.t; result : Json.t }
+  | Error of { id : Json.t; code : code; message : string }
+
+let ok ~id result = Ok { id; result }
+let error ~id code message = Error { id; code; message }
+let is_ok = function Ok _ -> true | Error _ -> false
+let id = function Ok { id; _ } | Error { id; _ } -> id
+
+let to_json = function
+  | Ok { id; result } ->
+      Json.Obj
+        [ Schema.tag; ("id", id); ("ok", Json.Bool true); ("result", result) ]
+  | Error { id; code; message } ->
+      Json.Obj
+        [
+          Schema.tag;
+          ("id", id);
+          ("ok", Json.Bool false);
+          ( "error",
+            Json.Obj
+              [
+                ("code", Json.String (code_name code));
+                ("message", Json.String message);
+              ] );
+        ]
+
+let to_line t = Json.to_string (to_json t)
+
+let of_json j =
+  match j with
+  | Json.Obj fields -> (
+      let id = Option.value ~default:Json.Null (List.assoc_opt "id" fields) in
+      match List.assoc_opt "ok" fields with
+      | Some (Json.Bool true) -> (
+          match List.assoc_opt "result" fields with
+          | Some result -> Stdlib.Ok (ok ~id result)
+          | None -> Stdlib.Error "ok response without \"result\"")
+      | Some (Json.Bool false) -> (
+          match List.assoc_opt "error" fields with
+          | Some (Json.Obj err) -> (
+              let message =
+                match List.assoc_opt "message" err with
+                | Some (Json.String m) -> m
+                | _ -> ""
+              in
+              match List.assoc_opt "code" err with
+              | Some (Json.String c) -> (
+                  match code_of_name c with
+                  | Some code -> Stdlib.Ok (error ~id code message)
+                  | None -> Stdlib.Error (Printf.sprintf "unknown error code %S" c))
+              | _ -> Stdlib.Error "error response without a string \"code\"")
+          | _ -> Stdlib.Error "error response without an \"error\" object")
+      | _ -> Stdlib.Error "response needs a boolean \"ok\" field")
+  | _ -> Stdlib.Error "response must be a JSON object"
+
+let of_line s =
+  match Json.of_string s with
+  | j -> of_json j
+  | exception Json.Parse_error msg -> Stdlib.Error ("invalid JSON: " ^ msg)

@@ -1,0 +1,46 @@
+(** The response side of the WebRacer service API.
+
+    Wire shape (one object per line):
+
+    {v
+    {"schema_version":1, "id":<echoed>, "ok":true,  "result":{...}}
+    {"schema_version":1, "id":<echoed>, "ok":false,
+     "error":{"code":"overload", "message":"..."}}
+    v}
+
+    The error taxonomy is closed and machine-readable: clients dispatch
+    on ["error"]["code"], never on the human-oriented message. *)
+
+(** - [Bad_request]: the request line failed to parse, validate or
+      decode; retrying unchanged cannot succeed.
+    - [Timeout]: the per-request wall-clock or virtual-time budget
+      expired; the partial work is discarded.
+    - [Overload]: the daemon's bounded queue was full when the request
+      arrived — backpressure, not failure; retry later.
+    - [Internal]: the analysis raised; the daemon survives (crash
+      isolation) and other requests are unaffected. *)
+type code = Bad_request | Timeout | Overload | Internal
+
+val code_name : code -> string
+val code_of_name : string -> code option
+
+type t =
+  | Ok of { id : Wr_support.Json.t; result : Wr_support.Json.t }
+  | Error of { id : Wr_support.Json.t; code : code; message : string }
+
+val ok : id:Wr_support.Json.t -> Wr_support.Json.t -> t
+val error : id:Wr_support.Json.t -> code -> string -> t
+
+val is_ok : t -> bool
+val id : t -> Wr_support.Json.t
+
+val to_json : t -> Wr_support.Json.t
+
+(** [to_line t] is the compact one-line wire encoding (JSON string
+    escaping guarantees no embedded newline). *)
+val to_line : t -> string
+
+(** [of_json j] decodes a response (the client side). *)
+val of_json : Wr_support.Json.t -> (t, string) result
+
+val of_line : string -> (t, string) result

@@ -1,0 +1,11 @@
+let hex s = Digest.to_hex (Digest.string s)
+
+let of_parts parts =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (string_of_int (String.length p));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf p)
+    parts;
+  hex (Buffer.contents buf)

@@ -1,0 +1,13 @@
+(** Content hashing for cache keys.
+
+    A thin wrapper over the stdlib [Digest] (MD5) — not cryptographic,
+    but stable across runs and processes, which is what a result cache
+    keyed by page content needs. *)
+
+(** [hex s] is the 32-character lowercase hex digest of [s]. *)
+val hex : string -> string
+
+(** [of_parts parts] hashes a list of strings unambiguously: each part
+    is length-prefixed before hashing, so [["ab"; "c"]] and
+    [["a"; "bc"]] digest differently (plain concatenation would not). *)
+val of_parts : string list -> string

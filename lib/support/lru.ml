@@ -1,0 +1,74 @@
+(* Classic Hashtbl + doubly-linked list: O(1) find/add/remove, with the
+   list kept in recency order (head = most recent, tail = eviction
+   candidate). *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  cap : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+}
+
+let create ~cap = { cap; table = Hashtbl.create (max 16 cap); head = None; tail = None }
+let cap t = t.cap
+let length t = Hashtbl.length t.table
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some n ->
+      unlink t n;
+      push_front t n;
+      Some n.value
+
+let mem t k = Hashtbl.mem t.table k
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table k
+
+let add t k v =
+  if t.cap > 0 then begin
+    (match Hashtbl.find_opt t.table k with
+    | Some n ->
+        n.value <- v;
+        unlink t n;
+        push_front t n
+    | None ->
+        if Hashtbl.length t.table >= t.cap then (
+          match t.tail with
+          | Some lru ->
+              unlink t lru;
+              Hashtbl.remove t.table lru.key
+          | None -> ());
+        let n = { key = k; value = v; prev = None; next = None } in
+        Hashtbl.replace t.table k n;
+        push_front t n)
+  end
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None

@@ -1,0 +1,32 @@
+(** A string-keyed LRU cache with a fixed capacity.
+
+    Backing store for the [webracer serve] result cache: [find] refreshes
+    an entry's recency, [add] evicts the least-recently-used entry once
+    [cap] entries are live. Not domain-safe — the daemon does all cache
+    traffic on its accept loop; wrap in a mutex for any other use. *)
+
+type 'a t
+
+(** [create ~cap] — [cap <= 0] is a valid always-empty cache (every
+    [add] is dropped), so callers can disable caching uniformly. *)
+val create : cap:int -> 'a t
+
+val cap : 'a t -> int
+
+(** Live entries, [<= cap]. *)
+val length : 'a t -> int
+
+(** [find t k] returns the cached value and marks [k] most recently
+    used. *)
+val find : 'a t -> string -> 'a option
+
+val mem : 'a t -> string -> bool
+
+(** [add t k v] inserts or overwrites [k] as most recently used,
+    evicting the least-recently-used entry if the cache is full. *)
+val add : 'a t -> string -> 'a -> unit
+
+(** [remove t k] — absent keys are fine. *)
+val remove : 'a t -> string -> unit
+
+val clear : 'a t -> unit

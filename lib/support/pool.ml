@@ -50,6 +50,16 @@ let push t task =
   Condition.signal t.nonempty;
   Mutex.unlock t.lock
 
+let submit t f =
+  Mutex.lock t.lock;
+  let ok = (not t.closed) && t.workers <> [] in
+  if ok then begin
+    Queue.push (Run f) t.queue;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.lock;
+  if not ok then invalid_arg "Pool.submit: pool is closed or has no workers"
+
 (* The submitting domain drains the same channel until the batch counter
    hits zero, so a [jobs:1] pool (no workers) still completes every task
    and an n-job pool runs n tasks at once. Tasks never block on each

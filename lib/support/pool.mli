@@ -28,6 +28,16 @@ val jobs : t -> int
     pool is reusable across [map] calls but a single [map] at a time. *)
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 
+(** [submit pool f] enqueues fire-and-forget work for the worker
+    domains; the submitter never helps, so the pool must have at least
+    one worker ([create ~jobs] with [jobs >= 2]) or the task would never
+    run — a workerless or closed pool raises [Invalid_argument]. [f]
+    delivers its own result (e.g. onto a caller-provided channel) and
+    must not let exceptions escape; the daemon in [Wr_serve] is the
+    intended client. Tasks already queued when [close] is called still
+    run before the workers see their quit signal. *)
+val submit : t -> (unit -> unit) -> unit
+
 (** [close pool] shuts the workers down and joins them; idempotent. *)
 val close : t -> unit
 

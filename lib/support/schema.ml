@@ -1,0 +1,3 @@
+let version = 1
+let field = "schema_version"
+let tag = (field, Json.Int version)

@@ -1,0 +1,17 @@
+(** The version of every machine-readable document WebRacer emits.
+
+    One number covers the report JSON ([Webracer.report_to_json]), the
+    witness/explain JSON ([Wr_explain.to_json]) and the [webracer serve]
+    wire protocol ([Wr_serve]); they evolve together, and consumers can
+    dispatch on a single ["schema_version"] field wherever it appears.
+    Bump on any breaking change to field names, shapes or semantics —
+    additive fields do not bump it. The full schema is documented in
+    DESIGN.md ("Report schema"). *)
+
+val version : int
+
+(** ["schema_version"] — the canonical field name. *)
+val field : string
+
+(** [tag] is [(field, Int version)], ready to cons onto an [Obj]. *)
+val tag : string * Json.t

@@ -243,8 +243,7 @@ module Replay = struct
     console_variants : string list list;
   }
 
-  let observe (cfg : Config.t) seed parse_delay =
-    let report = analyze { cfg with Config.seed; parse_delay } in
+  let observation_of_report seed (report : report) =
     {
       seed;
       crashes = List.map (fun (c : Browser.crash) -> c.Browser.message) report.crashes;
@@ -252,8 +251,21 @@ module Replay = struct
       races = List.length report.races;
     }
 
-  let explore_schedules cfg ~seeds ?(parse_delay = 2.) () =
-    let observations = List.map (fun seed -> observe cfg seed parse_delay) seeds in
+  let explore_schedules ?(jobs = 1) (cfg : Config.t) ~seeds ?(parse_delay = 2.) () =
+    (* Same parallel path as [analyze_many]: one config per seed over
+       [analyze_batch], telemetry forced off when sharing would cross
+       domains; results come back seed-ordered, so the verdict is
+       identical whatever [jobs] is. *)
+    let telemetry =
+      if jobs > 1 then Telemetry.disabled else cfg.Config.telemetry
+    in
+    let reports =
+      analyze_batch ~jobs
+        (List.map
+           (fun seed -> { cfg with Config.seed; parse_delay; telemetry })
+           seeds)
+    in
+    let observations = List.map2 observation_of_report seeds reports in
     let crashing_seeds =
       List.filter_map (fun o -> if o.crashes <> [] then Some o.seed else None) observations
     in
@@ -284,6 +296,31 @@ module Replay = struct
     Format.fprintf ppf "verdict: %s@]"
       (if manifests v then "the race manifests under alternative schedules"
        else "no divergence observed (may still be harmful under other inputs)")
+
+  let verdict_to_json v =
+    let open Wr_support.Json in
+    let observation o =
+      Obj
+        [
+          ("seed", Int o.seed);
+          ("crashes", List (List.map (fun s -> String s) o.crashes));
+          ("console", List (List.map (fun s -> String s) o.console));
+          ("races", Int o.races);
+        ]
+    in
+    Obj
+      [
+        Wr_support.Schema.tag;
+        ("schedules", Int (List.length v.observations));
+        ("manifests", Bool (manifests v));
+        ("crashing_seeds", List (List.map (fun s -> Int s) v.crashing_seeds));
+        ( "console_variants",
+          List
+            (List.map
+               (fun variant -> List (List.map (fun s -> String s) variant))
+               v.console_variants) );
+        ("observations", List (List.map observation v.observations));
+      ]
 end
 
 let by_type_json races =
@@ -309,6 +346,7 @@ let report_to_json r =
   in
   Obj
     ([
+      Wr_support.Schema.tag;
       ("races", List (List.map race_json r.races));
       ("filtered", List (List.map race_json r.filtered));
       ("suppressed", List (List.map suppressed_json r.suppressed));

@@ -108,11 +108,14 @@ val count_by_type : Race.t list -> int * int * int * int
 (** [pp_report] renders a human-readable summary. *)
 val pp_report : Format.formatter -> report -> unit
 
-(** [report_to_json report] renders the full report for tooling. Each
-    race (raw and filtered) carries a ["witness"] object — provenance
-    chains, nearest common HB ancestor, no-path frontier and certificate
-    status from [Wr_explain] — and the report carries the per-filter
-    suppression attribution (["suppressed"], ["filter_suppressed"]). *)
+(** [report_to_json report] renders the full report for tooling, under a
+    top-level ["schema_version"] ({!Wr_support.Schema.version}; the full
+    schema is documented in DESIGN.md). Each race (raw and filtered)
+    carries a ["witness"] object — provenance chains, nearest common HB
+    ancestor, no-path frontier and certificate status from [Wr_explain]
+    — and the report carries the per-filter suppression attribution
+    (["suppressed"], ["filter_suppressed"]). The [webracer serve]
+    [analyze] verb returns exactly this document. *)
 val report_to_json : report -> Wr_support.Json.t
 
 (** Adversarial replay: make a detected race {e manifest}.
@@ -140,11 +143,14 @@ module Replay : sig
     console_variants : string list list;  (** distinct console outputs *)
   }
 
-  (** [explore_schedules config ~seeds ?parse_delay ()] re-runs [config]
-      once per seed with [parse_delay] (default 2 ms/element); the base
-      config's own seed is ignored. *)
+  (** [explore_schedules ?jobs config ~seeds ?parse_delay ()] re-runs
+      [config] once per seed with [parse_delay] (default 2 ms/element);
+      the base config's own seed is ignored. [jobs] spreads the
+      schedules over {!analyze_batch}'s domain pool; observations stay
+      seed-ordered (and the verdict identical) whatever [jobs] is, and
+      telemetry is forced off on the per-seed configs when [jobs > 1]. *)
   val explore_schedules :
-    Config.t -> seeds:int list -> ?parse_delay:float -> unit -> verdict
+    ?jobs:int -> Config.t -> seeds:int list -> ?parse_delay:float -> unit -> verdict
 
   (** [manifests verdict] — some schedule crashed, or schedules disagree
       on console output: direct evidence the nondeterminism is
@@ -152,4 +158,10 @@ module Replay : sig
   val manifests : verdict -> bool
 
   val pp_verdict : Format.formatter -> verdict -> unit
+
+  (** [verdict_to_json v] renders the verdict for tooling (schedule
+      count, manifest flag, crashing seeds, console variants, per-seed
+      observations) under a top-level ["schema_version"]; the serve
+      [replay] verb returns exactly this document. *)
+  val verdict_to_json : verdict -> Wr_support.Json.t
 end

@@ -1,0 +1,58 @@
+#!/bin/sh
+# A complete `webracer serve` session, driven two ways: with the bundled
+# `webracer call` client, and with nothing but a raw socket (showing the
+# protocol is plain newline-delimited JSON any language can speak).
+#
+# Usage: scripts/serve_demo.sh
+set -eu
+
+W="dune exec --no-build bin/webracer_cli.exe --"
+dune build bin/webracer_cli.exe
+
+SOCK=$(mktemp -u)
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR" "$SOCK"' EXIT
+
+cat > "$DIR/page.html" <<'HTML'
+<script src="init.js"></script>
+<script>var x = 1; x = x + 1;</script>
+HTML
+cat > "$DIR/init.js" <<'JS'
+var x = 0;
+JS
+
+echo "== starting the daemon (4 workers, unix socket) =="
+$W serve --socket "$SOCK" -j 4 &
+PID=$!
+
+echo
+echo "== ping (answered inline by the accept loop) =="
+$W call --socket "$SOCK" ping
+
+echo
+echo "== analyze (dispatched to a worker; same document as 'run --json') =="
+$W call --socket "$SOCK" analyze "$DIR/page.html"
+
+echo
+echo "== the identical request again: an LRU cache hit, replayed verbatim =="
+$W call --socket "$SOCK" analyze "$DIR/page.html"
+
+echo
+echo "== stats (queue depth, per-verb totals, cache hit/miss counters) =="
+$W call --socket "$SOCK" stats
+
+echo
+echo "== the raw protocol: one JSON object per line, no client needed =="
+# socat/nc would do; webracer call's raw mode just forwards stdin lines.
+printf '%s\n' '{"schema_version":1,"id":"raw-1","verb":"ping"}' \
+  | $W call --socket "$SOCK" raw
+
+echo
+echo "== a malformed line gets a structured bad_request, not a hangup =="
+echo 'not json' | $W call --socket "$SOCK" raw || true
+
+echo
+echo "== SIGTERM drains in-flight work and exits 0 =="
+kill -TERM $PID
+wait $PID
+echo "daemon exited cleanly"

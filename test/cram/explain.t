@@ -36,7 +36,7 @@ no-path frontier, and re-checks its own certificate:
 Selecting a race out of range is a usage error:
 
   $ webracer explain fig4.html --race 2
-  explain: --race 2 out of range (page has 1 races)
+  explain: race 2 out of range (page has 1 races)
   [1]
 
 The DOT export is a valid digraph restricted to evidence operations,

@@ -1,0 +1,105 @@
+The analysis daemon: `webracer serve` speaks newline-delimited JSON over
+a socket; `webracer call` is its client.
+
+  $ alias webracer='../../bin/webracer_cli.exe'
+
+Unix socket paths cap out around 100 bytes and the cram sandbox path is
+long, so the sockets live under /tmp.
+
+  $ SOCK=$(mktemp -u)
+
+Each page gets its own directory so sibling artifacts are not slurped in
+as fetchable resources.
+
+  $ mkdir fast slow
+  $ cat > fast/page.html <<'HTML'
+  > <script>var x = 1; x = x + 1;</script>
+  > HTML
+  $ cat > slow/page.html <<'HTML'
+  > <script>var s = 0; var i = 0; for (i = 0; i < 60000; i++) { s = s + i; }</script>
+  > HTML
+
+Start the daemon with four workers; `call` retries the connection while
+it boots, so no sleep is needed.
+
+  $ webracer serve --socket "$SOCK" -j 4 2> serve.log &
+  $ PID=$!
+
+ping answers inline from the accept loop, echoing the request id:
+
+  $ webracer call --socket "$SOCK" ping
+  {"schema_version":1,"id":1,"ok":true,"result":{"pong":true}}
+
+A valid analyze over the socket is byte-identical to the one-shot
+`webracer run --json` document, modulo the wall-clock reading:
+
+  $ webracer call --socket "$SOCK" analyze fast/page.html > resp.json
+  $ webracer run fast/page.html --json > direct.json
+  $ sed 's/^{"schema_version":1,"id":1,"ok":true,"result"://; s/}$//' resp.json \
+  >   | sed 's/"wall_clock_s":[0-9.e+-]*/"wall_clock_s":0/' > got.json
+  $ sed 's/"wall_clock_s":[0-9.e+-]*/"wall_clock_s":0/' direct.json > want.json
+  $ cmp got.json want.json && echo service output matches one-shot run
+  service output matches one-shot run
+
+Repeating the identical request is a cache hit: the daemon replays the
+original response verbatim without re-running the browser, and the
+stats verb exposes the counters.
+
+  $ webracer call --socket "$SOCK" analyze fast/page.html > resp2.json
+  $ cmp resp.json resp2.json && echo cache replay is byte-identical
+  cache replay is byte-identical
+  $ webracer call --socket "$SOCK" stats | grep -o '"hits":1,"misses":1'
+  "hits":1,"misses":1
+  $ webracer call --socket "$SOCK" stats | grep -o '"analyses_run":1'
+  "analyses_run":1
+
+A malformed request gets a structured bad_request error — and the
+connection (and daemon) survive it. `call` exits nonzero on any error
+response.
+
+  $ echo not json | webracer call --socket "$SOCK" raw
+  {"schema_version":1,"id":null,"ok":false,"error":{"code":"bad_request","message":"invalid JSON: bad literal at offset 0"}}
+  [1]
+
+A 100-request pipelined burst (fresh seed, so it cannot hit the cache)
+is fully absorbed by the bounded queue and answered ok:
+
+  $ webracer call --socket "$SOCK" analyze fast/page.html --seed 7 --repeat 100 \
+  >   | grep -c '"ok":true'
+  100
+
+Overload: a daemon with one worker and a two-slot queue sheds an
+oversized burst of slow analyses as overload errors instead of piling
+up or crashing — every request is answered.
+
+  $ SOCK2=$(mktemp -u)
+  $ webracer serve --socket "$SOCK2" -j 1 --queue 2 --cache 0 2> serve2.log &
+  $ PID2=$!
+  $ webracer call --socket "$SOCK2" analyze slow/page.html --no-explore --repeat 20 > burst.out
+  [1]
+  $ grep -c '"ok":true' burst.out
+  2
+  $ grep -c '"code":"overload"' burst.out
+  18
+  $ kill -TERM $PID2 && wait $PID2
+
+Timeout: a request that outlives its wall-clock budget is answered with
+a timeout error (the daemon stays healthy).
+
+  $ SOCK3=$(mktemp -u)
+  $ webracer serve --socket "$SOCK3" -j 1 --wall-limit 0.05 2> serve3.log &
+  $ PID3=$!
+  $ webracer call --socket "$SOCK3" analyze slow/page.html --no-explore | grep -o '"code":"timeout"'
+  "code":"timeout"
+  $ kill -TERM $PID3 && wait $PID3
+
+Clean shutdown: SIGTERM drains and exits 0, the stale socket is
+removed, and the log carries the lifecycle lines.
+
+  $ kill -TERM $PID && wait $PID
+  $ test -S "$SOCK" || echo socket removed
+  socket removed
+  $ grep -c 'listening on' serve.log
+  1
+  $ grep -c 'drained and stopped' serve.log
+  1

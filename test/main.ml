@@ -20,6 +20,7 @@ let () =
       ("hb-rules", Test_rules.suite);
       ("properties", Test_properties.suite);
       ("webracer", Test_webracer.suite);
+      ("serve", Test_serve.suite);
       ("trace", Test_trace.suite);
       ("sitegen", Test_sitegen.suite);
       ("site-album", Test_site_album.suite);

@@ -1,0 +1,387 @@
+(* Tests for Wr_serve: the Request/Response wire API, the dispatch path
+   shared with the CLI, the LRU result cache, and a live daemon on a
+   loopback TCP port (end to end: ping, analyze, cache hit, malformed
+   request, overload backpressure, graceful drain). *)
+
+module Json = Wr_support.Json
+module Request = Wr_serve.Request
+module Response = Wr_serve.Response
+module Api = Wr_serve.Api
+module Cache = Wr_serve.Cache
+module Daemon = Wr_serve.Daemon
+module Client = Wr_serve.Client
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+let string_c = Alcotest.string
+
+(* naive substring check, enough for asserting on error messages *)
+let mentions needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* --- Request ----------------------------------------------------------- *)
+
+let decode_ok line =
+  match Request.of_line line with
+  | Ok req -> req
+  | Error (_, msg) -> Alcotest.failf "decode failed: %s" msg
+
+let decode_err line =
+  match Request.of_line line with
+  | Ok _ -> Alcotest.failf "expected a decode error for %s" line
+  | Error (id, msg) -> (id, msg)
+
+let test_request_ping_roundtrip () =
+  let req = { Request.id = Json.Int 7; verb = Request.Ping } in
+  let req' = decode_ok (Request.to_line req) in
+  check bool_c "id survives" true (req'.Request.id = Json.Int 7);
+  check string_c "verb" "ping" (Request.verb_name req'.Request.verb)
+
+let test_request_analyze_roundtrip () =
+  let params =
+    Request.analyze_params ~page:"<p>hi</p>"
+      ~resources:[ ("a.js", "var x = 1;") ]
+      ~seed:9 ~explore:false ~detector:Webracer.Config.Full_track
+      ~hb:Wr_hb.Graph.Dfs ~time_limit:1234. ~dedup:false ()
+  in
+  let req = { Request.id = Json.String "abc"; verb = Request.Analyze params } in
+  match (decode_ok (Request.to_line req)).Request.verb with
+  | Request.Analyze p ->
+      check string_c "page" "<p>hi</p>" p.Request.page;
+      check bool_c "resources" true (p.Request.resources = [ ("a.js", "var x = 1;") ]);
+      check int_c "seed" 9 p.Request.seed;
+      check bool_c "explore" false p.Request.explore;
+      check bool_c "detector" true (p.Request.detector = Webracer.Config.Full_track);
+      check bool_c "hb" true (p.Request.hb = Wr_hb.Graph.Dfs);
+      check bool_c "time_limit" true (p.Request.time_limit = 1234.);
+      check bool_c "dedup" false p.Request.dedup
+  | _ -> Alcotest.fail "expected analyze"
+
+let test_request_defaults () =
+  let req = decode_ok {|{"verb":"analyze","params":{"page":"<p>x</p>"}}|} in
+  match req.Request.verb with
+  | Request.Analyze p ->
+      check int_c "seed" 0 p.Request.seed;
+      check bool_c "explore" true p.Request.explore;
+      check bool_c "dedup" true p.Request.dedup;
+      check bool_c "detector" true (p.Request.detector = Webracer.Config.Last_access);
+      check bool_c "time_limit" true (p.Request.time_limit = 60_000.)
+  | _ -> Alcotest.fail "expected analyze"
+
+let test_request_replay_explain_roundtrip () =
+  let target = Request.analyze_params ~page:"<p>x</p>" () in
+  let explain =
+    { Request.id = Json.Null; verb = Request.Explain { target; race = Some 2 } }
+  in
+  (match (decode_ok (Request.to_line explain)).Request.verb with
+  | Request.Explain { race = Some 2; _ } -> ()
+  | _ -> Alcotest.fail "explain round-trip");
+  let replay =
+    {
+      Request.id = Json.Null;
+      verb = Request.Replay { target; schedules = 7; parse_delay = 1.5; jobs = 3 };
+    }
+  in
+  match (decode_ok (Request.to_line replay)).Request.verb with
+  | Request.Replay { schedules = 7; jobs = 3; parse_delay; _ } ->
+      check bool_c "parse_delay" true (parse_delay = 1.5)
+  | _ -> Alcotest.fail "replay round-trip"
+
+let test_request_validation () =
+  let _, msg = decode_err "][" in
+  check bool_c "syntax error mentions JSON" true (mentions "invalid JSON" msg);
+  let _, msg = decode_err {|{"verb":"frobnicate"}|} in
+  check bool_c "unknown verb named" true (mentions "frobnicate" msg);
+  let _, msg = decode_err {|{"verb":"analyze"}|} in
+  check bool_c "missing page" true (mentions "page" msg);
+  let id, _ = decode_err {|{"id":41,"verb":"analyze","params":{}}|} in
+  check bool_c "id preserved in errors" true (id = Json.Int 41);
+  let _, msg = decode_err {|{"schema_version":99,"verb":"ping"}|} in
+  check bool_c "version mismatch named" true (mentions "schema_version 99" msg);
+  let _, msg =
+    decode_err {|{"verb":"analyze","params":{"page":"x","time_limit":-5}}|}
+  in
+  check bool_c "time_limit positive" true (mentions "time_limit" msg);
+  let _, msg =
+    decode_err {|{"verb":"explain","params":{"page":"x","race":0}}|}
+  in
+  check bool_c "race positive" true (mentions "race" msg);
+  (match Request.of_line {|{"schema_version":1,"verb":"ping"}|} with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "explicit current version accepted")
+
+(* --- Response ---------------------------------------------------------- *)
+
+let test_response_roundtrip () =
+  let ok = Response.ok ~id:(Json.Int 3) (Json.Obj [ ("pong", Json.Bool true) ]) in
+  (match Response.of_line (Response.to_line ok) with
+  | Ok r ->
+      check bool_c "ok" true (Response.is_ok r);
+      check bool_c "id" true (Response.id r = Json.Int 3)
+  | Error e -> Alcotest.failf "ok round-trip: %s" e);
+  let err = Response.error ~id:Json.Null Response.Overload "queue full" in
+  match Response.of_line (Response.to_line err) with
+  | Ok (Response.Error { code = Response.Overload; message; _ }) ->
+      check string_c "message" "queue full" message
+  | Ok _ -> Alcotest.fail "expected overload error"
+  | Error e -> Alcotest.failf "error round-trip: %s" e
+
+let test_error_codes () =
+  List.iter
+    (fun (code, name) ->
+      check string_c "code name" name (Response.code_name code);
+      check bool_c "code parse" true (Response.code_of_name name = Some code))
+    [
+      (Response.Bad_request, "bad_request");
+      (Response.Timeout, "timeout");
+      (Response.Overload, "overload");
+      (Response.Internal, "internal");
+    ];
+  check bool_c "unknown code" true (Response.code_of_name "nope" = None)
+
+(* --- Cache ------------------------------------------------------------- *)
+
+let test_cache_key () =
+  let p = Request.analyze_params ~page:"<p>x</p>" () in
+  check string_c "key is stable" (Cache.key p) (Cache.key p);
+  check int_c "key is a digest" 32 (String.length (Cache.key p));
+  let different =
+    [
+      { p with Request.page = "<p>y</p>" };
+      { p with Request.seed = 1 };
+      { p with Request.resources = [ ("a.js", "1") ] };
+      { p with Request.explore = false };
+      { p with Request.detector = Webracer.Config.Full_track };
+      { p with Request.hb = Wr_hb.Graph.Dfs };
+      { p with Request.time_limit = 1. };
+      { p with Request.dedup = false };
+    ]
+  in
+  List.iteri
+    (fun i q ->
+      check bool_c (Printf.sprintf "variant %d differs" i) false
+        (Cache.key p = Cache.key q))
+    different
+
+let test_cache_lru () =
+  let c = Cache.create ~cap:2 in
+  Cache.store c "a" (Json.Int 1);
+  Cache.store c "b" (Json.Int 2);
+  check bool_c "a hit" true (Cache.find c "a" = Some (Json.Int 1));
+  (* "b" is now least recently used; storing "c" evicts it. *)
+  Cache.store c "c" (Json.Int 3);
+  check bool_c "b evicted" true (Cache.find c "b" = None);
+  check bool_c "a kept" true (Cache.find c "a" = Some (Json.Int 1));
+  check int_c "hits" 2 (Cache.hits c);
+  check int_c "misses" 1 (Cache.misses c);
+  check int_c "length" 2 (Cache.length c)
+
+(* --- Api dispatch ------------------------------------------------------ *)
+
+let test_dispatch_ping () =
+  match Api.dispatch { Request.id = Json.Int 1; verb = Request.Ping } with
+  | Response.Ok { result; _ } ->
+      check bool_c "pong" true (Json.member "pong" result = Json.Bool true)
+  | Response.Error _ -> Alcotest.fail "ping failed"
+
+let test_dispatch_analyze_matches_report () =
+  let params =
+    Request.analyze_params ~page:{|<script>var x = 1; x = x + 1;</script>|}
+      ~seed:3 ()
+  in
+  let direct = Webracer.report_to_json (Api.analyze params) in
+  match
+    Api.dispatch { Request.id = Json.Null; verb = Request.Analyze params }
+  with
+  | Response.Ok { result; _ } ->
+      let scrub j =
+        match j with
+        | Json.Obj fields ->
+            Json.Obj
+              (List.map
+                 (fun (k, v) -> if k = "wall_clock_s" then (k, Json.Int 0) else (k, v))
+                 fields)
+        | j -> j
+      in
+      check string_c "dispatch = report_to_json (modulo wall clock)"
+        (Json.to_string (scrub direct))
+        (Json.to_string (scrub result))
+  | Response.Error _ -> Alcotest.fail "analyze failed"
+
+let test_dispatch_explain_range () =
+  let params = Request.analyze_params ~page:"<p>no races here</p>" () in
+  match
+    Api.dispatch
+      {
+        Request.id = Json.Null;
+        verb = Request.Explain { target = params; race = Some 5 };
+      }
+  with
+  | Response.Error { code = Response.Bad_request; _ } -> ()
+  | _ -> Alcotest.fail "out-of-range explain must be a bad request"
+
+let test_dispatch_stats_default () =
+  match Api.dispatch { Request.id = Json.Null; verb = Request.Stats } with
+  | Response.Error { code = Response.Internal; _ } -> ()
+  | _ -> Alcotest.fail "one-shot stats must be an internal error"
+
+(* --- the daemon, end to end -------------------------------------------- *)
+
+let spawn_daemon ?(jobs = 2) ?(queue_cap = 4) ?(cache_cap = 8) () =
+  let stop = Atomic.make false in
+  let port = Atomic.make 0 in
+  let cfg =
+    { (Daemon.default_config (Daemon.Tcp 0)) with jobs; queue_cap; cache_cap }
+  in
+  let d =
+    Domain.spawn (fun () ->
+        Daemon.run
+          ~stop:(fun () -> Atomic.get stop)
+          ~on_ready:(fun addr ->
+            match addr with
+            | Daemon.Tcp p -> Atomic.set port p
+            | Daemon.Unix_socket _ -> ())
+          cfg)
+  in
+  let deadline = Unix.gettimeofday () +. 10. in
+  while Atomic.get port = 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.005
+  done;
+  if Atomic.get port = 0 then Alcotest.fail "daemon never became ready";
+  (d, stop, Daemon.Tcp (Atomic.get port))
+
+let request_ok client req =
+  match Client.request client req with
+  | Ok (Response.Ok { result; _ }) -> result
+  | Ok (Response.Error { message; _ }) -> Alcotest.failf "request failed: %s" message
+  | Error e -> Alcotest.failf "transport failed: %s" e
+
+let test_daemon_end_to_end () =
+  let d, stop, addr = spawn_daemon () in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      ignore (Domain.join d))
+    (fun () ->
+      let c = Client.connect ~retry_for:5. addr in
+      (* ping echoes the id *)
+      (match Client.request c { Request.id = Json.Int 42; verb = Request.Ping } with
+      | Ok (Response.Ok { id; result }) ->
+          check bool_c "id echoed" true (id = Json.Int 42);
+          check bool_c "pong" true (Json.member "pong" result = Json.Bool true)
+      | _ -> Alcotest.fail "ping over the wire");
+      (* analyze matches the in-process pipeline *)
+      let params =
+        Request.analyze_params ~page:{|<script>var x = 1;</script>|} ~seed:5 ()
+      in
+      let result =
+        request_ok c { Request.id = Json.Null; verb = Request.Analyze params }
+      in
+      let direct = Webracer.report_to_json (Api.analyze params) in
+      check bool_c "ops match one-shot run" true
+        (Json.member "ops" result = Json.member "ops" direct);
+      check bool_c "schema version present" true
+        (Json.member "schema_version" result = Json.Int Wr_support.Schema.version);
+      (* an identical request is a cache hit answered from the loop *)
+      ignore (request_ok c { Request.id = Json.Null; verb = Request.Analyze params });
+      let stats = request_ok c { Request.id = Json.Null; verb = Request.Stats } in
+      check bool_c "one analysis ran" true
+        (Json.member "analyses_run" stats = Json.Int 1);
+      check bool_c "one cache hit" true
+        (Json.member "hits" (Json.member "cache" stats) = Json.Int 1);
+      (* malformed input answers bad_request and keeps the connection *)
+      Client.send_line c "this is not json";
+      (match Client.recv c with
+      | Ok (Response.Error { code = Response.Bad_request; _ }) -> ()
+      | _ -> Alcotest.fail "malformed line must answer bad_request");
+      (match Client.request c { Request.id = Json.Int 1; verb = Request.Ping } with
+      | Ok (Response.Ok _) -> ()
+      | _ -> Alcotest.fail "connection must survive a bad request");
+      Client.close c)
+
+let test_daemon_overload () =
+  (* jobs 1 + queue 1: a pipelined burst processed in one read batch
+     admits one job and sheds the rest as overload. *)
+  let d, stop, addr = spawn_daemon ~jobs:1 ~queue_cap:1 ~cache_cap:0 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      ignore (Domain.join d))
+    (fun () ->
+      let c = Client.connect ~retry_for:5. addr in
+      let page =
+        {|<script>var s = 0; var i = 0; for (i = 0; i < 20000; i++) { s = s + i; }</script>|}
+      in
+      let params = Request.analyze_params ~page ~explore:false () in
+      let burst = 6 in
+      for i = 1 to burst do
+        Client.send c { Request.id = Json.Int i; verb = Request.Analyze params }
+      done;
+      let ok = ref 0 and overload = ref 0 and other = ref 0 in
+      for _ = 1 to burst do
+        match Client.recv c with
+        | Ok (Response.Ok _) -> incr ok
+        | Ok (Response.Error { code = Response.Overload; _ }) -> incr overload
+        | _ -> incr other
+      done;
+      check int_c "every request answered" burst (!ok + !overload + !other);
+      check int_c "no unexpected outcomes" 0 !other;
+      check bool_c "some work admitted" true (!ok >= 1);
+      check bool_c "backpressure engaged" true (!overload >= 1);
+      Client.close c)
+
+let test_daemon_drains_on_stop () =
+  let d, stop, addr = spawn_daemon ~jobs:2 ~queue_cap:8 () in
+  let c = Client.connect ~retry_for:5. addr in
+  let params =
+    Request.analyze_params
+      ~page:{|<script>var s = 0; var i = 0; for (i = 0; i < 20000; i++) { s = s + i; }</script>|}
+      ~explore:false ()
+  in
+  for i = 1 to 4 do
+    Client.send c { Request.id = Json.Int i; verb = Request.Analyze params }
+  done;
+  (* A trailing ping acts as a barrier: its (inline) answer proves the
+     daemon has read and admitted everything queued before it. *)
+  (match Client.request c { Request.id = Json.Int 99; verb = Request.Ping } with
+  | Ok (Response.Ok _) -> ()
+  | _ -> Alcotest.fail "barrier ping");
+  (* Stop now: the four in-flight analyses must still answer. *)
+  Atomic.set stop true;
+  let answered = ref 0 in
+  for _ = 1 to 4 do
+    match Client.recv c with Ok _ -> incr answered | Error _ -> ()
+  done;
+  let final = Domain.join d in
+  Client.close c;
+  check int_c "all in-flight requests answered during drain" 4 !answered;
+  match Json.member "queue" final with
+  | Json.Obj fields ->
+      check bool_c "nothing left in flight" true
+        (List.assoc "in_flight" fields = Json.Int 0)
+  | _ -> Alcotest.fail "final stats must carry the queue gauge"
+
+let suite =
+  [
+    Alcotest.test_case "request: ping round-trip" `Quick test_request_ping_roundtrip;
+    Alcotest.test_case "request: analyze round-trip" `Quick test_request_analyze_roundtrip;
+    Alcotest.test_case "request: wire defaults" `Quick test_request_defaults;
+    Alcotest.test_case "request: replay/explain round-trip" `Quick
+      test_request_replay_explain_roundtrip;
+    Alcotest.test_case "request: validation errors" `Quick test_request_validation;
+    Alcotest.test_case "response: round-trip" `Quick test_response_roundtrip;
+    Alcotest.test_case "response: error taxonomy" `Quick test_error_codes;
+    Alcotest.test_case "cache: key covers the whole config" `Quick test_cache_key;
+    Alcotest.test_case "cache: LRU eviction + counters" `Quick test_cache_lru;
+    Alcotest.test_case "api: ping" `Quick test_dispatch_ping;
+    Alcotest.test_case "api: analyze = report_to_json" `Quick
+      test_dispatch_analyze_matches_report;
+    Alcotest.test_case "api: explain range check" `Quick test_dispatch_explain_range;
+    Alcotest.test_case "api: stats needs a daemon" `Quick test_dispatch_stats_default;
+    Alcotest.test_case "daemon: end to end over TCP" `Quick test_daemon_end_to_end;
+    Alcotest.test_case "daemon: overload backpressure" `Quick test_daemon_overload;
+    Alcotest.test_case "daemon: graceful drain" `Quick test_daemon_drains_on_stop;
+  ]

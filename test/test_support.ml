@@ -291,3 +291,91 @@ let pool_suite =
   ]
 
 let suite = suite @ pool_suite
+
+(* --- Lru --------------------------------------------------------------- *)
+
+module Lru = Wr_support.Lru
+
+let test_lru_eviction_order () =
+  let c = Lru.create ~cap:3 in
+  List.iter (fun k -> Lru.add c k k) [ "a"; "b"; "c" ];
+  Alcotest.(check int) "full" 3 (Lru.length c);
+  (* touch "a": "b" becomes the eviction victim *)
+  Alcotest.(check (option string)) "find a" (Some "a") (Lru.find c "a");
+  Lru.add c "d" "d";
+  Alcotest.(check bool) "b evicted" false (Lru.mem c "b");
+  Alcotest.(check bool) "a kept" true (Lru.mem c "a");
+  Alcotest.(check bool) "c kept" true (Lru.mem c "c");
+  Alcotest.(check bool) "d added" true (Lru.mem c "d");
+  Alcotest.(check int) "still full" 3 (Lru.length c)
+
+let test_lru_overwrite_and_remove () =
+  let c = Lru.create ~cap:2 in
+  Lru.add c "k" "v1";
+  Lru.add c "k" "v2";
+  Alcotest.(check int) "overwrite is not growth" 1 (Lru.length c);
+  Alcotest.(check (option string)) "latest value wins" (Some "v2") (Lru.find c "k");
+  Lru.remove c "k";
+  Lru.remove c "k";
+  Alcotest.(check int) "remove is idempotent" 0 (Lru.length c);
+  Lru.add c "x" "x";
+  Lru.add c "y" "y";
+  Lru.clear c;
+  Alcotest.(check int) "clear empties" 0 (Lru.length c);
+  Alcotest.(check int) "cap unchanged" 2 (Lru.cap c)
+
+let test_lru_zero_cap () =
+  let c = Lru.create ~cap:0 in
+  Lru.add c "k" "v";
+  Alcotest.(check int) "cap 0 never stores" 0 (Lru.length c);
+  Alcotest.(check (option string)) "cap 0 never hits" None (Lru.find c "k")
+
+let test_lru_churn () =
+  (* A long mixed workload stays within cap and keeps exactly the most
+     recently used keys. *)
+  let cap = 8 in
+  let c = Lru.create ~cap in
+  for i = 0 to 999 do
+    Lru.add c (string_of_int (i mod 20)) (string_of_int i)
+  done;
+  Alcotest.(check int) "length = cap after churn" cap (Lru.length c);
+  (* last adds were keys (999-7..999) mod 20 *)
+  for i = 992 to 999 do
+    Alcotest.(check bool)
+      (Printf.sprintf "key %d survives" (i mod 20))
+      true
+      (Lru.mem c (string_of_int (i mod 20)))
+  done
+
+(* --- Hash -------------------------------------------------------------- *)
+
+module Hash = Wr_support.Hash
+
+let test_hash_hex () =
+  let h = Hash.hex "webracer" in
+  Alcotest.(check int) "32 hex chars" 32 (String.length h);
+  Alcotest.(check bool) "lowercase hex" true
+    (String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) h);
+  Alcotest.(check string) "deterministic" h (Hash.hex "webracer");
+  Alcotest.(check bool) "content-sensitive" false (h = Hash.hex "webracer2")
+
+let test_hash_of_parts_unambiguous () =
+  Alcotest.(check bool) "length-prefixing disambiguates" false
+    (Hash.of_parts [ "ab"; "c" ] = Hash.of_parts [ "a"; "bc" ]);
+  Alcotest.(check bool) "arity matters" false
+    (Hash.of_parts [ "x" ] = Hash.of_parts [ "x"; "" ]);
+  Alcotest.(check string) "deterministic"
+    (Hash.of_parts [ "a"; "b" ])
+    (Hash.of_parts [ "a"; "b" ])
+
+let cache_suite =
+  [
+    Alcotest.test_case "lru: eviction follows recency" `Quick test_lru_eviction_order;
+    Alcotest.test_case "lru: overwrite, remove, clear" `Quick test_lru_overwrite_and_remove;
+    Alcotest.test_case "lru: cap 0 disables storage" `Quick test_lru_zero_cap;
+    Alcotest.test_case "lru: bounded under churn" `Quick test_lru_churn;
+    Alcotest.test_case "hash: hex digests" `Quick test_hash_hex;
+    Alcotest.test_case "hash: of_parts is unambiguous" `Quick test_hash_of_parts_unambiguous;
+  ]
+
+let suite = suite @ cache_suite
