@@ -576,6 +576,49 @@ let perf_serve () =
   | _ -> ())
 
 (* ------------------------------------------------------------------ *)
+(* Perf-6: static predictor throughput (DESIGN.md §8)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The ahead-of-time predictor must be cheap enough to run on every
+   page save: this group pins effect extraction + MHP construction
+   (Model.build) and the full predict pipeline, and reports how many
+   dynamic analyses one static pass costs. *)
+let perf_static () =
+  section "Perf-6 — static predictor: effect extraction + MHP construction";
+  let module SModel = Wr_static.Model in
+  let module SPredict = Wr_static.Predict in
+  let site = Gen.generate (List.nth (Profile.corpus ()) 20) in
+  let page = site.Gen.page and resources = site.Gen.resources in
+  let m = SModel.build ~page ~resources () in
+  Printf.printf "page: %d bytes, %d units, %d docs, %d MHP pairs\n\n"
+    (String.length page) (Array.length m.SModel.units) m.SModel.docs
+    (SModel.mhp_pairs m);
+  let tests =
+    [
+      Test.make ~name:"model-build"
+        (Staged.stage (fun () -> SModel.build ~page ~resources ()));
+      Test.make ~name:"predict"
+        (Staged.stage (fun () -> SPredict.predict ~page ~resources ()));
+    ]
+  in
+  let results = run_bench_group ~name:"perf6" tests in
+  print_bench_results results;
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Webracer.analyze (Webracer.config ~page ~resources ~seed:42 ~explore:true ())
+  in
+  let dyn_s = Unix.gettimeofday () -. t0 in
+  record_float "perf6" "dynamic_analyze_s" dyn_s;
+  (match List.assoc_opt "perf6/predict" results with
+  | Some predict_ns ->
+      let ratio = dyn_s *. 1e9 /. predict_ns in
+      record_float "perf6" "dynamic_over_predict_ratio" ratio;
+      Printf.printf
+        "\n(One dynamic analysis (%d ops, %.1f ms) buys ~%.0f static predictions.)\n"
+        r.Webracer.ops (dyn_s *. 1e3) ratio
+  | None -> ())
+
+(* ------------------------------------------------------------------ *)
 (* Abl-1: happens-before query strategy (§5.2.1)                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -747,6 +790,7 @@ let () =
   perf_dedup ();
   perf_parallel ();
   perf_serve ();
+  perf_static ();
   ablation_hb ();
   ablation_detector ();
   stability ();

@@ -3,6 +3,7 @@
    webracer run PAGE.html      analyze one page for races
    webracer batch PAGES...     analyze many pages over a domain pool
    webracer explain PAGE.html  show checkable witnesses for each race
+   webracer predict PAGE.html  static race prediction, no execution
    webracer corpus             regenerate the paper's evaluation tables
    webracer sitegen NAME DIR   write a synthetic corpus site to disk
    webracer serve              long-lived analysis daemon (socket/TCP)
@@ -398,6 +399,158 @@ let explain_cmd =
     Term.(
       const action $ page $ seed $ no_explore $ race_n $ dot_out $ json_out $ log_out_arg)
 
+(* --- predict ----------------------------------------------------------- *)
+
+let predict_cmd =
+  let page =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"PAGE" ~doc:"HTML page to predict races for (omit with $(b,--corpus)).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the prediction document as JSON.") in
+  let lint =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:"Report only the static lint findings (write-only globals, handlers on \
+                missing ids, duplicate ids) as JSON; always exits 0.")
+  in
+  let compare =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:"Also run the dynamic detector and label predictions confirmed or \
+                unconfirmed, and dynamic races predicted or missed.")
+  in
+  let corpus =
+    Arg.(
+      value & flag
+      & info [ "corpus" ]
+          ~doc:"Validate over the synthetic corpus instead of one page: predict and \
+                $(b,--compare) every site, aggregate recall/precision.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed for the dynamic comparison run.")
+  in
+  let limit =
+    Arg.(
+      value & opt (some int) None
+      & info [ "limit" ] ~docv:"N" ~doc:"(corpus) only the first $(docv) sites.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"(corpus) validate up to $(docv) sites concurrently (0 = one per \
+                hardware thread); per-site seeds are position-fixed.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ] ~doc:"Collect telemetry and print a metrics summary.")
+  in
+  let action page json lint compare corpus seed limit jobs metrics log_out =
+    setup_event_log log_out;
+    if corpus then begin
+      let jobs = if jobs = 0 then Wr_support.Pool.default_jobs () else max 1 jobs in
+      let outcomes = Wr_sitegen.Eval.predict_corpus ~seed ?limit ~jobs () in
+      print_string (Wr_sitegen.Eval.render_predict outcomes);
+      let missed =
+        List.fold_left
+          (fun acc (o : Wr_sitegen.Eval.predict_outcome) ->
+            acc + List.length o.Wr_sitegen.Eval.comparison.Wr_static.Compare.missed)
+          0 outcomes
+      in
+      Log.close_sink ();
+      (* CI-gate contract: a dynamically detected race the static side
+         missed is a soundness regression. *)
+      if missed > 0 then exit 2
+    end
+    else begin
+      let page =
+        match page with
+        | Some p -> p
+        | None ->
+            prerr_endline "predict: PAGE argument required (or use --corpus)";
+            exit 1
+      in
+      let tm = if metrics then Telemetry.create () else Telemetry.disabled in
+      let target =
+        Request.analyze_params ~page:(read_file page)
+          ~resources:(resources_around page) ~seed ()
+      in
+      let params = { Request.target; compare; lint } in
+      let doc = Api.predict_json ~telemetry:tm params in
+      if json || lint then
+        print_endline (Wr_support.Json.to_string doc)
+      else begin
+        let member name =
+          match doc with
+          | Wr_support.Json.Obj fields -> List.assoc_opt name fields
+          | _ -> None
+        in
+        let geti name j =
+          match Wr_support.Json.member name j with
+          | Wr_support.Json.Int n -> n
+          | _ -> 0
+        in
+        (match (member "units", member "mhp_pairs", member "summary") with
+        | Some units, Some mhp, Some summary ->
+            Printf.printf "units: %d  mhp pairs: %d\n"
+              (match units with Wr_support.Json.Int n -> n | _ -> 0)
+              (match mhp with Wr_support.Json.Int n -> n | _ -> 0);
+            Printf.printf
+              "predicted races: %d (html %d, function %d, variable %d, dispatch %d)\n"
+              (geti "total" summary) (geti "html" summary) (geti "function" summary)
+              (geti "variable" summary) (geti "dispatch" summary)
+        | _ -> ());
+        (match member "predictions" with
+        | Some (Wr_support.Json.List preds) ->
+            List.iteri
+              (fun i p ->
+                let s name = Wr_support.Json.(to_str (member name p)) in
+                let unit_label side =
+                  Wr_support.Json.(to_str (member "label" (member side p)))
+                in
+                Printf.printf "%2d. %s race on %s\n      %s (%s)\n      %s (%s)\n"
+                  (i + 1) (s "type") (s "location") (unit_label "first")
+                  (s "first_kind") (unit_label "second") (s "second_kind"))
+              preds
+        | _ -> ());
+        (match member "compare" with
+        | Some c ->
+            Printf.printf
+              "compare: dynamic races %d, matched %d; predictions %d, confirmed %d\n"
+              (geti "dynamic_races" c) (geti "matched_dynamic" c) (geti "predicted" c)
+              (geti "confirmed" c);
+            (match Wr_support.Json.member "missed" c with
+            | Wr_support.Json.List [] -> ()
+            | Wr_support.Json.List missed ->
+                Printf.printf "missed dynamic races:\n";
+                List.iter
+                  (fun m ->
+                    Printf.printf "  - %s race on %s\n"
+                      Wr_support.Json.(to_str (member "type" m))
+                      Wr_support.Json.(to_str (member "location" m)))
+                  missed
+            | _ -> ())
+        | None -> ());
+        if metrics then
+          print_endline (Wr_support.Json.to_string (Telemetry.metrics_json tm))
+      end;
+      Log.close_sink ()
+    end
+  in
+  let doc =
+    "Predict races ahead of time from static effect analysis and a parse-derived \
+     may-happen-in-parallel relation (no execution)."
+  in
+  Cmd.v
+    (Cmd.info "predict" ~doc)
+    Term.(
+      const action $ page $ json $ lint $ compare $ corpus $ seed $ limit $ jobs
+      $ metrics $ log_out_arg)
+
 (* --- corpus ------------------------------------------------------------ *)
 
 let corpus_cmd =
@@ -729,13 +882,14 @@ let call_cmd =
     let verb_conv =
       Arg.enum
         [ ("ping", `Ping); ("stats", `Stats); ("analyze", `Analyze);
-          ("explain", `Explain); ("replay", `Replay); ("raw", `Raw) ]
+          ("explain", `Explain); ("predict", `Predict); ("replay", `Replay);
+          ("raw", `Raw) ]
     in
     Arg.(
       required & pos 0 (some verb_conv) None
       & info [] ~docv:"VERB"
           ~doc:"One of $(b,ping), $(b,stats), $(b,analyze), $(b,explain), \
-                $(b,replay), or $(b,raw) (send stdin lines verbatim).")
+                $(b,predict), $(b,replay), or $(b,raw) (send stdin lines verbatim).")
   in
   let page =
     Arg.(
@@ -779,6 +933,14 @@ let call_cmd =
       value & opt (some int) None
       & info [ "race" ] ~docv:"N" ~doc:"(explain) only the $(docv)-th race, 1-based.")
   in
+  let compare =
+    Arg.(
+      value & flag
+      & info [ "compare" ] ~doc:"(predict) also run the dynamic detector and score recall.")
+  in
+  let lint =
+    Arg.(value & flag & info [ "lint" ] ~doc:"(predict) answer with lint findings only.")
+  in
   let schedules =
     Arg.(
       value & opt int 25
@@ -802,7 +964,7 @@ let call_cmd =
                 starting up).")
   in
   let action verb page address repeat seed no_explore no_dedup detector hb time_limit
-      race_n schedules parse_delay jobs connect_timeout =
+      race_n compare lint schedules parse_delay jobs connect_timeout =
     let client =
       try Wr_serve.Client.connect ~retry_for:connect_timeout address
       with Unix.Unix_error (e, _, _) ->
@@ -845,13 +1007,14 @@ let call_cmd =
               if String.trim line <> "" then incr sent)
             () In_channel.stdin;
           print_and_check !sent
-      | (`Ping | `Stats | `Analyze | `Explain | `Replay) as v ->
+      | (`Ping | `Stats | `Analyze | `Explain | `Predict | `Replay) as v ->
           let verb_value =
             match v with
             | `Ping -> Request.Ping
             | `Stats -> Request.Stats
             | `Analyze -> Request.Analyze (target ())
             | `Explain -> Request.Explain { Request.target = target (); race = race_n }
+            | `Predict -> Request.Predict { Request.target = target (); compare; lint }
             | `Replay ->
                 Request.Replay
                   {
@@ -880,8 +1043,8 @@ let call_cmd =
     (Cmd.info "call" ~doc)
     Term.(
       const action $ verb $ page $ address_term $ repeat $ seed $ no_explore $ no_dedup
-      $ detector $ hb $ time_limit $ race_n $ schedules $ parse_delay $ jobs
-      $ connect_timeout)
+      $ detector $ hb $ time_limit $ race_n $ compare $ lint $ schedules $ parse_delay
+      $ jobs $ connect_timeout)
 
 let () =
   let doc = "dynamic race detection for (simulated) web applications" in
@@ -889,5 +1052,5 @@ let () =
     exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; batch_cmd; explain_cmd; corpus_cmd; sitegen_cmd; replay_cmd;
-            offline_cmd; profile_cmd; serve_cmd; call_cmd ]))
+          [ run_cmd; batch_cmd; explain_cmd; predict_cmd; corpus_cmd; sitegen_cmd;
+            replay_cmd; offline_cmd; profile_cmd; serve_cmd; call_cmd ]))

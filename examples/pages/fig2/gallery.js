@@ -1,0 +1,6 @@
+function viewPhoto() {
+  var panel = document.getElementById("viewer");
+  if (panel != null) {
+    panel.style.display = "block";
+  }
+}

@@ -1,0 +1,4 @@
+var box = document.getElementById("q");
+if (box != null) {
+  box.value = "Search...";
+}

@@ -62,6 +62,86 @@ and for_init = Init_expr of expr | Init_decl of (string * expr option) list
 
 type program = stmt list
 
+(* ------------------------------------------------------------------ *)
+(* Shared structural traversal                                         *)
+(*                                                                     *)
+(* One-level folds over the immediate children of a node: the visitor  *)
+(* decides where to recurse, so the same helpers serve both shallow    *)
+(* walks (collecting hoisted declarations without entering nested      *)
+(* functions) and deep ones (the static effect analyzer, iter_exprs).  *)
+(* ------------------------------------------------------------------ *)
+
+let expr_of_lvalue = function
+  | L_var name -> Ident name
+  | L_member (e, name) -> Member (e, name)
+  | L_index (e, k) -> Index (e, k)
+
+let fold_lvalue_children fe acc = function
+  | L_var _ -> acc
+  | L_member (e, _) -> fe acc e
+  | L_index (e, k) -> fe (fe acc e) k
+
+let fold_decls fe acc decls =
+  List.fold_left
+    (fun acc (_, init) -> match init with Some e -> fe acc e | None -> acc)
+    acc decls
+
+let fold_expr_children fe fs acc e =
+  match e with
+  | Number _ | String _ | Regex_lit _ | Bool _ | Null | Ident _ | This -> acc
+  | Func { body; _ } -> List.fold_left fs acc body
+  | Object_lit props -> List.fold_left (fun acc (_, v) -> fe acc v) acc props
+  | Array_lit elems -> List.fold_left fe acc elems
+  | Member (e, _) -> fe acc e
+  | Index (e, k) -> fe (fe acc e) k
+  | Call (f, args) | New (f, args) -> List.fold_left fe (fe acc f) args
+  | Assign (lv, e) | Op_assign (lv, _, e) -> fe (fold_lvalue_children fe acc lv) e
+  | Update (lv, _, _) -> fold_lvalue_children fe acc lv
+  | Binop (_, a, b) | Comma (a, b) -> fe (fe acc a) b
+  | Unop (_, a) -> fe acc a
+  | Cond (c, t, f) -> fe (fe (fe acc c) t) f
+
+let fold_stmt_children fe fs acc s =
+  match s with
+  | Expr_stmt e | Throw e | Return (Some e) -> fe acc e
+  | Var_decl decls -> fold_decls fe acc decls
+  | Func_decl { body; _ } -> List.fold_left fs acc body
+  | If (c, t, e) -> List.fold_left fs (List.fold_left fs (fe acc c) t) e
+  | While (c, b) -> List.fold_left fs (fe acc c) b
+  | Do_while (b, c) -> fe (List.fold_left fs acc b) c
+  | For (init, cond, step, b) ->
+      let acc =
+        match init with
+        | Some (Init_expr e) -> fe acc e
+        | Some (Init_decl decls) -> fold_decls fe acc decls
+        | None -> acc
+      in
+      let acc = match cond with Some e -> fe acc e | None -> acc in
+      let acc = match step with Some e -> fe acc e | None -> acc in
+      List.fold_left fs acc b
+  | For_in (_, obj, b) -> List.fold_left fs (fe acc obj) b
+  | Try (b, catch, fin) ->
+      let acc = List.fold_left fs acc b in
+      let acc =
+        match catch with Some (_, cb) -> List.fold_left fs acc cb | None -> acc
+      in
+      (match fin with Some fb -> List.fold_left fs acc fb | None -> acc)
+  | Switch (scrut, cases) ->
+      List.fold_left
+        (fun acc (guard, body) ->
+          let acc = match guard with Some g -> fe acc g | None -> acc in
+          List.fold_left fs acc body)
+        (fe acc scrut) cases
+  | Block b -> List.fold_left fs acc b
+  | Return None | Break | Continue | Empty -> acc
+
+let iter_exprs f prog =
+  let rec fe () e =
+    f e;
+    fold_expr_children fe fs () e
+  and fs () s = fold_stmt_children fe fs () s in
+  List.iter (fs ()) prog
+
 let binop_name = function
   | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
   | Eq -> "==" | Neq -> "!="

@@ -77,6 +77,36 @@ and for_init = Init_expr of expr | Init_decl of (string * expr option) list
 
 type program = stmt list
 
+(** [expr_of_lvalue lv] is the expression form of an assignment target —
+    [L_var x] is [Ident x], [L_member (e, n)] is [Member (e, n)], and so
+    on. Lets consumers (the pretty-printer, the static effect analyzer)
+    treat lvalues through the expression traversal instead of duplicating
+    the [Member]/[Index] cases. *)
+val expr_of_lvalue : lvalue -> expr
+
+(** [fold_lvalue_children fe acc lv] folds [fe] over the subexpressions of
+    an assignment target (none for [L_var]; the base and, for [L_index],
+    the key). *)
+val fold_lvalue_children : ('a -> expr -> 'a) -> 'a -> lvalue -> 'a
+
+(** [fold_expr_children fe fs acc e] folds over the {e immediate} children
+    of [e]: [fe] on child expressions, [fs] on child statements (function
+    bodies), in source order. The node itself is not visited and no
+    recursion happens beyond one level — the visitor decides where to
+    descend, so the same helper serves shallow walks (hoisted-declaration
+    collection that must stop at nested functions) and deep ones. *)
+val fold_expr_children :
+  ('a -> expr -> 'a) -> ('a -> stmt -> 'a) -> 'a -> expr -> 'a
+
+(** [fold_stmt_children fe fs acc s] — the statement analogue of
+    {!fold_expr_children}. *)
+val fold_stmt_children :
+  ('a -> expr -> 'a) -> ('a -> stmt -> 'a) -> 'a -> stmt -> 'a
+
+(** [iter_exprs f prog] visits every expression in the program in pre-order,
+    including inside nested function bodies. *)
+val iter_exprs : (expr -> unit) -> program -> unit
+
 (** [binop_name op] is the operator's surface syntax ("+", "===", ...). *)
 val binop_name : binop -> string
 

@@ -142,22 +142,10 @@ and compound buf e =
       Buffer.add_string buf ", ";
       expr buf b
 
-and lvalue buf = function
-  | L_var name -> Buffer.add_string buf name
-  | L_member (e, name) ->
-      (match e with
-      | Number _ ->
-          Buffer.add_char buf '(';
-          expr buf e;
-          Buffer.add_char buf ')'
-      | _ -> expr buf e);
-      Buffer.add_char buf '.';
-      Buffer.add_string buf name
-  | L_index (e, k) ->
-      expr buf e;
-      Buffer.add_char buf '[';
-      expr buf k;
-      Buffer.add_char buf ']'
+(* An assignment target prints exactly like its expression form at
+   compound level: bare identifier, or the [Member]/[Index] cases above
+   (including the numeric-base parenthesization). *)
+and lvalue buf lv = compound buf (expr_of_lvalue lv)
 
 and arg_list buf args =
   Buffer.add_char buf '(';

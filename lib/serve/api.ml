@@ -55,6 +55,32 @@ let replay (p : Request.replay_params) =
     ~seeds:(List.init p.Request.schedules (fun i -> i))
     ~parse_delay:p.Request.parse_delay ()
 
+let predict_json ?telemetry (p : Request.predict_params) =
+  let tm = Option.value ~default:Wr_telemetry.Telemetry.disabled telemetry in
+  let t = p.Request.target in
+  let result =
+    Wr_static.Predict.predict ~tm ~page:t.Request.page
+      ~resources:t.Request.resources ()
+  in
+  if p.Request.lint then
+    Json.Obj
+      [
+        Schema.tag;
+        ( "lint",
+          Json.List
+            (List.map Wr_static.Predict.lint_to_json
+               result.Wr_static.Predict.lint) );
+      ]
+  else
+    let compare =
+      if p.Request.compare then
+        Some
+          (Wr_static.Compare.to_json result.Wr_static.Predict.model
+             (Wr_static.Compare.against_report result (analyze t)))
+      else None
+    in
+    Wr_static.Predict.to_json ?compare result
+
 let ping_result = Json.Obj [ ("pong", Json.Bool true) ]
 
 let no_stats () =
@@ -74,6 +100,7 @@ let dispatch ?(stats = no_stats) (req : Request.t) =
         | Error msg -> Response.error ~id Response.Bad_request msg)
     | Request.Replay p ->
         Response.ok ~id (Webracer.Replay.verdict_to_json (replay p))
+    | Request.Predict p -> Response.ok ~id (predict_json p)
   with
   | resp -> resp
   | exception e ->

@@ -38,6 +38,15 @@ val explain_json :
 
 val replay : Request.replay_params -> Webracer.Replay.verdict
 
+(** [predict_json p] — the static predictor's document
+    ([Wr_static.Predict.to_json]): lint-only when [p.lint], with a
+    ["compare"] section scored against a fresh dynamic run when
+    [p.compare]. [webracer predict --json] writes exactly this. *)
+val predict_json :
+  ?telemetry:Wr_telemetry.Telemetry.t ->
+  Request.predict_params ->
+  Wr_support.Json.t
+
 (** [ping_result] is the constant [{"pong":true}]. *)
 val ping_result : Wr_support.Json.t
 

@@ -92,7 +92,7 @@ let sync_telemetry st =
   end
 
 let stats_json st =
-  let verbs = [ "ping"; "stats"; "analyze"; "explain"; "replay" ] in
+  let verbs = [ "ping"; "stats"; "analyze"; "explain"; "predict"; "replay" ] in
   let total = List.fold_left (fun acc v -> acc + count st.requests v) 0 verbs in
   Json.Obj
     [
@@ -256,6 +256,10 @@ let handle_request st conn (req : Request.t) =
       in
       admit ~verb:"replay" ~cache_key:None (fun () ->
           Api.dispatch { req with Request.verb = Request.Replay r })
+  | Request.Predict p ->
+      let p = { p with Request.target = clamp_target st p.Request.target } in
+      admit ~verb:"predict" ~cache_key:None (fun () ->
+          Api.dispatch { req with Request.verb = Request.Predict p })
 
 let handle_line st conn line =
   if String.trim line <> "" then begin

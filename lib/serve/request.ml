@@ -22,12 +22,15 @@ type replay_params = {
   jobs : int;
 }
 
+type predict_params = { target : analyze_params; compare : bool; lint : bool }
+
 type verb =
   | Ping
   | Stats
   | Analyze of analyze_params
   | Explain of explain_params
   | Replay of replay_params
+  | Predict of predict_params
 
 type t = { id : Json.t; verb : verb }
 
@@ -42,6 +45,7 @@ let verb_name = function
   | Analyze _ -> "analyze"
   | Explain _ -> "explain"
   | Replay _ -> "replay"
+  | Predict _ -> "predict"
 
 let detector_names =
   [ ("last-access", Config.Last_access); ("full-track", Config.Full_track);
@@ -91,6 +95,15 @@ let params_to_json = function
                 ("parse_delay", Json.Float parse_delay);
                 ("jobs", Json.Int jobs);
               ]
+        | _ -> assert false
+      in
+      [ ("params", Json.Obj fields) ]
+  | Predict { target; compare; lint } ->
+      let fields =
+        match analyze_params_to_json target with
+        | Json.Obj fields ->
+            fields
+            @ [ ("compare", Json.Bool compare); ("lint", Json.Bool lint) ]
         | _ -> assert false
       in
       [ ("params", Json.Obj fields) ]
@@ -198,8 +211,16 @@ let decode_verb verb params =
       let jobs = get_int "jobs" params_fields ~default:1 in
       if jobs < 1 then bad "\"jobs\" must be at least 1";
       Replay { target = decode_analyze params_fields; schedules; parse_delay; jobs }
+  | "predict" ->
+      Predict
+        {
+          target = decode_analyze params_fields;
+          compare = get_bool "compare" params_fields ~default:false;
+          lint = get_bool "lint" params_fields ~default:false;
+        }
   | other ->
-      bad "unknown verb %S (expected ping, stats, analyze, explain or replay)" other
+      bad "unknown verb %S (expected ping, stats, analyze, explain, predict or replay)"
+        other
 
 let of_json j =
   let id = ref Json.Null in

@@ -46,12 +46,20 @@ type replay_params = {
   jobs : int;  (** parallelism for the schedule sweep, verdict-invariant *)
 }
 
+type predict_params = {
+  target : analyze_params;
+      (** only [page]/[resources]/[seed] matter unless [compare] *)
+  compare : bool;  (** also run the dynamic detector and score recall *)
+  lint : bool;  (** answer with the lint findings only *)
+}
+
 type verb =
   | Ping
   | Stats
   | Analyze of analyze_params
   | Explain of explain_params
   | Replay of replay_params
+  | Predict of predict_params
 
 type t = { id : Wr_support.Json.t; verb : verb }
 

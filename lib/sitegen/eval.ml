@@ -104,3 +104,71 @@ let render_table2 outcomes =
   Wr_support.Table.render
     ~header:[ "Website"; "HTML"; "Function"; "Variable"; "EventDisp" ]
     (List.map row visible @ [ totals ])
+
+(* --- static-prediction validation (DESIGN.md §8) ---------------------- *)
+
+type predict_outcome = {
+  p_profile : Profile.t;
+  comparison : Wr_static.Compare.comparison;
+}
+
+let predict_site ?(seed = 42) profile =
+  let site = Gen.generate profile in
+  let result =
+    Wr_static.Predict.predict ~page:site.Gen.page ~resources:site.Gen.resources
+      ()
+  in
+  let comparison =
+    Wr_static.Compare.run ~seed ~page:site.Gen.page
+      ~resources:site.Gen.resources result
+  in
+  { p_profile = profile; comparison }
+
+let predict_corpus ?(seed = 42) ?limit ?(jobs = 1) () =
+  let profiles = Profile.corpus () in
+  let profiles =
+    match limit with
+    | Some n -> List.filteri (fun i _ -> i < n) profiles
+    | None -> profiles
+  in
+  Wr_support.Pool.map_jobs ~jobs
+    (fun (i, p) -> predict_site ~seed:(seed + i) p)
+    (List.mapi (fun i p -> (i, p)) profiles)
+
+let render_predict outcomes =
+  let sum f = List.fold_left (fun acc o -> acc + f o.comparison) 0 outcomes in
+  let dyn = sum (fun c -> c.Wr_static.Compare.dynamic_races) in
+  let matched = sum (fun c -> c.Wr_static.Compare.matched_dynamic) in
+  let predicted = sum (fun c -> c.Wr_static.Compare.predicted) in
+  let confirmed = sum (fun c -> c.Wr_static.Compare.confirmed) in
+  let imperfect =
+    List.filter
+      (fun o ->
+        o.comparison.Wr_static.Compare.missed <> []
+        || o.comparison.Wr_static.Compare.unconfirmed <> [])
+      outcomes
+  in
+  let row o =
+    let c = o.comparison in
+    [
+      o.p_profile.Profile.name;
+      string_of_int c.Wr_static.Compare.dynamic_races;
+      string_of_int c.Wr_static.Compare.matched_dynamic;
+      string_of_int c.Wr_static.Compare.predicted;
+      string_of_int c.Wr_static.Compare.confirmed;
+      string_of_int (List.length c.Wr_static.Compare.missed);
+    ]
+  in
+  let table =
+    if imperfect = [] then "all sites fully matched\n"
+    else
+      Wr_support.Table.render
+        ~header:[ "Website"; "Dyn"; "Matched"; "Pred"; "Conf"; "Missed" ]
+        (List.map row imperfect)
+  in
+  let pct a b = if b = 0 then 100. else 100. *. float_of_int a /. float_of_int b in
+  Printf.sprintf
+    "%ssites: %d  dynamic races: %d  predicted: %d\nrecall: %d/%d (%.1f%%)  \
+     precision: %d/%d (%.1f%%)\n"
+    table (List.length outcomes) dyn predicted matched dyn (pct matched dyn)
+    confirmed predicted (pct confirmed predicted)

@@ -44,3 +44,29 @@ val render_table1 : outcome list -> string
     filtered races are elided, totals appended, mismatch-flagged rows
     marked with [!]. *)
 val render_table2 : outcome list -> string
+
+(** {2 Static-prediction validation} (DESIGN.md §8)
+
+    Score the ahead-of-time predictor ([Wr_static]) against the dynamic
+    detector over the corpus: every dynamically detected raw race should
+    be statically predicted (recall), and the prediction sets should not
+    drown in unconfirmed noise (precision). *)
+
+type predict_outcome = {
+  p_profile : Profile.t;
+  comparison : Wr_static.Compare.comparison;
+}
+
+(** [predict_site ?seed profile] generates the site, predicts statically,
+    and scores against a dynamic run with the same seed. *)
+val predict_site : ?seed:int -> Profile.t -> predict_outcome
+
+(** [predict_corpus ?seed ?limit ?jobs ()] — {!predict_site} over the
+    corpus; position-fixed seeds make the outcome independent of
+    [jobs]. *)
+val predict_corpus :
+  ?seed:int -> ?limit:int -> ?jobs:int -> unit -> predict_outcome list
+
+(** [render_predict outcomes] — per-site rows for imperfect sites plus
+    aggregate recall/precision. *)
+val render_predict : predict_outcome list -> string

@@ -1,0 +1,121 @@
+(* Validate static predictions against the dynamic detector: run the
+   instrumented browser on the same page, then match every dynamically
+   detected race (raw, pre-filter — the predictor models the unfiltered
+   detector) against the prediction set.
+
+   Matching is intentionally generous on the static side — an abstract
+   location covers a dynamic one whenever they may denote the same cell —
+   because the harness measures recall (every dynamic race must be
+   covered by some prediction) and precision (predictions confirmed by at
+   least one dynamic race). *)
+
+module Json = Wr_support.Json
+module Race = Wr_detect.Race
+module Location = Wr_mem.Location
+
+(* May abstract location [sl] denote the concrete dynamic location?
+   Dynamic document keys are node uids from the run, unrelated to the
+   static 0-based document numbering, so documents are not compared —
+   id/name/event identity carries the matching. *)
+let loc_covers (sl : Effects.sloc) (dl : Location.t) =
+  let s_matches s name = Effects.sstr_matches s (Effects.Lit name) in
+  match (sl, dl) with
+  | Effects.S_top, _ -> true
+  | Effects.S_global s, Location.Js_var { name; _ } -> s_matches s name
+  | Effects.S_prop { prop; _ }, Location.Js_var { name; _ } ->
+      (* Dynamic object-property cells are reported by property name. *)
+      s_matches prop name
+  | Effects.S_id { id; _ }, Location.Html_elem (Location.Id { id = i; _ }) ->
+      s_matches id i
+  | ( Effects.S_collection { name; _ },
+      Location.Html_elem (Location.Collection { name = n; _ }) ) ->
+      s_matches name n
+  | Effects.S_node _, Location.Html_elem (Location.Node _) -> true
+  | Effects.S_dom_any _, Location.Html_elem _ -> true
+  | Effects.S_handler { event; _ }, Location.Event_handler { event = e; _ } ->
+      event = "*" || event = e
+  | _ -> false
+
+let type_compat (st : Race.race_type) (dt : Race.race_type) =
+  st = dt
+  ||
+  (* Function vs. variable hinges on whether the racing write is the
+     hoisted declaration or a later reassignment — a distinction the
+     flow-insensitive static side can blur. *)
+  match (st, dt) with
+  | Race.Variable, Race.Function_race | Race.Function_race, Race.Variable ->
+      true
+  | _ -> false
+
+let covers (p : Predict.prediction) (r : Race.t) =
+  type_compat p.Predict.race_type r.Race.race_type
+  && loc_covers p.Predict.loc r.Race.loc
+
+type comparison = {
+  dynamic_races : int;
+  predicted : int;
+  matched_dynamic : int;  (** dynamic races covered by some prediction *)
+  confirmed : int;  (** predictions covering some dynamic race *)
+  missed : (Race.t * string) list;  (** dynamic races no prediction covers *)
+  unconfirmed : Predict.prediction list;
+}
+
+let recall c =
+  if c.dynamic_races = 0 then 1.0
+  else float_of_int c.matched_dynamic /. float_of_int c.dynamic_races
+
+let precision c =
+  if c.predicted = 0 then 1.0
+  else float_of_int c.confirmed /. float_of_int c.predicted
+
+let against_report (result : Predict.result) (report : Webracer.report) =
+  let preds = result.Predict.predictions in
+  let races = report.Webracer.races in
+  let missed =
+    List.filter_map
+      (fun r ->
+        if List.exists (fun p -> covers p r) preds then None
+        else Some (r, Location.to_string r.Race.loc))
+      races
+  in
+  let unconfirmed =
+    List.filter (fun p -> not (List.exists (covers p) races)) preds
+  in
+  {
+    dynamic_races = List.length races;
+    predicted = List.length preds;
+    matched_dynamic = List.length races - List.length missed;
+    confirmed = List.length preds - List.length unconfirmed;
+    missed;
+    unconfirmed;
+  }
+
+(* [run ?seed ~page ~resources result] analyzes the page dynamically
+   (exploration on, matching production defaults) and scores [result]
+   against the raw race reports. *)
+let run ?seed ~page ~resources (result : Predict.result) =
+  let cfg = Webracer.config ~page ~resources ?seed () in
+  against_report result (Webracer.analyze cfg)
+
+let to_json (m : Model.t) c =
+  Json.Obj
+    [
+      ("dynamic_races", Json.Int c.dynamic_races);
+      ("predicted", Json.Int c.predicted);
+      ("matched_dynamic", Json.Int c.matched_dynamic);
+      ("confirmed", Json.Int c.confirmed);
+      ("recall", Json.Float (recall c));
+      ("precision", Json.Float (precision c));
+      ( "missed",
+        Json.List
+          (List.map
+             (fun (r, loc) ->
+               Json.Obj
+                 [
+                   ("type", Json.String (Race.type_name r.Race.race_type));
+                   ("location", Json.String loc);
+                 ])
+             c.missed) );
+      ( "unconfirmed",
+        Json.List (List.map (Predict.prediction_to_json m) c.unconfirmed) );
+    ]

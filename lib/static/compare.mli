@@ -1,0 +1,36 @@
+(** Precision/recall harness: score static predictions against the
+    dynamic detector's raw race reports on the same page. *)
+
+type comparison = {
+  dynamic_races : int;
+  predicted : int;
+  matched_dynamic : int;  (** dynamic races covered by some prediction *)
+  confirmed : int;  (** predictions covering some dynamic race *)
+  missed : (Wr_detect.Race.t * string) list;
+      (** dynamic races no prediction covers, with rendered location *)
+  unconfirmed : Predict.prediction list;
+}
+
+(** Recall/precision over this page; both are 1.0 on the empty side. *)
+val recall : comparison -> float
+
+val precision : comparison -> float
+
+(** [covers p r] — may the prediction denote the dynamic race's location
+    (with compatible race types)? *)
+val covers : Predict.prediction -> Wr_detect.Race.t -> bool
+
+(** [against_report result report] scores predictions against an existing
+    dynamic report (raw, pre-filter races). *)
+val against_report : Predict.result -> Webracer.report -> comparison
+
+(** [run ?seed ~page ~resources result] analyzes the page dynamically
+    (exploration on) and scores [result]. *)
+val run :
+  ?seed:int ->
+  page:string ->
+  resources:(string * string) list ->
+  Predict.result ->
+  comparison
+
+val to_json : Model.t -> comparison -> Wr_support.Json.t

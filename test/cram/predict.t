@@ -1,0 +1,64 @@
+The ahead-of-time race predictor: static effects + MHP, no execution.
+
+  $ alias webracer='../../bin/webracer_cli.exe'
+
+A paper Fig. 3 shape: a javascript: link races the parser to #panel.
+
+  $ cat > fig3.html <<'HTML'
+  > <html><body>
+  > <script>
+  > function open_panel() {
+  >   var p = document.getElementById("panel");
+  >   if (p != null) { p.style.display = "block"; }
+  > }
+  > </script>
+  > <a id="open" href="javascript:open_panel()">Show the panel</a>
+  > <div id="panel" style="display:none">panel contents</div>
+  > </body></html>
+  > HTML
+
+Human-readable prediction:
+
+  $ webracer predict fig3.html
+  units: 9  mhp pairs: 3
+  predicted races: 1 (html 1, function 0, variable 0, dispatch 0)
+   1. html race on elem doc0#panel
+        dispatch click on <a#open> (read)
+        parse <div#panel> (write)
+
+The JSON schema is pinned:
+
+  $ webracer predict fig3.html --json
+  {"schema_version":1,"units":9,"docs":1,"mhp_pairs":3,"predictions":[{"type":"html","location":"elem doc0#panel","first":{"uid":5,"kind":"dispatch","label":"dispatch click on <a#open>"},"second":{"uid":6,"kind":"parse","label":"parse <div#panel>"},"first_kind":"read","second_kind":"write"}],"summary":{"total":1,"html":1,"function":0,"variable":0,"dispatch":0},"lint":[]}
+
+--compare validates the prediction against the dynamic detector:
+
+  $ webracer predict fig3.html --compare | tail -1
+  compare: dynamic races 1, matched 1; predictions 1, confirmed 1
+
+Lint mode surfaces static hygiene findings and always exits 0:
+
+  $ cat > lint.html <<'HTML'
+  > <html><body>
+  > <div id="dup">one</div>
+  > <div id="dup">two</div>
+  > <script>
+  > orphan = 1;
+  > setTimeout(function () {
+  >   var el = document.getElementById("ghost");
+  >   el.onclick = function () { orphan = orphan + 1; };
+  > }, 10);
+  > </script>
+  > </body></html>
+  > HTML
+
+  $ webracer predict lint.html --lint
+  {"schema_version":1,"lint":[{"check":"duplicate-id","doc":0,"id":"dup","count":2},{"check":"handler-on-missing-id","doc":0,"id":"ghost","event":"click","registered_by":"timer (10ms) from inline script (doc0/node4)"}]}
+
+The corpus gate: every dynamically detected race must be statically
+predicted (exit 2 on a miss). Precision and recall are pinned.
+
+  $ webracer predict --corpus -j 0
+  all sites fully matched
+  sites: 100  dynamic races: 4726  predicted: 2667
+  recall: 4726/4726 (100.0%)  precision: 2667/2667 (100.0%)

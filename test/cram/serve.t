@@ -53,6 +53,12 @@ stats verb exposes the counters.
   $ webracer call --socket "$SOCK" stats | grep -o '"analyses_run":1'
   "analyses_run":1
 
+The predict verb runs the static predictor over the socket; the fast
+page is a single ordered script, so nothing is predicted:
+
+  $ webracer call --socket "$SOCK" predict fast/page.html
+  {"schema_version":1,"id":1,"ok":true,"result":{"schema_version":1,"units":4,"docs":1,"mhp_pairs":0,"predictions":[],"summary":{"total":0,"html":0,"function":0,"variable":0,"dispatch":0},"lint":[]}}
+
 A malformed request gets a structured bad_request error — and the
 connection (and daemon) survive it. `call` exits nonzero on any error
 response.

@@ -24,4 +24,5 @@ let () =
       ("trace", Test_trace.suite);
       ("sitegen", Test_sitegen.suite);
       ("site-album", Test_site_album.suite);
+      ("static", Test_static.suite);
     ]
