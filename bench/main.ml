@@ -11,6 +11,12 @@ module Graph = Wr_hb.Graph
 module Op = Wr_hb.Op
 module Table = Wr_support.Table
 
+(* --quick: a CI-sized pass — truncated corpus and a smaller bechamel
+   quota, but the same BENCH_results.json schema, so scripts/bench_trend
+   can compare quick runs against each other. *)
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let corpus_limit = if quick then Some 12 else None
+
 let section title =
   Printf.printf "\n==============================================================\n";
   Printf.printf "%s\n" title;
@@ -58,7 +64,12 @@ let write_bench_results path =
 
 let run_bench_group ~name tests =
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let cfg =
+    Benchmark.cfg
+      ~limit:(if quick then 50 else 200)
+      ~quota:(Time.second (if quick then 0.1 else 0.5))
+      ~stabilize:false ()
+  in
   let grouped = Test.make_grouped ~name tests in
   let raw = Benchmark.all cfg instances grouped in
   let ols =
@@ -470,8 +481,8 @@ let perf_parallel () =
   Printf.printf "hardware parallelism (Domain.recommended_domain_count): %d\n\n"
     (Wr_support.Pool.default_jobs ());
   (* Corpus-wide dedup effect and race-count identity, dedup on vs off. *)
-  let on = Eval.run_corpus ~seed:42 ~dedup:true () in
-  let off = Eval.run_corpus ~seed:42 ~dedup:false () in
+  let on = Eval.run_corpus ~seed:42 ?limit:corpus_limit ~dedup:true () in
+  let off = Eval.run_corpus ~seed:42 ?limit:corpus_limit ~dedup:false () in
   let sum f xs = List.fold_left (fun acc o -> acc + f o) 0 xs in
   let records xs = sum (fun o -> o.Eval.detector_records) xs in
   let identical =
@@ -490,7 +501,7 @@ let perf_parallel () =
     List.map
       (fun jobs ->
         let started = Unix.gettimeofday () in
-        let outcomes = Eval.run_corpus ~seed:42 ~jobs () in
+        let outcomes = Eval.run_corpus ~seed:42 ?limit:corpus_limit ~jobs () in
         let dt = Unix.gettimeofday () -. started in
         let same = List.map outcome_signature outcomes = reference in
         record_float "perf4" (Printf.sprintf "corpus_jobs%d_s" jobs) dt;
@@ -533,7 +544,7 @@ let perf_serve () =
     Request.analyze_params ~page:site.Gen.page ~resources:site.Gen.resources ()
   in
   let line =
-    Request.to_line { Request.id = Wr_support.Json.Int 1; verb = Request.Analyze params }
+    Request.to_line { Request.id = Wr_support.Json.Int 1; trace = None; verb = Request.Analyze params }
   in
   Printf.printf "wire request: %d bytes (page %d bytes, %d resources)\n\n"
     (String.length line) (String.length site.Gen.page)
@@ -558,7 +569,7 @@ let perf_serve () =
              | None -> assert false));
       Test.make ~name:"dispatch-ping"
         (Staged.stage (fun () ->
-             Api.dispatch { Request.id = Wr_support.Json.Int 1; verb = Request.Ping }));
+             Api.dispatch { Request.id = Wr_support.Json.Int 1; trace = None; verb = Request.Ping }));
     ]
   in
   let results = run_bench_group ~name:"perf5" tests in
@@ -777,7 +788,7 @@ let () =
   let t0 = Unix.gettimeofday () in
   print_endline "WebRacer-OCaml benchmark harness (paper: PLDI 2012, WebRacer)";
   let corpus_t0 = Unix.gettimeofday () in
-  let outcomes = Eval.run_corpus ~seed:42 () in
+  let outcomes = Eval.run_corpus ~seed:42 ?limit:corpus_limit () in
   record_float "corpus" "run_corpus_s" (Unix.gettimeofday () -. corpus_t0);
   record_result "corpus" "fidelity_sites"
     (Wr_support.Json.Int (List.length (List.filter Eval.fidelity outcomes)));

@@ -567,9 +567,20 @@ let corpus_cmd =
           ~doc:"Analyze up to $(docv) sites concurrently (0 = one per hardware thread); \
                 per-site seeds are position-fixed so the tables do not depend on $(docv).")
   in
-  let action seed limit jobs =
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Also print the fleet profile: per-domain queue-wait / run / idle / GC \
+                breakdown, lock contention, and the cross-domain telemetry phase \
+                table — the figures behind any parallel speedup (or its absence).")
+  in
+  let action seed limit jobs profile =
     let jobs = if jobs = 0 then Wr_support.Pool.default_jobs () else max 1 jobs in
-    let outcomes = Wr_sitegen.Eval.run_corpus ~seed ?limit ~jobs () in
+    let tm = if profile then Telemetry.create () else Telemetry.disabled in
+    let outcomes, pool_stats =
+      Wr_sitegen.Eval.run_corpus_stats ~seed ?limit ~jobs ~telemetry:tm ()
+    in
     print_endline "Table 1 analogue (raw races per type across sites):\n";
     print_string (Wr_sitegen.Eval.render_table1 outcomes);
     print_endline "\nTable 2 analogue (filtered races per site, harmful in parens):\n";
@@ -577,10 +588,20 @@ let corpus_cmd =
     let bad = List.filter (fun o -> not (Wr_sitegen.Eval.fidelity o)) outcomes in
     Printf.printf "\nGround-truth fidelity: %d/%d sites\n"
       (List.length outcomes - List.length bad)
-      (List.length outcomes)
+      (List.length outcomes);
+    if profile then begin
+      Printf.printf "\nFleet profile (%d jobs):\n\n" jobs;
+      print_string (Wr_support.Pool.render_stats pool_stats);
+      let hits, misses, contended = Wr_js.Builtins.regex_cache_stats () in
+      Printf.printf "\nregex cache: %d hits, %d misses, %d lock contentions\n"
+        hits misses contended;
+      Printf.printf "\nTelemetry phases (%d recording domains, %d spans):\n\n"
+        (Telemetry.domains tm) (Telemetry.n_spans tm);
+      print_string (Telemetry.phase_table tm)
+    end
   in
   let doc = "Regenerate the paper's evaluation tables over the synthetic corpus." in
-  Cmd.v (Cmd.info "corpus" ~doc) Term.(const action $ seed $ limit $ jobs)
+  Cmd.v (Cmd.info "corpus" ~doc) Term.(const action $ seed $ limit $ jobs $ profile)
 
 (* --- offline ------------------------------------------------------------ *)
 
@@ -715,7 +736,8 @@ let profile_cmd =
     in
     let report = Webracer.analyze cfg in
     print_string (Telemetry.phase_table tm);
-    Printf.printf "\nspans: %d  races: %d raw, %d after filters\n" (Telemetry.n_spans tm)
+    Printf.printf "\nspans: %d  domains: %d  races: %d raw, %d after filters\n"
+      (Telemetry.n_spans tm) (Telemetry.domains tm)
       (List.length report.Webracer.races)
       (List.length report.Webracer.filtered);
     (match Telemetry.counters tm with
@@ -724,6 +746,17 @@ let profile_cmd =
         print_newline ();
         print_endline "counters:";
         List.iter (fun (k, v) -> Printf.printf "  %-30s %d\n" k v) counters);
+    (match Telemetry.histograms tm with
+    | [] -> ()
+    | hs ->
+        print_newline ();
+        print_endline "histograms:                       count      mean       p50       p95       max";
+        List.iter
+          (fun (name, h) ->
+            Printf.printf "  %-30s %6d %9.3f %9.3f %9.3f %9.3f\n" name
+              h.Telemetry.count h.Telemetry.mean h.Telemetry.p50
+              h.Telemetry.p95 h.Telemetry.max)
+          hs);
     match trace_out with
     | Some file ->
         write_file file (Wr_support.Json.to_string (Telemetry.to_chrome_trace tm));
@@ -834,7 +867,24 @@ let serve_cmd =
       & info [ "max-time-limit" ] ~docv:"MS"
           ~doc:"Clamp on the virtual-time horizon a request may ask for.")
   in
-  let action address jobs queue cache wall_limit max_vtime log_out =
+  let trace_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"On shutdown, write the daemon's Chrome trace_event JSON profile — \
+                one named thread row per worker domain, spans tagged with request \
+                trace ids — to $(docv).")
+  in
+  let metrics_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"On shutdown, write the final $(b,metrics) document (per-stage \
+                latency histograms, queue high-water, cache hit ratio, Prometheus \
+                text) to $(docv).")
+  in
+  let action address jobs queue cache wall_limit max_vtime trace_out metrics_out
+      log_out =
     setup_event_log log_out;
     let jobs = if jobs = 0 then Wr_support.Pool.default_jobs () else max 1 jobs in
     let cfg =
@@ -856,10 +906,23 @@ let serve_cmd =
         (address_string addr) jobs cfg.Wr_serve.Daemon.queue_cap
         cfg.Wr_serve.Daemon.cache_cap
     in
+    let tm = Telemetry.create () in
+    let on_stop metrics =
+      (match metrics_out with
+      | Some file ->
+          write_file file (Wr_support.Json.to_string metrics);
+          Printf.eprintf "webracer serve: metrics written to %s\n%!" file
+      | None -> ());
+      match trace_out with
+      | Some file ->
+          write_file file (Wr_support.Json.to_string (Telemetry.to_chrome_trace tm));
+          Printf.eprintf "webracer serve: trace written to %s\n%!" file
+      | None -> ()
+    in
     let final =
       Wr_serve.Daemon.run
         ~stop:(fun () -> Atomic.get stopped)
-        ~on_ready ~telemetry:(Telemetry.create ()) cfg
+        ~on_ready ~on_stop ~telemetry:tm cfg
     in
     Printf.eprintf "webracer serve: drained and stopped\n%s\n%!"
       (Wr_support.Json.to_string final);
@@ -867,29 +930,31 @@ let serve_cmd =
   in
   let doc =
     "Run the long-lived analysis daemon: newline-delimited JSON requests \
-     ($(b,ping), $(b,stats), $(b,analyze), $(b,explain), $(b,replay)) over a Unix \
-     socket or TCP, dispatched to a domain worker pool behind a bounded queue with \
-     an LRU result cache. SIGINT/SIGTERM drain in-flight work before exit."
+     ($(b,ping), $(b,stats), $(b,metrics), $(b,analyze), $(b,explain), \
+     $(b,replay)) over a Unix socket or TCP, dispatched to a domain worker pool \
+     behind a bounded queue with an LRU result cache. SIGINT/SIGTERM drain \
+     in-flight work before exit."
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       const action $ address_term $ jobs $ queue $ cache $ wall_limit $ max_vtime
-      $ log_out_arg)
+      $ trace_out $ metrics_out $ log_out_arg)
 
 let call_cmd =
   let verb =
     let verb_conv =
       Arg.enum
-        [ ("ping", `Ping); ("stats", `Stats); ("analyze", `Analyze);
-          ("explain", `Explain); ("predict", `Predict); ("replay", `Replay);
-          ("raw", `Raw) ]
+        [ ("ping", `Ping); ("stats", `Stats); ("metrics", `Metrics);
+          ("analyze", `Analyze); ("explain", `Explain); ("predict", `Predict);
+          ("replay", `Replay); ("raw", `Raw) ]
     in
     Arg.(
       required & pos 0 (some verb_conv) None
       & info [] ~docv:"VERB"
-          ~doc:"One of $(b,ping), $(b,stats), $(b,analyze), $(b,explain), \
-                $(b,predict), $(b,replay), or $(b,raw) (send stdin lines verbatim).")
+          ~doc:"One of $(b,ping), $(b,stats), $(b,metrics), $(b,analyze), \
+                $(b,explain), $(b,predict), $(b,replay), or $(b,raw) (send stdin \
+                lines verbatim).")
   in
   let page =
     Arg.(
@@ -963,8 +1028,22 @@ let call_cmd =
           ~doc:"Keep retrying the connection this long (covers a daemon still \
                 starting up).")
   in
+  let trace_id =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-id" ] ~docv:"ID"
+          ~doc:"Tag the request(s) with this trace id; the daemon echoes it on the \
+                response and stamps it on its logs and profiling spans.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:"Print each response's trace id on stderr (minting a client-side \
+                trace id when $(b,--trace-id) is not given).")
+  in
   let action verb page address repeat seed no_explore no_dedup detector hb time_limit
-      race_n compare lint schedules parse_delay jobs connect_timeout =
+      race_n compare lint schedules parse_delay jobs connect_timeout trace_id verbose =
     let client =
       try Wr_serve.Client.connect ~retry_for:connect_timeout address
       with Unix.Unix_error (e, _, _) ->
@@ -992,7 +1071,12 @@ let call_cmd =
         | Some line ->
             print_endline line;
             (match Wr_serve.Response.of_line line with
-            | Ok r -> if not (Wr_serve.Response.is_ok r) then all_ok := false
+            | Ok r ->
+                if not (Wr_serve.Response.is_ok r) then all_ok := false;
+                if verbose then
+                  Printf.eprintf "call: id=%s trace=%s\n%!"
+                    (Wr_support.Json.to_string (Wr_serve.Response.id r))
+                    (Option.value ~default:"-" (Wr_serve.Response.trace r))
             | Error _ -> all_ok := false)
       done;
       !all_ok
@@ -1007,11 +1091,12 @@ let call_cmd =
               if String.trim line <> "" then incr sent)
             () In_channel.stdin;
           print_and_check !sent
-      | (`Ping | `Stats | `Analyze | `Explain | `Predict | `Replay) as v ->
+      | (`Ping | `Stats | `Metrics | `Analyze | `Explain | `Predict | `Replay) as v ->
           let verb_value =
             match v with
             | `Ping -> Request.Ping
             | `Stats -> Request.Stats
+            | `Metrics -> Request.Metrics
             | `Analyze -> Request.Analyze (target ())
             | `Explain -> Request.Explain { Request.target = target (); race = race_n }
             | `Predict -> Request.Predict { Request.target = target (); compare; lint }
@@ -1025,9 +1110,20 @@ let call_cmd =
                   }
           in
           let repeat = max 1 repeat in
+          (* [--verbose] without [--trace-id] mints a client-side id so the
+             echoed trace is still printable. *)
+          let trace_for i =
+            match trace_id with
+            | Some tr -> Some tr
+            | None -> if verbose then Some (Printf.sprintf "c-%d" i) else None
+          in
           for i = 1 to repeat do
             Wr_serve.Client.send client
-              { Request.id = Wr_support.Json.Int i; verb = verb_value }
+              {
+                Request.id = Wr_support.Json.Int i;
+                trace = trace_for i;
+                verb = verb_value;
+              }
           done;
           print_and_check repeat
     in
@@ -1044,7 +1140,7 @@ let call_cmd =
     Term.(
       const action $ verb $ page $ address_term $ repeat $ seed $ no_explore $ no_dedup
       $ detector $ hb $ time_limit $ race_n $ compare $ lint $ schedules $ parse_delay
-      $ jobs $ connect_timeout)
+      $ jobs $ connect_timeout $ trace_id $ verbose)
 
 let () =
   let doc = "dynamic race detection for (simulated) web applications" in

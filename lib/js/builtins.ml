@@ -62,15 +62,37 @@ let regex_cache : (string * string, Regex.t) Hashtbl.t = Hashtbl.create 64
 
 let regex_lock = Mutex.create ()
 
+(* Lifetime tallies for the fleet profile: the regex cache is the one
+   process-global table on the parallel analysis path, so its lock is a
+   contention suspect worth measuring directly. *)
+let regex_hits = Atomic.make 0
+let regex_misses = Atomic.make 0
+let regex_contended = Atomic.make 0
+
+let regex_cache_stats () =
+  ( Atomic.get regex_hits,
+    Atomic.get regex_misses,
+    Atomic.get regex_contended )
+
+let with_regex_lock f =
+  if not (Mutex.try_lock regex_lock) then begin
+    Atomic.incr regex_contended;
+    Mutex.lock regex_lock
+  end;
+  Fun.protect ~finally:(fun () -> Mutex.unlock regex_lock) f
+
 let compile_regex vm ~pattern ~flags =
   let key = (pattern, flags) in
-  let cached = Mutex.protect regex_lock (fun () -> Hashtbl.find_opt regex_cache key) in
+  let cached = with_regex_lock (fun () -> Hashtbl.find_opt regex_cache key) in
   match cached with
-  | Some t -> t
+  | Some t ->
+      Atomic.incr regex_hits;
+      t
   | None -> (
+      Atomic.incr regex_misses;
       match Regex.compile ~pattern ~flags with
       | Ok t ->
-          Mutex.protect regex_lock (fun () ->
+          with_regex_lock (fun () ->
               if not (Hashtbl.mem regex_cache key) then Hashtbl.add regex_cache key t);
           t
       | Error msg -> throw_error vm "SyntaxError" ("Invalid regular expression: " ^ msg))

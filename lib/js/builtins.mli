@@ -24,3 +24,10 @@ val number_member : Value.vm -> float -> string -> Value.t option
     SyntaxError ([Value.Js_throw]) on malformed patterns. Used for regex
     literals and the [RegExp] constructor. *)
 val make_regexp : Value.vm -> pattern:string -> flags:string -> Value.t
+
+(** [regex_cache_stats ()] is [(hits, misses, lock_contended)] for the
+    process-global compiled-regex cache over the process lifetime —
+    [lock_contended] counts acquisitions of the cache mutex that found it
+    held by another domain. The fleet profile reads these to name (or
+    exonerate) the cache as a parallel-scaling bottleneck. *)
+val regex_cache_stats : unit -> int * int * int

@@ -86,24 +86,29 @@ let ping_result = Json.Obj [ ("pong", Json.Bool true) ]
 let no_stats () =
   failwith "stats is only served by a running daemon, not a one-shot dispatch"
 
-let dispatch ?(stats = no_stats) (req : Request.t) =
+let no_metrics () =
+  failwith "metrics is only served by a running daemon, not a one-shot dispatch"
+
+let dispatch ?(stats = no_stats) ?(metrics = no_metrics) (req : Request.t) =
   let id = req.Request.id in
+  let trace = req.Request.trace in
+  let ok result = Response.ok ~id ?trace result in
   match
     match req.Request.verb with
-    | Request.Ping -> Response.ok ~id ping_result
-    | Request.Stats -> Response.ok ~id (stats ())
-    | Request.Analyze p -> Response.ok ~id (Webracer.report_to_json (analyze p))
+    | Request.Ping -> ok ping_result
+    | Request.Stats -> ok (stats ())
+    | Request.Metrics -> ok (metrics ())
+    | Request.Analyze p -> ok (Webracer.report_to_json (analyze p))
     | Request.Explain { target; race } -> (
         let report = analyze target in
         match select_witnesses report ~race with
-        | Ok selection -> Response.ok ~id (explain_json report selection)
-        | Error msg -> Response.error ~id Response.Bad_request msg)
-    | Request.Replay p ->
-        Response.ok ~id (Webracer.Replay.verdict_to_json (replay p))
-    | Request.Predict p -> Response.ok ~id (predict_json p)
+        | Ok selection -> ok (explain_json report selection)
+        | Error msg -> Response.error ~id ?trace Response.Bad_request msg)
+    | Request.Replay p -> ok (Webracer.Replay.verdict_to_json (replay p))
+    | Request.Predict p -> ok (predict_json p)
   with
   | resp -> resp
   | exception e ->
       (* Crash isolation: a pathological page must answer, not abort the
          worker (let alone the daemon). *)
-      Response.error ~id Response.Internal (Printexc.to_string e)
+      Response.error ~id ?trace Response.Internal (Printexc.to_string e)

@@ -50,11 +50,16 @@ val predict_json :
 (** [ping_result] is the constant [{"pong":true}]. *)
 val ping_result : Wr_support.Json.t
 
-(** [dispatch ?stats req] runs the request to completion on the calling
-    domain and never raises: analysis exceptions become [Internal]
-    error responses (crash isolation), explain selection errors
-    [Bad_request]. [stats] supplies the [stats] verb's result — the
-    daemon passes its live counters; the default answers with an
-    [Internal] error since a one-shot process has no service state. *)
+(** [dispatch ?stats ?metrics req] runs the request to completion on the
+    calling domain and never raises: analysis exceptions become
+    [Internal] error responses (crash isolation), explain selection
+    errors [Bad_request]. The request's trace id (when present) is
+    echoed on every response. [stats] and [metrics] supply those verbs'
+    results — the daemon passes its live counters and latency
+    histograms; the defaults answer with an [Internal] error since a
+    one-shot process has no service state. *)
 val dispatch :
-  ?stats:(unit -> Wr_support.Json.t) -> Request.t -> Response.t
+  ?stats:(unit -> Wr_support.Json.t) ->
+  ?metrics:(unit -> Wr_support.Json.t) ->
+  Request.t ->
+  Response.t

@@ -1,6 +1,7 @@
 module Json = Wr_support.Json
 module Schema = Wr_support.Schema
 module Pool = Wr_support.Pool
+module Histo = Wr_support.Stats.Histo
 module Telemetry = Wr_telemetry.Telemetry
 module Log = Wr_support.Log
 
@@ -43,6 +44,9 @@ type job = {
   jid : int;
   job_cid : int;
   verb : string;
+  trace : string;  (** supplied or minted; on logs, spans, histograms *)
+  wire_trace : string option;  (** echoed on the response iff supplied *)
+  t_admit : float;  (** admission time; queue-wait/total latency basis *)
   cache_key : string option;
   deadline : float option;
   mutable answered : bool;  (** timeout already replied; drop the result *)
@@ -56,18 +60,33 @@ type state = {
   started : float;
   conns : (int, conn) Hashtbl.t;
   jobs_live : (int, job) Hashtbl.t;
-  completions : (int * Response.t) Queue.t;
+  (* (jid, response, worker start, worker end) *)
+  completions : (int * Response.t * float * float) Queue.t;
   completions_lock : Mutex.t;
   pipe_r : Unix.file_descr;
   pipe_w : Unix.file_descr;
   mutable next_cid : int;
   mutable next_jid : int;
+  mutable next_trace : int;
   (* counters, accept-loop-only *)
   requests : (string, int) Hashtbl.t;  (** by verb *)
   responses : (string, int) Hashtbl.t;  (** by "ok" / error code *)
   mutable analyses_run : int;
   mutable timeouts : int;
+  mutable queue_hwm : int;  (** most requests ever in flight at once *)
+  (* per-stage latency histograms, accept-loop-only: workers ship raw
+     timestamps with each completion and the accept loop records them *)
+  lat_decode : Histo.t;
+  lat_queue : Histo.t;
+  lat_run : Histo.t;
+  lat_encode : Histo.t;
+  lat_total : Histo.t;
 }
+
+let mint_trace st =
+  let n = st.next_trace in
+  st.next_trace <- n + 1;
+  Printf.sprintf "t-%d" n
 
 let bump table key =
   Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
@@ -91,8 +110,14 @@ let sync_telemetry st =
       st.responses
   end
 
+let cache_hit_ratio st =
+  let hits = Cache.hits st.cache and misses = Cache.misses st.cache in
+  if hits + misses = 0 then 0. else float_of_int hits /. float_of_int (hits + misses)
+
 let stats_json st =
-  let verbs = [ "ping"; "stats"; "analyze"; "explain"; "predict"; "replay" ] in
+  let verbs =
+    [ "ping"; "stats"; "metrics"; "analyze"; "explain"; "predict"; "replay" ]
+  in
   let total = List.fold_left (fun acc v -> acc + count st.requests v) 0 verbs in
   Json.Obj
     [
@@ -104,6 +129,7 @@ let stats_json st =
           [
             ("cap", Json.Int st.cfg.queue_cap);
             ("in_flight", Json.Int (Hashtbl.length st.jobs_live));
+            ("high_water", Json.Int st.queue_hwm);
           ] );
       ( "requests",
         Json.Obj
@@ -125,12 +151,103 @@ let stats_json st =
             ("entries", Json.Int (Cache.length st.cache));
             ("hits", Json.Int (Cache.hits st.cache));
             ("misses", Json.Int (Cache.misses st.cache));
+            ("hit_ratio", Json.Float (cache_hit_ratio st));
           ] );
       ("analyses_run", Json.Int st.analyses_run);
       ("timeouts", Json.Int st.timeouts);
       ( "telemetry",
         Json.Obj
           (List.map (fun (k, v) -> (k, Json.Int v)) (Telemetry.counters st.tm)) );
+    ]
+
+(* --- metrics exposition ------------------------------------------------ *)
+
+let latency_stages st =
+  [
+    ("decode", st.lat_decode);
+    ("queue", st.lat_queue);
+    ("run", st.lat_run);
+    ("encode", st.lat_encode);
+    ("total", st.lat_total);
+  ]
+
+(* Prometheus text exposition: one flat document scrapeable by anything
+   that speaks the format; quantiles are the HDR-histogram readings at
+   export time. *)
+let prometheus_text st =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let typ name kind = line "# TYPE %s %s" name kind in
+  typ "webracer_uptime_seconds" "gauge";
+  line "webracer_uptime_seconds %.3f" (Unix.gettimeofday () -. st.started);
+  typ "webracer_requests_total" "counter";
+  Hashtbl.fold (fun verb n acc -> (verb, n) :: acc) st.requests []
+  |> List.sort compare
+  |> List.iter (fun (verb, n) -> line "webracer_requests_total{verb=%S} %d" verb n);
+  typ "webracer_responses_total" "counter";
+  Hashtbl.fold (fun code n acc -> (code, n) :: acc) st.responses []
+  |> List.sort compare
+  |> List.iter (fun (code, n) ->
+         line "webracer_responses_total{outcome=%S} %d" code n);
+  typ "webracer_queue_depth" "gauge";
+  line "webracer_queue_depth %d" (Hashtbl.length st.jobs_live);
+  typ "webracer_queue_depth_high_water" "gauge";
+  line "webracer_queue_depth_high_water %d" st.queue_hwm;
+  typ "webracer_queue_cap" "gauge";
+  line "webracer_queue_cap %d" st.cfg.queue_cap;
+  typ "webracer_cache_hit_ratio" "gauge";
+  line "webracer_cache_hit_ratio %.4f" (cache_hit_ratio st);
+  typ "webracer_cache_entries" "gauge";
+  line "webracer_cache_entries %d" (Cache.length st.cache);
+  typ "webracer_analyses_total" "counter";
+  line "webracer_analyses_total %d" st.analyses_run;
+  typ "webracer_timeouts_total" "counter";
+  line "webracer_timeouts_total %d" st.timeouts;
+  typ "webracer_shed_total" "counter";
+  line "webracer_shed_total %d" (count st.responses "overload");
+  typ "webracer_request_latency_seconds" "summary";
+  List.iter
+    (fun (stage, h) ->
+      List.iter
+        (fun (q, p) ->
+          line "webracer_request_latency_seconds{stage=%S,quantile=%S} %.6f"
+            stage q (Histo.percentile h p))
+        [ ("0.5", 50.); ("0.95", 95.); ("0.99", 99.); ("0.999", 99.9) ];
+      line "webracer_request_latency_seconds_count{stage=%S} %d" stage
+        (Histo.count h);
+      line "webracer_request_latency_seconds_sum{stage=%S} %.6f" stage
+        (Histo.sum h))
+    (latency_stages st);
+  Buffer.contents b
+
+let metrics_json st =
+  Json.Obj
+    [
+      Schema.tag;
+      ("uptime_s", Json.Float (Unix.gettimeofday () -. st.started));
+      ( "latency",
+        Json.Obj
+          (List.map (fun (stage, h) -> (stage, Histo.summary_json h))
+             (latency_stages st)) );
+      ( "queue",
+        Json.Obj
+          [
+            ("depth", Json.Int (Hashtbl.length st.jobs_live));
+            ("high_water", Json.Int st.queue_hwm);
+            ("cap", Json.Int st.cfg.queue_cap);
+          ] );
+      ( "cache",
+        Json.Obj
+          [
+            ("hit_ratio", Json.Float (cache_hit_ratio st));
+            ("hits", Json.Int (Cache.hits st.cache));
+            ("misses", Json.Int (Cache.misses st.cache));
+            ("entries", Json.Int (Cache.length st.cache));
+          ] );
+      ("timeouts", Json.Int st.timeouts);
+      ("shed", Json.Int (count st.responses "overload"));
+      ("analyses_run", Json.Int st.analyses_run);
+      ("prometheus", Json.String (prometheus_text st));
     ]
 
 (* --- replies ----------------------------------------------------------- *)
@@ -141,7 +258,10 @@ let respond st conn (resp : Response.t) =
     | Response.Ok _ -> "ok"
     | Response.Error { code; _ } -> Response.code_name code);
   if conn.alive then begin
-    Buffer.add_string conn.out (Response.to_line resp);
+    let t0 = Unix.gettimeofday () in
+    let line = Response.to_line resp in
+    Histo.add st.lat_encode (Unix.gettimeofday () -. t0);
+    Buffer.add_string conn.out line;
     Buffer.add_char conn.out '\n'
   end;
   sync_telemetry st
@@ -158,19 +278,41 @@ let respond_cid st cid resp =
 
 (* --- job submission ---------------------------------------------------- *)
 
-let submit_job st conn ~verb ~cache_key (work : unit -> Response.t) =
+let submit_job st conn ~verb ~trace ~wire_trace ~cache_key
+    (work : unit -> Response.t) =
   let jid = st.next_jid in
   st.next_jid <- jid + 1;
+  let t_admit = Unix.gettimeofday () in
   let deadline =
-    if st.cfg.wall_limit > 0. then Some (Unix.gettimeofday () +. st.cfg.wall_limit)
-    else None
+    if st.cfg.wall_limit > 0. then Some (t_admit +. st.cfg.wall_limit) else None
   in
   Hashtbl.replace st.jobs_live jid
-    { jid; job_cid = conn.cid; verb; cache_key; deadline; answered = false };
+    {
+      jid;
+      job_cid = conn.cid;
+      verb;
+      trace;
+      wire_trace;
+      t_admit;
+      cache_key;
+      deadline;
+      answered = false;
+    };
+  st.queue_hwm <- max st.queue_hwm (Hashtbl.length st.jobs_live);
+  let tm = st.tm in
   Pool.submit st.pool (fun () ->
-      let resp = work () in
+      let t_start = Unix.gettimeofday () in
+      let resp =
+        (* The trace id rides on every log line and telemetry span the
+           request produces, on whichever domain picked it up. *)
+        Log.with_trace ~trace_id:trace ~span_id:(string_of_int jid) (fun () ->
+            Telemetry.with_span tm ~cat:"serve"
+              ~name:(Printf.sprintf "%s [%s]" verb trace)
+              work)
+      in
+      let t_end = Unix.gettimeofday () in
       Mutex.lock st.completions_lock;
-      Queue.push (jid, resp) st.completions;
+      Queue.push (jid, resp, t_start, t_end) st.completions;
       Mutex.unlock st.completions_lock;
       (* Wake the accept loop; EAGAIN just means it is already awake. *)
       try ignore (Unix.write st.pipe_w (Bytes.make 1 '!') 0 1)
@@ -185,11 +327,29 @@ let drain_completions st =
     xs
   in
   List.iter
-    (fun (jid, resp) ->
+    (fun (jid, resp, t_start, t_end) ->
       match Hashtbl.find_opt st.jobs_live jid with
       | None -> ()
       | Some job ->
           Hashtbl.remove st.jobs_live jid;
+          (* Stage latencies: the worker ships raw timestamps so only the
+             accept loop ever touches the histograms (single writer). *)
+          let queue_wait = t_start -. job.t_admit in
+          let run_time = t_end -. t_start in
+          let total = Unix.gettimeofday () -. job.t_admit in
+          Histo.add st.lat_queue queue_wait;
+          Histo.add st.lat_run run_time;
+          Histo.add st.lat_total total;
+          if Log.enabled Log.Debug then
+            Log.with_trace ~trace_id:job.trace ~span_id:(string_of_int jid)
+              (fun () ->
+                Log.debug "serve.response"
+                  [
+                    ("verb", Json.String job.verb);
+                    ("queue_s", Json.Float queue_wait);
+                    ("run_s", Json.Float run_time);
+                    ("total_s", Json.Float total);
+                  ]);
           (match (job.cache_key, resp) with
           | Some key, Response.Ok { result; _ } ->
               st.analyses_run <- st.analyses_run + 1;
@@ -207,7 +367,7 @@ let sweep_deadlines st now =
           job.answered <- true;
           st.timeouts <- st.timeouts + 1;
           respond_cid st job.job_cid
-            (Response.error ~id:Json.Null Response.Timeout
+            (Response.error ?trace:job.wire_trace ~id:Json.Null Response.Timeout
                (Printf.sprintf "request exceeded the %.0f s wall-clock limit"
                   st.cfg.wall_limit))
       | _ -> ())
@@ -221,22 +381,33 @@ let clamp_target st (p : Request.analyze_params) =
 let handle_request st conn (req : Request.t) =
   let id = req.Request.id in
   bump st.requests (Request.verb_name req.Request.verb);
+  (* [wire_trace] is echoed on the wire iff the client supplied one;
+     [trace] (supplied or minted) tags logs, spans and debug output
+     either way, so every request is traceable server-side. *)
+  let wire_trace = req.Request.trace in
+  let trace =
+    match wire_trace with Some t -> t | None -> mint_trace st
+  in
   let admit ~verb ~cache_key work =
     if Hashtbl.length st.jobs_live >= st.cfg.queue_cap then
       respond st conn
-        (Response.error ~id Response.Overload
+        (Response.error ?trace:wire_trace ~id Response.Overload
            (Printf.sprintf "queue full (%d requests in flight); retry later"
               st.cfg.queue_cap))
-    else submit_job st conn ~verb ~cache_key work
+    else submit_job st conn ~verb ~trace ~wire_trace ~cache_key work
   in
   match req.Request.verb with
-  | Request.Ping -> respond st conn (Response.ok ~id Api.ping_result)
-  | Request.Stats -> respond st conn (Response.ok ~id (stats_json st))
+  | Request.Ping ->
+      respond st conn (Response.ok ?trace:wire_trace ~id Api.ping_result)
+  | Request.Stats ->
+      respond st conn (Response.ok ?trace:wire_trace ~id (stats_json st))
+  | Request.Metrics ->
+      respond st conn (Response.ok ?trace:wire_trace ~id (metrics_json st))
   | Request.Analyze p -> (
       let p = clamp_target st p in
       let key = Cache.key p in
       match Cache.find st.cache key with
-      | Some result -> respond st conn (Response.ok ~id result)
+      | Some result -> respond st conn (Response.ok ?trace:wire_trace ~id result)
       | None ->
           admit ~verb:"analyze" ~cache_key:(Some key) (fun () ->
               Api.dispatch { req with Request.verb = Request.Analyze p }))
@@ -266,7 +437,10 @@ let handle_line st conn line =
     if Log.enabled Log.Debug then
       Log.debug "serve.request"
         [ ("conn", Json.Int conn.cid); ("bytes", Json.Int (String.length line)) ];
-    match Request.of_line line with
+    let t0 = Unix.gettimeofday () in
+    let decoded = Request.of_line line in
+    Histo.add st.lat_decode (Unix.gettimeofday () -. t0);
+    match decoded with
     | Ok req -> handle_request st conn req
     | Error (id, msg) ->
         bump st.requests "invalid";
@@ -375,7 +549,8 @@ let has_output conn = Buffer.length conn.out - conn.out_ofs > 0
 
 (* --- the accept loop --------------------------------------------------- *)
 
-let run ?(stop = fun () -> false) ?on_ready ?(telemetry = Telemetry.disabled) cfg =
+let run ?(stop = fun () -> false) ?on_ready ?on_stop
+    ?(telemetry = Telemetry.disabled) cfg =
   let jobs = max 1 cfg.jobs in
   (* [jobs + 1] because the accept loop never helps the pool: the +1
      "submitter slot" stays idle, leaving [jobs] worker domains. *)
@@ -400,10 +575,17 @@ let run ?(stop = fun () -> false) ?on_ready ?(telemetry = Telemetry.disabled) cf
       pipe_w;
       next_cid = 0;
       next_jid = 0;
+      next_trace = 0;
       requests = Hashtbl.create 8;
       responses = Hashtbl.create 8;
       analyses_run = 0;
       timeouts = 0;
+      queue_hwm = 0;
+      lat_decode = Histo.create ();
+      lat_queue = Histo.create ();
+      lat_run = Histo.create ();
+      lat_encode = Histo.create ();
+      lat_total = Histo.create ();
     }
   in
   (match on_ready with Some f -> f bound | None -> ());
@@ -495,6 +677,7 @@ let run ?(stop = fun () -> false) ?on_ready ?(telemetry = Telemetry.disabled) cf
   (match bound with
   | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
   | Tcp _ -> ());
+  (match on_stop with Some f -> f (metrics_json st) | None -> ());
   let final = stats_json st in
   if Log.enabled Log.Info then Log.info "serve.stopped" [ ("stats", final) ];
   final

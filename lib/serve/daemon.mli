@@ -6,7 +6,7 @@
     fed to a {!Wr_support.Pool} of worker domains through a bounded
     admission queue:
 
-    - [ping] and [stats] answer inline from the accept loop;
+    - [ping], [stats] and [metrics] answer inline from the accept loop;
     - [analyze] first consults the LRU result {!Cache} — a hit answers
       without touching a worker — then claims a queue slot;
     - a request arriving while [queue_cap] jobs are in flight gets an
@@ -42,13 +42,24 @@ val default_config : address -> config
 (** [run config] blocks until [stop] reads true, then drains and
     returns the final [stats] document. [stop] is polled at least every
     0.25 s. [on_ready] fires once listening, with the bound address
-    ([Tcp 0] resolves to the kernel-chosen port). [telemetry] receives
-    the serve counters ([serve.requests], [serve.cache.hits], ...);
-    they are also embedded in every [stats] response. SIGPIPE is
-    ignored for the process (clients may vanish mid-response). *)
+    ([Tcp 0] resolves to the kernel-chosen port). [on_stop] fires after
+    the drain with the final [metrics] document (per-stage latency
+    histograms, queue high-water, cache hit ratio, Prometheus text) —
+    the CLI's [--metrics-out] hook. [telemetry] receives the serve
+    counters ([serve.requests], [serve.cache.hits], ...); they are also
+    embedded in every [stats] response.
+
+    Every request is traced: a client-supplied ["trace"] id is echoed
+    on the response and used verbatim; otherwise a [t-<n>] id is
+    minted. Either way the id tags the request's JSONL log lines (via
+    {!Wr_support.Log.with_trace}) and its telemetry span, so one id
+    follows a request across the wire, the logs and the Chrome trace.
+    SIGPIPE is ignored for the process (clients may vanish
+    mid-response). *)
 val run :
   ?stop:(unit -> bool) ->
   ?on_ready:(address -> unit) ->
+  ?on_stop:(Wr_support.Json.t -> unit) ->
   ?telemetry:Wr_telemetry.Telemetry.t ->
   config ->
   Wr_support.Json.t

@@ -27,12 +27,15 @@ type predict_params = { target : analyze_params; compare : bool; lint : bool }
 type verb =
   | Ping
   | Stats
+  | Metrics
   | Analyze of analyze_params
   | Explain of explain_params
   | Replay of replay_params
   | Predict of predict_params
 
-type t = { id : Json.t; verb : verb }
+type t = { id : Json.t; trace : string option; verb : verb }
+
+let make ?trace ~id verb = { id; trace; verb }
 
 let analyze_params ~page ?(resources = []) ?(seed = 0) ?(explore = true)
     ?(detector = Config.Last_access) ?(hb = Wr_hb.Graph.Closure)
@@ -42,6 +45,7 @@ let analyze_params ~page ?(resources = []) ?(seed = 0) ?(explore = true)
 let verb_name = function
   | Ping -> "ping"
   | Stats -> "stats"
+  | Metrics -> "metrics"
   | Analyze _ -> "analyze"
   | Explain _ -> "explain"
   | Replay _ -> "replay"
@@ -73,7 +77,7 @@ let analyze_params_to_json p =
     ]
 
 let params_to_json = function
-  | Ping | Stats -> []
+  | Ping | Stats | Metrics -> []
   | Analyze p -> [ ("params", analyze_params_to_json p) ]
   | Explain { target; race } ->
       let extra =
@@ -111,6 +115,9 @@ let params_to_json = function
 let to_json t =
   Json.Obj
     ((Schema.tag :: (if t.id = Json.Null then [] else [ ("id", t.id) ]))
+    @ (match t.trace with
+      | Some tr -> [ ("trace", Json.String tr) ]
+      | None -> [])
     @ (("verb", Json.String (verb_name t.verb)) :: params_to_json t.verb))
 
 let to_line t = Json.to_string (to_json t)
@@ -194,6 +201,7 @@ let decode_verb verb params =
   match verb with
   | "ping" -> Ping
   | "stats" -> Stats
+  | "metrics" -> Metrics
   | "analyze" -> Analyze (decode_analyze params_fields)
   | "explain" ->
       let race =
@@ -219,11 +227,14 @@ let decode_verb verb params =
           lint = get_bool "lint" params_fields ~default:false;
         }
   | other ->
-      bad "unknown verb %S (expected ping, stats, analyze, explain, predict or replay)"
+      bad
+        "unknown verb %S (expected ping, stats, metrics, analyze, explain, \
+         predict or replay)"
         other
 
 let of_json j =
   let id = ref Json.Null in
+  let trace = ref None in
   match
     match j with
     | Json.Obj fields ->
@@ -234,6 +245,10 @@ let of_json j =
         | Some (Json.Int v) ->
             bad "unsupported schema_version %d (this server speaks %d)" v Schema.version
         | Some _ -> bad "%S must be an integer" Schema.field);
+        (match field "trace" fields with
+        | None -> ()
+        | Some (Json.String s) when s <> "" -> trace := Some s
+        | Some _ -> bad "\"trace\" must be a non-empty string");
         let verb =
           match field "verb" fields with
           | Some (Json.String s) -> s
@@ -243,7 +258,7 @@ let of_json j =
         decode_verb verb (field "params" fields)
     | _ -> bad "request must be a JSON object"
   with
-  | verb -> Ok { id = !id; verb }
+  | verb -> Ok { id = !id; trace = !trace; verb }
   | exception Bad msg -> Error (!id, msg)
 
 let of_line s =

@@ -14,7 +14,11 @@
     ["schema_version"] defaults to {!Wr_support.Schema.version} when
     absent and is rejected when it names a version this build does not
     speak. ["id"] is any JSON value, echoed verbatim on the response so
-    clients can pipeline requests over one connection. *)
+    clients can pipeline requests over one connection. ["trace"] is an
+    optional non-empty string: a client-chosen trace id for end-to-end
+    request tracing, echoed on the response and stamped on the daemon's
+    log lines, telemetry spans and latency histograms (the daemon mints
+    an internal id when absent). *)
 
 module Config = Wr_browser.Config
 
@@ -56,12 +60,16 @@ type predict_params = {
 type verb =
   | Ping
   | Stats
+  | Metrics  (** latency histograms + Prometheus text; daemon-only *)
   | Analyze of analyze_params
   | Explain of explain_params
   | Replay of replay_params
   | Predict of predict_params
 
-type t = { id : Wr_support.Json.t; verb : verb }
+type t = { id : Wr_support.Json.t; trace : string option; verb : verb }
+
+(** [make ?trace ~id verb] — plain constructor. *)
+val make : ?trace:string -> id:Wr_support.Json.t -> verb -> t
 
 (** [analyze_params ~page ()] with the same defaults as
     [Webracer.config]. *)

@@ -13,31 +13,39 @@ let codes = [ Bad_request; Timeout; Overload; Internal ]
 let code_of_name s = List.find_opt (fun c -> code_name c = s) codes
 
 type t =
-  | Ok of { id : Json.t; result : Json.t }
-  | Error of { id : Json.t; code : code; message : string }
+  | Ok of { id : Json.t; trace : string option; result : Json.t }
+  | Error of { id : Json.t; trace : string option; code : code; message : string }
 
-let ok ~id result = Ok { id; result }
-let error ~id code message = Error { id; code; message }
+let ok ?trace ~id result = Ok { id; trace; result }
+let error ?trace ~id code message = Error { id; trace; code; message }
 let is_ok = function Ok _ -> true | Error _ -> false
 let id = function Ok { id; _ } | Error { id; _ } -> id
+let trace = function Ok { trace; _ } | Error { trace; _ } -> trace
+
+(* The "trace" field appears on the wire only when the request carried
+   one, so untraced traffic is byte-identical to the pre-tracing
+   protocol. *)
+let trace_field = function
+  | None -> []
+  | Some tr -> [ ("trace", Json.String tr) ]
 
 let to_json = function
-  | Ok { id; result } ->
+  | Ok { id; trace; result } ->
       Json.Obj
-        [ Schema.tag; ("id", id); ("ok", Json.Bool true); ("result", result) ]
-  | Error { id; code; message } ->
+        ((Schema.tag :: ("id", id) :: trace_field trace)
+        @ [ ("ok", Json.Bool true); ("result", result) ])
+  | Error { id; trace; code; message } ->
       Json.Obj
-        [
-          Schema.tag;
-          ("id", id);
-          ("ok", Json.Bool false);
-          ( "error",
-            Json.Obj
-              [
-                ("code", Json.String (code_name code));
-                ("message", Json.String message);
-              ] );
-        ]
+        ((Schema.tag :: ("id", id) :: trace_field trace)
+        @ [
+            ("ok", Json.Bool false);
+            ( "error",
+              Json.Obj
+                [
+                  ("code", Json.String (code_name code));
+                  ("message", Json.String message);
+                ] );
+          ])
 
 let to_line t = Json.to_string (to_json t)
 
@@ -45,10 +53,15 @@ let of_json j =
   match j with
   | Json.Obj fields -> (
       let id = Option.value ~default:Json.Null (List.assoc_opt "id" fields) in
+      let trace =
+        match List.assoc_opt "trace" fields with
+        | Some (Json.String s) when s <> "" -> Some s
+        | _ -> None
+      in
       match List.assoc_opt "ok" fields with
       | Some (Json.Bool true) -> (
           match List.assoc_opt "result" fields with
-          | Some result -> Stdlib.Ok (ok ~id result)
+          | Some result -> Stdlib.Ok (ok ~id ?trace result)
           | None -> Stdlib.Error "ok response without \"result\"")
       | Some (Json.Bool false) -> (
           match List.assoc_opt "error" fields with
@@ -61,7 +74,7 @@ let of_json j =
               match List.assoc_opt "code" err with
               | Some (Json.String c) -> (
                   match code_of_name c with
-                  | Some code -> Stdlib.Ok (error ~id code message)
+                  | Some code -> Stdlib.Ok (error ~id ?trace code message)
                   | None -> Stdlib.Error (Printf.sprintf "unknown error code %S" c))
               | _ -> Stdlib.Error "error response without a string \"code\"")
           | _ -> Stdlib.Error "error response without an \"error\" object")

@@ -25,14 +25,24 @@ val code_name : code -> string
 val code_of_name : string -> code option
 
 type t =
-  | Ok of { id : Wr_support.Json.t; result : Wr_support.Json.t }
-  | Error of { id : Wr_support.Json.t; code : code; message : string }
+  | Ok of { id : Wr_support.Json.t; trace : string option; result : Wr_support.Json.t }
+  | Error of {
+      id : Wr_support.Json.t;
+      trace : string option;
+      code : code;
+      message : string;
+    }
 
-val ok : id:Wr_support.Json.t -> Wr_support.Json.t -> t
-val error : id:Wr_support.Json.t -> code -> string -> t
+val ok : ?trace:string -> id:Wr_support.Json.t -> Wr_support.Json.t -> t
+val error : ?trace:string -> id:Wr_support.Json.t -> code -> string -> t
 
 val is_ok : t -> bool
 val id : t -> Wr_support.Json.t
+
+(** [trace t] is the echoed trace id: present exactly when the request
+    carried a ["trace"] field, making untraced traffic byte-identical to
+    the pre-tracing wire protocol. *)
+val trace : t -> string option
 
 val to_json : t -> Wr_support.Json.t
 

@@ -18,12 +18,12 @@ let counts_of races =
   let h, f, v, d = Webracer.count_by_type races in
   { Profile.html = h; func = f; var = v; disp = d }
 
-let run_site ?(seed = 42) ?(dedup = true) profile =
+let run_site ?(seed = 42) ?(dedup = true) ?telemetry profile =
   let site = Gen.generate profile in
   let report =
     Webracer.analyze
       (Webracer.config ~page:site.Gen.page ~resources:site.Gen.resources ~seed ~explore:true
-         ~dedup ())
+         ~dedup ?telemetry ())
   in
   {
     profile;
@@ -39,19 +39,35 @@ let run_site ?(seed = 42) ?(dedup = true) profile =
     wall_clock_s = report.Webracer.wall_clock_s;
   }
 
+let corpus_profiles limit =
+  let profiles = Profile.corpus () in
+  match limit with
+  | Some n -> List.filteri (fun i _ -> i < n) profiles
+  | None -> profiles
+
 (* Per-site seeds are fixed by corpus position before the fan-out, so the
    outcome list is independent of [jobs] (site generation and analysis are
    self-contained per item; the pool returns results in input order). *)
-let run_corpus ?(seed = 42) ?limit ?(jobs = 1) ?(dedup = true) () =
-  let profiles = Profile.corpus () in
-  let profiles =
-    match limit with
-    | Some n -> List.filteri (fun i _ -> i < n) profiles
-    | None -> profiles
+let run_corpus_stats ?(seed = 42) ?limit ?(jobs = 1) ?(dedup = true) ?telemetry
+    () =
+  let profiles = corpus_profiles limit in
+  let pool = Wr_support.Pool.create ~jobs in
+  let outcomes =
+    Fun.protect
+      ~finally:(fun () -> Wr_support.Pool.close pool)
+      (fun () ->
+        Wr_support.Pool.map pool
+          (fun (i, p) -> run_site ~seed:(seed + i) ~dedup ?telemetry p)
+          (List.mapi (fun i p -> (i, p)) profiles))
   in
-  Wr_support.Pool.map_jobs ~jobs
-    (fun (i, p) -> run_site ~seed:(seed + i) ~dedup p)
-    (List.mapi (fun i p -> (i, p)) profiles)
+  (* Read the profile after [close]: joining the workers makes every
+     per-domain accumulator exact (a task's accounting lands just after
+     its result is published, so a pre-close snapshot could miss the
+     final task of a domain). *)
+  (outcomes, Wr_support.Pool.stats pool)
+
+let run_corpus ?seed ?limit ?jobs ?dedup () =
+  fst (run_corpus_stats ?seed ?limit ?jobs ?dedup ())
 
 let fidelity o = o.filtered = o.expected_filtered
 
@@ -125,12 +141,7 @@ let predict_site ?(seed = 42) profile =
   { p_profile = profile; comparison }
 
 let predict_corpus ?(seed = 42) ?limit ?(jobs = 1) () =
-  let profiles = Profile.corpus () in
-  let profiles =
-    match limit with
-    | Some n -> List.filteri (fun i _ -> i < n) profiles
-    | None -> profiles
-  in
+  let profiles = corpus_profiles limit in
   Wr_support.Pool.map_jobs ~jobs
     (fun (i, p) -> predict_site ~seed:(seed + i) p)
     (List.mapi (fun i p -> (i, p)) profiles)

@@ -20,9 +20,13 @@ type outcome = {
   wall_clock_s : float;
 }
 
-(** [run_site ?seed ?dedup profile] generates the site and analyzes it with
-    exploration on ([dedup] defaults to on, matching production). *)
-val run_site : ?seed:int -> ?dedup:bool -> Profile.t -> outcome
+(** [run_site ?seed ?dedup ?telemetry profile] generates the site and
+    analyzes it with exploration on ([dedup] defaults to on, matching
+    production). [telemetry] may be shared across sites and domains —
+    the context is domain-safe. *)
+val run_site :
+  ?seed:int -> ?dedup:bool -> ?telemetry:Wr_telemetry.Telemetry.t ->
+  Profile.t -> outcome
 
 (** [run_corpus ?seed ?limit ?jobs ?dedup ()] runs the whole corpus (or its
     first [limit] sites), in profile order. [jobs > 1] spreads sites over
@@ -30,6 +34,16 @@ val run_site : ?seed:int -> ?dedup:bool -> Profile.t -> outcome
     are identical to the sequential run — only the wall clock changes. *)
 val run_corpus :
   ?seed:int -> ?limit:int -> ?jobs:int -> ?dedup:bool -> unit -> outcome list
+
+(** [run_corpus_stats] is {!run_corpus} plus the fleet profile of the
+    pool that ran it ({!Wr_support.Pool.stats}: per-domain queue-wait /
+    run / idle / GC figures and channel-lock contention) — the
+    [corpus --profile] breakdown. An optional shared [telemetry]
+    context records spans and counters from every domain. *)
+val run_corpus_stats :
+  ?seed:int -> ?limit:int -> ?jobs:int -> ?dedup:bool ->
+  ?telemetry:Wr_telemetry.Telemetry.t -> unit ->
+  outcome list * Wr_support.Pool.stats
 
 (** [fidelity outcome] — detected filtered counts match the planted
     ground truth exactly. *)

@@ -62,9 +62,36 @@ let () = init_from_env ()
 
 let () = at_exit (fun () -> match !sink with Some oc -> flush oc | None -> ())
 
+(* Ambient per-domain trace context: when a request handler wraps its
+   work in [with_trace], every line emitted underneath — from any layer,
+   with no plumbing — carries the request's trace id, correlating the
+   JSONL log with the wire response and the telemetry spans. Domain-local
+   storage keeps concurrent requests on different worker domains from
+   leaking ids into each other's lines. *)
+let trace_ctx : (string option * string option) ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref (None, None))
+
+let with_trace ~trace_id ?span_id f =
+  let cell = Domain.DLS.get trace_ctx in
+  let saved = !cell in
+  cell := (Some trace_id, span_id);
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+let current_trace () = !(Domain.DLS.get trace_ctx)
+
+let trace_fields () =
+  match current_trace () with
+  | None, _ -> []
+  | Some trace_id, span_id ->
+      ("trace_id", Json.String trace_id)
+      :: (match span_id with
+         | Some s -> [ ("span_id", Json.String s) ]
+         | None -> [])
+
 let emit level event fields =
   if enabled level then begin
     let ts = Unix.gettimeofday () -. started in
+    let fields = fields @ trace_fields () in
     match !sink with
     | Some oc ->
         let obj =

@@ -55,6 +55,18 @@ val close_sink : unit -> unit
     overriding defaults. *)
 val init_from_env : unit -> unit
 
+(** [with_trace ~trace_id ?span_id f] runs [f] with an ambient trace
+    context on the calling domain: every event emitted inside [f] — from
+    any layer, with no plumbing — gains [trace_id] (and [span_id], when
+    given) fields, correlating log lines with the serve wire protocol's
+    trace ids and the telemetry spans. Contexts nest (the innermost
+    wins) and are restored on exception. *)
+val with_trace : trace_id:string -> ?span_id:string -> (unit -> 'a) -> 'a
+
+(** [current_trace ()] is the calling domain's ambient
+    [(trace_id, span_id)], both [None] outside {!with_trace}. *)
+val current_trace : unit -> string option * string option
+
 (** [emit level event fields] records one event if [level] is enabled.
     [event] is a stable dotted name; fields are structured JSON. *)
 val emit : level -> string -> (string * Json.t) list -> unit

@@ -1,4 +1,38 @@
-type task = Run of (unit -> unit) | Quit
+type task = Run of { f : unit -> unit; enq : float } | Quit
+
+(* Per-domain accumulator. Each slot is written by exactly one domain
+   (slot 0 by the submitter, slot i by spawned worker i), so recording
+   needs no lock; readers get exact values once the writers quiesce
+   ([close], or the end of a [map]) and a benign point-in-time snapshot
+   before that. *)
+type slot = {
+  mutable tasks : int;
+  mutable queue_wait_s : float;
+  mutable run_s : float;
+  mutable idle_s : float;
+  mutable gc_minor : int;
+  mutable gc_major : int;
+  mutable promoted_words : float;
+  mutable minor_words : float;
+}
+
+type domain_stats = {
+  worker : int;
+  tasks : int;
+  queue_wait_s : float;
+  run_s : float;
+  idle_s : float;
+  gc_minor : int;
+  gc_major : int;
+  promoted_words : float;
+  minor_words : float;
+}
+
+type stats = {
+  per_domain : domain_stats list;
+  lock_contended : int;
+  submitted : int;
+}
 
 type t = {
   jobs : int;
@@ -7,12 +41,45 @@ type t = {
   nonempty : Condition.t;
   mutable workers : unit Domain.t list;
   mutable closed : bool;
+  slots : slot array;
+  contended : int Atomic.t;
+  n_submitted : int Atomic.t;
 }
 
 let default_jobs () = Domain.recommended_domain_count ()
 
+let new_slot () =
+  {
+    tasks = 0; queue_wait_s = 0.; run_s = 0.; idle_s = 0.;
+    gc_minor = 0; gc_major = 0; promoted_words = 0.; minor_words = 0.;
+  }
+
+let now = Unix.gettimeofday
+
+(* Counting acquisitions that would block is how the profile names
+   channel contention; the fast path costs one [try_lock]. *)
+let lock_channel t =
+  if not (Mutex.try_lock t.lock) then begin
+    Atomic.incr t.contended;
+    Mutex.lock t.lock
+  end
+
+(* Run one task on behalf of [slot], charging queue wait, run time and
+   this domain's GC delta to it. *)
+let run_task (slot : slot) ~enq ~popped f =
+  slot.queue_wait_s <- slot.queue_wait_s +. Float.max 0. (popped -. enq);
+  let gc0 = Gc.quick_stat () in
+  f ();
+  let gc1 = Gc.quick_stat () in
+  slot.run_s <- slot.run_s +. (now () -. popped);
+  slot.tasks <- slot.tasks + 1;
+  slot.gc_minor <- slot.gc_minor + (gc1.Gc.minor_collections - gc0.Gc.minor_collections);
+  slot.gc_major <- slot.gc_major + (gc1.Gc.major_collections - gc0.Gc.major_collections);
+  slot.promoted_words <- slot.promoted_words +. (gc1.Gc.promoted_words -. gc0.Gc.promoted_words);
+  slot.minor_words <- slot.minor_words +. (gc1.Gc.minor_words -. gc0.Gc.minor_words)
+
 let pop_blocking t =
-  Mutex.lock t.lock;
+  lock_channel t;
   while Queue.is_empty t.queue do
     Condition.wait t.nonempty t.lock
   done;
@@ -20,12 +87,15 @@ let pop_blocking t =
   Mutex.unlock t.lock;
   task
 
-let rec worker_loop t =
+let rec worker_loop t (slot : slot) =
+  let waited = now () in
   match pop_blocking t with
-  | Run f ->
-      f ();
-      worker_loop t
-  | Quit -> ()
+  | Run { f; enq } ->
+      let popped = now () in
+      slot.idle_s <- slot.idle_s +. (popped -. waited);
+      run_task slot ~enq ~popped f;
+      worker_loop t slot
+  | Quit -> slot.idle_s <- slot.idle_s +. (now () -. waited)
 
 let create ~jobs =
   let jobs = max 1 jobs in
@@ -37,24 +107,54 @@ let create ~jobs =
       nonempty = Condition.create ();
       workers = [];
       closed = false;
+      slots = Array.init jobs (fun _ -> new_slot ());
+      contended = Atomic.make 0;
+      n_submitted = Atomic.make 0;
     }
   in
-  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.workers <-
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t t.slots.(i + 1)));
   t
 
 let jobs t = t.jobs
 
+let stats t =
+  {
+    per_domain =
+      Array.to_list
+        (Array.mapi
+           (fun i (s : slot) ->
+             {
+               worker = i;
+               tasks = s.tasks;
+               queue_wait_s = s.queue_wait_s;
+               run_s = s.run_s;
+               idle_s = s.idle_s;
+               gc_minor = s.gc_minor;
+               gc_major = s.gc_major;
+               promoted_words = s.promoted_words;
+               minor_words = s.minor_words;
+             })
+           t.slots);
+    lock_contended = Atomic.get t.contended;
+    submitted = Atomic.get t.n_submitted;
+  }
+
 let push t task =
-  Mutex.lock t.lock;
+  lock_channel t;
   Queue.push task t.queue;
   Condition.signal t.nonempty;
   Mutex.unlock t.lock
 
+let run_of f = Run { f; enq = now () }
+
 let submit t f =
-  Mutex.lock t.lock;
+  lock_channel t;
   let ok = (not t.closed) && t.workers <> [] in
   if ok then begin
-    Queue.push (Run f) t.queue;
+    Queue.push (run_of f) t.queue;
+    Atomic.incr t.n_submitted;
     Condition.signal t.nonempty
   end;
   Mutex.unlock t.lock;
@@ -68,9 +168,20 @@ let map t f xs =
   let items = Array.of_list xs in
   let n = Array.length items in
   if n = 0 then []
-  else if t.jobs = 1 || n = 1 then List.map f xs
+  else if t.jobs = 1 || n = 1 then
+    (* Degenerate sequential path: still charge the work to slot 0 so a
+       one-job profile reads as the baseline, with zero queue wait. *)
+    List.map
+      (fun x ->
+        let popped = now () in
+        let result = ref None in
+        run_task t.slots.(0) ~enq:popped ~popped (fun () ->
+            result := Some (f x));
+        Atomic.incr t.n_submitted;
+        match !result with Some r -> r | None -> assert false)
+      xs
   else begin
-    Mutex.lock t.lock;
+    lock_channel t;
     let closed = t.closed in
     Mutex.unlock t.lock;
     if closed then invalid_arg "Pool.map: pool is closed";
@@ -93,20 +204,21 @@ let map t f xs =
       Mutex.unlock batch
     in
     for i = 0 to n - 1 do
-      push t (Run (fun () -> step i))
+      push t (run_of (fun () -> step i));
+      Atomic.incr t.n_submitted
     done;
     (* Help out: drain our own channel, then sleep until the workers'
        in-flight tasks finish. *)
     let rec help () =
       let task =
-        Mutex.lock t.lock;
+        lock_channel t;
         let task = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
         Mutex.unlock t.lock;
         task
       in
       match task with
-      | Some (Run f) ->
-          f ();
+      | Some (Run { f; enq }) ->
+          run_task t.slots.(0) ~enq ~popped:(now ()) f;
           help ()
       | Some Quit ->
           (* Not ours: a racing [close] pushed it for a worker. Put it
@@ -127,7 +239,7 @@ let map t f xs =
   end
 
 let close t =
-  Mutex.lock t.lock;
+  lock_channel t;
   let was_closed = t.closed in
   t.closed <- true;
   Mutex.unlock t.lock;
@@ -143,3 +255,35 @@ let with_pool ~jobs f =
 
 let map_jobs ~jobs f xs =
   if jobs <= 1 then List.map f xs else with_pool ~jobs (fun t -> map t f xs)
+
+let stats_rows stats =
+  let mwords w = w /. 1e6 in
+  let header =
+    [ "domain"; "tasks"; "queue-wait(ms)"; "run(ms)"; "idle(ms)";
+      "gc-minor"; "gc-major"; "promoted(Mw)"; "alloc(Mw)" ]
+  in
+  let row d =
+    [
+      (if d.worker = 0 then "submitter" else Printf.sprintf "worker-%d" d.worker);
+      string_of_int d.tasks;
+      Printf.sprintf "%.1f" (d.queue_wait_s *. 1e3);
+      Printf.sprintf "%.1f" (d.run_s *. 1e3);
+      Printf.sprintf "%.1f" (d.idle_s *. 1e3);
+      string_of_int d.gc_minor;
+      string_of_int d.gc_major;
+      Printf.sprintf "%.2f" (mwords d.promoted_words);
+      Printf.sprintf "%.2f" (mwords d.minor_words);
+    ]
+  in
+  (header, List.map row stats.per_domain)
+
+let render_stats stats =
+  let header, rows = stats_rows stats in
+  let total =
+    List.fold_left
+      (fun acc d -> acc +. d.queue_wait_s +. d.run_s) 0. stats.per_domain
+  in
+  Table.render ~header rows
+  ^ Printf.sprintf
+      "tasks submitted: %d   channel-lock contention: %d   queue+run total: %.1f ms\n"
+      stats.submitted stats.lock_contended (total *. 1e3)

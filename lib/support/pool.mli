@@ -14,11 +14,50 @@
 
 type t
 
+(** Per-domain profile: what one domain of the fleet did. [worker] 0 is
+    the submitting domain (which helps drain [map] batches); workers 1..
+    are the spawned domains. Queue wait is summed enqueue→pop latency
+    over this domain's tasks; idle is time blocked on the empty channel;
+    GC figures are this domain's [Gc.quick_stat] deltas summed across its
+    tasks (minor/major collection counts, promoted and minor-allocated
+    words). *)
+type domain_stats = {
+  worker : int;
+  tasks : int;
+  queue_wait_s : float;
+  run_s : float;
+  idle_s : float;
+  gc_minor : int;
+  gc_major : int;
+  promoted_words : float;
+  minor_words : float;
+}
+
+(** Fleet profile: per-domain rows plus channel-wide counters.
+    [lock_contended] counts channel-mutex acquisitions that found the
+    lock held and had to block — the direct measure of task-channel
+    contention. *)
+type stats = {
+  per_domain : domain_stats list;
+  lock_contended : int;
+  submitted : int;
+}
+
 (** [create ~jobs] spawns [jobs - 1] worker domains ([jobs <= 1] spawns
     none and [map] degenerates to [List.map]); the submitting domain
     always works alongside the fleet, so [jobs] bounds total
     parallelism. *)
 val create : jobs:int -> t
+
+(** [stats pool] reads the fleet profile. Exact once the writers have
+    quiesced (after [close], or between [map] calls); a benign
+    point-in-time snapshot while tasks are still running. *)
+val stats : t -> stats
+
+(** [render_stats stats] is the profile as an aligned text table (one
+    row per domain) plus a summary line (submitted tasks, channel-lock
+    contention). *)
+val render_stats : stats -> string
 
 val jobs : t -> int
 

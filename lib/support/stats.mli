@@ -36,3 +36,47 @@ val fpercentile : float list -> float -> float
 (** [fstddev xs] is the population standard deviation; [0.] on fewer than
     two samples. *)
 val fstddev : float list -> float
+
+(** {1 HDR-style histograms}
+
+    Fixed-memory log-bucketed histograms for latency recording on hot
+    paths: each power-of-two range is split into 32 linear sub-buckets
+    (~1.6% relative error on interior percentiles), with exact min, max
+    and sum kept alongside. Unlike the list-based helpers above, [add] is
+    O(1) with no allocation, and histograms recorded independently (one
+    per domain, one per time window) [merge] losslessly — the merged
+    percentiles equal those of a histogram fed the union of samples. *)
+module Histo : sig
+  type t
+
+  val create : unit -> t
+
+  (** [add t v] records one sample. Non-positive and NaN samples land in
+      a dedicated underflow bucket and count toward [count] and rank. *)
+  val add : t -> float -> unit
+
+  (** [merge a b] is a fresh histogram holding both inputs' samples;
+      neither argument is mutated. *)
+  val merge : t -> t -> t
+
+  (** [merge_into ~into t] folds [t]'s samples into [into]. *)
+  val merge_into : into:t -> t -> unit
+
+  val count : t -> int
+  val sum : t -> float
+
+  (** Exact extremes; [0.] when empty. *)
+  val minimum : t -> float
+
+  val maximum : t -> float
+  val mean : t -> float
+
+  (** [percentile t p] ([p] in [0..100], clamped) is the bucket-midpoint
+      value at the smallest rank covering [p]% of samples, clamped to the
+      exact [minimum]/[maximum]; [0.] when empty. *)
+  val percentile : t -> float -> float
+
+  (** [summary_json t] is [{"count", "mean", "p50", "p95", "p99",
+      "p999", "max"}]. *)
+  val summary_json : t -> Json.t
+end

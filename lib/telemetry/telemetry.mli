@@ -1,4 +1,4 @@
-(** Structured telemetry for the detection pipeline.
+(** Structured telemetry for the detection pipeline — domain-safe.
 
     A context records three kinds of signal, all behind a single [enabled]
     flag so a disabled context is a near-no-op on hot paths:
@@ -13,7 +13,18 @@
       write). Accounted time is deducted from the enclosing span's self
       time, keeping the phase table additive;
     - {e histograms}: raw float samples ([observe]) summarized as
-      count/mean/p50/p95/max (scheduler queue depth, network latency).
+      count/mean/p50/p95/p99/max (scheduler queue depth, network latency).
+
+    {b Domain model.} One context may be shared across OCaml 5 domains:
+    each recording domain lazily gets its own {e sink} (span buffer,
+    counter table, histogram buffers), so recording never contends across
+    domains — the span stack, in particular, is per-domain, matching the
+    per-domain dynamic call structure. Readers ([counters],
+    [phase_totals], the exporters) merge all sinks: counters sum across
+    domains, histograms concatenate, and spans keep the id of the domain
+    that recorded them, which [to_chrome_trace] emits as the event's
+    [tid] (one named thread row per domain). Reading while other domains
+    record is safe and yields a point-in-time snapshot.
 
     Exporters: [to_chrome_trace] emits Chrome [trace_event] JSON loadable
     in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto};
@@ -31,22 +42,33 @@ val create : ?clock:(unit -> float) -> unit -> t
 
 val enabled : t -> bool
 
+(** [domains t] is the number of domains that have recorded into [t] so
+    far (0 until the first recording operation). *)
+val domains : t -> int
+
 (** [set_virtual_clock t f] installs the virtual-time source (ms), e.g.
-    [Event_loop.now]. Until set, virtual timestamps read 0. *)
+    [Event_loop.now], for the {e calling} domain's sink — each domain
+    analyzes its own page and owns its own virtual clock. Until set,
+    virtual timestamps on that domain read 0. *)
 val set_virtual_clock : t -> (unit -> float) -> unit
 
-(** [with_span t ~cat ~name f] runs [f] inside a span. Spans nest with the
-    dynamic call structure; exceptions still close the span. *)
+(** [with_span t ~cat ~name f] runs [f] inside a span on the calling
+    domain's stack. Spans nest with the dynamic call structure;
+    exceptions still close the span. *)
 val with_span : t -> cat:string -> name:string -> (unit -> 'a) -> 'a
 
 (** [mark t ~cat name] records an instant event (page lifecycle edges:
     DOMContentLoaded, load, ...). *)
 val mark : t -> cat:string -> string -> unit
 
-(** [incr t ?by name] bumps a monotonic counter. *)
+(** [incr t ?by name] bumps a monotonic counter (domain-local; merged
+    readings sum across domains). *)
 val incr : t -> ?by:int -> string -> unit
 
-(** [set_counter t name v] overwrites a counter (final gauges). *)
+(** [set_counter t name v] overwrites a counter (final gauges). The
+    overwrite is domain-local: a merged reading sums the last value
+    written by each domain, so gauges written from a single domain read
+    back exactly. *)
 val set_counter : t -> string -> int -> unit
 
 (** [observe t name v] appends a sample to histogram [name]. *)
@@ -62,28 +84,33 @@ type histogram_summary = {
   mean : float;
   p50 : float;
   p95 : float;
+  p99 : float;
   max : float;
 }
 
 val counters : t -> (string * int) list
-(** Sorted by name. *)
+(** Sorted by name, summed across domains. *)
 
 val counter_value : t -> string -> int
-(** 0 when absent. *)
+(** 0 when absent; summed across domains. *)
 
 val histogram : t -> string -> histogram_summary option
+(** Samples merged across domains. *)
 
 val histograms : t -> (string * histogram_summary) list
 (** Sorted by name. *)
 
 (** [phase_totals t] is the exclusive wall seconds and virtual ms per
-    category: span self-times plus accounted time, in canonical pipeline
-    order (parse, js, dispatch, scheduler, net, detect, page) followed by
-    any other categories alphabetically. *)
+    category, merged across domains: span self-times plus accounted time,
+    in canonical pipeline order (parse, js, dispatch, scheduler, net,
+    detect, serve, page) followed by any other categories
+    alphabetically. *)
 val phase_totals : t -> (string * float * float) list
 
-(** [total_wall t] is the summed duration of completed depth-0 spans —
-    the denominator of the phase table's percentages. *)
+(** [total_wall t] is the summed duration of completed depth-0 spans
+    across all domains — the denominator of the phase table's
+    percentages. With several domains busy this counts work time (like
+    CPU seconds), not elapsed time. *)
 val total_wall : t -> float
 
 val n_spans : t -> int
@@ -94,9 +121,11 @@ val phase_table : t -> string
 
 (** [to_chrome_trace t] is the run as Chrome [trace_event] JSON:
     [{"traceEvents": [...], "displayTimeUnit": "ms"}] with one complete
-    ("ph":"X") event per span, instants for marks, and counter events. *)
+    ("ph":"X") event per span carrying the recording domain's id as its
+    [tid], a named thread row per domain, instants for marks, and counter
+    events. *)
 val to_chrome_trace : t -> Wr_support.Json.t
 
 (** [metrics_json t] is the compact summary: phases, counters, histogram
-    summaries, span count and total wall time. *)
+    summaries, span count, domain count and total wall time. *)
 val metrics_json : t -> Wr_support.Json.t

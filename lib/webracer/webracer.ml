@@ -111,15 +111,19 @@ let analyze (cfg : Config.t) =
           :: ("kept", Wr_support.Json.Int (List.length filtered))
           :: List.map (fun (f, n) -> (f, Wr_support.Json.Int n)) outcome.Filters.counts)
       end;
-      Telemetry.set_counter tm "hb.ops" (Graph.n_ops (Browser.graph browser));
-      Telemetry.set_counter tm "hb.edges" (Graph.n_edges (Browser.graph browser));
-      Telemetry.set_counter tm "detect.races" (List.length races);
-      Telemetry.set_counter tm "detect.filtered" (List.length filtered);
-      Telemetry.set_counter tm "explore.injected" explored_events;
+      (* Accumulating [incr] rather than gauge overwrites: a telemetry
+         context shared across a batch (or across domains) then reads back
+         whole-batch totals, and a single run still reads its own values
+         exactly. *)
+      Telemetry.incr tm ~by:(Graph.n_ops (Browser.graph browser)) "hb.ops";
+      Telemetry.incr tm ~by:(Graph.n_edges (Browser.graph browser)) "hb.edges";
+      Telemetry.incr tm ~by:(List.length races) "detect.races";
+      Telemetry.incr tm ~by:(List.length filtered) "detect.filtered";
+      Telemetry.incr tm ~by:explored_events "explore.injected";
       let detector_records =
         match Browser.dedup_stats browser with
         | Some s ->
-            Telemetry.set_counter tm "detect.deduped" (Wr_detect.Dedup.swallowed s);
+            Telemetry.incr tm ~by:(Wr_detect.Dedup.swallowed s) "detect.deduped";
             s.Wr_detect.Dedup.forwarded
         | None -> Browser.accesses_seen browser
       in
@@ -163,22 +167,19 @@ let race_key (r : Race.t) =
 (* [analyze] shares nothing mutable across calls without a lock (each run
    owns its graph, detector and VM; the process-global regex cache is
    mutex-guarded; the logger emits one channel write per line, which the
-   runtime lock makes atomic), so a batch of runs spreads over a domain
-   pool with results kept in input order — aggregation is byte-identical
-   whatever [jobs] is. Callers passing their own configs must not share
-   an enabled [Telemetry.t] across them when [jobs > 1]. *)
+   runtime lock makes atomic; a shared [Telemetry.t] gives each domain
+   its own sink), so a batch of runs spreads over a domain pool with
+   results kept in input order — race aggregation is byte-identical
+   whatever [jobs] is. *)
 let analyze_batch ?(jobs = 1) cfgs = Wr_support.Pool.map_jobs ~jobs analyze cfgs
 
 let analyze_many ?(jobs = 1) cfg ~seeds =
-  (* A [Telemetry.t] is mutable and single-domain; cloning [cfg] per seed
-     would alias one handle across every worker, so the parallel path
-     forces it off rather than corrupt spans/counters silently. *)
-  let telemetry =
-    if jobs > 1 then Telemetry.disabled else cfg.Config.telemetry
-  in
+  (* The shared telemetry context rides along on every per-seed config:
+     each worker domain records into its own sink, so parallel runs are
+     no longer a telemetry black box. *)
   let runs =
     analyze_batch ~jobs
-      (List.map (fun seed -> { cfg with Config.seed; telemetry }) seeds)
+      (List.map (fun seed -> { cfg with Config.seed }) seeds)
   in
   let seen = Hashtbl.create 64 in
   let merged =
@@ -253,16 +254,13 @@ module Replay = struct
 
   let explore_schedules ?(jobs = 1) (cfg : Config.t) ~seeds ?(parse_delay = 2.) () =
     (* Same parallel path as [analyze_many]: one config per seed over
-       [analyze_batch], telemetry forced off when sharing would cross
-       domains; results come back seed-ordered, so the verdict is
-       identical whatever [jobs] is. *)
-    let telemetry =
-      if jobs > 1 then Telemetry.disabled else cfg.Config.telemetry
-    in
+       [analyze_batch]; results come back seed-ordered, so the verdict is
+       identical whatever [jobs] is. A shared telemetry context records
+       per-domain and merges at read time. *)
     let reports =
       analyze_batch ~jobs
         (List.map
-           (fun seed -> { cfg with Config.seed; parse_delay; telemetry })
+           (fun seed -> { cfg with Config.seed; parse_delay })
            seeds)
     in
     let observations = List.map2 observation_of_report seeds reports in

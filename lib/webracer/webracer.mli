@@ -77,9 +77,10 @@ val analyze : Config.t -> report
     returns the reports in input order regardless of completion order.
     Each run owns its whole stack (graph, detector, VM, RNG), so runs
     share no unguarded mutable state and the aggregate is byte-identical
-    across [jobs] settings (modulo [wall_clock_s]). With [jobs > 1] the
-    configs must not share an enabled [Telemetry.t] — its span stack and
-    counters are single-domain. *)
+    across [jobs] settings (modulo [wall_clock_s]). Configs may share an
+    enabled [Wr_telemetry.Telemetry.t]: each worker domain records into
+    its own sink and readers merge, so parallel batches profile exactly
+    like sequential ones. *)
 val analyze_batch : ?jobs:int -> Config.t list -> report list
 
 type merged_report = {
@@ -96,9 +97,8 @@ type merged_report = {
     variance" (footnote 14); this makes that check mechanical and catches
     schedule-dependent stragglers a single run misses. [jobs] runs the
     seeds in parallel ({!analyze_batch}); the merge is seed-ordered either
-    way. In the parallel path telemetry is forced to
-    [Telemetry.disabled] on the per-seed configs, since one mutable
-    [Telemetry.t] cannot be shared across domains. *)
+    way, and [cfg]'s telemetry context (if enabled) records every run —
+    per domain in the parallel path, merged at read time. *)
 val analyze_many : ?jobs:int -> Config.t -> seeds:int list -> merged_report
 
 (** [count_by_type races] tallies (html, function, variable, dispatch) —
@@ -148,7 +148,7 @@ module Replay : sig
       the base config's own seed is ignored. [jobs] spreads the
       schedules over {!analyze_batch}'s domain pool; observations stay
       seed-ordered (and the verdict identical) whatever [jobs] is, and
-      telemetry is forced off on the per-seed configs when [jobs > 1]. *)
+      [config]'s telemetry context records every schedule. *)
   val explore_schedules :
     ?jobs:int -> Config.t -> seeds:int list -> ?parse_delay:float -> unit -> verdict
 

@@ -1,0 +1,182 @@
+(* Track the benchmark trajectory across runs.
+
+   Reads a BENCH_results.json (written by `dune exec bench/main.exe`),
+   appends it as one JSONL entry to a history file, and compares it
+   against the most recent prior entry with the same tag, flagging
+   regressions direction-aware:
+
+   - names ending in [_speedup] or [_ratio], and [fidelity_sites], are
+     higher-is-better;
+   - everything else (bechamel ns/run estimates, [*_s] wall-clock
+     seconds) is lower-is-better.
+
+   Usage:
+     bench_trend [--results FILE] [--history FILE] [--threshold PCT]
+                 [--tag STR] [--check]
+
+   [--check] exits 1 when any metric regressed past the threshold
+   (default 20%) — CI runs it as a soft (continue-on-error) step, so a
+   regression is visible in the job log without blocking merges on a
+   noisy shared runner. Quick (`bench --quick`) and full runs use
+   different tags so they are never compared against each other. *)
+
+module Json = Wr_support.Json
+
+let results_path = ref "BENCH_results.json"
+let history_path = ref "BENCH_history.jsonl"
+let threshold = ref 20.
+let tag = ref "full"
+let check = ref false
+
+let usage () =
+  prerr_endline
+    "usage: bench_trend [--results FILE] [--history FILE] [--threshold PCT] \
+     [--tag STR] [--check]";
+  exit 2
+
+let rec parse_args = function
+  | [] -> ()
+  | "--results" :: v :: rest ->
+      results_path := v;
+      parse_args rest
+  | "--history" :: v :: rest ->
+      history_path := v;
+      parse_args rest
+  | "--threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t when t > 0. -> threshold := t
+      | _ -> usage ());
+      parse_args rest
+  | "--tag" :: v :: rest ->
+      tag := v;
+      parse_args rest
+  | "--check" :: rest ->
+      check := true;
+      parse_args rest
+  | _ -> usage ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* "section/name" -> numeric value, for every number in the document. *)
+let flatten json =
+  match json with
+  | Json.Obj sections ->
+      List.concat_map
+        (fun (sec, v) ->
+          match v with
+          | Json.Obj entries ->
+              List.filter_map
+                (fun (name, v) ->
+                  match v with
+                  | Json.Float f -> Some (sec ^ "/" ^ name, f)
+                  | Json.Int i -> Some (sec ^ "/" ^ name, float_of_int i)
+                  | _ -> None)
+                entries
+          | _ -> [])
+        sections
+  | _ -> []
+
+let ends_with ~suffix s =
+  let sl = String.length suffix and l = String.length s in
+  l >= sl && String.sub s (l - sl) sl = suffix
+
+let higher_is_better name =
+  ends_with ~suffix:"_speedup" name
+  || ends_with ~suffix:"_ratio" name
+  || ends_with ~suffix:"fidelity_sites" name
+
+(* The previous history entry with our tag, if any. *)
+let last_baseline () =
+  if not (Sys.file_exists !history_path) then None
+  else
+    let ic = open_in !history_path in
+    let best = ref None in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then
+           match Json.of_string line with
+           | Json.Obj fields -> (
+               match List.assoc_opt "tag" fields with
+               | Some (Json.String t) when t = !tag -> (
+                   match List.assoc_opt "results" fields with
+                   | Some r -> best := Some (List.assoc_opt "ts" fields, r)
+                   | None -> ())
+               | _ -> ())
+           | _ | (exception Json.Parse_error _) -> ()
+       done
+     with End_of_file -> ());
+    close_in_noerr ic;
+    !best
+
+let append_history results =
+  let entry =
+    Json.Obj
+      [
+        ("ts", Json.Float (Unix.gettimeofday ()));
+        ("tag", Json.String !tag);
+        ("results", results);
+      ]
+  in
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 !history_path
+  in
+  output_string oc (Json.to_string entry ^ "\n");
+  close_out oc
+
+type delta = { name : string; before : float; after : float; change_pct : float }
+
+let () =
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let results =
+    match Json.of_string (read_file !results_path) with
+    | j -> j
+    | exception Sys_error msg ->
+        Printf.eprintf "bench_trend: cannot read %s: %s\n" !results_path msg;
+        exit 2
+    | exception Json.Parse_error msg ->
+        Printf.eprintf "bench_trend: %s is not JSON: %s\n" !results_path msg;
+        exit 2
+  in
+  let current = flatten results in
+  let baseline = last_baseline () in
+  append_history results;
+  match baseline with
+  | None ->
+      Printf.printf
+        "bench_trend: recorded baseline (%d metrics, tag %S) in %s — nothing \
+         to compare yet\n"
+        (List.length current) !tag !history_path
+  | Some (_, prev_json) ->
+      let prev = flatten prev_json in
+      let regressions = ref [] and improvements = ref [] in
+      List.iter
+        (fun (name, after) ->
+          match List.assoc_opt name prev with
+          | None -> ()
+          | Some before when Float.abs before < 1e-12 -> ()
+          | Some before ->
+              let change_pct = (after -. before) /. Float.abs before *. 100. in
+              (* Positive [worse] means the metric moved the wrong way. *)
+              let worse =
+                if higher_is_better name then -.change_pct else change_pct
+              in
+              let d = { name; before; after; change_pct } in
+              if worse > !threshold then regressions := d :: !regressions
+              else if worse < -. !threshold then improvements := d :: !improvements)
+        current;
+      let print_delta label d =
+        Printf.printf "  %-10s %-45s %12.4g -> %-12.4g (%+.1f%%)\n" label d.name
+          d.before d.after d.change_pct
+      in
+      Printf.printf "bench_trend: %d metrics vs previous %S run (threshold %.0f%%)\n"
+        (List.length current) !tag !threshold;
+      List.iter (print_delta "REGRESSED") (List.rev !regressions);
+      List.iter (print_delta "improved") (List.rev !improvements);
+      if !regressions = [] && !improvements = [] then
+        print_endline "  all metrics within threshold";
+      if !check && !regressions <> [] then exit 1

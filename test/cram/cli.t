@@ -84,8 +84,11 @@ The trace is Chrome trace_event JSON:
 
   $ head -c 16 prof.json; echo
   {"traceEvents":[
+One process_name row plus one thread_name row per recording domain
+(a single-domain profile run has exactly one):
+
   $ tr ',' '\n' < prof.json | grep -c '"ph":"M"'
-  1
+  2
 
 Metrics ride along with run --json under the "telemetry" key:
 

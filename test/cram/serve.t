@@ -53,6 +53,39 @@ stats verb exposes the counters.
   $ webracer call --socket "$SOCK" stats | grep -o '"analyses_run":1'
   "analyses_run":1
 
+stats also reports service health: uptime, the queue's high-water mark
+(one analyze was in flight at peak) and the cache hit ratio.
+
+  $ webracer call --socket "$SOCK" stats | grep -o '"high_water":1'
+  "high_water":1
+  $ webracer call --socket "$SOCK" stats | grep -o '"hit_ratio":0.5'
+  "hit_ratio":0.5
+  $ webracer call --socket "$SOCK" stats | grep -c '"uptime_s"'
+  1
+
+A request may carry a trace id: the daemon echoes it on the response
+(untraced traffic stays byte-identical — see the cmp pins above) and
+`--verbose` prints it on stderr.
+
+  $ webracer call --socket "$SOCK" ping --trace-id t-cram
+  {"schema_version":1,"id":1,"trace":"t-cram","ok":true,"result":{"pong":true}}
+  $ webracer call --socket "$SOCK" ping --trace-id t-cram --verbose 2>&1 >/dev/null
+  call: id=1 trace=t-cram
+
+The metrics verb exposes per-stage latency histograms (decode, queue,
+run, encode, total with p50..p999), queue/cache gauges and a
+Prometheus-style text rendering.
+
+  $ webracer call --socket "$SOCK" metrics > metrics.json
+  $ grep -o '"latency"' metrics.json
+  "latency"
+  $ grep -o '"run":{"count":1' metrics.json
+  "run":{"count":1
+  $ grep -o '"p999"' metrics.json | wc -l | tr -d ' '
+  5
+  $ grep -o 'webracer_request_latency_seconds{stage=\\"total\\",quantile=\\"0.99\\"}' metrics.json
+  webracer_request_latency_seconds{stage=\"total\",quantile=\"0.99\"}
+
 The predict verb runs the static predictor over the socket; the fast
 page is a single ordered script, so nothing is predicted:
 

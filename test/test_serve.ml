@@ -35,7 +35,7 @@ let decode_err line =
   | Error (id, msg) -> (id, msg)
 
 let test_request_ping_roundtrip () =
-  let req = { Request.id = Json.Int 7; verb = Request.Ping } in
+  let req = { Request.id = Json.Int 7; trace = None; verb = Request.Ping } in
   let req' = decode_ok (Request.to_line req) in
   check bool_c "id survives" true (req'.Request.id = Json.Int 7);
   check string_c "verb" "ping" (Request.verb_name req'.Request.verb)
@@ -47,7 +47,7 @@ let test_request_analyze_roundtrip () =
       ~seed:9 ~explore:false ~detector:Webracer.Config.Full_track
       ~hb:Wr_hb.Graph.Dfs ~time_limit:1234. ~dedup:false ()
   in
-  let req = { Request.id = Json.String "abc"; verb = Request.Analyze params } in
+  let req = { Request.id = Json.String "abc"; trace = None; verb = Request.Analyze params } in
   match (decode_ok (Request.to_line req)).Request.verb with
   | Request.Analyze p ->
       check string_c "page" "<p>hi</p>" p.Request.page;
@@ -74,7 +74,7 @@ let test_request_defaults () =
 let test_request_replay_explain_roundtrip () =
   let target = Request.analyze_params ~page:"<p>x</p>" () in
   let explain =
-    { Request.id = Json.Null; verb = Request.Explain { target; race = Some 2 } }
+    { Request.id = Json.Null; trace = None; verb = Request.Explain { target; race = Some 2 } }
   in
   (match (decode_ok (Request.to_line explain)).Request.verb with
   | Request.Explain { race = Some 2; _ } -> ()
@@ -82,6 +82,7 @@ let test_request_replay_explain_roundtrip () =
   let replay =
     {
       Request.id = Json.Null;
+      trace = None;
       verb = Request.Replay { target; schedules = 7; parse_delay = 1.5; jobs = 3 };
     }
   in
@@ -182,7 +183,7 @@ let test_cache_lru () =
 (* --- Api dispatch ------------------------------------------------------ *)
 
 let test_dispatch_ping () =
-  match Api.dispatch { Request.id = Json.Int 1; verb = Request.Ping } with
+  match Api.dispatch { Request.id = Json.Int 1; trace = None; verb = Request.Ping } with
   | Response.Ok { result; _ } ->
       check bool_c "pong" true (Json.member "pong" result = Json.Bool true)
   | Response.Error _ -> Alcotest.fail "ping failed"
@@ -194,7 +195,7 @@ let test_dispatch_analyze_matches_report () =
   in
   let direct = Webracer.report_to_json (Api.analyze params) in
   match
-    Api.dispatch { Request.id = Json.Null; verb = Request.Analyze params }
+    Api.dispatch { Request.id = Json.Null; trace = None; verb = Request.Analyze params }
   with
   | Response.Ok { result; _ } ->
       let scrub j =
@@ -217,6 +218,7 @@ let test_dispatch_explain_range () =
     Api.dispatch
       {
         Request.id = Json.Null;
+      trace = None;
         verb = Request.Explain { target = params; race = Some 5 };
       }
   with
@@ -224,7 +226,7 @@ let test_dispatch_explain_range () =
   | _ -> Alcotest.fail "out-of-range explain must be a bad request"
 
 let test_dispatch_stats_default () =
-  match Api.dispatch { Request.id = Json.Null; verb = Request.Stats } with
+  match Api.dispatch { Request.id = Json.Null; trace = None; verb = Request.Stats } with
   | Response.Error { code = Response.Internal; _ } -> ()
   | _ -> Alcotest.fail "one-shot stats must be an internal error"
 
@@ -268,8 +270,8 @@ let test_daemon_end_to_end () =
     (fun () ->
       let c = Client.connect ~retry_for:5. addr in
       (* ping echoes the id *)
-      (match Client.request c { Request.id = Json.Int 42; verb = Request.Ping } with
-      | Ok (Response.Ok { id; result }) ->
+      (match Client.request c { Request.id = Json.Int 42; trace = None; verb = Request.Ping } with
+      | Ok (Response.Ok { id; result; _ }) ->
           check bool_c "id echoed" true (id = Json.Int 42);
           check bool_c "pong" true (Json.member "pong" result = Json.Bool true)
       | _ -> Alcotest.fail "ping over the wire");
@@ -278,7 +280,7 @@ let test_daemon_end_to_end () =
         Request.analyze_params ~page:{|<script>var x = 1;</script>|} ~seed:5 ()
       in
       let result =
-        request_ok c { Request.id = Json.Null; verb = Request.Analyze params }
+        request_ok c { Request.id = Json.Null; trace = None; verb = Request.Analyze params }
       in
       let direct = Webracer.report_to_json (Api.analyze params) in
       check bool_c "ops match one-shot run" true
@@ -286,8 +288,8 @@ let test_daemon_end_to_end () =
       check bool_c "schema version present" true
         (Json.member "schema_version" result = Json.Int Wr_support.Schema.version);
       (* an identical request is a cache hit answered from the loop *)
-      ignore (request_ok c { Request.id = Json.Null; verb = Request.Analyze params });
-      let stats = request_ok c { Request.id = Json.Null; verb = Request.Stats } in
+      ignore (request_ok c { Request.id = Json.Null; trace = None; verb = Request.Analyze params });
+      let stats = request_ok c { Request.id = Json.Null; trace = None; verb = Request.Stats } in
       check bool_c "one analysis ran" true
         (Json.member "analyses_run" stats = Json.Int 1);
       check bool_c "one cache hit" true
@@ -297,7 +299,7 @@ let test_daemon_end_to_end () =
       (match Client.recv c with
       | Ok (Response.Error { code = Response.Bad_request; _ }) -> ()
       | _ -> Alcotest.fail "malformed line must answer bad_request");
-      (match Client.request c { Request.id = Json.Int 1; verb = Request.Ping } with
+      (match Client.request c { Request.id = Json.Int 1; trace = None; verb = Request.Ping } with
       | Ok (Response.Ok _) -> ()
       | _ -> Alcotest.fail "connection must survive a bad request");
       Client.close c)
@@ -318,7 +320,7 @@ let test_daemon_overload () =
       let params = Request.analyze_params ~page ~explore:false () in
       let burst = 6 in
       for i = 1 to burst do
-        Client.send c { Request.id = Json.Int i; verb = Request.Analyze params }
+        Client.send c { Request.id = Json.Int i; trace = None; verb = Request.Analyze params }
       done;
       let ok = ref 0 and overload = ref 0 and other = ref 0 in
       for _ = 1 to burst do
@@ -342,11 +344,11 @@ let test_daemon_drains_on_stop () =
       ~explore:false ()
   in
   for i = 1 to 4 do
-    Client.send c { Request.id = Json.Int i; verb = Request.Analyze params }
+    Client.send c { Request.id = Json.Int i; trace = None; verb = Request.Analyze params }
   done;
   (* A trailing ping acts as a barrier: its (inline) answer proves the
      daemon has read and admitted everything queued before it. *)
-  (match Client.request c { Request.id = Json.Int 99; verb = Request.Ping } with
+  (match Client.request c { Request.id = Json.Int 99; trace = None; verb = Request.Ping } with
   | Ok (Response.Ok _) -> ()
   | _ -> Alcotest.fail "barrier ping");
   (* Stop now: the four in-flight analyses must still answer. *)
@@ -363,6 +365,108 @@ let test_daemon_drains_on_stop () =
       check bool_c "nothing left in flight" true
         (List.assoc "in_flight" fields = Json.Int 0)
   | _ -> Alcotest.fail "final stats must carry the queue gauge"
+
+(* --- request tracing ---------------------------------------------------- *)
+
+let test_trace_wire_compat () =
+  (* Untraced requests and responses must stay byte-identical to the
+     pre-tracing protocol: no "trace" key anywhere. *)
+  let line =
+    Request.to_line { Request.id = Json.Int 1; trace = None; verb = Request.Ping }
+  in
+  check bool_c "untraced request has no trace key" false
+    (Astring.String.is_infix ~affix:"trace" line);
+  let resp_line = Response.to_line (Response.ok ~id:(Json.Int 1) Json.Null) in
+  check bool_c "untraced response has no trace key" false
+    (Astring.String.is_infix ~affix:"trace" resp_line);
+  (* A traced request round-trips its id. *)
+  let traced =
+    { Request.id = Json.Int 2; trace = Some "req-7"; verb = Request.Ping }
+  in
+  let decoded = decode_ok (Request.to_line traced) in
+  check bool_c "trace id round-trips" true (decoded.Request.trace = Some "req-7");
+  (* Empty trace ids are rejected, not silently accepted. *)
+  let _, msg = decode_err {|{"id":1,"trace":"","verb":"ping"}|} in
+  check bool_c "empty trace rejected" true (msg <> "")
+
+let test_dispatch_echoes_trace () =
+  (match
+     Api.dispatch { Request.id = Json.Int 3; trace = Some "tr-x"; verb = Request.Ping }
+   with
+  | Response.Ok { trace; _ } -> check bool_c "ok echoes trace" true (trace = Some "tr-x")
+  | Response.Error _ -> Alcotest.fail "ping dispatch");
+  match
+    Api.dispatch { Request.id = Json.Int 4; trace = None; verb = Request.Ping }
+  with
+  | Response.Ok { trace; _ } -> check bool_c "absent stays absent" true (trace = None)
+  | Response.Error _ -> Alcotest.fail "ping dispatch"
+
+let test_daemon_trace_and_metrics () =
+  let d, stop, addr = spawn_daemon () in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      ignore (Domain.join d))
+    (fun () ->
+      let c = Client.connect ~retry_for:5. addr in
+      let params =
+        Request.analyze_params ~page:{|<script>var y = 2;</script>|} ~seed:3 ()
+      in
+      (* A traced analyze echoes the id on the wire. *)
+      (match
+         Client.request c
+           { Request.id = Json.Int 1; trace = Some "e2e-1"; verb = Request.Analyze params }
+       with
+      | Ok (Response.Ok { trace; _ }) ->
+          check bool_c "trace echoed over the wire" true (trace = Some "e2e-1")
+      | _ -> Alcotest.fail "traced analyze");
+      (* An untraced ping carries no trace on the wire. *)
+      (match Client.request c { Request.id = Json.Int 2; trace = None; verb = Request.Ping } with
+      | Ok (Response.Ok { trace; _ }) ->
+          check bool_c "untraced stays untraced" true (trace = None)
+      | _ -> Alcotest.fail "untraced ping");
+      (* The metrics verb reports the analyze in its latency histograms
+         plus queue/cache figures and a Prometheus rendering. *)
+      let metrics =
+        request_ok c { Request.id = Json.Null; trace = None; verb = Request.Metrics }
+      in
+      (match Json.member "latency" metrics with
+      | Json.Obj stages ->
+          List.iter
+            (fun s ->
+              if not (List.mem_assoc s stages) then Alcotest.failf "stage %S missing" s)
+            [ "decode"; "queue"; "run"; "encode"; "total" ];
+          (match List.assoc "run" stages with
+          | Json.Obj run ->
+              check bool_c "run stage recorded the analyze" true
+                (match List.assoc_opt "count" run with
+                | Some (Json.Int n) -> n >= 1
+                | _ -> false);
+              List.iter
+                (fun k ->
+                  if not (List.mem_assoc k run) then Alcotest.failf "run lacks %S" k)
+                [ "p50"; "p95"; "p99"; "p999"; "max" ]
+          | _ -> Alcotest.fail "run stage not an object")
+      | _ -> Alcotest.fail "metrics lacks latency");
+      (match Json.member "prometheus" metrics with
+      | Json.String text ->
+          check bool_c "prometheus text has latency summary" true
+            (Astring.String.is_infix ~affix:"webracer_request_latency_seconds" text)
+      | _ -> Alcotest.fail "metrics lacks prometheus text");
+      (* stats gained high_water and hit_ratio. *)
+      let stats = request_ok c { Request.id = Json.Null; trace = None; verb = Request.Stats } in
+      (match Json.member "queue" stats with
+      | Json.Obj q ->
+          check bool_c "queue high-water tracked" true
+            (match List.assoc_opt "high_water" q with
+            | Some (Json.Int n) -> n >= 1
+            | _ -> false)
+      | _ -> Alcotest.fail "stats lacks queue");
+      (match Json.member "cache" stats with
+      | Json.Obj cache ->
+          check bool_c "hit_ratio present" true (List.mem_assoc "hit_ratio" cache)
+      | _ -> Alcotest.fail "stats lacks cache");
+      Client.close c)
 
 let suite =
   [
@@ -384,4 +488,8 @@ let suite =
     Alcotest.test_case "daemon: end to end over TCP" `Quick test_daemon_end_to_end;
     Alcotest.test_case "daemon: overload backpressure" `Quick test_daemon_overload;
     Alcotest.test_case "daemon: graceful drain" `Quick test_daemon_drains_on_stop;
+    Alcotest.test_case "trace: wire compatibility" `Quick test_trace_wire_compat;
+    Alcotest.test_case "trace: dispatch echoes" `Quick test_dispatch_echoes_trace;
+    Alcotest.test_case "daemon: trace + metrics end to end" `Quick
+      test_daemon_trace_and_metrics;
   ]

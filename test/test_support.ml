@@ -379,3 +379,198 @@ let cache_suite =
   ]
 
 let suite = suite @ cache_suite
+
+(* --- HDR histogram ----------------------------------------------------- *)
+
+module Histo = Wr_support.Stats.Histo
+
+let feq msg ~tol expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %g within %g, got %g" msg expected tol actual
+
+let test_histo_empty_singleton () =
+  let h = Histo.create () in
+  Alcotest.(check int) "empty count" 0 (Histo.count h);
+  Alcotest.(check (float 0.)) "empty p50" 0. (Histo.percentile h 50.);
+  Alcotest.(check (float 0.)) "empty mean" 0. (Histo.mean h);
+  Histo.add h 3.25;
+  Alcotest.(check int) "singleton count" 1 (Histo.count h);
+  (* Every percentile of one sample is that sample (min/max clamping
+     makes it exact despite bucketing). *)
+  List.iter
+    (fun p -> Alcotest.(check (float 0.)) "singleton percentile" 3.25 (Histo.percentile h p))
+    [ 0.; 50.; 99.; 99.9; 100. ]
+
+let test_histo_percentiles_skewed () =
+  let h = Histo.create () in
+  (* 999 fast samples at ~1ms, one slow outlier at 10s: the tail must
+     show up in p999+ but not p50. *)
+  for _ = 1 to 999 do
+    Histo.add h 0.001
+  done;
+  Histo.add h 10.;
+  feq "p50 near 1ms" ~tol:1e-4 0.001 (Histo.percentile h 50.);
+  feq "p99 near 1ms" ~tol:1e-4 0.001 (Histo.percentile h 99.);
+  feq "p99.9 still fast" ~tol:1e-4 0.001 (Histo.percentile h 99.9);
+  Alcotest.(check (float 0.)) "p100 is the outlier" 10. (Histo.percentile h 100.);
+  feq "mean pulled up" ~tol:1e-3 0.011 (Histo.mean h)
+
+let test_histo_p999_small_sample () =
+  (* With few samples, high percentiles must degrade to the maximum, not
+     interpolate past it or read an empty bucket. *)
+  let h = Histo.create () in
+  List.iter (Histo.add h) [ 0.010; 0.020; 0.030 ];
+  Alcotest.(check (float 0.)) "p999 of 3 samples = max" 0.030 (Histo.percentile h 99.9);
+  Alcotest.(check (float 0.)) "p95 of 3 samples = max" 0.030 (Histo.percentile h 95.)
+
+let test_histo_bucket_accuracy () =
+  (* Log bucketing with 32 sub-buckets per octave: any percentile is
+     within ~3% of the exact sample value. *)
+  let h = Histo.create () in
+  for i = 1 to 1000 do
+    Histo.add h (float_of_int i /. 1000.)
+  done;
+  List.iter
+    (fun p ->
+      let exact = p /. 100. in
+      let got = Histo.percentile h p in
+      if Float.abs (got -. exact) /. exact > 0.03 then
+        Alcotest.failf "p%g: %g more than 3%% from %g" p got exact)
+    [ 10.; 50.; 90.; 99. ]
+
+let test_histo_merge () =
+  (* Per-domain histograms merged at read time must agree with one
+     histogram fed every sample — same count, sum, extremes and
+     percentiles (the telemetry merge path). *)
+  let parts = List.init 4 (fun _ -> Histo.create ()) in
+  let all = Histo.create () in
+  List.iteri
+    (fun d h ->
+      for i = 1 to 250 do
+        let v = float_of_int ((d * 250) + i) /. 100. in
+        Histo.add h v;
+        Histo.add all v
+      done)
+    parts;
+  let merged =
+    List.fold_left (fun acc h -> Histo.merge acc h) (Histo.create ()) parts
+  in
+  Alcotest.(check int) "count" (Histo.count all) (Histo.count merged);
+  feq "sum" ~tol:1e-9 (Histo.sum all) (Histo.sum merged);
+  Alcotest.(check (float 0.)) "min" (Histo.minimum all) (Histo.minimum merged);
+  Alcotest.(check (float 0.)) "max" (Histo.maximum all) (Histo.maximum merged);
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.)) "percentile agrees" (Histo.percentile all p)
+        (Histo.percentile merged p))
+    [ 1.; 50.; 95.; 99.; 99.9 ];
+  (* merge leaves its inputs untouched *)
+  Alcotest.(check int) "part count intact" 250 (Histo.count (List.hd parts))
+
+let test_histo_underflow () =
+  let h = Histo.create () in
+  List.iter (Histo.add h) [ -1.; 0.; 5. ];
+  Alcotest.(check int) "all counted" 3 (Histo.count h);
+  Alcotest.(check (float 0.)) "min is the negative" (-1.) (Histo.minimum h);
+  Alcotest.(check (float 0.)) "p100" 5. (Histo.percentile h 100.)
+
+let histo_suite =
+  [
+    Alcotest.test_case "histo: empty and singleton" `Quick test_histo_empty_singleton;
+    Alcotest.test_case "histo: skewed tail percentiles" `Quick test_histo_percentiles_skewed;
+    Alcotest.test_case "histo: p999 on small samples" `Quick test_histo_p999_small_sample;
+    Alcotest.test_case "histo: bucket accuracy" `Quick test_histo_bucket_accuracy;
+    Alcotest.test_case "histo: per-domain merge" `Quick test_histo_merge;
+    Alcotest.test_case "histo: underflow bucket" `Quick test_histo_underflow;
+  ]
+
+let suite = suite @ histo_suite
+
+(* --- pool profiling ---------------------------------------------------- *)
+
+let test_pool_stats_accounting () =
+  let p = Pool.create ~jobs:3 in
+  let xs = List.init 20 Fun.id in
+  let _ = Pool.map p (fun x -> x * x) xs in
+  Pool.close p;
+  let st = Pool.stats p in
+  Alcotest.(check int) "one row per domain" 3 (List.length st.Pool.per_domain);
+  Alcotest.(check int) "submitted" 20 st.Pool.submitted;
+  let total_tasks =
+    List.fold_left (fun acc d -> acc + d.Pool.tasks) 0 st.Pool.per_domain
+  in
+  Alcotest.(check int) "every task charged to a domain" 20 total_tasks;
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "non-negative queue wait" true (d.Pool.queue_wait_s >= 0.);
+      Alcotest.(check bool) "non-negative run" true (d.Pool.run_s >= 0.))
+    st.Pool.per_domain;
+  (* The rendering includes every row and the summary counters. *)
+  let rendered = Pool.render_stats st in
+  let contains needle =
+    let nl = String.length needle and hl = String.length rendered in
+    let rec at i = i + nl <= hl && (String.sub rendered i nl = needle || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in render") true (contains needle))
+    [ "submitter"; "worker-1"; "worker-2"; "tasks submitted: 20" ]
+
+let test_pool_stats_sequential () =
+  (* jobs:1 charges everything to the submitter with zero queue wait. *)
+  let p = Pool.create ~jobs:1 in
+  let _ = Pool.map p Fun.id (List.init 5 Fun.id) in
+  Pool.close p;
+  let st = Pool.stats p in
+  (match st.Pool.per_domain with
+  | [ d ] ->
+      Alcotest.(check int) "all on submitter" 5 d.Pool.tasks;
+      Alcotest.(check (float 0.)) "no queue wait" 0. d.Pool.queue_wait_s
+  | rows -> Alcotest.failf "expected 1 domain row, got %d" (List.length rows));
+  Alcotest.(check int) "submitted" 5 st.Pool.submitted
+
+let pool_stats_suite =
+  [
+    Alcotest.test_case "pool: stats account every task" `Quick test_pool_stats_accounting;
+    Alcotest.test_case "pool: sequential stats" `Quick test_pool_stats_sequential;
+  ]
+
+let suite = suite @ pool_stats_suite
+
+(* --- ambient trace context --------------------------------------------- *)
+
+module Log = Wr_support.Log
+
+let test_log_trace_context () =
+  Alcotest.(check (pair (option string) (option string)))
+    "no ambient trace outside with_trace" (None, None) (Log.current_trace ());
+  let inner =
+    Log.with_trace ~trace_id:"t-1" ~span_id:"7" (fun () ->
+        let outer = Log.current_trace () in
+        let nested =
+          Log.with_trace ~trace_id:"t-2" (fun () -> Log.current_trace ())
+        in
+        (outer, nested))
+  in
+  Alcotest.(check (pair (option string) (option string)))
+    "ambient trace inside" (Some "t-1", Some "7") (fst inner);
+  Alcotest.(check (pair (option string) (option string)))
+    "innermost wins, span resets" (Some "t-2", None) (snd inner);
+  Alcotest.(check (pair (option string) (option string)))
+    "restored after" (None, None) (Log.current_trace ())
+
+let test_log_trace_survives_exception () =
+  (try
+     Log.with_trace ~trace_id:"t-err" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check (pair (option string) (option string)))
+    "restored after exception" (None, None) (Log.current_trace ())
+
+let trace_suite =
+  [
+    Alcotest.test_case "log: ambient trace context" `Quick test_log_trace_context;
+    Alcotest.test_case "log: trace restored on exception" `Quick test_log_trace_survives_exception;
+  ]
+
+let suite = suite @ trace_suite

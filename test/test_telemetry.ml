@@ -199,3 +199,70 @@ let suite =
     Alcotest.test_case "metrics json shape" `Quick test_metrics_json_shape;
     Alcotest.test_case "pipeline phase coverage" `Quick test_pipeline_phases;
   ]
+
+(* --- domain safety ------------------------------------------------------ *)
+
+(* Two pool tasks rendezvous on an atomic before either returns, forcing
+   them onto distinct domains; both record into ONE shared context. The
+   old telemetry had to be forced off under jobs > 1 — this pins the
+   v2 guarantee instead. *)
+let test_multi_domain_spans () =
+  let tm = Telemetry.create () in
+  let started = Atomic.make 0 in
+  let task _ =
+    Telemetry.with_span tm ~cat:"parse" ~name:"barrier" (fun () ->
+        Atomic.incr started;
+        (* Wait until the other task is running: both spans are live at
+           once, which is only possible on two domains. *)
+        let deadline = Unix.gettimeofday () +. 5. in
+        while Atomic.get started < 2 && Unix.gettimeofday () < deadline do
+          Domain.cpu_relax ()
+        done;
+        Telemetry.incr tm "barrier.hits";
+        (Domain.self () :> int))
+  in
+  let ids = Wr_support.Pool.map_jobs ~jobs:2 task [ 0; 1 ] in
+  Alcotest.(check int) "both tasks ran" 2 (List.length (List.sort_uniq compare ids));
+  Alcotest.(check int) "two recording domains" 2 (Telemetry.domains tm);
+  Alcotest.(check int) "spans from both domains" 2 (Telemetry.n_spans tm);
+  Alcotest.(check int) "counters merged across domains" 2
+    (Telemetry.counter_value tm "barrier.hits");
+  (* The Chrome trace names one thread row per recording domain. *)
+  match Telemetry.to_chrome_trace tm with
+  | Json.Obj fields -> (
+      match List.assoc "traceEvents" fields with
+      | Json.List events ->
+          let tids =
+            List.filter_map
+              (function
+                | Json.Obj e ->
+                    (match (List.assoc_opt "ph" e, List.assoc_opt "tid" e) with
+                    | Some (Json.String "X"), Some (Json.Int tid) -> Some tid
+                    | _ -> None)
+                | _ -> None)
+              events
+          in
+          Alcotest.(check int) "span tids span two domains" 2
+            (List.length (List.sort_uniq compare tids))
+      | _ -> Alcotest.fail "traceEvents missing")
+  | _ -> Alcotest.fail "trace is not an object"
+
+(* Satellite of the same fix: analyze_many with jobs > 1 used to
+   silently drop telemetry; now a shared context records every run. *)
+let test_analyze_many_parallel_telemetry () =
+  let tm = Telemetry.create () in
+  let page = {|<script>var x = 1;</script>|} in
+  let cfg = Webracer.config ~page ~telemetry:tm () in
+  let merged = Webracer.analyze_many ~jobs:2 cfg ~seeds:[ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "all seeds analyzed" 4 (List.length merged.Webracer.runs);
+  Alcotest.(check bool) "spans recorded under jobs:2" true (Telemetry.n_spans tm > 0);
+  Alcotest.(check bool) "per-run counters accumulate" true
+    (Telemetry.counter_value tm "hb.ops" > 0)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "multi-domain spans" `Quick test_multi_domain_spans;
+      Alcotest.test_case "analyze_many keeps telemetry on" `Quick
+        test_analyze_many_parallel_telemetry;
+    ]
