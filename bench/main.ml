@@ -501,10 +501,26 @@ let perf_parallel () =
     List.map
       (fun jobs ->
         let started = Unix.gettimeofday () in
-        let outcomes = Eval.run_corpus ~seed:42 ?limit:corpus_limit ~jobs () in
+        let outcomes, fleet =
+          Eval.run_corpus_stats ~seed:42 ?limit:corpus_limit ~jobs ()
+        in
         let dt = Unix.gettimeofday () -. started in
         let same = List.map outcome_signature outcomes = reference in
         record_float "perf4" (Printf.sprintf "corpus_jobs%d_s" jobs) dt;
+        (* Fleet health behind the speedup number, so the trend gate
+           sees queue contention or idle-domain regressions directly. *)
+        let fsum f =
+          List.fold_left (fun acc d -> acc +. f d) 0. fleet.Wr_support.Pool.per_domain
+        in
+        record_float "perf4"
+          (Printf.sprintf "corpus_jobs%d_queue_wait_s" jobs)
+          (fsum (fun d -> d.Wr_support.Pool.queue_wait_s));
+        record_float "perf4"
+          (Printf.sprintf "corpus_jobs%d_idle_s" jobs)
+          (fsum (fun d -> d.Wr_support.Pool.idle_s));
+        record_float "perf4"
+          (Printf.sprintf "corpus_jobs%d_gc_minor" jobs)
+          (fsum (fun d -> float_of_int d.Wr_support.Pool.gc_minor));
         (jobs, dt, same))
       [ 1; 2; 4; 8 ]
   in

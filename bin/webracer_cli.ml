@@ -575,33 +575,114 @@ let corpus_cmd =
                 breakdown, lock contention, and the cross-domain telemetry phase \
                 table — the figures behind any parallel speedup (or its absence).")
   in
-  let action seed limit jobs profile =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"With $(b,--profile), emit the fleet profile as one JSON object \
+                (pool, GC, regex-cache and telemetry sections — the same fields \
+                as the rendered tables) instead of text.")
+  in
+  let gc_trace =
+    Arg.(
+      value & flag
+      & info [ "gc-trace" ]
+          ~doc:"Observe the runtime's GC through Runtime_events even without \
+                $(b,--profile) (implied by it): per-domain pause histograms, and \
+                GC slices on each domain's track in $(b,--trace-out) output.")
+  in
+  let trace_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write the run's Chrome trace_event JSON: analysis spans per domain, \
+                interleaved with GC slices when the probe is on.")
+  in
+  let action seed limit jobs profile json gc_trace trace_out =
     let jobs = if jobs = 0 then Wr_support.Pool.default_jobs () else max 1 jobs in
-    let tm = if profile then Telemetry.create () else Telemetry.disabled in
+    let observing = profile || gc_trace || trace_out <> None in
+    let tm = if observing then Telemetry.create () else Telemetry.disabled in
+    (* Start before the pool exists so every fleet domain announces its
+       ring; the probe reads GC pauses from [Runtime_events], not
+       [Gc.quick_stat] deltas. *)
+    let probe =
+      if profile || gc_trace then
+        Some (Wr_telemetry.Runtime_probe.start ~telemetry:tm ())
+      else None
+    in
     let outcomes, pool_stats =
       Wr_sitegen.Eval.run_corpus_stats ~seed ?limit ~jobs ~telemetry:tm ()
     in
-    print_endline "Table 1 analogue (raw races per type across sites):\n";
-    print_string (Wr_sitegen.Eval.render_table1 outcomes);
-    print_endline "\nTable 2 analogue (filtered races per site, harmful in parens):\n";
-    print_string (Wr_sitegen.Eval.render_table2 outcomes);
-    let bad = List.filter (fun o -> not (Wr_sitegen.Eval.fidelity o)) outcomes in
-    Printf.printf "\nGround-truth fidelity: %d/%d sites\n"
-      (List.length outcomes - List.length bad)
-      (List.length outcomes);
-    if profile then begin
-      Printf.printf "\nFleet profile (%d jobs):\n\n" jobs;
-      print_string (Wr_support.Pool.render_stats pool_stats);
-      let hits, misses, contended = Wr_js.Builtins.regex_cache_stats () in
-      Printf.printf "\nregex cache: %d hits, %d misses, %d lock contentions\n"
-        hits misses contended;
-      Printf.printf "\nTelemetry phases (%d recording domains, %d spans):\n\n"
-        (Telemetry.domains tm) (Telemetry.n_spans tm);
-      print_string (Telemetry.phase_table tm)
+    Option.iter Wr_telemetry.Runtime_probe.stop probe;
+    let n_ok =
+      List.length (List.filter Wr_sitegen.Eval.fidelity outcomes)
+    in
+    let regex_hits, regex_misses, regex_contended =
+      Wr_js.Builtins.regex_cache_stats ()
+    in
+    if json then begin
+      let fields =
+        [
+          ("sites", Wr_support.Json.Int (List.length outcomes));
+          ("fidelity_ok", Wr_support.Json.Int n_ok);
+          ("jobs", Wr_support.Json.Int jobs);
+          ("fleet", Wr_support.Pool.stats_json pool_stats);
+          ( "regex_cache",
+            Wr_support.Json.Obj
+              [
+                ("hits", Wr_support.Json.Int regex_hits);
+                ("misses", Wr_support.Json.Int regex_misses);
+                ("lock_contended", Wr_support.Json.Int regex_contended);
+              ] );
+        ]
+        @ (match probe with
+          | Some p -> [ ("gc", Wr_telemetry.Runtime_probe.stats_json p) ]
+          | None -> [])
+        @
+        if Telemetry.enabled tm then
+          [ ("telemetry", Telemetry.metrics_json tm) ]
+        else []
+      in
+      print_endline (Wr_support.Json.to_string (Wr_support.Json.Obj fields))
     end
+    else begin
+      print_endline "Table 1 analogue (raw races per type across sites):\n";
+      print_string (Wr_sitegen.Eval.render_table1 outcomes);
+      print_endline "\nTable 2 analogue (filtered races per site, harmful in parens):\n";
+      print_string (Wr_sitegen.Eval.render_table2 outcomes);
+      Printf.printf "\nGround-truth fidelity: %d/%d sites\n" n_ok
+        (List.length outcomes);
+      if profile then begin
+        Printf.printf "\nFleet profile (%d jobs):\n\n" jobs;
+        print_string (Wr_support.Pool.render_stats pool_stats);
+        Printf.printf "\nregex cache: %d hits, %d misses, %d lock contentions\n"
+          regex_hits regex_misses regex_contended;
+        (match probe with
+        | Some p ->
+            Printf.printf "\nGC (runtime events, per domain):\n\n";
+            print_string (Wr_telemetry.Runtime_probe.render_stats p)
+        | None -> ());
+        Printf.printf "\nTelemetry phases (%d recording domains, %d spans):\n\n"
+          (Telemetry.domains tm) (Telemetry.n_spans tm);
+        print_string (Telemetry.phase_table tm)
+      end
+      else
+        match probe with
+        | Some p ->
+            Printf.printf "\nGC (runtime events, per domain):\n\n";
+            print_string (Wr_telemetry.Runtime_probe.render_stats p)
+        | None -> ()
+    end;
+    match trace_out with
+    | Some file ->
+        write_file file (Wr_support.Json.to_string (Telemetry.to_chrome_trace tm));
+        if not json then Printf.printf "\ntrace written to %s\n" file
+    | None -> ()
   in
   let doc = "Regenerate the paper's evaluation tables over the synthetic corpus." in
-  Cmd.v (Cmd.info "corpus" ~doc) Term.(const action $ seed $ limit $ jobs $ profile)
+  Cmd.v (Cmd.info "corpus" ~doc)
+    Term.(
+      const action $ seed $ limit $ jobs $ profile $ json $ gc_trace $ trace_out)
 
 (* --- offline ------------------------------------------------------------ *)
 
@@ -728,13 +809,56 @@ let profile_cmd =
           ~doc:"Also write the Chrome trace_event JSON profile (open in chrome://tracing \
                 or Perfetto).")
   in
-  let action page seed no_explore trace_out =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the profile as one JSON object (telemetry phases, counters, \
+                histograms, race counts, GC when $(b,--gc-trace)) instead of text.")
+  in
+  let gc_trace =
+    Arg.(
+      value & flag
+      & info [ "gc-trace" ]
+          ~doc:"Also observe the runtime's GC through Runtime_events: pause \
+                histogram plus GC slices in $(b,--trace-out) output.")
+  in
+  let action page seed no_explore trace_out json gc_trace =
     let tm = Telemetry.create () in
+    let probe =
+      if gc_trace then Some (Wr_telemetry.Runtime_probe.start ~telemetry:tm ())
+      else None
+    in
     let cfg =
       Webracer.config ~page:(read_file page) ~resources:(resources_around page) ~seed
         ~explore:(not no_explore) ~telemetry:tm ()
     in
     let report = Webracer.analyze cfg in
+    Option.iter Wr_telemetry.Runtime_probe.stop probe;
+    if json then begin
+      let fields =
+        [
+          ("telemetry", Telemetry.metrics_json tm);
+          ( "races",
+            Wr_support.Json.Obj
+              [
+                ("raw", Wr_support.Json.Int (List.length report.Webracer.races));
+                ( "filtered",
+                  Wr_support.Json.Int (List.length report.Webracer.filtered) );
+              ] );
+        ]
+        @
+        match probe with
+        | Some p -> [ ("gc", Wr_telemetry.Runtime_probe.stats_json p) ]
+        | None -> []
+      in
+      print_endline (Wr_support.Json.to_string (Wr_support.Json.Obj fields));
+      match trace_out with
+      | Some file ->
+          write_file file (Wr_support.Json.to_string (Telemetry.to_chrome_trace tm))
+      | None -> ()
+    end
+    else begin
     print_string (Telemetry.phase_table tm);
     Printf.printf "\nspans: %d  domains: %d  races: %d raw, %d after filters\n"
       (Telemetry.n_spans tm) (Telemetry.domains tm)
@@ -757,17 +881,25 @@ let profile_cmd =
               h.Telemetry.count h.Telemetry.mean h.Telemetry.p50
               h.Telemetry.p95 h.Telemetry.max)
           hs);
+    (match probe with
+    | Some p ->
+        Printf.printf "\nGC (runtime events):\n\n";
+        print_string (Wr_telemetry.Runtime_probe.render_stats p)
+    | None -> ());
     match trace_out with
     | Some file ->
         write_file file (Wr_support.Json.to_string (Telemetry.to_chrome_trace tm));
         Printf.printf "\ntrace written to %s\n" file
     | None -> ()
+    end
   in
   let doc =
     "Analyze a page with telemetry enabled and print the per-phase wall-clock breakdown \
      (parse, js-exec, event-dispatch, scheduler, network, detector)."
   in
-  Cmd.v (Cmd.info "profile" ~doc) Term.(const action $ page $ seed $ no_explore $ trace_out)
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(const action $ page $ seed $ no_explore $ trace_out $ json $ gc_trace)
 
 (* --- sitegen ------------------------------------------------------------ *)
 
@@ -883,8 +1015,25 @@ let serve_cmd =
                 latency histograms, queue high-water, cache hit ratio, Prometheus \
                 text) to $(docv).")
   in
+  let postmortem_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "postmortem-dir" ] ~docv:"DIR"
+          ~doc:"Arm the flight recorder: request milestones and log events \
+                accumulate in per-domain ring buffers, dumped to $(docv) as \
+                $(b,postmortem-<n>-<reason>.jsonl) (+ a mini Chrome trace) on a \
+                worker crash, a blown request deadline, or SIGUSR2.")
+  in
+  let gc_trace =
+    Arg.(
+      value & flag
+      & info [ "gc-trace" ]
+          ~doc:"Observe the runtime's GC through Runtime_events for the daemon's \
+                lifetime: per-domain pause histograms in $(b,watch) snapshots, GC \
+                slices in $(b,--trace-out) output.")
+  in
   let action address jobs queue cache wall_limit max_vtime trace_out metrics_out
-      log_out =
+      postmortem_dir gc_trace log_out =
     setup_event_log log_out;
     let jobs = if jobs = 0 then Wr_support.Pool.default_jobs () else max 1 jobs in
     let cfg =
@@ -895,18 +1044,28 @@ let serve_cmd =
         cache_cap = max 0 cache;
         wall_limit;
         max_time_limit = max_vtime;
+        postmortem_dir;
       }
     in
     let stopped = Atomic.make false in
     let request_stop = Sys.Signal_handle (fun _ -> Atomic.set stopped true) in
     Sys.set_signal Sys.sigint request_stop;
     Sys.set_signal Sys.sigterm request_stop;
+    let dump_requested = Atomic.make false in
+    Sys.set_signal Sys.sigusr2
+      (Sys.Signal_handle (fun _ -> Atomic.set dump_requested true));
     let on_ready addr =
       Printf.eprintf "webracer serve: listening on %s (jobs %d, queue %d, cache %d)\n%!"
         (address_string addr) jobs cfg.Wr_serve.Daemon.queue_cap
         cfg.Wr_serve.Daemon.cache_cap
     in
     let tm = Telemetry.create () in
+    (* Before [Daemon.run] creates the pool, so every worker domain
+       announces its GC event ring to the probe. *)
+    let probe =
+      if gc_trace then Some (Wr_telemetry.Runtime_probe.start ~telemetry:tm ())
+      else None
+    in
     let on_stop metrics =
       (match metrics_out with
       | Some file ->
@@ -922,39 +1081,42 @@ let serve_cmd =
     let final =
       Wr_serve.Daemon.run
         ~stop:(fun () -> Atomic.get stopped)
+        ~dump:(fun () -> Atomic.exchange dump_requested false)
         ~on_ready ~on_stop ~telemetry:tm cfg
     in
+    Option.iter Wr_telemetry.Runtime_probe.stop probe;
     Printf.eprintf "webracer serve: drained and stopped\n%s\n%!"
       (Wr_support.Json.to_string final);
     Log.close_sink ()
   in
   let doc =
     "Run the long-lived analysis daemon: newline-delimited JSON requests \
-     ($(b,ping), $(b,stats), $(b,metrics), $(b,analyze), $(b,explain), \
-     $(b,replay)) over a Unix socket or TCP, dispatched to a domain worker pool \
-     behind a bounded queue with an LRU result cache. SIGINT/SIGTERM drain \
-     in-flight work before exit."
+     ($(b,ping), $(b,stats), $(b,metrics), $(b,watch), $(b,analyze), \
+     $(b,explain), $(b,replay)) over a Unix socket or TCP, dispatched to a \
+     domain worker pool behind a bounded queue with an LRU result cache. \
+     SIGINT/SIGTERM drain in-flight work before exit; SIGUSR2 dumps a \
+     postmortem when $(b,--postmortem-dir) is set."
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       const action $ address_term $ jobs $ queue $ cache $ wall_limit $ max_vtime
-      $ trace_out $ metrics_out $ log_out_arg)
+      $ trace_out $ metrics_out $ postmortem_dir $ gc_trace $ log_out_arg)
 
 let call_cmd =
   let verb =
     let verb_conv =
       Arg.enum
         [ ("ping", `Ping); ("stats", `Stats); ("metrics", `Metrics);
-          ("analyze", `Analyze); ("explain", `Explain); ("predict", `Predict);
-          ("replay", `Replay); ("raw", `Raw) ]
+          ("watch", `Watch); ("analyze", `Analyze); ("explain", `Explain);
+          ("predict", `Predict); ("replay", `Replay); ("raw", `Raw) ]
     in
     Arg.(
       required & pos 0 (some verb_conv) None
       & info [] ~docv:"VERB"
-          ~doc:"One of $(b,ping), $(b,stats), $(b,metrics), $(b,analyze), \
-                $(b,explain), $(b,predict), $(b,replay), or $(b,raw) (send stdin \
-                lines verbatim).")
+          ~doc:"One of $(b,ping), $(b,stats), $(b,metrics), $(b,watch), \
+                $(b,analyze), $(b,explain), $(b,predict), $(b,replay), or \
+                $(b,raw) (send stdin lines verbatim).")
   in
   let page =
     Arg.(
@@ -1021,6 +1183,17 @@ let call_cmd =
       value & opt int 1
       & info [ "j"; "jobs" ] ~docv:"N" ~doc:"(replay) server-side schedule parallelism.")
   in
+  let watch_interval =
+    Arg.(
+      value & opt float 1.
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"(watch) seconds between snapshots.")
+  in
+  let watch_count =
+    Arg.(
+      value & opt int 1
+      & info [ "count" ] ~docv:"N" ~doc:"(watch) snapshots to request.")
+  in
   let connect_timeout =
     Arg.(
       value & opt float 10.
@@ -1043,7 +1216,8 @@ let call_cmd =
                 trace id when $(b,--trace-id) is not given).")
   in
   let action verb page address repeat seed no_explore no_dedup detector hb time_limit
-      race_n compare lint schedules parse_delay jobs connect_timeout trace_id verbose =
+      race_n compare lint schedules parse_delay jobs watch_interval watch_count
+      connect_timeout trace_id verbose =
     let client =
       try Wr_serve.Client.connect ~retry_for:connect_timeout address
       with Unix.Unix_error (e, _, _) ->
@@ -1091,6 +1265,18 @@ let call_cmd =
               if String.trim line <> "" then incr sent)
             () In_channel.stdin;
           print_and_check !sent
+      | `Watch ->
+          (* One request, [count] streamed responses on this connection. *)
+          let count = max 1 watch_count in
+          Wr_serve.Client.send client
+            {
+              Request.id = Wr_support.Json.Int 1;
+              trace = trace_id;
+              verb =
+                Request.Watch
+                  { Request.interval_s = watch_interval; count = Some count };
+            };
+          print_and_check count
       | (`Ping | `Stats | `Metrics | `Analyze | `Explain | `Predict | `Replay) as v ->
           let verb_value =
             match v with
@@ -1140,7 +1326,191 @@ let call_cmd =
     Term.(
       const action $ verb $ page $ address_term $ repeat $ seed $ no_explore $ no_dedup
       $ detector $ hb $ time_limit $ race_n $ compare $ lint $ schedules $ parse_delay
-      $ jobs $ connect_timeout $ trace_id $ verbose)
+      $ jobs $ watch_interval $ watch_count $ connect_timeout $ trace_id $ verbose)
+
+(* --- top ---------------------------------------------------------------- *)
+
+(* Tiny JSON accessors for the watch snapshots; a malformed snapshot
+   reads as zeros rather than crashing the display. *)
+let jfield name = function
+  | Wr_support.Json.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let jnum ?(default = 0.) j name =
+  match jfield name j with
+  | Some (Wr_support.Json.Float f) -> f
+  | Some (Wr_support.Json.Int i) -> float_of_int i
+  | _ -> default
+
+let jint j name = int_of_float (jnum j name)
+
+let jlist j name =
+  match jfield name j with Some (Wr_support.Json.List l) -> l | _ -> []
+
+let top_cmd =
+  let interval =
+    Arg.(
+      value & opt float 1.
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Seconds between refreshes (daemon-side tick).")
+  in
+  let count =
+    Arg.(
+      value & opt (some int) None
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Render $(docv) frames then exit (default: stream until Ctrl-C).")
+  in
+  let connect_timeout =
+    Arg.(
+      value & opt float 10.
+      & info [ "connect-timeout" ] ~docv:"SECONDS"
+          ~doc:"Keep retrying the connection this long.")
+  in
+  (* One frame: rates come from the delta against the previous snapshot,
+     so the first frame shows only gauges. *)
+  let render address prev snap =
+    let b = Buffer.create 1024 in
+    let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    let ts = jnum snap "ts" in
+    let dt = match prev with None -> 0. | Some p -> ts -. jnum p "ts" in
+    let rate field =
+      match prev with
+      | Some p when dt > 0. -> (jnum snap field -. jnum p field) /. dt
+      | _ -> 0.
+    in
+    let queue = Option.value ~default:Wr_support.Json.Null (jfield "queue" snap) in
+    let cache = Option.value ~default:Wr_support.Json.Null (jfield "cache" snap) in
+    add "webracer top — %s — up %.0f s — frame %d\n" (address_string address)
+      (jnum snap "uptime_s") (jint snap "seq");
+    add
+      "req/s %.1f   in-flight %d/%d (hwm %d)   cache %.0f%% (%d/%d entries %d)   \
+       analyses %d   timeouts %d   shed %d\n\n"
+      (rate "requests_total") (jint queue "depth") (jint queue "cap")
+      (jint queue "high_water")
+      (100. *. jnum cache "hit_ratio")
+      (jint cache "hits")
+      (jint cache "hits" + jint cache "misses")
+      (jint cache "entries") (jint snap "analyses_run") (jint snap "timeouts")
+      (jint snap "shed");
+    (match jfield "latency" snap with
+    | Some (Wr_support.Json.Obj stages) ->
+        add "stage     count   p50(ms)   p99(ms)   max(ms)\n";
+        List.iter
+          (fun (stage, h) ->
+            add "%-8s %6d %9.2f %9.2f %9.2f\n" stage (jint h "count")
+              (1e3 *. jnum h "p50") (1e3 *. jnum h "p99") (1e3 *. jnum h "max"))
+          stages
+    | _ -> ());
+    (* Per-domain rows: fleet slots joined with GC rows on the OCaml
+       domain id. Utilisation and GC share are deltas over this frame's
+       window — what each domain did since the last refresh. *)
+    let fleet = Option.value ~default:Wr_support.Json.Null (jfield "fleet" snap) in
+    let gc_rows j =
+      match jfield "gc" j with Some gc -> jlist gc "domains" | None -> []
+    in
+    let find_dom rows dom =
+      List.find_opt (fun r -> jint r "dom" = dom) rows
+    in
+    let prev_fleet =
+      match prev with
+      | Some p -> Option.value ~default:Wr_support.Json.Null (jfield "fleet" p)
+      | None -> Wr_support.Json.Null
+    in
+    (match jlist fleet "per_domain" with
+    | [] -> ()
+    | rows ->
+        add "\ndomain      dom   tasks   util%%     gc%%   gc-p99(ms)\n";
+        List.iter
+          (fun row ->
+            let worker = jint row "worker" in
+            let dom = jint row "dom" in
+            let prev_row =
+              List.find_opt
+                (fun r -> jint r "worker" = worker)
+                (jlist prev_fleet "per_domain")
+            in
+            let drun =
+              match prev_row with
+              | Some p when dt > 0. -> (jnum row "run_s" -. jnum p "run_s") /. dt
+              | _ -> 0.
+            in
+            let gc_now = find_dom (gc_rows snap) dom in
+            let gc_prev =
+              match prev with Some p -> find_dom (gc_rows p) dom | None -> None
+            in
+            let dgc =
+              match (gc_now, gc_prev) with
+              | Some g, Some gp when dt > 0. ->
+                  (jnum g "gc_s" -. jnum gp "gc_s") /. dt
+              | _ -> 0.
+            in
+            let gc_p99 =
+              match gc_now with
+              | Some g -> (
+                  match jfield "pause_ms" g with
+                  | Some h -> jnum h "p99"
+                  | None -> 0.)
+              | None -> 0.
+            in
+            add "%-10s %4d %7d %6.0f%% %6.0f%% %12.2f\n"
+              (if worker = 0 then "submitter" else Printf.sprintf "worker-%d" worker)
+              dom (jint row "tasks") (100. *. drun) (100. *. dgc) gc_p99)
+          rows);
+    Buffer.contents b
+  in
+  let action address interval count connect_timeout =
+    let client =
+      try Wr_serve.Client.connect ~retry_for:connect_timeout address
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "top: cannot connect to %s: %s\n" (address_string address)
+          (Unix.error_message e);
+        exit 3
+    in
+    (* Ctrl-C ends the display, not the daemon: the connection drops and
+       the daemon reaps the watch subscription on its side. *)
+    Sys.set_signal Sys.sigint
+      (Sys.Signal_handle
+         (fun _ ->
+           print_newline ();
+           exit 0));
+    let live = Unix.isatty Unix.stdout in
+    Wr_serve.Client.send client
+      {
+        Request.id = Wr_support.Json.Int 1;
+        trace = None;
+        verb =
+          Request.Watch { Request.interval_s = Float.max 0.05 interval; count };
+      };
+    let rec loop prev frames =
+      if count = Some frames then ()
+      else
+        match Wr_serve.Client.recv client with
+        | Error _ when count = None -> ()  (* daemon went away; plain exit *)
+        | Error msg ->
+            Printf.eprintf "top: %s\n" msg;
+            exit 3
+        | Ok (Wr_serve.Response.Error { message; _ }) ->
+            Printf.eprintf "top: %s\n" message;
+            exit 1
+        | Ok (Wr_serve.Response.Ok { result; _ }) ->
+            if live then print_string "\027[H\027[2J"
+            else if frames > 0 then print_newline ();
+            print_string (render address prev result);
+            flush stdout;
+            loop (Some result) (frames + 1)
+    in
+    loop None 0;
+    Wr_serve.Client.close client
+  in
+  let doc =
+    "Live view of a running $(b,webracer serve) daemon: req/s, queue depth, \
+     per-stage latency, cache hit ratio, per-domain utilisation and GC share \
+     (streamed via the $(b,watch) verb; refreshes in place on a terminal, exits \
+     cleanly on Ctrl-C)."
+  in
+  Cmd.v
+    (Cmd.info "top" ~doc)
+    Term.(const action $ address_term $ interval $ count $ connect_timeout)
 
 let () =
   let doc = "dynamic race detection for (simulated) web applications" in
@@ -1149,4 +1519,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; batch_cmd; explain_cmd; predict_cmd; corpus_cmd; sitegen_cmd;
-            replay_cmd; offline_cmd; profile_cmd; serve_cmd; call_cmd ]))
+            replay_cmd; offline_cmd; profile_cmd; serve_cmd; call_cmd; top_cmd ]))

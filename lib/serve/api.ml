@@ -98,6 +98,9 @@ let dispatch ?(stats = no_stats) ?(metrics = no_metrics) (req : Request.t) =
     | Request.Ping -> ok ping_result
     | Request.Stats -> ok (stats ())
     | Request.Metrics -> ok (metrics ())
+    | Request.Watch _ ->
+        Response.error ~id ?trace Response.Bad_request
+          "watch streams from a running daemon, not a one-shot dispatch"
     | Request.Analyze p -> ok (Webracer.report_to_json (analyze p))
     | Request.Explain { target; race } -> (
         let report = analyze target in

@@ -3,7 +3,9 @@ module Schema = Wr_support.Schema
 module Pool = Wr_support.Pool
 module Histo = Wr_support.Stats.Histo
 module Telemetry = Wr_telemetry.Telemetry
+module Runtime_probe = Wr_telemetry.Runtime_probe
 module Log = Wr_support.Log
+module Flight = Wr_support.Flight
 
 type address = Unix_socket of string | Tcp of int
 
@@ -14,6 +16,8 @@ type config = {
   cache_cap : int;
   wall_limit : float;
   max_time_limit : float;
+  postmortem_dir : string option;
+      (** arms the flight recorder; postmortems dump here *)
 }
 
 let default_config address =
@@ -24,6 +28,7 @@ let default_config address =
     cache_cap = 64;
     wall_limit = 60.;
     max_time_limit = 600_000.;
+    postmortem_dir = None;
   }
 
 (* A request line larger than this is rejected outright: it is almost
@@ -52,6 +57,19 @@ type job = {
   mutable answered : bool;  (** timeout already replied; drop the result *)
 }
 
+(* One streaming [watch] subscription: the daemon answers with a
+   metrics snapshot on the subscriber's connection every [w_interval]
+   seconds, [w_left] more times ([None] = until the connection dies). *)
+type watcher = {
+  w_cid : int;
+  w_id : Json.t;
+  w_trace : string option;
+  w_interval : float;
+  mutable w_left : int option;
+  mutable w_next : float;
+  mutable w_seq : int;
+}
+
 type state = {
   cfg : config;
   cache : Cache.t;
@@ -74,6 +92,8 @@ type state = {
   mutable analyses_run : int;
   mutable timeouts : int;
   mutable queue_hwm : int;  (** most requests ever in flight at once *)
+  mutable watchers : watcher list;
+  mutable pm_seq : int;  (** postmortem file sequence number *)
   (* per-stage latency histograms, accept-loop-only: workers ship raw
      timestamps with each completion and the accept loop records them *)
   lat_decode : Histo.t;
@@ -116,7 +136,8 @@ let cache_hit_ratio st =
 
 let stats_json st =
   let verbs =
-    [ "ping"; "stats"; "metrics"; "analyze"; "explain"; "predict"; "replay" ]
+    [ "ping"; "stats"; "metrics"; "watch"; "analyze"; "explain"; "predict";
+      "replay" ]
   in
   let total = List.fold_left (fun acc v -> acc + count st.requests v) 0 verbs in
   Json.Obj
@@ -220,6 +241,48 @@ let prometheus_text st =
     (latency_stages st);
   Buffer.contents b
 
+(* One [watch] tick: everything [webracer top] renders, in one object.
+   [fleet] is a benign point-in-time read of the pool slots; [gc] comes
+   from the process's running GC probe, [Json.Null] when none is on. *)
+let watch_snapshot st seq =
+  let now = Unix.gettimeofday () in
+  Json.Obj
+    [
+      Schema.tag;
+      ("seq", Json.Int seq);
+      ("ts", Json.Float now);
+      ("uptime_s", Json.Float (now -. st.started));
+      ( "requests_total",
+        Json.Int (Hashtbl.fold (fun _ n acc -> acc + n) st.requests 0) );
+      ( "queue",
+        Json.Obj
+          [
+            ("depth", Json.Int (Hashtbl.length st.jobs_live));
+            ("high_water", Json.Int st.queue_hwm);
+            ("cap", Json.Int st.cfg.queue_cap);
+          ] );
+      ( "cache",
+        Json.Obj
+          [
+            ("hit_ratio", Json.Float (cache_hit_ratio st));
+            ("hits", Json.Int (Cache.hits st.cache));
+            ("misses", Json.Int (Cache.misses st.cache));
+            ("entries", Json.Int (Cache.length st.cache));
+          ] );
+      ( "latency",
+        Json.Obj
+          (List.map (fun (stage, h) -> (stage, Histo.summary_json h))
+             (latency_stages st)) );
+      ("timeouts", Json.Int st.timeouts);
+      ("shed", Json.Int (count st.responses "overload"));
+      ("analyses_run", Json.Int st.analyses_run);
+      ("fleet", Pool.stats_json (Pool.stats st.pool));
+      ( "gc",
+        match Runtime_probe.current () with
+        | Some p -> Runtime_probe.stats_json p
+        | None -> Json.Null );
+    ]
+
 let metrics_json st =
   Json.Obj
     [
@@ -249,6 +312,77 @@ let metrics_json st =
       ("analyses_run", Json.Int st.analyses_run);
       ("prometheus", Json.String (prometheus_text st));
     ]
+
+(* --- postmortems ------------------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Dump the flight recorder: a JSONL file (header object — reason,
+   uptime, the in-flight requests with their trace ids — then one line
+   per retained event) plus a mini Chrome trace of the same events.
+   Best effort by design: a postmortem failing must not take the daemon
+   with it. *)
+let write_postmortem st ~reason =
+  match st.cfg.postmortem_dir with
+  | None -> ()
+  | Some dir -> (
+      let seq = st.pm_seq in
+      st.pm_seq <- seq + 1;
+      let base =
+        Filename.concat dir (Printf.sprintf "postmortem-%d-%s" seq reason)
+      in
+      try
+        mkdir_p dir;
+        let now = Unix.gettimeofday () in
+        let events = Flight.snapshot () in
+        let in_flight =
+          Hashtbl.fold
+            (fun _ job acc ->
+              Json.Obj
+                [
+                  ("jid", Json.Int job.jid);
+                  ("verb", Json.String job.verb);
+                  ("trace_id", Json.String job.trace);
+                  ("age_s", Json.Float (now -. job.t_admit));
+                ]
+              :: acc)
+            st.jobs_live []
+        in
+        let header =
+          Json.Obj
+            [
+              Schema.tag;
+              ("postmortem", Json.String reason);
+              ("ts", Json.Float now);
+              ("uptime_s", Json.Float (now -. st.started));
+              ("events", Json.Int (List.length events));
+              ("in_flight", Json.List in_flight);
+            ]
+        in
+        let oc = open_out (base ^ ".jsonl") in
+        output_string oc (Json.to_string header ^ "\n");
+        output_string oc (Flight.to_jsonl events);
+        close_out oc;
+        let oc = open_out (base ^ ".trace.json") in
+        output_string oc (Json.to_string (Flight.to_chrome_trace events));
+        close_out oc;
+        Log.warn "serve.postmortem"
+          [
+            ("reason", Json.String reason);
+            ("file", Json.String (base ^ ".jsonl"));
+            ("events", Json.Int (List.length events));
+          ]
+      with e ->
+        Log.error "serve.postmortem_failed"
+          [
+            ("reason", Json.String reason);
+            ("error", Json.String (Printexc.to_string e));
+          ])
 
 (* --- replies ----------------------------------------------------------- *)
 
@@ -300,16 +434,44 @@ let submit_job st conn ~verb ~trace ~wire_trace ~cache_key
     };
   st.queue_hwm <- max st.queue_hwm (Hashtbl.length st.jobs_live);
   let tm = st.tm in
+  (* Test hook: [WEBRACER_FAULT_INJECT=<verb>] makes matching requests
+     blow up inside the worker — the way to rehearse a worker crash
+     (and its postmortem) on demand, since a domain cannot be killed
+     from outside. *)
+  let work =
+    match Sys.getenv_opt "WEBRACER_FAULT_INJECT" with
+    | Some v when v = verb ->
+        fun () -> failwith "injected worker fault (WEBRACER_FAULT_INJECT)"
+    | _ -> work
+  in
   Pool.submit st.pool (fun () ->
       let t_start = Unix.gettimeofday () in
+      Flight.record ~kind:"request.start" ~trace
+        [ ("jid", Json.Int jid); ("verb", Json.String verb) ];
       let resp =
         (* The trace id rides on every log line and telemetry span the
-           request produces, on whichever domain picked it up. *)
-        Log.with_trace ~trace_id:trace ~span_id:(string_of_int jid) (fun () ->
-            Telemetry.with_span tm ~cat:"serve"
-              ~name:(Printf.sprintf "%s [%s]" verb trace)
-              work)
+           request produces, on whichever domain picked it up. [work]
+           normally converts its own failures into [Internal] responses
+           ([Api.dispatch]); the guard here keeps even a crash in that
+           plumbing — or an injected fault — from killing the domain. *)
+        try
+          Log.with_trace ~trace_id:trace ~span_id:(string_of_int jid) (fun () ->
+              Telemetry.with_span tm ~cat:"serve"
+                ~name:(Printf.sprintf "%s [%s]" verb trace)
+                work)
+        with e ->
+          Response.error ~id:Json.Null ?trace:wire_trace Response.Internal
+            (Printexc.to_string e)
       in
+      Flight.record ~kind:"request.end" ~trace
+        [
+          ("jid", Json.Int jid);
+          ( "outcome",
+            Json.String
+              (match resp with
+              | Response.Ok _ -> "ok"
+              | Response.Error { code; _ } -> Response.code_name code) );
+        ];
       let t_end = Unix.gettimeofday () in
       Mutex.lock st.completions_lock;
       Queue.push (jid, resp, t_start, t_end) st.completions;
@@ -331,6 +493,15 @@ let drain_completions st =
       match Hashtbl.find_opt st.jobs_live jid with
       | None -> ()
       | Some job ->
+          (match resp with
+          | Response.Error { code = Response.Internal; _ } ->
+              (* A worker "crashed" (its failure became an Internal
+                 response via the crash isolation): dump what the fleet
+                 was doing, while this job still counts as in flight. *)
+              Flight.record ~kind:"request.crash" ~trace:job.trace
+                [ ("jid", Json.Int jid); ("verb", Json.String job.verb) ];
+              write_postmortem st ~reason:"worker-crash"
+          | _ -> ());
           Hashtbl.remove st.jobs_live jid;
           (* Stage latencies: the worker ships raw timestamps so only the
              accept loop ever touches the histograms (single writer). *)
@@ -366,12 +537,38 @@ let sweep_deadlines st now =
       | Some d when (not job.answered) && d <= now ->
           job.answered <- true;
           st.timeouts <- st.timeouts + 1;
+          Flight.record ~kind:"request.deadline" ~trace:job.trace
+            [ ("jid", Json.Int job.jid); ("verb", Json.String job.verb) ];
+          write_postmortem st ~reason:"deadline";
           respond_cid st job.job_cid
             (Response.error ?trace:job.wire_trace ~id:Json.Null Response.Timeout
                (Printf.sprintf "request exceeded the %.0f s wall-clock limit"
                   st.cfg.wall_limit))
       | _ -> ())
     st.jobs_live
+
+(* Emit due watch snapshots; drop subscriptions whose connection died or
+   whose count ran out. *)
+let tick_watchers st now =
+  st.watchers <-
+    List.filter
+      (fun w ->
+        match Hashtbl.find_opt st.conns w.w_cid with
+        | None -> false
+        | Some conn when not conn.alive -> false
+        | Some conn ->
+            if w.w_next <= now then begin
+              respond st conn
+                (Response.ok ?trace:w.w_trace ~id:w.w_id
+                   (watch_snapshot st w.w_seq));
+              w.w_seq <- w.w_seq + 1;
+              w.w_next <- now +. w.w_interval;
+              match w.w_left with
+              | Some n -> w.w_left <- Some (n - 1)
+              | None -> ()
+            end;
+            (match w.w_left with Some n when n <= 0 -> false | _ -> true))
+      st.watchers
 
 (* --- request handling -------------------------------------------------- *)
 
@@ -389,6 +586,8 @@ let handle_request st conn (req : Request.t) =
     match wire_trace with Some t -> t | None -> mint_trace st
   in
   let admit ~verb ~cache_key work =
+    Flight.record ~kind:"request.admit" ~trace
+      [ ("verb", Json.String verb); ("conn", Json.Int conn.cid) ];
     if Hashtbl.length st.jobs_live >= st.cfg.queue_cap then
       respond st conn
         (Response.error ?trace:wire_trace ~id Response.Overload
@@ -403,6 +602,20 @@ let handle_request st conn (req : Request.t) =
       respond st conn (Response.ok ?trace:wire_trace ~id (stats_json st))
   | Request.Metrics ->
       respond st conn (Response.ok ?trace:wire_trace ~id (metrics_json st))
+  | Request.Watch { interval_s; count } ->
+      (* Subscribe; the first snapshot goes out on the next loop pass
+         (immediately), then every [interval_s]. No response here. *)
+      st.watchers <-
+        {
+          w_cid = conn.cid;
+          w_id = id;
+          w_trace = wire_trace;
+          w_interval = Float.max 0.05 interval_s;
+          w_left = count;
+          w_next = Unix.gettimeofday ();
+          w_seq = 0;
+        }
+        :: st.watchers
   | Request.Analyze p -> (
       let p = clamp_target st p in
       let key = Cache.key p in
@@ -549,9 +762,16 @@ let has_output conn = Buffer.length conn.out - conn.out_ofs > 0
 
 (* --- the accept loop --------------------------------------------------- *)
 
-let run ?(stop = fun () -> false) ?on_ready ?on_stop
+let run ?(stop = fun () -> false) ?(dump = fun () -> false) ?on_ready ?on_stop
     ?(telemetry = Telemetry.disabled) cfg =
   let jobs = max 1 cfg.jobs in
+  (* A postmortem dir arms the flight recorder for the daemon's
+     lifetime; every request milestone and teed log line lands in the
+     per-domain rings from here on. *)
+  if cfg.postmortem_dir <> None then begin
+    Flight.configure ();
+    Flight.set_enabled true
+  end;
   (* [jobs + 1] because the accept loop never helps the pool: the +1
      "submitter slot" stays idle, leaving [jobs] worker domains. *)
   let pool = Pool.create ~jobs:(jobs + 1) in
@@ -581,6 +801,8 @@ let run ?(stop = fun () -> false) ?on_ready ?on_stop
       analyses_run = 0;
       timeouts = 0;
       queue_hwm = 0;
+      watchers = [];
+      pm_seq = 0;
       lat_decode = Histo.create ();
       lat_queue = Histo.create ();
       lat_run = Histo.create ();
@@ -627,6 +849,12 @@ let run ?(stop = fun () -> false) ?on_ready ?on_stop
           | _ -> acc)
         st.jobs_live 0.25
     in
+    (* Watch ticks also bound the sleep, so snapshots go out on time. *)
+    let timeout =
+      List.fold_left
+        (fun acc w -> Float.min acc (Float.max 0.01 (w.w_next -. now)))
+        timeout st.watchers
+    in
     (match Unix.select read_fds write_fds [] timeout with
     | readable, writable, _ ->
         if List.mem st.pipe_r readable then begin
@@ -645,8 +873,11 @@ let run ?(stop = fun () -> false) ?on_ready ?on_stop
           conns;
         drain_completions st;
         sweep_deadlines st (Unix.gettimeofday ());
+        tick_watchers st (Unix.gettimeofday ());
         List.iter (fun c -> if List.mem c.fd writable then flush_conn c) conns
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    (* Operator-requested dump (the CLI wires SIGUSR2 here). *)
+    if dump () then write_postmortem st ~reason:"signal";
     (* Reap connections that are gone and fully flushed. *)
     Hashtbl.iter
       (fun _ c ->
@@ -677,6 +908,7 @@ let run ?(stop = fun () -> false) ?on_ready ?on_stop
   (match bound with
   | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
   | Tcp _ -> ());
+  if cfg.postmortem_dir <> None then Flight.set_enabled false;
   (match on_stop with Some f -> f (metrics_json st) | None -> ());
   let final = stats_json st in
   if Log.enabled Log.Info then Log.info "serve.stopped" [ ("stats", final) ];

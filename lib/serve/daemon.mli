@@ -17,7 +17,19 @@
       against the queue. Requested virtual horizons are clamped to
       [max_time_limit];
     - a worker exception answers [internal] and the daemon carries on
-      (crash isolation is {!Api.dispatch}'s contract).
+      (crash isolation is {!Api.dispatch}'s contract);
+    - [watch] subscribes the connection to a periodic metrics-snapshot
+      stream (one [ok] response per tick: queue, cache, per-stage
+      latency, fleet profile and GC rows) — what [webracer top]
+      renders.
+
+    With [postmortem_dir] set, the {!Wr_support.Flight} recorder is
+    armed for the daemon's lifetime: request milestones and teed log
+    lines accumulate in per-domain rings, and a worker crash, a blown
+    deadline, or [dump] reading true (the CLI wires SIGUSR2 to it)
+    dumps the rings as [postmortem-<n>-<reason>.jsonl] (header line
+    with the in-flight requests and their trace ids, then one line per
+    event) plus a [.trace.json] mini Chrome trace.
 
     Shutdown is graceful: once [stop] reads true (the CLI wires
     SIGINT/SIGTERM to it) the daemon stops accepting and reading,
@@ -33,10 +45,12 @@ type config = {
   cache_cap : int;  (** LRU entries; 0 disables the result cache *)
   wall_limit : float;  (** seconds per request; 0 = unlimited *)
   max_time_limit : float;  (** clamp on requested virtual horizons (ms) *)
+  postmortem_dir : string option;
+      (** arm the flight recorder; dump postmortems here *)
 }
 
 (** jobs 4, queue 128, cache 64, wall limit 60 s, virtual clamp
-    600 000 ms. *)
+    600 000 ms, no postmortem dir. *)
 val default_config : address -> config
 
 (** [run config] blocks until [stop] reads true, then drains and
@@ -58,6 +72,7 @@ val default_config : address -> config
     mid-response). *)
 val run :
   ?stop:(unit -> bool) ->
+  ?dump:(unit -> bool) ->
   ?on_ready:(address -> unit) ->
   ?on_stop:(Wr_support.Json.t -> unit) ->
   ?telemetry:Wr_telemetry.Telemetry.t ->

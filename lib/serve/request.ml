@@ -24,10 +24,13 @@ type replay_params = {
 
 type predict_params = { target : analyze_params; compare : bool; lint : bool }
 
+type watch_params = { interval_s : float; count : int option }
+
 type verb =
   | Ping
   | Stats
   | Metrics
+  | Watch of watch_params
   | Analyze of analyze_params
   | Explain of explain_params
   | Replay of replay_params
@@ -46,6 +49,7 @@ let verb_name = function
   | Ping -> "ping"
   | Stats -> "stats"
   | Metrics -> "metrics"
+  | Watch _ -> "watch"
   | Analyze _ -> "analyze"
   | Explain _ -> "explain"
   | Replay _ -> "replay"
@@ -78,6 +82,15 @@ let analyze_params_to_json p =
 
 let params_to_json = function
   | Ping | Stats | Metrics -> []
+  | Watch { interval_s; count } ->
+      [
+        ( "params",
+          Json.Obj
+            (("interval_s", Json.Float interval_s)
+            :: (match count with
+               | Some n -> [ ("count", Json.Int n) ]
+               | None -> [])) );
+      ]
   | Analyze p -> [ ("params", analyze_params_to_json p) ]
   | Explain { target; race } ->
       let extra =
@@ -202,6 +215,16 @@ let decode_verb verb params =
   | "ping" -> Ping
   | "stats" -> Stats
   | "metrics" -> Metrics
+  | "watch" ->
+      let interval_s = get_float "interval_s" params_fields ~default:1. in
+      if interval_s <= 0. then bad "\"interval_s\" must be positive";
+      let count =
+        match field "count" params_fields with
+        | None -> None
+        | Some (Json.Int n) when n >= 1 -> Some n
+        | Some _ -> bad "\"count\" must be a positive integer"
+      in
+      Watch { interval_s; count }
   | "analyze" -> Analyze (decode_analyze params_fields)
   | "explain" ->
       let race =
@@ -228,8 +251,8 @@ let decode_verb verb params =
         }
   | other ->
       bad
-        "unknown verb %S (expected ping, stats, metrics, analyze, explain, \
-         predict or replay)"
+        "unknown verb %S (expected ping, stats, metrics, watch, analyze, \
+         explain, predict or replay)"
         other
 
 let of_json j =

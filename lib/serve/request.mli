@@ -57,10 +57,20 @@ type predict_params = {
   lint : bool;  (** answer with the lint findings only *)
 }
 
+(** Parameters of the streaming [watch] verb (daemon-only): the daemon
+    answers with one metrics-snapshot response per [interval_s] on the
+    same connection, [count] times ([None] = until the connection
+    closes). [webracer top] is the rendering client. *)
+type watch_params = {
+  interval_s : float;  (** must be positive; the daemon may clamp it *)
+  count : int option;
+}
+
 type verb =
   | Ping
   | Stats
   | Metrics  (** latency histograms + Prometheus text; daemon-only *)
+  | Watch of watch_params  (** periodic metrics snapshots; daemon-only *)
   | Analyze of analyze_params
   | Explain of explain_params
   | Replay of replay_params

@@ -1,0 +1,150 @@
+(* In-memory flight recorder: the last N observability events per
+   domain, kept at a cost low enough to leave on in production, paid out
+   only when something goes wrong (worker crash, blown deadline,
+   SIGUSR2) as a postmortem dump.
+
+   Layout follows the single-writer discipline of [Pool]'s slots: each
+   domain owns a private ring (found through domain-local storage, so
+   the hot path takes no lock and touches no shared cache line); the
+   global registry of rings is only consulted — under a mutex — when a
+   domain records its first event or a reader snapshots. Readers may
+   race the writers: slots hold immutable event records, so a racing
+   read yields either the old or the new event, never a torn one, and a
+   postmortem is by nature a point-in-time best effort.
+
+   [configure] bumps a generation counter instead of walking the
+   registry: every domain's cached ring self-invalidates on its next
+   record. *)
+
+type event = {
+  ts : float;
+  dom : int;
+  kind : string;
+  fields : (string * Json.t) list;
+  trace : string option;
+}
+
+type ring = {
+  ring_dom : int;
+  buf : event option array;
+  mutable next : int;  (* total events ever written; slot = next mod cap *)
+}
+
+type config = { gen : int; capacity : int; clock : unit -> float }
+
+let cfg =
+  ref { gen = 0; capacity = 256; clock = Unix.gettimeofday }
+
+let on = Atomic.make false
+
+let registry : ring list ref = ref []
+
+let registry_lock = Mutex.create ()
+
+(* Per-domain cache: the ring this domain writes, tagged with the
+   generation it was created under. *)
+let my_ring : (int * ring) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let set_enabled b = Atomic.set on b
+
+let enabled () = Atomic.get on
+
+let configure ?(capacity = 256) ?clock () =
+  Mutex.lock registry_lock;
+  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  cfg := { gen = !cfg.gen + 1; capacity = max 1 capacity; clock };
+  registry := [];
+  Mutex.unlock registry_lock
+
+let reset () =
+  Mutex.lock registry_lock;
+  cfg := { !cfg with gen = !cfg.gen + 1 };
+  registry := [];
+  Mutex.unlock registry_lock
+
+let fresh_ring c =
+  let r =
+    {
+      ring_dom = (Domain.self () :> int);
+      buf = Array.make c.capacity None;
+      next = 0;
+    }
+  in
+  Mutex.lock registry_lock;
+  registry := r :: !registry;
+  Mutex.unlock registry_lock;
+  r
+
+let record ~kind ?trace fields =
+  if Atomic.get on then begin
+    let c = !cfg in
+    let cell = Domain.DLS.get my_ring in
+    let r =
+      match !cell with
+      | Some (gen, r) when gen = c.gen -> r
+      | _ ->
+          let r = fresh_ring c in
+          cell := Some (c.gen, r);
+          r
+    in
+    let ev =
+      { ts = c.clock (); dom = r.ring_dom; kind; fields; trace }
+    in
+    r.buf.(r.next mod Array.length r.buf) <- Some ev;
+    r.next <- r.next + 1
+  end
+
+let ring_events r =
+  let cap = Array.length r.buf in
+  let n = min r.next cap in
+  List.filter_map
+    (fun i -> r.buf.((r.next - n + i) mod cap))
+    (List.init n Fun.id)
+
+let snapshot () =
+  Mutex.lock registry_lock;
+  let rings = !registry in
+  Mutex.unlock registry_lock;
+  List.sort
+    (fun a b -> compare (a.ts, a.dom) (b.ts, b.dom))
+    (List.concat_map ring_events rings)
+
+let event_json ev =
+  Json.Obj
+    (("ts", Json.Float ev.ts)
+    :: ("dom", Json.Int ev.dom)
+    :: ("kind", Json.String ev.kind)
+    :: (match ev.trace with
+       | Some t -> [ ("trace_id", Json.String t) ]
+       | None -> [])
+    @ ev.fields)
+
+let to_jsonl events =
+  String.concat "" (List.map (fun ev -> Json.to_string (event_json ev) ^ "\n") events)
+
+(* A minimal Chrome trace: one instant event per record, on the
+   recording domain's thread row — enough to see the last moments of
+   each domain side by side on a timeline. *)
+let to_chrome_trace events =
+  let t0 = match events with [] -> 0. | ev :: _ -> ev.ts in
+  let instant ev =
+    Json.Obj
+      [
+        ("name", Json.String ev.kind);
+        ("cat", Json.String "flight");
+        ("ph", Json.String "i");
+        ("s", Json.String "t");
+        ("ts", Json.Float ((ev.ts -. t0) *. 1e6));
+        ("pid", Json.Int 1);
+        ("tid", Json.Int ev.dom);
+        ("args", Json.Obj (match ev.trace with
+           | Some t -> ("trace_id", Json.String t) :: ev.fields
+           | None -> ev.fields));
+      ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map instant events));
+      ("displayTimeUnit", Json.String "ms");
+    ]

@@ -114,10 +114,20 @@ let emit level event fields =
           (String.concat "" (List.map field fields))
   end
 
-let error event fields = emit Error event fields
+(* Tee every line into the flight recorder whenever it is armed — even
+   lines below the live log level: a postmortem wants the debug-grade
+   context the stream dropped. *)
+let tee level event fields =
+  if Flight.enabled () then
+    Flight.record
+      ~kind:("log." ^ level_name level)
+      ?trace:(match current_trace () with Some t, _ -> Some t | _ -> None)
+      (("event", Json.String event) :: fields)
 
-let warn event fields = emit Warn event fields
+let error event fields = tee Error event fields; emit Error event fields
 
-let info event fields = emit Info event fields
+let warn event fields = tee Warn event fields; emit Warn event fields
 
-let debug event fields = emit Debug event fields
+let info event fields = tee Info event fields; emit Info event fields
+
+let debug event fields = tee Debug event fields; emit Debug event fields

@@ -71,6 +71,11 @@ val current_trace : unit -> string option * string option
     [event] is a stable dotted name; fields are structured JSON. *)
 val emit : level -> string -> (string * Json.t) list -> unit
 
+(** The level wrappers below additionally tee every event into the
+    {!Flight} recorder whenever it is enabled — independent of the log
+    level, so a postmortem dump retains context the live stream
+    dropped. *)
+
 val error : string -> (string * Json.t) list -> unit
 
 val warn : string -> (string * Json.t) list -> unit

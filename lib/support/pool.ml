@@ -6,6 +6,7 @@ type task = Run of { f : unit -> unit; enq : float } | Quit
    ([close], or the end of a [map]) and a benign point-in-time snapshot
    before that. *)
 type slot = {
+  mutable dom : int;  (* OCaml domain id of the slot's writer; -1 until known *)
   mutable tasks : int;
   mutable queue_wait_s : float;
   mutable run_s : float;
@@ -18,6 +19,7 @@ type slot = {
 
 type domain_stats = {
   worker : int;
+  dom : int;
   tasks : int;
   queue_wait_s : float;
   run_s : float;
@@ -50,11 +52,24 @@ let default_jobs () = Domain.recommended_domain_count ()
 
 let new_slot () =
   {
-    tasks = 0; queue_wait_s = 0.; run_s = 0.; idle_s = 0.;
+    dom = -1; tasks = 0; queue_wait_s = 0.; run_s = 0.; idle_s = 0.;
     gc_minor = 0; gc_major = 0; promoted_words = 0.; minor_words = 0.;
   }
 
 let now = Unix.gettimeofday
+
+(* Called by every domain joining a fleet (workers at spawn, the
+   submitter at [create]) so an external observer — the GC runtime
+   probe — can bind its event stream to the fleet's domains. Installed
+   process-wide because worker domains cannot see layers above
+   [Wr_support]. *)
+let worker_hook : (unit -> unit) ref = ref (fun () -> ())
+
+let set_worker_hook f = worker_hook := f
+
+let announce_domain (slot : slot) =
+  slot.dom <- (Domain.self () :> int);
+  try !worker_hook () with _ -> ()
 
 (* Counting acquisitions that would block is how the profile names
    channel contention; the fast path costs one [try_lock]. *)
@@ -112,9 +127,13 @@ let create ~jobs =
       n_submitted = Atomic.make 0;
     }
   in
+  announce_domain t.slots.(0);
   t.workers <-
     List.init (jobs - 1) (fun i ->
-        Domain.spawn (fun () -> worker_loop t t.slots.(i + 1)));
+        Domain.spawn (fun () ->
+            let slot = t.slots.(i + 1) in
+            announce_domain slot;
+            worker_loop t slot));
   t
 
 let jobs t = t.jobs
@@ -127,6 +146,7 @@ let stats t =
            (fun i (s : slot) ->
              {
                worker = i;
+               dom = s.dom;
                tasks = s.tasks;
                queue_wait_s = s.queue_wait_s;
                run_s = s.run_s;
@@ -259,12 +279,13 @@ let map_jobs ~jobs f xs =
 let stats_rows stats =
   let mwords w = w /. 1e6 in
   let header =
-    [ "domain"; "tasks"; "queue-wait(ms)"; "run(ms)"; "idle(ms)";
+    [ "domain"; "dom-id"; "tasks"; "queue-wait(ms)"; "run(ms)"; "idle(ms)";
       "gc-minor"; "gc-major"; "promoted(Mw)"; "alloc(Mw)" ]
   in
   let row d =
     [
       (if d.worker = 0 then "submitter" else Printf.sprintf "worker-%d" d.worker);
+      (if d.dom < 0 then "-" else string_of_int d.dom);
       string_of_int d.tasks;
       Printf.sprintf "%.1f" (d.queue_wait_s *. 1e3);
       Printf.sprintf "%.1f" (d.run_s *. 1e3);
@@ -276,6 +297,31 @@ let stats_rows stats =
     ]
   in
   (header, List.map row stats.per_domain)
+
+let stats_json stats =
+  Json.Obj
+    [
+      ( "per_domain",
+        Json.List
+          (List.map
+             (fun d ->
+               Json.Obj
+                 [
+                   ("worker", Json.Int d.worker);
+                   ("dom", Json.Int d.dom);
+                   ("tasks", Json.Int d.tasks);
+                   ("queue_wait_s", Json.Float d.queue_wait_s);
+                   ("run_s", Json.Float d.run_s);
+                   ("idle_s", Json.Float d.idle_s);
+                   ("gc_minor", Json.Int d.gc_minor);
+                   ("gc_major", Json.Int d.gc_major);
+                   ("promoted_words", Json.Float d.promoted_words);
+                   ("minor_words", Json.Float d.minor_words);
+                 ])
+             stats.per_domain) );
+      ("lock_contended", Json.Int stats.lock_contended);
+      ("submitted", Json.Int stats.submitted);
+    ]
 
 let render_stats stats =
   let header, rows = stats_rows stats in

@@ -16,13 +16,17 @@ type t
 
 (** Per-domain profile: what one domain of the fleet did. [worker] 0 is
     the submitting domain (which helps drain [map] batches); workers 1..
-    are the spawned domains. Queue wait is summed enqueue→pop latency
+    are the spawned domains. [dom] is the slot's OCaml domain id (the
+    telemetry Chrome-trace tid, and the join key against
+    [Wr_telemetry.Runtime_probe] GC rows); [-1] until the worker has
+    started. Queue wait is summed enqueue→pop latency
     over this domain's tasks; idle is time blocked on the empty channel;
     GC figures are this domain's [Gc.quick_stat] deltas summed across its
     tasks (minor/major collection counts, promoted and minor-allocated
     words). *)
 type domain_stats = {
   worker : int;
+  dom : int;
   tasks : int;
   queue_wait_s : float;
   run_s : float;
@@ -58,6 +62,18 @@ val stats : t -> stats
     row per domain) plus a summary line (submitted tasks, channel-lock
     contention). *)
 val render_stats : stats -> string
+
+(** [stats_json stats] is the same fleet profile as a JSON document
+    ([per_domain] rows with the [render_stats] fields, plus
+    [lock_contended] and [submitted]) — machine-readable for
+    [corpus --profile --json] and the serve [watch] snapshots. *)
+val stats_json : stats -> Json.t
+
+(** [set_worker_hook f] installs a process-wide callback run once by
+    every domain joining a pool (each spawned worker, and the submitter
+    at [create]). [Wr_telemetry.Runtime_probe] uses it to bind GC event
+    rings to fleet domains; exceptions from [f] are swallowed. *)
+val set_worker_hook : (unit -> unit) -> unit
 
 val jobs : t -> int
 

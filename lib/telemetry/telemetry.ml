@@ -194,6 +194,35 @@ let with_span t ~cat ~name f =
         raise e
   end
 
+(* A completed span observed from outside the recording domain — the GC
+   runtime probe converts [Runtime_events] phase events (which carry
+   their own timestamps and happened on some other domain) into spans.
+   The span lands in the *calling* domain's sink (single consumer, no
+   cross-domain contention) but is tagged with the originating domain's
+   id, so the Chrome trace shows it on that domain's tid, interleaved
+   with the spans the domain recorded itself. Depth 1 keeps injected
+   time out of [total_wall]'s depth-0 denominator — GC time happens
+   inside analysis spans, so counting it at depth 0 would double it. *)
+let inject_span t ~dom ~cat ~name ~start_s ~dur_s =
+  if t.enabled then begin
+    let s = sink t in
+    let sp =
+      {
+        sp_name = name;
+        sp_cat = cat;
+        sp_depth = 1;
+        sp_dom = dom;
+        sp_start = start_s -. t.t0;
+        sp_vstart = 0.;
+        sp_dur = dur_s;
+        sp_vdur = 0.;
+        sp_child = 0.;
+        sp_vchild = 0.;
+      }
+    in
+    locked s (fun () -> push_span s sp)
+  end
+
 let mark t ~cat name =
   if t.enabled then begin
     let s = sink t in
@@ -456,25 +485,37 @@ let to_chrome_trace t =
         ("args", Obj [ ("name", String "webracer") ]);
       ]
   in
+  (* Injected spans can carry domain ids with no sink of their own
+     (a GC slice on a domain that never recorded telemetry); give every
+     tid that appears anywhere its named thread row. *)
+  let tids = Hashtbl.create 8 in
+  List.iter (fun s -> Hashtbl.replace tids s.sk_dom ()) sinks;
+  List.iter
+    (fun s ->
+      locked s (fun () ->
+          for i = 0 to s.n_spans - 1 do
+            Hashtbl.replace tids s.spans.(i).sp_dom ()
+          done))
+    sinks;
   let thread_meta =
-    List.map
-      (fun s ->
-        Obj
-          [
-            ("name", String "thread_name");
-            ("ph", String "M");
-            ("pid", Int 1);
-            ("tid", Int s.sk_dom);
-            ( "args",
-              Obj
-                [
-                  ( "name",
-                    String
-                      (if s.sk_dom = main_tid then "domain-0 (main)"
-                       else Printf.sprintf "domain-%d" s.sk_dom) );
-                ] );
-          ])
-      sinks
+    Hashtbl.fold (fun tid () acc -> tid :: acc) tids []
+    |> List.sort compare
+    |> List.map (fun tid ->
+           Obj
+             [
+               ("name", String "thread_name");
+               ("ph", String "M");
+               ("pid", Int 1);
+               ("tid", Int tid);
+               ( "args",
+                 Obj
+                   [
+                     ( "name",
+                       String
+                         (if tid = main_tid then "domain-0 (main)"
+                          else Printf.sprintf "domain-%d" tid) );
+                   ] );
+             ])
   in
   let span_events =
     List.concat_map

@@ -61,6 +61,18 @@ val with_span : t -> cat:string -> name:string -> (unit -> 'a) -> 'a
     DOMContentLoaded, load, ...). *)
 val mark : t -> cat:string -> string -> unit
 
+(** [inject_span t ~dom ~cat ~name ~start_s ~dur_s] records an
+    already-completed span observed from outside the recording domain —
+    the GC runtime probe ({!Runtime_probe}) turning [Runtime_events]
+    phase events into trace slices. [start_s] is absolute wall-clock
+    seconds on the context's clock timeline; [dom] is the domain the
+    span belongs to (its Chrome-trace tid). Injected spans sit at depth
+    1 (outside [total_wall]'s depth-0 denominator, since GC time elapses
+    inside the analysis spans it interrupts) and contribute to [cat]'s
+    phase totals. *)
+val inject_span :
+  t -> dom:int -> cat:string -> name:string -> start_s:float -> dur_s:float -> unit
+
 (** [incr t ?by name] bumps a monotonic counter (domain-local; merged
     readings sum across domains). *)
 val incr : t -> ?by:int -> string -> unit

@@ -15,10 +15,13 @@
                  [--tag STR] [--check]
 
    [--check] exits 1 when any metric regressed past the threshold
-   (default 20%) — CI runs it as a soft (continue-on-error) step, so a
-   regression is visible in the job log without blocking merges on a
-   noisy shared runner. Quick (`bench --quick`) and full runs use
-   different tags so they are never compared against each other. *)
+   (default 20%). [--min-history N] softens that gate while the history
+   is still thin: regressions only fail the run once the history holds
+   at least N same-tag entries (counting the one this run appends), so
+   a fresh cache or a wiped history re-seeds without breaking CI, and
+   the gate hardens by itself from the second run on. Quick
+   (`bench --quick`) and full runs use different tags so they are never
+   compared against each other. *)
 
 module Json = Wr_support.Json
 
@@ -27,11 +30,12 @@ let history_path = ref "BENCH_history.jsonl"
 let threshold = ref 20.
 let tag = ref "full"
 let check = ref false
+let min_history = ref 0
 
 let usage () =
   prerr_endline
     "usage: bench_trend [--results FILE] [--history FILE] [--threshold PCT] \
-     [--tag STR] [--check]";
+     [--tag STR] [--check] [--min-history N]";
   exit 2
 
 let rec parse_args = function
@@ -52,6 +56,11 @@ let rec parse_args = function
       parse_args rest
   | "--check" :: rest ->
       check := true;
+      parse_args rest
+  | "--min-history" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n when n >= 0 -> min_history := n
+      | _ -> usage ());
       parse_args rest
   | _ -> usage ()
 
@@ -89,12 +98,14 @@ let higher_is_better name =
   || ends_with ~suffix:"_ratio" name
   || ends_with ~suffix:"fidelity_sites" name
 
-(* The previous history entry with our tag, if any. *)
+(* The previous history entry with our tag (if any), and how many
+   same-tag entries the history already holds. *)
 let last_baseline () =
-  if not (Sys.file_exists !history_path) then None
+  if not (Sys.file_exists !history_path) then (0, None)
   else
     let ic = open_in !history_path in
     let best = ref None in
+    let n = ref 0 in
     (try
        while true do
          let line = input_line ic in
@@ -103,6 +114,7 @@ let last_baseline () =
            | Json.Obj fields -> (
                match List.assoc_opt "tag" fields with
                | Some (Json.String t) when t = !tag -> (
+                   incr n;
                    match List.assoc_opt "results" fields with
                    | Some r -> best := Some (List.assoc_opt "ts" fields, r)
                    | None -> ())
@@ -111,7 +123,7 @@ let last_baseline () =
        done
      with End_of_file -> ());
     close_in_noerr ic;
-    !best
+    (!n, !best)
 
 let append_history results =
   let entry =
@@ -143,8 +155,10 @@ let () =
         exit 2
   in
   let current = flatten results in
-  let baseline = last_baseline () in
+  let prior_entries, baseline = last_baseline () in
   append_history results;
+  (* Entries with our tag now in the history, this run's included. *)
+  let history_depth = prior_entries + 1 in
   match baseline with
   | None ->
       Printf.printf
@@ -179,4 +193,12 @@ let () =
       List.iter (print_delta "improved") (List.rev !improvements);
       if !regressions = [] && !improvements = [] then
         print_endline "  all metrics within threshold";
-      if !check && !regressions <> [] then exit 1
+      if !check && !regressions <> [] then
+        if history_depth >= !min_history then exit 1
+        else
+          Printf.printf
+            "bench_trend: not failing — history holds %d %S entr%s, gate \
+             hardens at %d\n"
+            history_depth !tag
+            (if history_depth = 1 then "y" else "ies")
+            !min_history

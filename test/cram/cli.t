@@ -90,6 +90,16 @@ One process_name row plus one thread_name row per recording domain
   $ tr ',' '\n' < prof.json | grep -c '"ph":"M"'
   2
 
+profile --json emits the whole document as one machine-readable object
+(phase metrics, race counts — plus a "gc" section under --gc-trace,
+sourced from runtime events):
+
+  $ webracer profile site/index.html --seed 3 --json | tr ',' '\n' | grep -c '"races":{"raw":'
+  1
+  $ webracer profile site/index.html --seed 3 --json --gc-trace | tr ',' '\n' \
+  >   | grep -c '"source":"runtime_events"'
+  1
+
 Metrics ride along with run --json under the "telemetry" key:
 
   $ webracer run site/index.html --seed 3 --metrics --json | tr ',' '\n' | grep -c '"telemetry":{'

@@ -86,6 +86,27 @@ Prometheus-style text rendering.
   $ grep -o 'webracer_request_latency_seconds{stage=\\"total\\",quantile=\\"0.99\\"}' metrics.json
   webracer_request_latency_seconds{stage=\"total\",quantile=\"0.99\"}
 
+The watch verb streams metrics snapshots — one ok response per tick
+with an incrementing seq — and `webracer top` renders that stream as a
+live dashboard (one frame per tick; --count bounds it for scripting):
+
+  $ webracer call --socket "$SOCK" watch --count 2 --interval 0.1 > watch.out
+  $ grep -c '"ok":true' watch.out
+  2
+  $ grep -o '"seq":0' watch.out
+  "seq":0
+  $ grep -o '"seq":1' watch.out
+  "seq":1
+  $ grep -c '"requests_total"' watch.out
+  2
+  $ webracer top --socket "$SOCK" --count 1 --interval 0.1 > top.out
+  $ grep -c 'webracer top' top.out
+  1
+  $ grep -c 'req/s' top.out
+  1
+  $ grep -c 'p99(ms)' top.out
+  2
+
 The predict verb runs the static predictor over the socket; the fast
 page is a single ordered script, so nothing is predicted:
 
@@ -131,6 +152,31 @@ a timeout error (the daemon stays healthy).
   $ webracer call --socket "$SOCK3" analyze slow/page.html --no-explore | grep -o '"code":"timeout"'
   "code":"timeout"
   $ kill -TERM $PID3 && wait $PID3
+
+Flight recorder: a daemon started with --postmortem-dir keeps a
+per-domain ring of recent request milestones and log lines; SIGUSR2
+dumps it as a postmortem (JSONL + a mini Chrome trace) without
+disturbing service.
+
+  $ SOCK4=$(mktemp -u)
+  $ webracer serve --socket "$SOCK4" -j 1 --postmortem-dir pm 2> serve4.log &
+  $ PID4=$!
+  $ webracer call --socket "$SOCK4" analyze fast/page.html --trace-id t-pm \
+  >   | grep -o '"trace":"t-pm"'
+  "trace":"t-pm"
+  $ kill -USR2 $PID4
+  $ for i in $(seq 100); do
+  >   test -f pm/postmortem-0-signal.jsonl && break; sleep 0.05
+  > done
+  $ grep -o '"postmortem":"signal"' pm/postmortem-0-signal.jsonl
+  "postmortem":"signal"
+  $ grep -q 't-pm' pm/postmortem-0-signal.jsonl && echo trace id retained
+  trace id retained
+  $ test -f pm/postmortem-0-signal.trace.json && echo chrome trace written
+  chrome trace written
+  $ webracer call --socket "$SOCK4" ping | grep -o '"pong":true'
+  "pong":true
+  $ kill -TERM $PID4 && wait $PID4
 
 Clean shutdown: SIGTERM drains and exits 0, the stale socket is
 removed, and the log carries the lifecycle lines.

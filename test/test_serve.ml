@@ -232,16 +232,24 @@ let test_dispatch_stats_default () =
 
 (* --- the daemon, end to end -------------------------------------------- *)
 
-let spawn_daemon ?(jobs = 2) ?(queue_cap = 4) ?(cache_cap = 8) () =
+let spawn_daemon ?(jobs = 2) ?(queue_cap = 4) ?(cache_cap = 8) ?postmortem_dir
+    ?(dump = fun () -> false) () =
   let stop = Atomic.make false in
   let port = Atomic.make 0 in
   let cfg =
-    { (Daemon.default_config (Daemon.Tcp 0)) with jobs; queue_cap; cache_cap }
+    {
+      (Daemon.default_config (Daemon.Tcp 0)) with
+      jobs;
+      queue_cap;
+      cache_cap;
+      postmortem_dir;
+    }
   in
   let d =
     Domain.spawn (fun () ->
         Daemon.run
           ~stop:(fun () -> Atomic.get stop)
+          ~dump
           ~on_ready:(fun addr ->
             match addr with
             | Daemon.Tcp p -> Atomic.set port p
@@ -493,3 +501,199 @@ let suite =
     Alcotest.test_case "daemon: trace + metrics end to end" `Quick
       test_daemon_trace_and_metrics;
   ]
+
+(* --- watch streaming and the flight recorder --------------------------- *)
+
+let fresh_tmp_dir =
+  let n = ref 0 in
+  fun tag ->
+    incr n;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "wr-%s-%d-%d" tag (Unix.getpid ()) !n)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let wait_for_file ?(timeout = 10.) pred dir =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    let hit =
+      match Sys.readdir dir with
+      | names -> Array.find_opt pred names
+      | exception Sys_error _ -> None
+    in
+    match hit with
+    | Some name -> Filename.concat dir name
+    | None ->
+        if Unix.gettimeofday () > deadline then
+          Alcotest.failf "no matching file appeared in %s" dir
+        else begin
+          Unix.sleepf 0.02;
+          go ()
+        end
+  in
+  go ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* One watch subscription streams [count] metrics snapshots, each a
+   normal [ok] response echoing the subscription's id and trace, with
+   an incrementing [seq]; the connection then serves plain
+   request/response traffic again. *)
+let test_daemon_watch_stream () =
+  let d, stop, addr = spawn_daemon () in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      ignore (Domain.join d))
+    (fun () ->
+      let c = Client.connect ~retry_for:5. addr in
+      Client.send c
+        {
+          Request.id = Json.Int 9;
+          trace = Some "t-watch";
+          verb = Request.Watch { Request.interval_s = 0.05; count = Some 2 };
+        };
+      let snap i =
+        match Client.recv c with
+        | Ok (Response.Ok { id; trace; result; _ }) ->
+            check bool_c "subscription id echoed on every tick" true
+              (id = Json.Int 9);
+            check bool_c "trace echoed on every tick" true
+              (trace = Some "t-watch");
+            (match Json.member "seq" result with
+            | Json.Int s -> check int_c "seq increments" i s
+            | _ -> Alcotest.fail "snapshot lacks seq");
+            List.iter
+              (fun k ->
+                match Json.member k result with
+                | Json.Null -> Alcotest.failf "snapshot lacks %S" k
+                | _ -> ())
+              [ "requests_total"; "queue"; "cache"; "latency"; "fleet" ]
+        | Ok (Response.Error { message; _ }) ->
+            Alcotest.failf "watch tick errored: %s" message
+        | Error e -> Alcotest.failf "watch transport failed: %s" e
+      in
+      snap 0;
+      snap 1;
+      (* The stream is exhausted; the connection is still a normal one. *)
+      (match
+         Client.request c { Request.id = Json.Int 10; trace = None; verb = Request.Ping }
+       with
+      | Ok (Response.Ok _) -> ()
+      | _ -> Alcotest.fail "connection unusable after watch stream ended");
+      Client.close c)
+
+(* One-shot dispatch refuses watch: it only makes sense on a daemon. *)
+let test_dispatch_rejects_watch () =
+  match
+    Api.dispatch
+      {
+        Request.id = Json.Int 1;
+        trace = None;
+        verb = Request.Watch { Request.interval_s = 1.; count = None };
+      }
+  with
+  | Response.Error { code = Response.Bad_request; _ } -> ()
+  | _ -> Alcotest.fail "dispatch should reject watch with bad_request"
+
+(* Killing a busy worker (via the fault-injection hook — domains cannot
+   be killed from outside) must answer [internal] on the wire and dump a
+   postmortem that names the in-flight request and its trace id. *)
+let test_daemon_worker_crash_postmortem () =
+  let dir = fresh_tmp_dir "pm-crash" in
+  Unix.putenv "WEBRACER_FAULT_INJECT" "analyze";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "WEBRACER_FAULT_INJECT" "")
+    (fun () ->
+      let d, stop, addr = spawn_daemon ~postmortem_dir:dir () in
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set stop true;
+          ignore (Domain.join d))
+        (fun () ->
+          let c = Client.connect ~retry_for:5. addr in
+          let params = Request.analyze_params ~page:"<p>boom</p>" () in
+          (match
+             Client.request c
+               {
+                 Request.id = Json.Int 1;
+                 trace = Some "t-crash";
+                 verb = Request.Analyze params;
+               }
+           with
+          | Ok (Response.Error { code = Response.Internal; trace; _ }) ->
+              check bool_c "crash response keeps the trace" true
+                (trace = Some "t-crash")
+          | Ok _ -> Alcotest.fail "expected an internal error"
+          | Error e -> Alcotest.failf "transport failed: %s" e);
+          let pm =
+            wait_for_file
+              (fun n ->
+                Astring.String.is_infix ~affix:"worker-crash" n
+                && Filename.check_suffix n ".jsonl")
+              dir
+          in
+          let body = read_file pm in
+          check bool_c "header names the reason" true
+            (Astring.String.is_infix ~affix:{|"postmortem":"worker-crash"|} body);
+          check bool_c "crashed request listed in flight, with trace id" true
+            (Astring.String.is_infix ~affix:{|"trace_id":"t-crash"|} body);
+          check bool_c "ring events carried the trace" true
+            (Astring.String.is_infix ~affix:"request.start" body);
+          (* The twin Chrome trace rides along. *)
+          ignore
+            (wait_for_file
+               (fun n -> Filename.check_suffix n ".trace.json")
+               dir);
+          Client.close c))
+
+(* The [dump] hook (the CLI wires SIGUSR2 to it) produces a postmortem
+   from a healthy daemon. *)
+let test_daemon_dump_hook_postmortem () =
+  let dir = fresh_tmp_dir "pm-signal" in
+  let want_dump = Atomic.make false in
+  let d, stop, addr =
+    spawn_daemon ~postmortem_dir:dir
+      ~dump:(fun () -> Atomic.exchange want_dump false)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      ignore (Domain.join d))
+    (fun () ->
+      let c = Client.connect ~retry_for:5. addr in
+      let _ = request_ok c { Request.id = Json.Int 1; trace = None; verb = Request.Ping } in
+      Atomic.set want_dump true;
+      (* Any traffic wakes the select loop, which polls the hook. *)
+      let _ = request_ok c { Request.id = Json.Int 2; trace = None; verb = Request.Ping } in
+      let pm =
+        wait_for_file
+          (fun n ->
+            Astring.String.is_infix ~affix:"signal" n
+            && Filename.check_suffix n ".jsonl")
+          dir
+      in
+      check bool_c "signal postmortem header" true
+        (Astring.String.is_infix ~affix:{|"postmortem":"signal"|} (read_file pm));
+      Client.close c)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "daemon: watch streams snapshots" `Quick
+        test_daemon_watch_stream;
+      Alcotest.test_case "api: watch needs a daemon" `Quick
+        test_dispatch_rejects_watch;
+      Alcotest.test_case "daemon: worker crash postmortem" `Quick
+        test_daemon_worker_crash_postmortem;
+      Alcotest.test_case "daemon: dump hook postmortem" `Quick
+        test_daemon_dump_hook_postmortem;
+    ]

@@ -266,3 +266,114 @@ let suite =
       Alcotest.test_case "analyze_many keeps telemetry on" `Quick
         test_analyze_many_parallel_telemetry;
     ]
+
+(* --- runtime probe (GC observability) ---------------------------------- *)
+
+module Runtime_probe = Wr_telemetry.Runtime_probe
+
+(* Ordered before any successful [start]: [inject_failure] only takes
+   the failure path while no probe is running. *)
+let test_probe_graceful_failure () =
+  let p = Runtime_probe.start ~inject_failure:true () in
+  Alcotest.(check bool) "failed start yields an inert probe" false
+    (Runtime_probe.active p);
+  Alcotest.(check bool) "inert probe is not the current one" true
+    (Runtime_probe.current () = None);
+  Alcotest.(check int) "inert probe has no stats" 0
+    (List.length (Runtime_probe.stats p));
+  (* Stopping an inert probe must be a no-op, not a crash. *)
+  Runtime_probe.stop p;
+  (match Runtime_probe.stats_json p with
+  | Json.Obj fields ->
+      Alcotest.(check bool) "stats_json names its source" true
+        (List.assoc_opt "source" fields = Some (Json.String "runtime_events"))
+  | _ -> Alcotest.fail "stats_json is not an object")
+
+let test_probe_start_stop_idempotent () =
+  let p1 = Runtime_probe.start () in
+  let p2 = Runtime_probe.start () in
+  Alcotest.(check bool) "second start returns the running probe" true (p1 == p2);
+  Alcotest.(check bool) "probe is active" true (Runtime_probe.active p1);
+  Runtime_probe.stop p1;
+  Alcotest.(check bool) "inactive after stop" false (Runtime_probe.active p1);
+  Alcotest.(check bool) "no current probe after stop" true
+    (Runtime_probe.current () = None);
+  Runtime_probe.stop p1;
+  (* Restart after stop must work (collection was paused, not torn down). *)
+  let p3 = Runtime_probe.start () in
+  Alcotest.(check bool) "restart yields a fresh active probe" true
+    (Runtime_probe.active p3 && not (p3 == p1));
+  Runtime_probe.stop p3
+
+(* Allocation-heavy fan-out over a 4-domain pool: every domain must
+   show up in the probe's stats with a non-empty pause histogram, and
+   the figures must come from runtime events, not [Gc.quick_stat]. *)
+let test_probe_histograms_after_pool_churn () =
+  let p = Runtime_probe.start ~interval_s:0.005 () in
+  Alcotest.(check bool) "probe started" true (Runtime_probe.active p);
+  let churn _ =
+    (* Enough short-lived boxed floats to force many minor collections. *)
+    let acc = ref [] in
+    for i = 0 to 200_000 do
+      acc := float_of_int i :: !acc;
+      if i mod 10_000 = 0 then acc := []
+    done;
+    List.length !acc
+  in
+  let pool = Pool.create ~jobs:4 in
+  let _ =
+    Fun.protect
+      ~finally:(fun () -> Pool.close pool)
+      (fun () -> Pool.map pool churn (List.init 16 Fun.id))
+  in
+  Runtime_probe.stop p;
+  let rows = Runtime_probe.stats p in
+  Alcotest.(check bool) "at least one domain recorded GC pauses" true
+    (List.length rows > 0);
+  List.iter
+    (fun (r : Runtime_probe.domain_gc) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "dom %d: non-empty pause histogram" r.dom)
+        true
+        (Stats.Histo.count r.pauses > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "dom %d: gc time accumulated" r.dom)
+        true (r.gc_s > 0.))
+    rows;
+  let minors = List.fold_left (fun a r -> a + r.Runtime_probe.minor_pauses) 0 rows in
+  Alcotest.(check bool) "minor collections observed across the fleet" true
+    (minors > 0)
+
+let test_probe_spans_reach_telemetry () =
+  let tm = Telemetry.create () in
+  let p = Runtime_probe.start ~telemetry:tm ~interval_s:0.005 () in
+  let junk = ref [] in
+  for i = 0 to 500_000 do
+    junk := string_of_int i :: !junk;
+    if i mod 10_000 = 0 then junk := []
+  done;
+  Runtime_probe.stop p;
+  Alcotest.(check bool) "gc pause histogram exported" true
+    (match Telemetry.metrics_json tm with
+    | Json.Obj _ as j ->
+        let s = Json.to_string j in
+        let rec find i =
+          i + 11 <= String.length s
+          && (String.sub s i 11 = "gc.minor_pa" || find (i + 1))
+        in
+        find 0
+    | _ -> false)
+
+let probe_suite =
+  [
+    Alcotest.test_case "runtime probe: graceful failure is inert" `Quick
+      test_probe_graceful_failure;
+    Alcotest.test_case "runtime probe: start/stop idempotence" `Quick
+      test_probe_start_stop_idempotent;
+    Alcotest.test_case "runtime probe: histograms after jobs:4 churn" `Quick
+      test_probe_histograms_after_pool_churn;
+    Alcotest.test_case "runtime probe: pauses reach telemetry" `Quick
+      test_probe_spans_reach_telemetry;
+  ]
+
+let suite = suite @ probe_suite
