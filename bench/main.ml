@@ -217,9 +217,9 @@ let perf_pages () =
     List.map
       (fun n ->
         let page = stress_page n in
-        let started = Unix.gettimeofday () in
+        let started = Wr_support.Clock.now () in
         let r = Webracer.analyze (Webracer.config ~page ~seed:1 ~explore:true ()) in
-        let dt = Unix.gettimeofday () -. started in
+        let dt = Wr_support.Clock.now () -. started in
         record_float "perf1" (Printf.sprintf "%d-elements_s" n) dt;
         [
           Printf.sprintf "%d elements" n;
@@ -477,9 +477,14 @@ let outcome_signature (o : Eval.outcome) =
    o.Eval.crashes)
 
 let perf_parallel () =
-  section "Perf-4b — domain-parallel corpus analysis (OCaml 5 worker pool)";
-  Printf.printf "hardware parallelism (Domain.recommended_domain_count): %d\n\n"
-    (Wr_support.Pool.default_jobs ());
+  section "Perf-4b — domain-parallel corpus analysis (work-stealing fleet)";
+  let hw = Wr_support.Pool.hardware_domains () in
+  Printf.printf "hardware parallelism (Domain.recommended_domain_count): %d\n\n" hw;
+  (* The speedup gate in scripts/bench_trend.ml reads this to know
+     whether the runner can physically show parallel speedup (the pool
+     caps its fleet at the hardware, so jobs:4 on one core is just the
+     sequential baseline). *)
+  record_result "perf4" "hardware_domains" (Wr_support.Json.Int hw);
   (* Corpus-wide dedup effect and race-count identity, dedup on vs off. *)
   let on = Eval.run_corpus ~seed:42 ?limit:corpus_limit ~dedup:true () in
   let off = Eval.run_corpus ~seed:42 ?limit:corpus_limit ~dedup:false () in
@@ -500,11 +505,11 @@ let perf_parallel () =
   let timings =
     List.map
       (fun jobs ->
-        let started = Unix.gettimeofday () in
+        let started = Wr_support.Clock.now () in
         let outcomes, fleet =
           Eval.run_corpus_stats ~seed:42 ?limit:corpus_limit ~jobs ()
         in
-        let dt = Unix.gettimeofday () -. started in
+        let dt = Wr_support.Clock.now () -. started in
         let same = List.map outcome_signature outcomes = reference in
         record_float "perf4" (Printf.sprintf "corpus_jobs%d_s" jobs) dt;
         (* Fleet health behind the speedup number, so the trend gate
@@ -521,6 +526,9 @@ let perf_parallel () =
         record_float "perf4"
           (Printf.sprintf "corpus_jobs%d_gc_minor" jobs)
           (fsum (fun d -> float_of_int d.Wr_support.Pool.gc_minor));
+        record_result "perf4"
+          (Printf.sprintf "corpus_jobs%d_steals" jobs)
+          (Wr_support.Json.Int fleet.Wr_support.Pool.stolen);
         (jobs, dt, same))
       [ 1; 2; 4; 8 ]
   in
@@ -538,9 +546,11 @@ let perf_parallel () =
          ])
        timings);
   print_endline
-    "\n(Per-worker graphs, detectors and VMs are domain-local; the pool only\n\
-     shares the task channel, so outcomes are input-ordered and identical\n\
-     whatever the job count. Speedup tracks the hardware's core count.)"
+    "\n(Per-worker graphs, detectors and VMs are domain-local; the fleet\n\
+     shares only per-lane deques, so outcomes are input-ordered and\n\
+     identical whatever the job count or steal pattern. Speedup tracks\n\
+     the hardware's core count — the pool spawns no more domains than\n\
+     cores, so oversubscribed job counts degrade to the hardware's best.)"
 
 (* ------------------------------------------------------------------ *)
 (* Perf-5: the serve API hot path — wire decode, dispatch, cache hit    *)
@@ -630,11 +640,11 @@ let perf_static () =
   in
   let results = run_bench_group ~name:"perf6" tests in
   print_bench_results results;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Wr_support.Clock.now () in
   let r =
     Webracer.analyze (Webracer.config ~page ~resources ~seed:42 ~explore:true ())
   in
-  let dyn_s = Unix.gettimeofday () -. t0 in
+  let dyn_s = Wr_support.Clock.now () -. t0 in
   record_float "perf6" "dynamic_analyze_s" dyn_s;
   (match List.assoc_opt "perf6/predict" results with
   | Some predict_ns ->
@@ -801,11 +811,11 @@ let stability () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Wr_support.Clock.now () in
   print_endline "WebRacer-OCaml benchmark harness (paper: PLDI 2012, WebRacer)";
-  let corpus_t0 = Unix.gettimeofday () in
+  let corpus_t0 = Wr_support.Clock.now () in
   let outcomes = Eval.run_corpus ~seed:42 ?limit:corpus_limit () in
-  record_float "corpus" "run_corpus_s" (Unix.gettimeofday () -. corpus_t0);
+  record_float "corpus" "run_corpus_s" (Wr_support.Clock.now () -. corpus_t0);
   record_result "corpus" "fidelity_sites"
     (Wr_support.Json.Int (List.length (List.filter Eval.fidelity outcomes)));
   table1 outcomes;
@@ -821,6 +831,6 @@ let () =
   ablation_hb ();
   ablation_detector ();
   stability ();
-  Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0);
-  record_float "total" "bench_s" (Unix.gettimeofday () -. t0);
+  Printf.printf "\nTotal bench time: %.1f s\n" (Wr_support.Clock.now () -. t0);
+  record_float "total" "bench_s" (Wr_support.Clock.now () -. t0);
   write_bench_results "BENCH_results.json"

@@ -245,7 +245,7 @@ let batch_cmd =
   let action pages jobs seed no_explore no_dedup json log_out =
     setup_event_log log_out;
     let jobs = if jobs = 0 then Wr_support.Pool.default_jobs () else max 1 jobs in
-    let started = Unix.gettimeofday () in
+    let started = Wr_support.Clock.now () in
     let cfgs =
       List.map
         (fun page ->
@@ -290,7 +290,7 @@ let batch_cmd =
         (sum (fun r -> List.length r.Webracer.races))
         (sum (fun r -> List.length r.Webracer.filtered))
         (sum harmful);
-      Printf.printf "wall clock: %.3f s (%d jobs)\n" (Unix.gettimeofday () -. started) jobs
+      Printf.printf "wall clock: %.3f s (%d jobs)\n" (Wr_support.Clock.now () -. started) jobs
     end;
     Log.close_sink ();
     (* Same CI-gate contract as `run`: exit 2 iff any page keeps a

@@ -71,12 +71,26 @@ let record st (inner : Detector.t) (a : Access.t) =
     inner.Detector.record a
   end
 
+(* Domain-local high-water mark for the location-cache size: sites on one
+   corpus domain are alike, so pre-sizing each wrap's table to the largest
+   seen on this domain avoids the rehash-and-copy churn of growing from
+   256 on every site — minor-GC pressure that is pure waste on the fleet
+   hot path. A size *hint* is deliberately all we share: reusing the
+   table itself across wraps could alias stale epoch slots into the next
+   site's detector, and no verdict is worth that risk. *)
+let cache_size_hint : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 256)
+
 let wrap (inner : Detector.t) =
-  let st = { cache = Location.Tbl.create 256; seen = 0; forwarded = 0 } in
+  let hint = Domain.DLS.get cache_size_hint in
+  let st = { cache = Location.Tbl.create !hint; seen = 0; forwarded = 0 } in
   ( {
       inner with
       Detector.name = inner.Detector.name ^ "+dedup";
       record = record st inner;
       accesses_seen = (fun () -> st.seen);
     },
-    fun () -> { seen = st.seen; forwarded = st.forwarded } )
+    fun () ->
+      (* Reading the stats marks the end of a site's useful life, so fold
+         the observed table size into this domain's hint. *)
+      hint := max !hint (Location.Tbl.length st.cache);
+      { seen = st.seen; forwarded = st.forwarded } )

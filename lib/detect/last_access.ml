@@ -53,11 +53,19 @@ let record st (a : Access.t) =
           | None -> ()));
       s.last_write <- Some a
 
+(* Same domain-local pre-sizing trick as [Dedup.cache_size_hint]: sites
+   analysed on one fleet domain have similar location counts, so seed
+   each new detector's table at this domain's high-water mark instead of
+   rehash-growing from 1024 every site. Only the *size* is shared —
+   sharing tables would alias one site's accesses into the next. *)
+let table_size_hint : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 1024)
+
 let create graph =
+  let hint = Domain.DLS.get table_size_hint in
   let st =
     {
       graph;
-      table = Location.Tbl.create 1024;
+      table = Location.Tbl.create !hint;
       reported = Location.Tbl.create 64;
       races = [];
       seen = 0;
@@ -66,6 +74,9 @@ let create graph =
   {
     Detector.name = "last-access";
     record = record st;
-    races = (fun () -> List.rev st.races);
+    races =
+      (fun () ->
+        hint := max !hint (Location.Tbl.length st.table);
+        List.rev st.races);
     accesses_seen = (fun () -> st.seen);
   }

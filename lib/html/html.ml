@@ -366,9 +366,18 @@ let rec emit buf node =
         Buffer.add_char buf '>'
       end
 
+(* Domain-local high-water mark for the serializer buffer: corpus pages
+   rendered on one fleet domain are of similar size, so pre-sizing to the
+   largest page seen avoids the doubling-and-copy garbage of growing from
+   1k on every site (serialized pages run to hundreds of kB). Only the
+   initial *size* crosses calls — the buffer itself is fresh per call. *)
+let to_string_size_hint : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 1024)
+
 let to_string nodes =
-  let buf = Buffer.create 1024 in
+  let hint = Domain.DLS.get to_string_size_hint in
+  let buf = Buffer.create !hint in
   List.iter (emit buf) nodes;
+  hint := max !hint (Buffer.length buf);
   Buffer.contents buf
 
 let rec pp ppf = function

@@ -54,17 +54,21 @@ let install_math vm =
 (* ------------------------------------------------------------------ *)
 
 (* Compiled patterns are memoized by (pattern, flags): RegExp objects only
-   carry strings, so they serialize and compare like plain data. The cache
-   is process-global while [analyze] batches run across domains, and
-   Hashtbl is not domain-safe, so every table access holds [regex_lock];
-   compilation itself is pure and stays outside the critical section. *)
-let regex_cache : (string * string, Regex.t) Hashtbl.t = Hashtbl.create 64
+   carry strings, so they serialize and compare like plain data. The
+   cache used to be one process-global Hashtbl behind a mutex — the only
+   shared lock on the parallel analysis path. It is now [Domain.DLS]
+   state: each domain memoizes independently, so lookups are plain
+   un-locked Hashtbl operations. Corpus sites repeat the same handful of
+   patterns, so the per-domain duplication costs a few recompilations per
+   domain lifetime in exchange for a lock-free hot path. *)
+let regex_cache : (string * string, Regex.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
 
-let regex_lock = Mutex.create ()
-
-(* Lifetime tallies for the fleet profile: the regex cache is the one
-   process-global table on the parallel analysis path, so its lock is a
-   contention suspect worth measuring directly. *)
+(* Lifetime tallies for the fleet profile, still process-wide (summed
+   over domains). [regex_contended] counted mutex acquisitions that had
+   to block; with DLS caches there is no lock left, so it stays at 0 —
+   kept so [--profile] output proves the contention is gone rather than
+   silently dropping the column. *)
 let regex_hits = Atomic.make 0
 let regex_misses = Atomic.make 0
 let regex_contended = Atomic.make 0
@@ -74,17 +78,10 @@ let regex_cache_stats () =
     Atomic.get regex_misses,
     Atomic.get regex_contended )
 
-let with_regex_lock f =
-  if not (Mutex.try_lock regex_lock) then begin
-    Atomic.incr regex_contended;
-    Mutex.lock regex_lock
-  end;
-  Fun.protect ~finally:(fun () -> Mutex.unlock regex_lock) f
-
 let compile_regex vm ~pattern ~flags =
   let key = (pattern, flags) in
-  let cached = with_regex_lock (fun () -> Hashtbl.find_opt regex_cache key) in
-  match cached with
+  let cache = Domain.DLS.get regex_cache in
+  match Hashtbl.find_opt cache key with
   | Some t ->
       Atomic.incr regex_hits;
       t
@@ -92,8 +89,7 @@ let compile_regex vm ~pattern ~flags =
       Atomic.incr regex_misses;
       match Regex.compile ~pattern ~flags with
       | Ok t ->
-          with_regex_lock (fun () ->
-              if not (Hashtbl.mem regex_cache key) then Hashtbl.add regex_cache key t);
+          Hashtbl.add cache key t;
           t
       | Error msg -> throw_error vm "SyntaxError" ("Invalid regular expression: " ^ msg))
 

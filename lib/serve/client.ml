@@ -9,7 +9,7 @@ let retriable = function
   | _ -> false
 
 let connect ?(retry_for = 0.) address =
-  let deadline = Unix.gettimeofday () +. retry_for in
+  let deadline = Wr_support.Clock.now () +. retry_for in
   let rec attempt () =
     let fd =
       Unix.socket
@@ -20,7 +20,7 @@ let connect ?(retry_for = 0.) address =
     | () -> fd
     | exception Unix.Unix_error (e, _, _) when retriable e ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
-        if Unix.gettimeofday () >= deadline then raise (Unix.Unix_error (e, "connect", ""));
+        if Wr_support.Clock.now () >= deadline then raise (Unix.Unix_error (e, "connect", ""));
         Unix.sleepf 0.05;
         attempt ()
   in

@@ -6,6 +6,7 @@ module Telemetry = Wr_telemetry.Telemetry
 module Runtime_probe = Wr_telemetry.Runtime_probe
 module Log = Wr_support.Log
 module Flight = Wr_support.Flight
+module Clock = Wr_support.Clock
 
 type address = Unix_socket of string | Tcp of int
 
@@ -143,7 +144,7 @@ let stats_json st =
   Json.Obj
     [
       Schema.tag;
-      ("uptime_s", Json.Float (Unix.gettimeofday () -. st.started));
+      ("uptime_s", Json.Float (Clock.now () -. st.started));
       ("jobs", Json.Int st.cfg.jobs);
       ( "queue",
         Json.Obj
@@ -200,7 +201,7 @@ let prometheus_text st =
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   let typ name kind = line "# TYPE %s %s" name kind in
   typ "webracer_uptime_seconds" "gauge";
-  line "webracer_uptime_seconds %.3f" (Unix.gettimeofday () -. st.started);
+  line "webracer_uptime_seconds %.3f" (Clock.now () -. st.started);
   typ "webracer_requests_total" "counter";
   Hashtbl.fold (fun verb n acc -> (verb, n) :: acc) st.requests []
   |> List.sort compare
@@ -245,7 +246,7 @@ let prometheus_text st =
    [fleet] is a benign point-in-time read of the pool slots; [gc] comes
    from the process's running GC probe, [Json.Null] when none is on. *)
 let watch_snapshot st seq =
-  let now = Unix.gettimeofday () in
+  let now = Clock.now () in
   Json.Obj
     [
       Schema.tag;
@@ -287,7 +288,7 @@ let metrics_json st =
   Json.Obj
     [
       Schema.tag;
-      ("uptime_s", Json.Float (Unix.gettimeofday () -. st.started));
+      ("uptime_s", Json.Float (Clock.now () -. st.started));
       ( "latency",
         Json.Obj
           (List.map (fun (stage, h) -> (stage, Histo.summary_json h))
@@ -338,7 +339,7 @@ let write_postmortem st ~reason =
       in
       try
         mkdir_p dir;
-        let now = Unix.gettimeofday () in
+        let now = Clock.now () in
         let events = Flight.snapshot () in
         let in_flight =
           Hashtbl.fold
@@ -392,9 +393,9 @@ let respond st conn (resp : Response.t) =
     | Response.Ok _ -> "ok"
     | Response.Error { code; _ } -> Response.code_name code);
   if conn.alive then begin
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now () in
     let line = Response.to_line resp in
-    Histo.add st.lat_encode (Unix.gettimeofday () -. t0);
+    Histo.add st.lat_encode (Clock.now () -. t0);
     Buffer.add_string conn.out line;
     Buffer.add_char conn.out '\n'
   end;
@@ -416,7 +417,7 @@ let submit_job st conn ~verb ~trace ~wire_trace ~cache_key
     (work : unit -> Response.t) =
   let jid = st.next_jid in
   st.next_jid <- jid + 1;
-  let t_admit = Unix.gettimeofday () in
+  let t_admit = Clock.now () in
   let deadline =
     if st.cfg.wall_limit > 0. then Some (t_admit +. st.cfg.wall_limit) else None
   in
@@ -445,7 +446,7 @@ let submit_job st conn ~verb ~trace ~wire_trace ~cache_key
     | _ -> work
   in
   Pool.submit st.pool (fun () ->
-      let t_start = Unix.gettimeofday () in
+      let t_start = Clock.now () in
       Flight.record ~kind:"request.start" ~trace
         [ ("jid", Json.Int jid); ("verb", Json.String verb) ];
       let resp =
@@ -472,13 +473,17 @@ let submit_job st conn ~verb ~trace ~wire_trace ~cache_key
               | Response.Ok _ -> "ok"
               | Response.Error { code; _ } -> Response.code_name code) );
         ];
-      let t_end = Unix.gettimeofday () in
+      let t_end = Clock.now () in
       Mutex.lock st.completions_lock;
       Queue.push (jid, resp, t_start, t_end) st.completions;
       Mutex.unlock st.completions_lock;
-      (* Wake the accept loop; EAGAIN just means it is already awake. *)
+      (* Wake the accept loop; EAGAIN just means it is already awake, and
+         EBADF/EPIPE that the daemon is already past draining. *)
       try ignore (Unix.write st.pipe_w (Bytes.make 1 '!') 0 1)
-      with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE), _, _) -> ())
+      with
+      | Unix.Unix_error
+          ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _)
+      -> ())
 
 let drain_completions st =
   let batch =
@@ -507,7 +512,7 @@ let drain_completions st =
              accept loop ever touches the histograms (single writer). *)
           let queue_wait = t_start -. job.t_admit in
           let run_time = t_end -. t_start in
-          let total = Unix.gettimeofday () -. job.t_admit in
+          let total = Clock.now () -. job.t_admit in
           Histo.add st.lat_queue queue_wait;
           Histo.add st.lat_run run_time;
           Histo.add st.lat_total total;
@@ -612,7 +617,7 @@ let handle_request st conn (req : Request.t) =
           w_trace = wire_trace;
           w_interval = Float.max 0.05 interval_s;
           w_left = count;
-          w_next = Unix.gettimeofday ();
+          w_next = Clock.now ();
           w_seq = 0;
         }
         :: st.watchers
@@ -650,9 +655,9 @@ let handle_line st conn line =
     if Log.enabled Log.Debug then
       Log.debug "serve.request"
         [ ("conn", Json.Int conn.cid); ("bytes", Json.Int (String.length line)) ];
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now () in
     let decoded = Request.of_line line in
-    Histo.add st.lat_decode (Unix.gettimeofday () -. t0);
+    Histo.add st.lat_decode (Clock.now () -. t0);
     match decoded with
     | Ok req -> handle_request st conn req
     | Error (id, msg) ->
@@ -773,8 +778,11 @@ let run ?(stop = fun () -> false) ?(dump = fun () -> false) ?on_ready ?on_stop
     Flight.set_enabled true
   end;
   (* [jobs + 1] because the accept loop never helps the pool: the +1
-     "submitter slot" stays idle, leaving [jobs] worker domains. *)
-  let pool = Pool.create ~jobs:(jobs + 1) in
+     "submitter slot" stays idle, leaving [jobs] worker domains.
+     [min_workers] overrides the hardware cap — [submit] tasks only run
+     on spawned workers, so the daemon must keep at least [jobs] of them
+     even on small machines. *)
+  let pool = Pool.create ~min_workers:jobs ~jobs:(jobs + 1) () in
   let listen_fd, bound = listen_on cfg.address in
   let pipe_r, pipe_w = Unix.pipe () in
   Unix.set_nonblock pipe_r;
@@ -786,7 +794,7 @@ let run ?(stop = fun () -> false) ?(dump = fun () -> false) ?on_ready ?on_stop
       cache = Cache.create ~cap:cfg.cache_cap;
       pool;
       tm = telemetry;
-      started = Unix.gettimeofday ();
+      started = Clock.now ();
       conns = Hashtbl.create 16;
       jobs_live = Hashtbl.create 64;
       completions = Queue.create ();
@@ -830,10 +838,10 @@ let run ?(stop = fun () -> false) ?(dump = fun () -> false) ?on_ready ?on_stop
       (* Graceful shutdown: no new connections or requests; in-flight
          jobs finish and their responses flush before we exit. *)
       draining := true;
-      drain_started := Unix.gettimeofday ();
+      drain_started := Clock.now ();
       close_quietly listen_fd
     end;
-    let now = Unix.gettimeofday () in
+    let now = Clock.now () in
     let conns = Hashtbl.fold (fun _ c acc -> c :: acc) st.conns [] in
     let read_fds =
       st.pipe_r
@@ -872,8 +880,8 @@ let run ?(stop = fun () -> false) ?(dump = fun () -> false) ?on_ready ?on_stop
           (fun c -> if c.alive && List.mem c.fd readable then read_conn st c)
           conns;
         drain_completions st;
-        sweep_deadlines st (Unix.gettimeofday ());
-        tick_watchers st (Unix.gettimeofday ());
+        sweep_deadlines st (Clock.now ());
+        tick_watchers st (Clock.now ());
         List.iter (fun c -> if List.mem c.fd writable then flush_conn c) conns
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
     (* Operator-requested dump (the CLI wires SIGUSR2 here). *)
@@ -896,15 +904,19 @@ let run ?(stop = fun () -> false) ?(dump = fun () -> false) ?on_ready ?on_stop
         in
         (* A peer that stopped reading must not wedge shutdown: give the
            flush five seconds, then abandon its bytes. *)
-        if (not unflushed) || Unix.gettimeofday () -. !drain_started > 5. then
+        if (not unflushed) || Clock.now () -. !drain_started > 5. then
           running := false
       end
     end
   done;
   Hashtbl.iter (fun _ c -> close_quietly c.fd) st.conns;
+  (* Join the fleet BEFORE closing the wake pipe: a worker's completion
+     becomes visible (and lets the drain loop exit) just before its
+     wake-up write, so closing [pipe_w] first raced that write into
+     EBADF, killing the worker and surfacing at [Pool.close]'s join. *)
+  Pool.close pool;
   close_quietly pipe_r;
   close_quietly pipe_w;
-  Pool.close pool;
   (match bound with
   | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
   | Tcp _ -> ());

@@ -51,7 +51,7 @@ let corpus_profiles limit =
 let run_corpus_stats ?(seed = 42) ?limit ?(jobs = 1) ?(dedup = true) ?telemetry
     () =
   let profiles = corpus_profiles limit in
-  let pool = Wr_support.Pool.create ~jobs in
+  let pool = Wr_support.Pool.create ~jobs () in
   let outcomes =
     Fun.protect
       ~finally:(fun () -> Wr_support.Pool.close pool)

@@ -1,0 +1,7 @@
+external monotonic_ns : unit -> (int64[@unboxed])
+  = "wr_clock_monotonic_ns_bytecode" "wr_clock_monotonic_ns_native"
+[@@noalloc]
+
+let now_ns = monotonic_ns
+
+let now () = Int64.to_float (monotonic_ns ()) *. 1e-9

@@ -1,0 +1,17 @@
+(** Monotonic time for interval arithmetic.
+
+    [Unix.gettimeofday] can step backwards (NTP, manual clock changes),
+    which used to force [Float.max 0.] clamps around every duration
+    subtraction in the pool and the serve daemon. This clock only moves
+    forward; its epoch is unspecified (boot-relative on Linux), so use it
+    exclusively for differences between two readings, never as a wall
+    timestamp. *)
+
+(** Raw monotonic reading in nanoseconds. Allocation-free on the native
+    fast path. *)
+val now_ns : unit -> int64
+
+(** Monotonic seconds as a float — the unit every timing accumulator in
+    the codebase already uses. Nanosecond resolution survives the float
+    conversion for any realistic process lifetime (2^53 ns > 100 days). *)
+val now : unit -> float

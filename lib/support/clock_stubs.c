@@ -1,0 +1,53 @@
+/* Monotonic clock for Wr_support.Clock.
+
+   OCaml's Unix library exposes only wall-clock time; the pool's
+   queue-wait / run / idle arithmetic and the serve daemon's per-stage
+   latencies need a clock that never steps backwards (NTP slews and
+   manual clock changes used to force Float.max 0. clamps around every
+   subtraction). CLOCK_MONOTONIC is exactly that; the boot-relative
+   epoch is irrelevant because every caller only ever subtracts two
+   readings. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#include <stdint.h>
+#include <time.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+#endif
+
+static int64_t wr_clock_ns(void)
+{
+#if defined(_WIN32)
+  LARGE_INTEGER freq, count;
+  QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&count);
+  return (int64_t)(count.QuadPart * (1000000000.0 / freq.QuadPart));
+#elif defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    return 0;
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+#else
+  /* No monotonic source: fall back to the realtime clock; callers then
+     degrade to pre-monotonic behavior (possible negative deltas). */
+  struct timespec ts;
+  if (clock_gettime(CLOCK_REALTIME, &ts) != 0)
+    return 0;
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+#endif
+}
+
+int64_t wr_clock_monotonic_ns_native(value unit)
+{
+  (void)unit;
+  return wr_clock_ns();
+}
+
+CAMLprim value wr_clock_monotonic_ns_bytecode(value unit)
+{
+  (void)unit;
+  return caml_copy_int64(wr_clock_ns());
+}

@@ -33,7 +33,7 @@ type ring = {
 type config = { gen : int; capacity : int; clock : unit -> float }
 
 let cfg =
-  ref { gen = 0; capacity = 256; clock = Unix.gettimeofday }
+  ref { gen = 0; capacity = 256; clock = Clock.now }
 
 let on = Atomic.make false
 
@@ -52,7 +52,7 @@ let enabled () = Atomic.get on
 
 let configure ?(capacity = 256) ?clock () =
   Mutex.lock registry_lock;
-  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  let clock = match clock with Some c -> c | None -> Clock.now in
   cfg := { gen = !cfg.gen + 1; capacity = max 1 capacity; clock };
   registry := [];
   Mutex.unlock registry_lock

@@ -24,7 +24,7 @@ let sink : out_channel option ref = ref None
 
 let sink_owned = ref false  (* close on replacement iff we opened it *)
 
-let started = Unix.gettimeofday ()
+let started = Clock.now ()
 
 let set_level l = threshold := l
 
@@ -90,7 +90,7 @@ let trace_fields () =
 
 let emit level event fields =
   if enabled level then begin
-    let ts = Unix.gettimeofday () -. started in
+    let ts = Clock.now () -. started in
     let fields = fields @ trace_fields () in
     match !sink with
     | Some oc ->

@@ -1,29 +1,49 @@
-(** A fixed-size fleet of OCaml 5 domains behind a blocking task channel.
+(** A work-stealing fleet of OCaml 5 domains.
 
     The analysis pipeline is embarrassingly parallel at page granularity:
-    every page (or seed, or corpus site) builds its own graph, detector and
-    VM, so nothing mutable crosses domains unguarded (the few
-    process-global caches, e.g. the JS regex cache, take a mutex). This pool is the one shared
-    primitive — a plain [Queue.t] guarded by a mutex/condition pair (no
-    work stealing; page analyses are coarse enough that a single channel
-    never contends) feeding [jobs] long-lived worker domains.
+    every page (or seed, or corpus site) builds its own graph, detector
+    and VM, so nothing mutable crosses domains unguarded (the few
+    domain-local caches, e.g. the JS regex cache, live in [Domain.DLS]).
+    This pool is the one shared primitive. Each lane (the submitter plus
+    each spawned worker) owns a private deque under its own mutex; [map]
+    coarsens the input into contiguous chunks distributed round-robin
+    across the deques, and an idle lane steals half of a random victim's
+    queue. In steady state no lock is contended and the only per-chunk
+    shared write is one atomic counter.
+
+    Two policies keep the fleet from running slower than sequential:
+
+    - {b Hardware capping.} [create ~jobs] spawns at most
+      [hardware_domains () - 1] workers regardless of [jobs]: in OCaml 5
+      every minor collection is a stop-the-world rendezvous across all
+      domains, so oversubscribing cores multiplies GC barrier cost
+      instead of adding throughput. [jobs] is a ceiling, not a promise.
+    - {b Minor-heap tuning.} Spawned workers enlarge their (domain-local)
+      minor heaps — default 4M words, override with
+      [WEBRACER_MINOR_HEAP_WORDS] (0 disables) — cutting the
+      stop-the-world minor-GC rate ~16x for allocation-heavy corpus
+      work.
 
     [map] is deterministic: results come back in input order, independent
-    of completion order, so parallel runs aggregate byte-identically to
-    sequential ones. *)
+    of completion order, chunking and stealing, so parallel runs
+    aggregate byte-identically to sequential ones. *)
 
 type t
 
-(** Per-domain profile: what one domain of the fleet did. [worker] 0 is
+(** Per-domain profile: what one lane of the fleet did. [worker] 0 is
     the submitting domain (which helps drain [map] batches); workers 1..
     are the spawned domains. [dom] is the slot's OCaml domain id (the
     telemetry Chrome-trace tid, and the join key against
     [Wr_telemetry.Runtime_probe] GC rows); [-1] until the worker has
-    started. Queue wait is summed enqueue→pop latency
-    over this domain's tasks; idle is time blocked on the empty channel;
-    GC figures are this domain's [Gc.quick_stat] deltas summed across its
-    tasks (minor/major collection counts, promoted and minor-allocated
-    words). *)
+    started. Accounting is per {e item} even though [map] enqueues
+    chunks: [tasks] counts items executed by this lane (wherever they
+    were first enqueued), [queue_wait_s] sums each item's enqueue→start
+    latency, [steals] counts steal operations this lane performed, and
+    the GC figures are this domain's [Gc.quick_stat] deltas summed
+    across its items (minor/major collection counts, promoted and
+    minor-allocated words). Because every item is charged to exactly the
+    lane that ran it, per-lane rows always partition the batch: tasks
+    sum to items submitted even when work migrated between deques. *)
 type domain_stats = {
   worker : int;
   dom : int;
@@ -31,41 +51,49 @@ type domain_stats = {
   queue_wait_s : float;
   run_s : float;
   idle_s : float;
+  steals : int;
   gc_minor : int;
   gc_major : int;
   promoted_words : float;
   minor_words : float;
 }
 
-(** Fleet profile: per-domain rows plus channel-wide counters.
-    [lock_contended] counts channel-mutex acquisitions that found the
-    lock held and had to block — the direct measure of task-channel
-    contention. *)
+(** Fleet profile: per-domain rows plus fleet-wide counters.
+    [lock_contended] counts deque-mutex acquisitions that found the lock
+    held — with per-lane deques this should read ~0; a hot value means
+    stealing is thrashing. [stolen] is the sum of per-lane [steals]. *)
 type stats = {
   per_domain : domain_stats list;
   lock_contended : int;
   submitted : int;
+  stolen : int;
 }
 
-(** [create ~jobs] spawns [jobs - 1] worker domains ([jobs <= 1] spawns
-    none and [map] degenerates to [List.map]); the submitting domain
-    always works alongside the fleet, so [jobs] bounds total
-    parallelism. *)
-val create : jobs:int -> t
+(** [create ~jobs ()] spawns up to [jobs - 1] worker domains, capped at
+    [hardware_domains () - 1] ([jobs <= 1], or one hardware thread,
+    spawns none and [map] degenerates to a sequential loop on the
+    submitter). [?min_workers] (default 0) overrides the hardware cap
+    upward for clients that require spawned domains — [submit] tasks
+    only ever run on workers, so the serve daemon passes
+    [~min_workers:1]. [?minor_heap_words] overrides the per-worker
+    minor-heap size (default 4M words or [WEBRACER_MINOR_HEAP_WORDS];
+    [None] disables tuning). *)
+val create : ?min_workers:int -> ?minor_heap_words:int option -> jobs:int -> unit -> t
 
 (** [stats pool] reads the fleet profile. Exact once the writers have
-    quiesced (after [close], or between [map] calls); a benign
-    point-in-time snapshot while tasks are still running. *)
+    quiesced (after [close], or between [map] calls — including when
+    tasks migrated between deques via stealing); a benign point-in-time
+    snapshot while tasks are still running. *)
 val stats : t -> stats
 
 (** [render_stats stats] is the profile as an aligned text table (one
-    row per domain) plus a summary line (submitted tasks, channel-lock
+    row per lane) plus a summary line (submitted tasks, steals, lock
     contention). *)
 val render_stats : stats -> string
 
 (** [stats_json stats] is the same fleet profile as a JSON document
     ([per_domain] rows with the [render_stats] fields, plus
-    [lock_contended] and [submitted]) — machine-readable for
+    [lock_contended], [submitted] and [stolen]) — machine-readable for
     [corpus --profile --json] and the serve [watch] snapshots. *)
 val stats_json : stats -> Json.t
 
@@ -75,33 +103,48 @@ val stats_json : stats -> Json.t
     rings to fleet domains; exceptions from [f] are swallowed. *)
 val set_worker_hook : (unit -> unit) -> unit
 
+(** The requested parallelism ceiling ([~jobs] as passed, floored at 1). *)
 val jobs : t -> int
 
-(** [map pool f xs] applies [f] to every element, spread across the pool,
-    and returns the results in input order. The first exception raised by
-    any [f] is re-raised (after all items finish or are abandoned). A
-    pool is reusable across [map] calls but a single [map] at a time. *)
-val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** The number of spawned worker domains after hardware capping —
+    [jobs - 1] on big-enough hardware, less on small machines,
+    at least [min_workers]. *)
+val workers : t -> int
 
-(** [submit pool f] enqueues fire-and-forget work for the worker
-    domains; the submitter never helps, so the pool must have at least
-    one worker ([create ~jobs] with [jobs >= 2]) or the task would never
-    run — a workerless or closed pool raises [Invalid_argument]. [f]
-    delivers its own result (e.g. onto a caller-provided channel) and
-    must not let exceptions escape; the daemon in [Wr_serve] is the
-    intended client. Tasks already queued when [close] is called still
-    run before the workers see their quit signal. *)
+(** [map pool f xs] applies [f] to every element, spread across the
+    fleet in contiguous chunks (several per lane, so stealing can
+    rebalance), and returns the results in input order. [?chunk]
+    overrides the computed chunk size (floored at 1). The first
+    exception raised by any [f] is re-raised after all items finish. A
+    pool is reusable across [map] calls but runs a single [map] at a
+    time. *)
+val map : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [submit pool f] enqueues fire-and-forget work, round-robin across
+    the worker deques; the submitter never drains its own deque outside
+    [map], so the pool must have at least one spawned worker (see
+    [min_workers]) — a workerless or closed pool raises
+    [Invalid_argument]. [f] delivers its own result (e.g. onto a
+    caller-provided channel) and must not let exceptions escape; the
+    daemon in [Wr_serve] is the intended client. Tasks already queued
+    when [close] is called still run before the workers exit. *)
 val submit : t -> (unit -> unit) -> unit
 
-(** [close pool] shuts the workers down and joins them; idempotent. *)
+(** [close pool] shuts the workers down after they drain every queued
+    task, and joins them; idempotent. *)
 val close : t -> unit
 
 (** [with_pool ~jobs f] — create, run [f], always close. *)
-val with_pool : jobs:int -> (t -> 'a) -> 'a
+val with_pool :
+  ?min_workers:int -> ?minor_heap_words:int option -> jobs:int -> (t -> 'a) -> 'a
 
 (** [map_jobs ~jobs f xs] is a one-shot [with_pool] + [map]; [~jobs:1]
     costs nothing over [List.map]. *)
-val map_jobs : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map_jobs : ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
 (** The hardware's useful parallelism ([Domain.recommended_domain_count]). *)
 val default_jobs : unit -> int
+
+(** Same as [default_jobs] — the machine's recommended domain count,
+    exposed under the name the bench/gate layers use. *)
+val hardware_domains : unit -> int

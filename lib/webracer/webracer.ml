@@ -76,7 +76,7 @@ let explore browser =
 
 let analyze (cfg : Config.t) =
   let tm = cfg.Config.telemetry in
-  let started = Unix.gettimeofday () in
+  let started = Wr_support.Clock.now () in
   Telemetry.with_span tm ~cat:"page" ~name:"analyze" (fun () ->
       let browser = Browser.create cfg in
       Browser.start browser;
@@ -140,7 +140,7 @@ let analyze (cfg : Config.t) =
         detector_records;
         virtual_ms = Browser.virtual_now browser;
         explored_events;
-        wall_clock_s = Unix.gettimeofday () -. started;
+        wall_clock_s = Wr_support.Clock.now () -. started;
         hb_graph = Browser.graph browser;
         trace = Browser.trace browser;
         metrics = (if Telemetry.enabled tm then Some (Telemetry.metrics_json tm) else None);
@@ -164,13 +164,13 @@ let race_key (r : Race.t) =
   in
   (Race.type_name r.Race.race_type, masked)
 
-(* [analyze] shares nothing mutable across calls without a lock (each run
-   owns its graph, detector and VM; the process-global regex cache is
-   mutex-guarded; the logger emits one channel write per line, which the
-   runtime lock makes atomic; a shared [Telemetry.t] gives each domain
-   its own sink), so a batch of runs spreads over a domain pool with
+(* [analyze] shares nothing mutable across calls (each run owns its
+   graph, detector and VM; the JS regex cache is domain-local DLS state;
+   the logger emits one channel write per line, which the runtime lock
+   makes atomic; a shared [Telemetry.t] gives each domain its own sink),
+   so a batch of runs spreads over the work-stealing domain fleet with
    results kept in input order — race aggregation is byte-identical
-   whatever [jobs] is. *)
+   whatever [jobs] is, however chunks migrate between deques. *)
 let analyze_batch ?(jobs = 1) cfgs = Wr_support.Pool.map_jobs ~jobs analyze cfgs
 
 let analyze_many ?(jobs = 1) cfg ~seeds =

@@ -12,7 +12,7 @@
 
    Usage:
      bench_trend [--results FILE] [--history FILE] [--threshold PCT]
-                 [--tag STR] [--check]
+                 [--tag STR] [--check] [--speedup-gate [MIN]]
 
    [--check] exits 1 when any metric regressed past the threshold
    (default 20%). [--min-history N] softens that gate while the history
@@ -21,7 +21,16 @@
    a fresh cache or a wiped history re-seeds without breaking CI, and
    the gate hardens by itself from the second run on. Quick
    (`bench --quick`) and full runs use different tags so they are never
-   compared against each other. *)
+   compared against each other.
+
+   [--speedup-gate [MIN]] is an *absolute* gate, independent of any
+   history: it fails the run when [perf4/corpus_jobs4_speedup] in the
+   current results is below MIN (default {!default_speedup_gate}). It is
+   skipped — with a visible message — when [perf4/hardware_domains] is
+   below 4, because the pool caps its fleet at the hardware and a small
+   runner physically cannot show a 4-job speedup. This is the hard
+   "the fleet must actually scale" contract: trend thresholds compare
+   run-over-run, the gate pins the floor. *)
 
 module Json = Wr_support.Json
 
@@ -32,10 +41,18 @@ let tag = ref "full"
 let check = ref false
 let min_history = ref 0
 
+(* THE parallel-speedup floor: jobs:4 must beat sequential by at least
+   this factor on hardware with >= 4 domains. Referenced by README.md
+   and .github/workflows/ci.yml — change it here, nowhere else. *)
+let default_speedup_gate = 1.5
+
+(* [None] = gate off; [Some m] = fail when corpus_jobs4_speedup < m. *)
+let speedup_gate : float option ref = ref None
+
 let usage () =
   prerr_endline
     "usage: bench_trend [--results FILE] [--history FILE] [--threshold PCT] \
-     [--tag STR] [--check] [--min-history N]";
+     [--tag STR] [--check] [--min-history N] [--speedup-gate [MIN]]";
   exit 2
 
 let rec parse_args = function
@@ -62,6 +79,17 @@ let rec parse_args = function
       | Some n when n >= 0 -> min_history := n
       | _ -> usage ());
       parse_args rest
+  | "--speedup-gate" :: rest -> (
+      (* MIN is optional: bare [--speedup-gate] takes the default floor. *)
+      match rest with
+      | v :: rest' when float_of_string_opt v <> None ->
+          (match float_of_string_opt v with
+          | Some m when m > 0. -> speedup_gate := Some m
+          | _ -> usage ());
+          parse_args rest'
+      | _ ->
+          speedup_gate := Some default_speedup_gate;
+          parse_args rest)
   | _ -> usage ()
 
 let read_file path =
@@ -97,6 +125,13 @@ let higher_is_better name =
   ends_with ~suffix:"_speedup" name
   || ends_with ~suffix:"_ratio" name
   || ends_with ~suffix:"fidelity_sites" name
+
+(* Recorded for context, never trend-compared: hardware_domains is
+   environment metadata (a runner change is not a regression), and steal
+   counts are scheduling noise by nature — load balance varies run to
+   run without the result or the wall clock moving. *)
+let informational name =
+  ends_with ~suffix:"hardware_domains" name || ends_with ~suffix:"_steals" name
 
 (* The previous history entry with our tag (if any), and how many
    same-tag entries the history already holds. *)
@@ -142,6 +177,43 @@ let append_history results =
 
 type delta = { name : string; before : float; after : float; change_pct : float }
 
+(* Absolute speedup floor; [current] is the flattened results. Returns
+   [true] when the gate (if armed) passes or is skipped. *)
+let speedup_gate_ok current =
+  match !speedup_gate with
+  | None -> true
+  | Some floor -> (
+      let metric = "perf4/corpus_jobs4_speedup" in
+      match List.assoc_opt "perf4/hardware_domains" current with
+      | Some hw when hw < 4. ->
+          Printf.printf
+            "bench_trend: speedup gate skipped — runner has %.0f hardware \
+             domain%s (< 4), parallel speedup is physically out of reach\n"
+            hw
+            (if hw = 1. then "" else "s");
+          true
+      | None ->
+          Printf.printf
+            "bench_trend: speedup gate skipped — results carry no \
+             perf4/hardware_domains (bench ran without perf4?)\n";
+          true
+      | Some _ -> (
+          match List.assoc_opt metric current with
+          | None ->
+              Printf.printf
+                "bench_trend: speedup gate FAILED — %s missing from results\n"
+                metric;
+              false
+          | Some s when s < floor ->
+              Printf.printf
+                "bench_trend: speedup gate FAILED — %s = %.2fx, floor is %.2fx\n"
+                metric s floor;
+              false
+          | Some s ->
+              Printf.printf "bench_trend: speedup gate ok — %s = %.2fx (floor %.2fx)\n"
+                metric s floor;
+              true))
+
 let () =
   parse_args (List.tl (Array.to_list Sys.argv));
   let results =
@@ -159,7 +231,8 @@ let () =
   append_history results;
   (* Entries with our tag now in the history, this run's included. *)
   let history_depth = prior_entries + 1 in
-  match baseline with
+  let trend_failed = ref false in
+  (match baseline with
   | None ->
       Printf.printf
         "bench_trend: recorded baseline (%d metrics, tag %S) in %s — nothing \
@@ -171,6 +244,7 @@ let () =
       List.iter
         (fun (name, after) ->
           match List.assoc_opt name prev with
+          | _ when informational name -> ()
           | None -> ()
           | Some before when Float.abs before < 1e-12 -> ()
           | Some before ->
@@ -194,11 +268,15 @@ let () =
       if !regressions = [] && !improvements = [] then
         print_endline "  all metrics within threshold";
       if !check && !regressions <> [] then
-        if history_depth >= !min_history then exit 1
+        if history_depth >= !min_history then trend_failed := true
         else
           Printf.printf
             "bench_trend: not failing — history holds %d %S entr%s, gate \
              hardens at %d\n"
             history_depth !tag
             (if history_depth = 1 then "y" else "ies")
-            !min_history
+            !min_history);
+  (* The absolute speedup floor applies from the very first run: it
+     needs no baseline, so [--min-history] does not soften it. *)
+  let gate_failed = not (speedup_gate_ok current) in
+  if !trend_failed || gate_failed then exit 1

@@ -176,13 +176,26 @@ let outcome_projection (o : Eval.outcome) =
     o.Eval.crashes )
 
 let test_corpus_parallel_deterministic () =
-  (* The domain pool must be invisible in the results: same sites, same
-     order, same counts — only the wall clock may differ. *)
-  let sequential = Eval.run_corpus ~seed:7 ~limit:6 ~jobs:1 () in
-  let parallel = Eval.run_corpus ~seed:7 ~limit:6 ~jobs:4 () in
-  Alcotest.(check int) "same number of sites" (List.length sequential) (List.length parallel);
-  Alcotest.(check bool) "jobs:4 outcomes = jobs:1 outcomes" true
-    (List.map outcome_projection sequential = List.map outcome_projection parallel)
+  (* The work-stealing fleet must be invisible in the results: same
+     sites, same order, same counts across every jobs value AND across
+     repeated runs at the same jobs value (stealing reshuffles which
+     domain runs which chunk every time) — only the wall clock may
+     differ. *)
+  let run jobs = Eval.run_corpus ~seed:7 ~limit:6 ~jobs () in
+  let reference = List.map outcome_projection (run 1) in
+  Alcotest.(check int) "same number of sites" 6 (List.length reference);
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun attempt ->
+          let again = List.map outcome_projection (run jobs) in
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs:%d attempt %d outcomes = jobs:1 outcomes" jobs
+               attempt)
+            true
+            (again = reference))
+        [ 1; 2 ])
+    [ 1; 2; 8 ]
 
 let test_corpus_dedup_invisible () =
   (* Dedup changes detector_records, never verdicts or raw access counts. *)

@@ -489,7 +489,7 @@ let suite = suite @ histo_suite
 (* --- pool profiling ---------------------------------------------------- *)
 
 let test_pool_stats_accounting () =
-  let p = Pool.create ~jobs:3 in
+  let p = Pool.create ~jobs:3 () in
   let xs = List.init 20 Fun.id in
   let _ = Pool.map p (fun x -> x * x) xs in
   Pool.close p;
@@ -519,7 +519,7 @@ let test_pool_stats_accounting () =
 
 let test_pool_stats_sequential () =
   (* jobs:1 charges everything to the submitter with zero queue wait. *)
-  let p = Pool.create ~jobs:1 in
+  let p = Pool.create ~jobs:1 () in
   let _ = Pool.map p Fun.id (List.init 5 Fun.id) in
   Pool.close p;
   let st = Pool.stats p in
@@ -530,10 +530,81 @@ let test_pool_stats_sequential () =
   | rows -> Alcotest.failf "expected 1 domain row, got %d" (List.length rows));
   Alcotest.(check int) "submitted" 5 st.Pool.submitted
 
+let test_pool_stats_exact_after_steal () =
+  (* [min_workers] forces real spawned domains even on one-core hardware,
+     and tiny chunks over very uneven work make stealing all but certain.
+     However tasks migrate between deques, every item must be charged to
+     exactly one lane: after [close] the per-lane task counts partition
+     the batch. *)
+  let n = 400 in
+  let work x =
+    let rounds = if x mod 13 = 0 then 50_000 else 500 in
+    let acc = ref 0 in
+    for i = 1 to rounds do
+      acc := !acc + (i * x mod 7)
+    done;
+    !acc
+  in
+  let p = Pool.create ~min_workers:3 ~jobs:4 () in
+  let results =
+    Fun.protect
+      ~finally:(fun () -> Pool.close p)
+      (fun () -> Pool.map ~chunk:2 p work (List.init n Fun.id))
+  in
+  Alcotest.(check (list int)) "results deterministic in input order"
+    (List.map work (List.init n Fun.id))
+    results;
+  let st = Pool.stats p in
+  Alcotest.(check int) "submitted counts items" n st.Pool.submitted;
+  let total_tasks =
+    List.fold_left (fun acc d -> acc + d.Pool.tasks) 0 st.Pool.per_domain
+  in
+  Alcotest.(check int) "per-lane tasks partition the batch" n total_tasks;
+  Alcotest.(check int) "stolen is the sum of per-lane steals"
+    (List.fold_left (fun acc d -> acc + d.Pool.steals) 0 st.Pool.per_domain)
+    st.Pool.stolen;
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "non-negative queue wait" true (d.Pool.queue_wait_s >= 0.);
+      Alcotest.(check bool) "non-negative idle" true (d.Pool.idle_s >= 0.))
+    st.Pool.per_domain
+
+let test_pool_chunking_invariance () =
+  (* Results and stats-shape must not depend on the chunk size. *)
+  let xs = List.init 97 (fun i -> i - 48) in
+  let f x = (x * x) - (3 * x) in
+  let expect = List.map f xs in
+  List.iter
+    (fun chunk ->
+      let got =
+        Pool.with_pool ~min_workers:2 ~jobs:3 (fun p -> Pool.map ~chunk p f xs)
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "chunk=%d matches sequential" chunk)
+        expect got)
+    [ 1; 2; 7; 97; 1000 ]
+
+let test_clock_monotonic () =
+  (* The whole point of Clock over Unix.gettimeofday: deltas never go
+     negative, so pool/daemon timing needs no clamping. *)
+  let prev = ref (Clock.now ()) in
+  for _ = 1 to 10_000 do
+    let t = Clock.now () in
+    if t < !prev then Alcotest.failf "clock stepped backwards: %.9f < %.9f" t !prev;
+    prev := t
+  done;
+  let a = Clock.now_ns () in
+  let b = Clock.now_ns () in
+  Alcotest.(check bool) "ns reading non-decreasing" true (Int64.compare b a >= 0);
+  Alcotest.(check bool) "plausible ns epoch (non-zero)" true (Int64.compare a 0L > 0)
+
 let pool_stats_suite =
   [
     Alcotest.test_case "pool: stats account every task" `Quick test_pool_stats_accounting;
     Alcotest.test_case "pool: sequential stats" `Quick test_pool_stats_sequential;
+    Alcotest.test_case "pool: stats exact after stealing" `Quick test_pool_stats_exact_after_steal;
+    Alcotest.test_case "pool: chunking invariance" `Quick test_pool_chunking_invariance;
+    Alcotest.test_case "clock: monotonic" `Quick test_clock_monotonic;
   ]
 
 let suite = suite @ pool_stats_suite
