@@ -972,6 +972,16 @@ let serve_cmd =
           ~doc:"Worker domains analyzing requests (0 = one per hardware thread); the \
                 accept loop runs besides them.")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Event-loop shards, each on its own domain with its own accept path \
+                (TCP uses $(b,SO_REUSEPORT) when available; Unix sockets hand \
+                accepted connections off round-robin). 1 keeps the classic single \
+                loop; like $(b,-j), past the hardware thread count shards only \
+                contend.")
+  in
   let queue =
     Arg.(
       value & opt int 128
@@ -1032,14 +1042,15 @@ let serve_cmd =
                 lifetime: per-domain pause histograms in $(b,watch) snapshots, GC \
                 slices in $(b,--trace-out) output.")
   in
-  let action address jobs queue cache wall_limit max_vtime trace_out metrics_out
-      postmortem_dir gc_trace log_out =
+  let action address jobs shards queue cache wall_limit max_vtime trace_out
+      metrics_out postmortem_dir gc_trace log_out =
     setup_event_log log_out;
     let jobs = if jobs = 0 then Wr_support.Pool.default_jobs () else max 1 jobs in
     let cfg =
       {
         Wr_serve.Daemon.address;
         jobs;
+        shards = max 1 shards;
         queue_cap = max 1 queue;
         cache_cap = max 0 cache;
         wall_limit;
@@ -1055,9 +1066,10 @@ let serve_cmd =
     Sys.set_signal Sys.sigusr2
       (Sys.Signal_handle (fun _ -> Atomic.set dump_requested true));
     let on_ready addr =
-      Printf.eprintf "webracer serve: listening on %s (jobs %d, queue %d, cache %d)\n%!"
-        (address_string addr) jobs cfg.Wr_serve.Daemon.queue_cap
-        cfg.Wr_serve.Daemon.cache_cap
+      Printf.eprintf
+        "webracer serve: listening on %s (jobs %d, shards %d, queue %d, cache %d)\n%!"
+        (address_string addr) jobs cfg.Wr_serve.Daemon.shards
+        cfg.Wr_serve.Daemon.queue_cap cfg.Wr_serve.Daemon.cache_cap
     in
     let tm = Telemetry.create () in
     (* Before [Daemon.run] creates the pool, so every worker domain
@@ -1100,8 +1112,9 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
-      const action $ address_term $ jobs $ queue $ cache $ wall_limit $ max_vtime
-      $ trace_out $ metrics_out $ postmortem_dir $ gc_trace $ log_out_arg)
+      const action $ address_term $ jobs $ shards $ queue $ cache $ wall_limit
+      $ max_vtime $ trace_out $ metrics_out $ postmortem_dir $ gc_trace
+      $ log_out_arg)
 
 let call_cmd =
   let verb =
@@ -1201,6 +1214,22 @@ let call_cmd =
           ~doc:"Keep retrying the connection this long (covers a daemon still \
                 starting up).")
   in
+  let http =
+    Arg.(
+      value & flag
+      & info [ "http" ]
+          ~doc:"Speak the daemon's HTTP/1.1 surface instead of the raw line \
+                protocol (same connection retry logic; responses are always \
+                schema v2). Not available for $(b,watch) and $(b,raw).")
+  in
+  let schema =
+    Arg.(
+      value & opt int 1
+      & info [ "schema" ] ~docv:"V"
+          ~doc:"Wire schema generation to request (1 or 2). v2 responses carry \
+                the answering shard and HTTP-parity error objects; v1 is the \
+                byte-stable default.")
+  in
   let trace_id =
     Arg.(
       value & opt (some string) None
@@ -1217,7 +1246,16 @@ let call_cmd =
   in
   let action verb page address repeat seed no_explore no_dedup detector hb time_limit
       race_n compare lint schedules parse_delay jobs watch_interval watch_count
-      connect_timeout trace_id verbose =
+      connect_timeout http schema trace_id verbose =
+    if not (Wr_support.Schema.is_supported schema) then begin
+      Printf.eprintf "call: unsupported --schema %d (this client speaks %s)\n"
+        schema (Wr_support.Schema.supported_names ());
+      exit 1
+    end;
+    if http && (verb = `Watch || verb = `Raw) then begin
+      prerr_endline "call: --http does not support the watch and raw verbs";
+      exit 1
+    end;
     let client =
       try Wr_serve.Client.connect ~retry_for:connect_timeout address
       with Unix.Unix_error (e, _, _) ->
@@ -1269,31 +1307,27 @@ let call_cmd =
           (* One request, [count] streamed responses on this connection. *)
           let count = max 1 watch_count in
           Wr_serve.Client.send client
-            {
-              Request.id = Wr_support.Json.Int 1;
-              trace = trace_id;
-              verb =
-                Request.Watch
-                  { Request.interval_s = watch_interval; count = Some count };
-            };
+            (Request.make ~schema ?trace:trace_id ~id:(Wr_support.Json.Int 1)
+               (Request.watch ~interval_s:watch_interval ~count ()));
           print_and_check count
       | (`Ping | `Stats | `Metrics | `Analyze | `Explain | `Predict | `Replay) as v ->
           let verb_value =
-            match v with
-            | `Ping -> Request.Ping
-            | `Stats -> Request.Stats
-            | `Metrics -> Request.Metrics
-            | `Analyze -> Request.Analyze (target ())
-            | `Explain -> Request.Explain { Request.target = target (); race = race_n }
-            | `Predict -> Request.Predict { Request.target = target (); compare; lint }
-            | `Replay ->
-                Request.Replay
-                  {
-                    Request.target = target ();
-                    schedules;
-                    parse_delay;
-                    jobs = max 1 jobs;
-                  }
+            (* The typed builders validate like the daemon's decoder, so a
+               bad flag combination fails here instead of on the wire. *)
+            try
+              match v with
+              | `Ping -> Request.Ping
+              | `Stats -> Request.Stats
+              | `Metrics -> Request.Metrics
+              | `Analyze -> Request.analyze (target ())
+              | `Explain -> Request.explain ?race:race_n (target ())
+              | `Predict -> Request.predict ~compare ~lint (target ())
+              | `Replay ->
+                  Request.replay ~schedules ~parse_delay ~jobs:(max 1 jobs)
+                    (target ())
+            with Invalid_argument msg ->
+              Printf.eprintf "call: %s\n" msg;
+              exit 1
           in
           let repeat = max 1 repeat in
           (* [--verbose] without [--trace-id] mints a client-side id so the
@@ -1303,15 +1337,48 @@ let call_cmd =
             | Some tr -> Some tr
             | None -> if verbose then Some (Printf.sprintf "c-%d" i) else None
           in
-          for i = 1 to repeat do
-            Wr_serve.Client.send client
-              {
-                Request.id = Wr_support.Json.Int i;
-                trace = trace_for i;
-                verb = verb_value;
-              }
-          done;
-          print_and_check repeat
+          if http then begin
+            let path =
+              match Request.http_path verb_value with
+              | Some p -> p
+              | None ->
+                  prerr_endline "call: this verb has no HTTP endpoint";
+                  exit 1
+            in
+            let meth = Request.http_method verb_value in
+            let body =
+              match Request.http_body verb_value with
+              | Some j -> Wr_support.Json.to_string j
+              | None -> ""
+            in
+            let all_ok = ref true in
+            for i = 1 to repeat do
+              let headers =
+                match trace_for i with
+                | Some tr -> [ ("x-webracer-trace", tr) ]
+                | None -> []
+              in
+              match
+                Wr_serve.Client.http_request client ~meth ~path ~headers ~body ()
+              with
+              | Error msg ->
+                  Printf.eprintf "call: %s\n" msg;
+                  exit 3
+              | Ok (status, resp_body) ->
+                  print_endline resp_body;
+                  if status <> 200 then all_ok := false;
+                  if verbose then Printf.eprintf "call: http=%d\n%!" status
+            done;
+            !all_ok
+          end
+          else begin
+            for i = 1 to repeat do
+              Wr_serve.Client.send client
+                (Request.make ~schema ?trace:(trace_for i)
+                   ~id:(Wr_support.Json.Int i) verb_value)
+            done;
+            print_and_check repeat
+          end
     in
     Wr_serve.Client.close client;
     if not ok then exit 1
@@ -1326,7 +1393,127 @@ let call_cmd =
     Term.(
       const action $ verb $ page $ address_term $ repeat $ seed $ no_explore $ no_dedup
       $ detector $ hb $ time_limit $ race_n $ compare $ lint $ schedules $ parse_delay
-      $ jobs $ watch_interval $ watch_count $ connect_timeout $ trace_id $ verbose)
+      $ jobs $ watch_interval $ watch_count $ connect_timeout $ http $ schema
+      $ trace_id $ verbose)
+
+(* --- bench-serve -------------------------------------------------------- *)
+
+let bench_serve_cmd =
+  let conns =
+    Arg.(
+      value & opt int 4
+      & info [ "conns" ] ~docv:"N"
+          ~doc:"Concurrent connections, one client thread each, released from a \
+                barrier simultaneously once all are connected.")
+  in
+  let pipeline =
+    Arg.(
+      value & opt int 8
+      & info [ "pipeline" ] ~docv:"N"
+          ~doc:"Outstanding requests per connection (raw surface; the HTTP surface \
+                is sequential round trips).")
+  in
+  let duration =
+    Arg.(
+      value & opt float 2.
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Sustained-load window, measured from the barrier release.")
+  in
+  let verb =
+    let bench_verb_conv = Arg.enum [ ("ping", `Ping); ("analyze", `Analyze) ] in
+    Arg.(
+      value & opt bench_verb_conv `Ping
+      & info [ "verb" ] ~docv:"VERB"
+          ~doc:"Request to blast: $(b,ping) or $(b,analyze) (needs PAGE; identical \
+                requests hit the daemon's result cache after the first).")
+  in
+  let page =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"PAGE" ~doc:"HTML page for $(b,--verb analyze).")
+  in
+  let http =
+    Arg.(
+      value & flag
+      & info [ "http" ]
+          ~doc:"Blast the HTTP/1.1 surface instead of the raw line protocol.")
+  in
+  let schema =
+    Arg.(
+      value & opt int 1
+      & info [ "schema" ] ~docv:"V"
+          ~doc:"Wire schema generation for raw requests (1 or 2).")
+  in
+  let json_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE"
+          ~doc:"Write the result document (throughput, latency percentiles, \
+                response-class distribution) to $(docv).")
+  in
+  let action address conns pipeline duration verb page http schema json_out =
+    let module L = Wr_serve.Loadgen in
+    let module H = Wr_support.Stats.Histo in
+    if not (Wr_support.Schema.is_supported schema) then begin
+      Printf.eprintf "bench-serve: unsupported --schema %d (this client speaks %s)\n"
+        schema (Wr_support.Schema.supported_names ());
+      exit 1
+    end;
+    let rverb =
+      match verb with
+      | `Ping -> Request.Ping
+      | `Analyze -> (
+          match page with
+          | Some p ->
+              Request.analyze
+                (Request.analyze_params ~page:(read_file p)
+                   ~resources:(resources_around p) ())
+          | None ->
+              prerr_endline "bench-serve: --verb analyze needs a PAGE argument";
+              exit 1)
+    in
+    let cfg =
+      {
+        L.address;
+        conns = max 1 conns;
+        pipeline = max 1 pipeline;
+        duration = Float.max 0.05 duration;
+        verb = rverb;
+        surface = (if http then L.Http else L.Raw);
+        schema;
+      }
+    in
+    let r = L.run cfg in
+    Printf.printf "bench-serve: %d conns x pipeline %d, %.2f s, %s %s\n"
+      r.L.conns_run r.L.pipeline_run r.L.duration_s
+      (if http then "http" else "raw")
+      (Request.verb_name rverb);
+    Printf.printf "sent %d  received %d  throughput %.1f req/s\n" r.L.sent
+      r.L.received r.L.throughput_rps;
+    Printf.printf "latency p50 %.3f ms  p99 %.3f ms  p999 %.3f ms\n"
+      (1000. *. H.percentile r.L.latency 50.)
+      (1000. *. H.percentile r.L.latency 99.)
+      (1000. *. H.percentile r.L.latency 99.9);
+    Printf.printf "classes: %s\n"
+      (String.concat " "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) r.L.classes));
+    match json_out with
+    | Some file ->
+        write_file file (Wr_support.Json.to_string (L.to_json r));
+        Printf.eprintf "bench-serve: result written to %s\n%!" file
+    | None -> ()
+  in
+  let doc =
+    "Generate sustained concurrent load against a running $(b,webracer serve) \
+     daemon — barrier-synchronized burst clients on either surface — and report \
+     throughput, p50/p99/p999 round-trip latency and the response-class \
+     distribution (the interesting part under deliberate overload)."
+  in
+  Cmd.v
+    (Cmd.info "bench-serve" ~doc)
+    Term.(
+      const action $ address_term $ conns $ pipeline $ duration $ verb $ page
+      $ http $ schema $ json_out)
 
 (* --- top ---------------------------------------------------------------- *)
 
@@ -1475,12 +1662,8 @@ let top_cmd =
            exit 0));
     let live = Unix.isatty Unix.stdout in
     Wr_serve.Client.send client
-      {
-        Request.id = Wr_support.Json.Int 1;
-        trace = None;
-        verb =
-          Request.Watch { Request.interval_s = Float.max 0.05 interval; count };
-      };
+      (Request.make ~id:(Wr_support.Json.Int 1)
+         (Request.watch ~interval_s:(Float.max 0.05 interval) ?count ()));
     let rec loop prev frames =
       if count = Some frames then ()
       else
@@ -1519,4 +1702,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; batch_cmd; explain_cmd; predict_cmd; corpus_cmd; sitegen_cmd;
+            bench_serve_cmd;
             replay_cmd; offline_cmd; profile_cmd; serve_cmd; call_cmd; top_cmd ]))

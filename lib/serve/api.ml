@@ -92,21 +92,22 @@ let no_metrics () =
 let dispatch ?(stats = no_stats) ?(metrics = no_metrics) (req : Request.t) =
   let id = req.Request.id in
   let trace = req.Request.trace in
-  let ok result = Response.ok ~id ?trace result in
+  let schema = req.Request.schema in
+  let ok result = Response.ok ~schema ~id ?trace result in
   match
     match req.Request.verb with
     | Request.Ping -> ok ping_result
     | Request.Stats -> ok (stats ())
     | Request.Metrics -> ok (metrics ())
     | Request.Watch _ ->
-        Response.error ~id ?trace Response.Bad_request
+        Response.error ~schema ~id ?trace Response.Bad_request
           "watch streams from a running daemon, not a one-shot dispatch"
     | Request.Analyze p -> ok (Webracer.report_to_json (analyze p))
     | Request.Explain { target; race } -> (
         let report = analyze target in
         match select_witnesses report ~race with
         | Ok selection -> ok (explain_json report selection)
-        | Error msg -> Response.error ~id ?trace Response.Bad_request msg)
+        | Error msg -> Response.error ~schema ~id ?trace Response.Bad_request msg)
     | Request.Replay p -> ok (Webracer.Replay.verdict_to_json (replay p))
     | Request.Predict p -> ok (predict_json p)
   with
@@ -114,4 +115,4 @@ let dispatch ?(stats = no_stats) ?(metrics = no_metrics) (req : Request.t) =
   | exception e ->
       (* Crash isolation: a pathological page must answer, not abort the
          worker (let alone the daemon). *)
-      Response.error ~id ?trace Response.Internal (Printexc.to_string e)
+      Response.error ~schema ~id ?trace Response.Internal (Printexc.to_string e)

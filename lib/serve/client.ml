@@ -54,6 +54,68 @@ let request t req =
   send t req;
   recv t
 
+(* --- the HTTP surface -------------------------------------------------- *)
+
+(* Read one HTTP/1.1 response off the same channel: status line,
+   headers, then exactly Content-Length body bytes. Enough for the
+   daemon's own encoder; not a general HTTP client. *)
+let http_recv t =
+  match recv_line t with
+  | None -> Error "connection closed by server"
+  | Some status_line -> (
+      match String.split_on_char ' ' (String.trim status_line) with
+      | version :: code :: _ when String.length version >= 5
+                                  && String.sub version 0 5 = "HTTP/" -> (
+          match int_of_string_opt code with
+          | None -> Error ("malformed HTTP status line: " ^ status_line)
+          | Some status ->
+              let content_length = ref 0 in
+              let rec headers () =
+                match recv_line t with
+                | None -> Error "connection closed mid-headers"
+                | Some line when String.trim line = "" -> Ok ()
+                | Some line ->
+                    (match String.index_opt line ':' with
+                    | Some i
+                      when String.lowercase_ascii
+                             (String.trim (String.sub line 0 i))
+                           = "content-length" ->
+                        content_length :=
+                          Option.value ~default:0
+                            (int_of_string_opt
+                               (String.trim
+                                  (String.sub line (i + 1)
+                                     (String.length line - i - 1))))
+                    | _ -> ());
+                    headers ()
+              in
+              (match headers () with
+              | Error _ as e -> e
+              | Ok () -> (
+                  match
+                    In_channel.really_input_string t.ic !content_length
+                  with
+                  | None -> Error "connection closed mid-body"
+                  | Some body -> Ok (status, body)
+                  | exception Sys_error _ -> Error "connection closed mid-body")))
+      | _ -> Error ("malformed HTTP status line: " ^ status_line))
+
+let http_request t ~meth ~path ?(headers = []) ?(body = "") () =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "%s %s HTTP/1.1\r\n" meth path);
+  Buffer.add_string b "Host: webracer\r\n";
+  List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v)) headers;
+  if body <> "" || meth = "POST" then
+    Buffer.add_string b (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  Buffer.add_string b "\r\n";
+  Buffer.add_string b body;
+  write_all t.fd (Buffer.contents b);
+  http_recv t
+
+let set_recv_timeout t sec =
+  try Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO sec
+  with Unix.Unix_error _ | Invalid_argument _ -> ()
+
 let close t =
   if not t.closed then begin
     t.closed <- true;

@@ -30,4 +30,25 @@ val recv_line : t -> string option
 (** [request t req] = [send] then [recv]. *)
 val request : t -> Request.t -> (Response.t, string) result
 
+(** [http_request t ~meth ~path ()] speaks the daemon's HTTP surface on
+    the same connection: one keep-alive HTTP/1.1 request, one
+    [(status, body)] response (the body is the response document —
+    always schema v2). [Error] is a closed connection or an unparsable
+    response. [webracer call --http] and the load generator's HTTP mode
+    are the consumers. *)
+val http_request :
+  t ->
+  meth:string ->
+  path:string ->
+  ?headers:(string * string) list ->
+  ?body:string ->
+  unit ->
+  (int * string, string) result
+
+(** [set_recv_timeout t sec] arms [SO_RCVTIMEO]: a blocked [recv]
+    gives up after [sec] seconds (surfacing as a closed connection).
+    Best effort — ignored where the socket option is unsupported. The
+    load generator uses it to bound its post-deadline drain. *)
+val set_recv_timeout : t -> float -> unit
+
 val close : t -> unit

@@ -13,6 +13,7 @@ type address = Unix_socket of string | Tcp of int
 type config = {
   address : address;
   jobs : int;
+  shards : int;  (** event-loop shards; 1 = the classic single loop *)
   queue_cap : int;
   cache_cap : int;
   wall_limit : float;
@@ -25,6 +26,7 @@ let default_config address =
   {
     address;
     jobs = 4;
+    shards = 1;
     queue_cap = 128;
     cache_cap = 64;
     wall_limit = 60.;
@@ -37,6 +39,12 @@ let default_config address =
    client exhaust the daemon. *)
 let max_request_bytes = 16 * 1024 * 1024
 
+(* Which protocol a connection speaks, decided by sniffing its first
+   bytes: an HTTP method keyword selects the HTTP surface, anything
+   else is the newline-delimited JSON line protocol. One port, two
+   surfaces. *)
+type proto = P_unknown | P_line | P_http
+
 type conn = {
   cid : int;
   fd : Unix.file_descr;
@@ -44,6 +52,10 @@ type conn = {
   out : Buffer.t;  (** bytes not yet written; [out_ofs] already sent *)
   mutable out_ofs : int;
   mutable alive : bool;  (** peer still readable; dead conns drop replies *)
+  mutable proto : proto;
+  mutable http_busy : bool;
+      (** an HTTP request is in flight; responses are serialized per
+          connection, so parsing pauses until it is answered *)
 }
 
 type job = {
@@ -52,6 +64,7 @@ type job = {
   verb : string;
   trace : string;  (** supplied or minted; on logs, spans, histograms *)
   wire_trace : string option;  (** echoed on the response iff supplied *)
+  schema : int;  (** negotiated generation; stamps the response *)
   t_admit : float;  (** admission time; queue-wait/total latency basis *)
   cache_key : string option;
   deadline : float option;
@@ -65,38 +78,64 @@ type watcher = {
   w_cid : int;
   w_id : Json.t;
   w_trace : string option;
+  w_schema : int;
   w_interval : float;
   mutable w_left : int option;
   mutable w_next : float;
   mutable w_seq : int;
 }
 
-type state = {
-  cfg : config;
-  cache : Cache.t;
-  pool : Pool.t;
-  tm : Telemetry.t;
-  started : float;
+(* Fixed counter slots: plain int arrays with a single writer (the
+   owning shard's loop); other shards read them racily when merging a
+   stats/metrics view, which is memory-safe in OCaml and exact whenever
+   one shard runs. *)
+let verb_slots =
+  [| "ping"; "stats"; "metrics"; "watch"; "analyze"; "explain"; "predict";
+     "replay"; "invalid" |]
+
+let resp_slots = [| "ok"; "bad_request"; "timeout"; "overload"; "internal" |]
+
+let slot_of slots name =
+  let rec go i =
+    if i >= Array.length slots then invalid_arg ("unknown counter " ^ name)
+    else if slots.(i) = name then i
+    else go (i + 1)
+  in
+  go 0
+
+(* One event-loop shard: a full copy of the old daemon's accept-loop
+   state. Everything here is owned by the shard's domain; the only
+   cross-domain traffic is (a) workers pushing completions under
+   [completions_lock], (b) shard 0 handing accepted fds over under
+   [intake_lock] when SO_REUSEPORT is unavailable, (c) [jobs_lock]-
+   guarded mutation of [jobs_live] so postmortems can snapshot every
+   shard's in-flight requests, and (d) racy read-only counter/histogram
+   merges for stats views. *)
+type shard = {
+  sid : int;
+  stride : int;  (** = shard count; cid/jid/trace ids step by it *)
+  mutable listen : Unix.file_descr option;
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+  intake : Unix.file_descr Queue.t;
+  intake_lock : Mutex.t;
   conns : (int, conn) Hashtbl.t;
   jobs_live : (int, job) Hashtbl.t;
+  jobs_lock : Mutex.t;
   (* (jid, response, worker start, worker end) *)
   completions : (int * Response.t * float * float) Queue.t;
   completions_lock : Mutex.t;
-  pipe_r : Unix.file_descr;
-  pipe_w : Unix.file_descr;
-  mutable next_cid : int;
+  mutable next_cid : int;  (** strides by the shard count: globally unique *)
   mutable next_jid : int;
   mutable next_trace : int;
-  (* counters, accept-loop-only *)
-  requests : (string, int) Hashtbl.t;  (** by verb *)
-  responses : (string, int) Hashtbl.t;  (** by "ok" / error code *)
+  req_counts : int array;  (** indexed by [verb_slots] *)
+  resp_counts : int array;  (** indexed by [resp_slots] *)
   mutable analyses_run : int;
   mutable timeouts : int;
-  mutable queue_hwm : int;  (** most requests ever in flight at once *)
   mutable watchers : watcher list;
-  mutable pm_seq : int;  (** postmortem file sequence number *)
-  (* per-stage latency histograms, accept-loop-only: workers ship raw
-     timestamps with each completion and the accept loop records them *)
+  (* per-stage latency histograms, shard-loop-only writers: workers ship
+     raw timestamps with each completion and the owning loop records
+     them; merged views read across shards *)
   lat_decode : Histo.t;
   lat_queue : Histo.t;
   lat_run : Histo.t;
@@ -104,15 +143,78 @@ type state = {
   lat_total : Histo.t;
 }
 
-let mint_trace st =
-  let n = st.next_trace in
-  st.next_trace <- n + 1;
+type state = {
+  cfg : config;
+  nshards : int;
+  fanout : bool;  (** shard 0 accepts and round-robins fds to the others *)
+  cache : Cache.t;
+  pool : Pool.t;
+  tm : Telemetry.t;
+  started : float;
+  shards : shard array;
+  stopping : bool Atomic.t;
+  in_flight : int Atomic.t;  (** global admission gauge across shards *)
+  queue_hwm : int Atomic.t;
+  pm_seq : int Atomic.t;
+  mutable handoff_rr : int;  (** fanout cursor; shard 0 only *)
+  stop_fn : unit -> bool;  (** polled by shard 0 only *)
+  dump_fn : unit -> bool;  (** polled by shard 0 only *)
+}
+
+let mint_trace sh =
+  let n = sh.next_trace in
+  sh.next_trace <- n + sh.stride;
   Printf.sprintf "t-%d" n
 
-let bump table key =
-  Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+let bump_verb sh name =
+  let i = slot_of verb_slots name in
+  sh.req_counts.(i) <- sh.req_counts.(i) + 1
 
-let count table key = Option.value ~default:0 (Hashtbl.find_opt table key)
+let bump_resp sh name =
+  let i = slot_of resp_slots name in
+  sh.resp_counts.(i) <- sh.resp_counts.(i) + 1
+
+let resp_outcome = function
+  | Response.Ok _ -> "ok"
+  | Response.Error { code; _ } -> Response.code_name code
+
+(* Merged (cross-shard) readings. Remote shards' counters are read
+   without synchronization: each slot is a single machine word with a
+   single writer, so the merge is approximate under concurrency and
+   exact with one shard (or a quiesced daemon). *)
+let sum_slot st counts slot =
+  let i = slot_of counts slot in
+  Array.fold_left
+    (fun acc sh ->
+      acc + (if counts == verb_slots then sh.req_counts.(i) else sh.resp_counts.(i)))
+    0 st.shards
+
+let req_count st name = sum_slot st verb_slots name
+let resp_count st name = sum_slot st resp_slots name
+
+let requests_total st =
+  Array.fold_left
+    (fun acc sh -> Array.fold_left ( + ) acc sh.req_counts)
+    0 st.shards
+
+let analyses_run st =
+  Array.fold_left (fun acc sh -> acc + sh.analyses_run) 0 st.shards
+
+let timeouts st = Array.fold_left (fun acc sh -> acc + sh.timeouts) 0 st.shards
+
+let merged_histo st f =
+  let into = Histo.create () in
+  Array.iter (fun sh -> Histo.merge_into ~into (f sh)) st.shards;
+  into
+
+let latency_stages st =
+  [
+    ("decode", merged_histo st (fun sh -> sh.lat_decode));
+    ("queue", merged_histo st (fun sh -> sh.lat_queue));
+    ("run", merged_histo st (fun sh -> sh.lat_run));
+    ("encode", merged_histo st (fun sh -> sh.lat_encode));
+    ("total", merged_histo st (fun sh -> sh.lat_total));
+  ]
 
 let sync_telemetry st =
   let tm = st.tm in
@@ -120,15 +222,19 @@ let sync_telemetry st =
     Telemetry.set_counter tm "serve.cache.hits" (Cache.hits st.cache);
     Telemetry.set_counter tm "serve.cache.misses" (Cache.misses st.cache);
     Telemetry.set_counter tm "serve.cache.entries" (Cache.length st.cache);
-    Telemetry.set_counter tm "serve.analyses" st.analyses_run;
-    Telemetry.set_counter tm "serve.timeouts" st.timeouts;
-    Telemetry.set_counter tm "serve.in_flight" (Hashtbl.length st.jobs_live);
-    Hashtbl.iter
-      (fun verb n -> Telemetry.set_counter tm ("serve.requests." ^ verb) n)
-      st.requests;
-    Hashtbl.iter
-      (fun code n -> Telemetry.set_counter tm ("serve.responses." ^ code) n)
-      st.responses
+    Telemetry.set_counter tm "serve.analyses" (analyses_run st);
+    Telemetry.set_counter tm "serve.timeouts" (timeouts st);
+    Telemetry.set_counter tm "serve.in_flight" (Atomic.get st.in_flight);
+    Array.iter
+      (fun verb ->
+        let n = req_count st verb in
+        if n > 0 then Telemetry.set_counter tm ("serve.requests." ^ verb) n)
+      verb_slots;
+    Array.iter
+      (fun code ->
+        let n = resp_count st code in
+        if n > 0 then Telemetry.set_counter tm ("serve.responses." ^ code) n)
+      resp_slots
   end
 
 let cache_hit_ratio st =
@@ -140,30 +246,31 @@ let stats_json st =
     [ "ping"; "stats"; "metrics"; "watch"; "analyze"; "explain"; "predict";
       "replay" ]
   in
-  let total = List.fold_left (fun acc v -> acc + count st.requests v) 0 verbs in
+  let total = List.fold_left (fun acc v -> acc + req_count st v) 0 verbs in
   Json.Obj
     [
       Schema.tag;
       ("uptime_s", Json.Float (Clock.now () -. st.started));
       ("jobs", Json.Int st.cfg.jobs);
+      ("shards", Json.Int st.nshards);
       ( "queue",
         Json.Obj
           [
             ("cap", Json.Int st.cfg.queue_cap);
-            ("in_flight", Json.Int (Hashtbl.length st.jobs_live));
-            ("high_water", Json.Int st.queue_hwm);
+            ("in_flight", Json.Int (Atomic.get st.in_flight));
+            ("high_water", Json.Int (Atomic.get st.queue_hwm));
           ] );
       ( "requests",
         Json.Obj
           (("total", Json.Int total)
-          :: List.map (fun v -> (v, Json.Int (count st.requests v))) verbs) );
+          :: List.map (fun v -> (v, Json.Int (req_count st v))) verbs) );
       ( "responses",
         Json.Obj
-          (("ok", Json.Int (count st.responses "ok"))
+          (("ok", Json.Int (resp_count st "ok"))
           :: List.map
                (fun c ->
                  let name = Response.code_name c in
-                 (name, Json.Int (count st.responses name)))
+                 (name, Json.Int (resp_count st name)))
                [ Response.Bad_request; Response.Timeout; Response.Overload;
                  Response.Internal ]) );
       ( "cache",
@@ -175,8 +282,8 @@ let stats_json st =
             ("misses", Json.Int (Cache.misses st.cache));
             ("hit_ratio", Json.Float (cache_hit_ratio st));
           ] );
-      ("analyses_run", Json.Int st.analyses_run);
-      ("timeouts", Json.Int st.timeouts);
+      ("analyses_run", Json.Int (analyses_run st));
+      ("timeouts", Json.Int (timeouts st));
       ( "telemetry",
         Json.Obj
           (List.map (fun (k, v) -> (k, Json.Int v)) (Telemetry.counters st.tm)) );
@@ -184,37 +291,36 @@ let stats_json st =
 
 (* --- metrics exposition ------------------------------------------------ *)
 
-let latency_stages st =
-  [
-    ("decode", st.lat_decode);
-    ("queue", st.lat_queue);
-    ("run", st.lat_run);
-    ("encode", st.lat_encode);
-    ("total", st.lat_total);
-  ]
-
 (* Prometheus text exposition: one flat document scrapeable by anything
    that speaks the format; quantiles are the HDR-histogram readings at
-   export time. *)
+   export time, merged across shards. *)
 let prometheus_text st =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   let typ name kind = line "# TYPE %s %s" name kind in
   typ "webracer_uptime_seconds" "gauge";
   line "webracer_uptime_seconds %.3f" (Clock.now () -. st.started);
+  typ "webracer_shards" "gauge";
+  line "webracer_shards %d" st.nshards;
   typ "webracer_requests_total" "counter";
-  Hashtbl.fold (fun verb n acc -> (verb, n) :: acc) st.requests []
+  Array.to_list verb_slots
+  |> List.filter_map (fun v ->
+         let n = req_count st v in
+         if n > 0 then Some (v, n) else None)
   |> List.sort compare
   |> List.iter (fun (verb, n) -> line "webracer_requests_total{verb=%S} %d" verb n);
   typ "webracer_responses_total" "counter";
-  Hashtbl.fold (fun code n acc -> (code, n) :: acc) st.responses []
+  Array.to_list resp_slots
+  |> List.filter_map (fun c ->
+         let n = resp_count st c in
+         if n > 0 then Some (c, n) else None)
   |> List.sort compare
   |> List.iter (fun (code, n) ->
          line "webracer_responses_total{outcome=%S} %d" code n);
   typ "webracer_queue_depth" "gauge";
-  line "webracer_queue_depth %d" (Hashtbl.length st.jobs_live);
+  line "webracer_queue_depth %d" (Atomic.get st.in_flight);
   typ "webracer_queue_depth_high_water" "gauge";
-  line "webracer_queue_depth_high_water %d" st.queue_hwm;
+  line "webracer_queue_depth_high_water %d" (Atomic.get st.queue_hwm);
   typ "webracer_queue_cap" "gauge";
   line "webracer_queue_cap %d" st.cfg.queue_cap;
   typ "webracer_cache_hit_ratio" "gauge";
@@ -222,11 +328,11 @@ let prometheus_text st =
   typ "webracer_cache_entries" "gauge";
   line "webracer_cache_entries %d" (Cache.length st.cache);
   typ "webracer_analyses_total" "counter";
-  line "webracer_analyses_total %d" st.analyses_run;
+  line "webracer_analyses_total %d" (analyses_run st);
   typ "webracer_timeouts_total" "counter";
-  line "webracer_timeouts_total %d" st.timeouts;
+  line "webracer_timeouts_total %d" (timeouts st);
   typ "webracer_shed_total" "counter";
-  line "webracer_shed_total %d" (count st.responses "overload");
+  line "webracer_shed_total %d" (resp_count st "overload");
   typ "webracer_request_latency_seconds" "summary";
   List.iter
     (fun (stage, h) ->
@@ -253,13 +359,12 @@ let watch_snapshot st seq =
       ("seq", Json.Int seq);
       ("ts", Json.Float now);
       ("uptime_s", Json.Float (now -. st.started));
-      ( "requests_total",
-        Json.Int (Hashtbl.fold (fun _ n acc -> acc + n) st.requests 0) );
+      ("requests_total", Json.Int (requests_total st));
       ( "queue",
         Json.Obj
           [
-            ("depth", Json.Int (Hashtbl.length st.jobs_live));
-            ("high_water", Json.Int st.queue_hwm);
+            ("depth", Json.Int (Atomic.get st.in_flight));
+            ("high_water", Json.Int (Atomic.get st.queue_hwm));
             ("cap", Json.Int st.cfg.queue_cap);
           ] );
       ( "cache",
@@ -274,9 +379,9 @@ let watch_snapshot st seq =
         Json.Obj
           (List.map (fun (stage, h) -> (stage, Histo.summary_json h))
              (latency_stages st)) );
-      ("timeouts", Json.Int st.timeouts);
-      ("shed", Json.Int (count st.responses "overload"));
-      ("analyses_run", Json.Int st.analyses_run);
+      ("timeouts", Json.Int (timeouts st));
+      ("shed", Json.Int (resp_count st "overload"));
+      ("analyses_run", Json.Int (analyses_run st));
       ("fleet", Pool.stats_json (Pool.stats st.pool));
       ( "gc",
         match Runtime_probe.current () with
@@ -284,11 +389,26 @@ let watch_snapshot st seq =
         | None -> Json.Null );
     ]
 
+let per_shard_json st =
+  Json.List
+    (Array.to_list
+       (Array.map
+          (fun sh ->
+            Json.Obj
+              [
+                ("shard", Json.Int sh.sid);
+                ("requests_total", Json.Int (Array.fold_left ( + ) 0 sh.req_counts));
+                ("responses_total", Json.Int (Array.fold_left ( + ) 0 sh.resp_counts));
+                ("analyses_run", Json.Int sh.analyses_run);
+              ])
+          st.shards))
+
 let metrics_json st =
   Json.Obj
     [
       Schema.tag;
       ("uptime_s", Json.Float (Clock.now () -. st.started));
+      ("shards", Json.Int st.nshards);
       ( "latency",
         Json.Obj
           (List.map (fun (stage, h) -> (stage, Histo.summary_json h))
@@ -296,8 +416,8 @@ let metrics_json st =
       ( "queue",
         Json.Obj
           [
-            ("depth", Json.Int (Hashtbl.length st.jobs_live));
-            ("high_water", Json.Int st.queue_hwm);
+            ("depth", Json.Int (Atomic.get st.in_flight));
+            ("high_water", Json.Int (Atomic.get st.queue_hwm));
             ("cap", Json.Int st.cfg.queue_cap);
           ] );
       ( "cache",
@@ -308,9 +428,10 @@ let metrics_json st =
             ("misses", Json.Int (Cache.misses st.cache));
             ("entries", Json.Int (Cache.length st.cache));
           ] );
-      ("timeouts", Json.Int st.timeouts);
-      ("shed", Json.Int (count st.responses "overload"));
-      ("analyses_run", Json.Int st.analyses_run);
+      ("timeouts", Json.Int (timeouts st));
+      ("shed", Json.Int (resp_count st "overload"));
+      ("analyses_run", Json.Int (analyses_run st));
+      ("per_shard", per_shard_json st);
       ("prometheus", Json.String (prometheus_text st));
     ]
 
@@ -324,16 +445,15 @@ let rec mkdir_p dir =
   end
 
 (* Dump the flight recorder: a JSONL file (header object — reason,
-   uptime, the in-flight requests with their trace ids — then one line
-   per retained event) plus a mini Chrome trace of the same events.
-   Best effort by design: a postmortem failing must not take the daemon
-   with it. *)
+   uptime, the in-flight requests of EVERY shard with their trace ids —
+   then one line per retained event) plus a mini Chrome trace of the
+   same events. Best effort by design: a postmortem failing must not
+   take the daemon with it. *)
 let write_postmortem st ~reason =
   match st.cfg.postmortem_dir with
   | None -> ()
   | Some dir -> (
-      let seq = st.pm_seq in
-      st.pm_seq <- seq + 1;
+      let seq = Atomic.fetch_and_add st.pm_seq 1 in
       let base =
         Filename.concat dir (Printf.sprintf "postmortem-%d-%s" seq reason)
       in
@@ -342,17 +462,26 @@ let write_postmortem st ~reason =
         let now = Clock.now () in
         let events = Flight.snapshot () in
         let in_flight =
-          Hashtbl.fold
-            (fun _ job acc ->
-              Json.Obj
-                [
-                  ("jid", Json.Int job.jid);
-                  ("verb", Json.String job.verb);
-                  ("trace_id", Json.String job.trace);
-                  ("age_s", Json.Float (now -. job.t_admit));
-                ]
-              :: acc)
-            st.jobs_live []
+          Array.fold_left
+            (fun acc sh ->
+              Mutex.lock sh.jobs_lock;
+              let acc =
+                Hashtbl.fold
+                  (fun _ job acc ->
+                    Json.Obj
+                      [
+                        ("jid", Json.Int job.jid);
+                        ("shard", Json.Int sh.sid);
+                        ("verb", Json.String job.verb);
+                        ("trace_id", Json.String job.trace);
+                        ("age_s", Json.Float (now -. job.t_admit));
+                      ]
+                    :: acc)
+                  sh.jobs_live acc
+              in
+              Mutex.unlock sh.jobs_lock;
+              acc)
+            [] st.shards
         in
         let header =
           Json.Obj
@@ -387,53 +516,67 @@ let write_postmortem st ~reason =
 
 (* --- replies ----------------------------------------------------------- *)
 
-let respond st conn (resp : Response.t) =
-  bump st.responses
-    (match resp with
-    | Response.Ok _ -> "ok"
-    | Response.Error { code; _ } -> Response.code_name code);
+(* The single respond choke point for both surfaces. [http_status]
+   overrides the response-derived status for HTTP routing errors
+   (404/405) that have no slot in the closed taxonomy. *)
+let respond ?http_status st sh conn (resp : Response.t) =
+  bump_resp sh (resp_outcome resp);
   if conn.alive then begin
     let t0 = Clock.now () in
-    let line = Response.to_line resp in
-    Histo.add st.lat_encode (Clock.now () -. t0);
-    Buffer.add_string conn.out line;
-    Buffer.add_char conn.out '\n'
+    (match conn.proto with
+    | P_http ->
+        let body = Response.to_line resp in
+        let status = Option.value ~default:(Response.status resp) http_status in
+        Buffer.add_string conn.out (Http.response ~status ~body);
+        conn.http_busy <- false
+    | P_line | P_unknown ->
+        let line = Response.to_line resp in
+        Buffer.add_string conn.out line;
+        Buffer.add_char conn.out '\n');
+    Histo.add sh.lat_encode (Clock.now () -. t0)
   end;
   sync_telemetry st
 
-let respond_cid st cid resp =
-  match Hashtbl.find_opt st.conns cid with
-  | Some conn -> respond st conn resp
+let respond_cid st sh cid resp =
+  match Hashtbl.find_opt sh.conns cid with
+  | Some conn -> respond st sh conn resp
   | None ->
       (* The client vanished before its answer; still tally the outcome. *)
-      bump st.responses
-        (match resp with
-        | Response.Ok _ -> "ok"
-        | Response.Error { code; _ } -> Response.code_name code)
+      bump_resp sh (resp_outcome resp)
 
 (* --- job submission ---------------------------------------------------- *)
 
-let submit_job st conn ~verb ~trace ~wire_trace ~cache_key
+let bump_hwm st cur =
+  let rec go () =
+    let old = Atomic.get st.queue_hwm in
+    if cur > old && not (Atomic.compare_and_set st.queue_hwm old cur) then go ()
+  in
+  go ()
+
+let submit_job st sh conn ~verb ~trace ~wire_trace ~schema ~cache_key
     (work : unit -> Response.t) =
-  let jid = st.next_jid in
-  st.next_jid <- jid + 1;
+  let jid = sh.next_jid in
+  sh.next_jid <- jid + sh.stride;
   let t_admit = Clock.now () in
   let deadline =
     if st.cfg.wall_limit > 0. then Some (t_admit +. st.cfg.wall_limit) else None
   in
-  Hashtbl.replace st.jobs_live jid
+  Mutex.lock sh.jobs_lock;
+  Hashtbl.replace sh.jobs_live jid
     {
       jid;
       job_cid = conn.cid;
       verb;
       trace;
       wire_trace;
+      schema;
       t_admit;
       cache_key;
       deadline;
       answered = false;
     };
-  st.queue_hwm <- max st.queue_hwm (Hashtbl.length st.jobs_live);
+  Mutex.unlock sh.jobs_lock;
+  bump_hwm st (Atomic.fetch_and_add st.in_flight 1 + 1);
   let tm = st.tm in
   (* Test hook: [WEBRACER_FAULT_INJECT=<verb>] makes matching requests
      blow up inside the worker — the way to rehearse a worker crash
@@ -465,37 +608,30 @@ let submit_job st conn ~verb ~trace ~wire_trace ~cache_key
             (Printexc.to_string e)
       in
       Flight.record ~kind:"request.end" ~trace
-        [
-          ("jid", Json.Int jid);
-          ( "outcome",
-            Json.String
-              (match resp with
-              | Response.Ok _ -> "ok"
-              | Response.Error { code; _ } -> Response.code_name code) );
-        ];
+        [ ("jid", Json.Int jid); ("outcome", Json.String (resp_outcome resp)) ];
       let t_end = Clock.now () in
-      Mutex.lock st.completions_lock;
-      Queue.push (jid, resp, t_start, t_end) st.completions;
-      Mutex.unlock st.completions_lock;
-      (* Wake the accept loop; EAGAIN just means it is already awake, and
-         EBADF/EPIPE that the daemon is already past draining. *)
-      try ignore (Unix.write st.pipe_w (Bytes.make 1 '!') 0 1)
+      Mutex.lock sh.completions_lock;
+      Queue.push (jid, resp, t_start, t_end) sh.completions;
+      Mutex.unlock sh.completions_lock;
+      (* Wake the owning shard; EAGAIN just means it is already awake,
+         and EBADF/EPIPE that the daemon is already past draining. *)
+      try ignore (Unix.write sh.pipe_w (Bytes.make 1 '!') 0 1)
       with
       | Unix.Unix_error
           ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _)
       -> ())
 
-let drain_completions st =
+let drain_completions st sh =
   let batch =
-    Mutex.lock st.completions_lock;
-    let xs = List.of_seq (Queue.to_seq st.completions) in
-    Queue.clear st.completions;
-    Mutex.unlock st.completions_lock;
+    Mutex.lock sh.completions_lock;
+    let xs = List.of_seq (Queue.to_seq sh.completions) in
+    Queue.clear sh.completions;
+    Mutex.unlock sh.completions_lock;
     xs
   in
   List.iter
     (fun (jid, resp, t_start, t_end) ->
-      match Hashtbl.find_opt st.jobs_live jid with
+      match Hashtbl.find_opt sh.jobs_live jid with
       | None -> ()
       | Some job ->
           (match resp with
@@ -507,15 +643,18 @@ let drain_completions st =
                 [ ("jid", Json.Int jid); ("verb", Json.String job.verb) ];
               write_postmortem st ~reason:"worker-crash"
           | _ -> ());
-          Hashtbl.remove st.jobs_live jid;
+          Mutex.lock sh.jobs_lock;
+          Hashtbl.remove sh.jobs_live jid;
+          Mutex.unlock sh.jobs_lock;
+          Atomic.decr st.in_flight;
           (* Stage latencies: the worker ships raw timestamps so only the
-             accept loop ever touches the histograms (single writer). *)
+             owning loop ever touches the histograms (single writer). *)
           let queue_wait = t_start -. job.t_admit in
           let run_time = t_end -. t_start in
           let total = Clock.now () -. job.t_admit in
-          Histo.add st.lat_queue queue_wait;
-          Histo.add st.lat_run run_time;
-          Histo.add st.lat_total total;
+          Histo.add sh.lat_queue queue_wait;
+          Histo.add sh.lat_run run_time;
+          Histo.add sh.lat_total total;
           if Log.enabled Log.Debug then
             Log.with_trace ~trace_id:job.trace ~span_id:(string_of_int jid)
               (fun () ->
@@ -528,44 +667,48 @@ let drain_completions st =
                   ]);
           (match (job.cache_key, resp) with
           | Some key, Response.Ok { result; _ } ->
-              st.analyses_run <- st.analyses_run + 1;
+              sh.analyses_run <- sh.analyses_run + 1;
               Cache.store st.cache key result
           | Some _, Response.Error _ | None, _ -> ());
-          if not job.answered then respond_cid st job.job_cid resp
+          let resp = Response.stamp ~schema:job.schema ~shard:sh.sid resp in
+          if not job.answered then respond_cid st sh job.job_cid resp
           else sync_telemetry st)
     batch
 
-let sweep_deadlines st now =
+let sweep_deadlines st sh now =
   Hashtbl.iter
     (fun _ job ->
       match job.deadline with
       | Some d when (not job.answered) && d <= now ->
           job.answered <- true;
-          st.timeouts <- st.timeouts + 1;
+          sh.timeouts <- sh.timeouts + 1;
           Flight.record ~kind:"request.deadline" ~trace:job.trace
             [ ("jid", Json.Int job.jid); ("verb", Json.String job.verb) ];
           write_postmortem st ~reason:"deadline";
-          respond_cid st job.job_cid
-            (Response.error ?trace:job.wire_trace ~id:Json.Null Response.Timeout
-               (Printf.sprintf "request exceeded the %.0f s wall-clock limit"
-                  st.cfg.wall_limit))
+          respond_cid st sh job.job_cid
+            (Response.stamp ~schema:job.schema ~shard:sh.sid
+               (Response.error ?trace:job.wire_trace ~id:Json.Null
+                  Response.Timeout
+                  (Printf.sprintf "request exceeded the %.0f s wall-clock limit"
+                     st.cfg.wall_limit)))
       | _ -> ())
-    st.jobs_live
+    sh.jobs_live
 
 (* Emit due watch snapshots; drop subscriptions whose connection died or
    whose count ran out. *)
-let tick_watchers st now =
-  st.watchers <-
+let tick_watchers st sh now =
+  sh.watchers <-
     List.filter
       (fun w ->
-        match Hashtbl.find_opt st.conns w.w_cid with
+        match Hashtbl.find_opt sh.conns w.w_cid with
         | None -> false
         | Some conn when not conn.alive -> false
         | Some conn ->
             if w.w_next <= now then begin
-              respond st conn
-                (Response.ok ?trace:w.w_trace ~id:w.w_id
-                   (watch_snapshot st w.w_seq));
+              respond st sh conn
+                (Response.stamp ~schema:w.w_schema ~shard:sh.sid
+                   (Response.ok ?trace:w.w_trace ~id:w.w_id
+                      (watch_snapshot st w.w_seq)));
               w.w_seq <- w.w_seq + 1;
               w.w_next <- now +. w.w_interval;
               match w.w_left with
@@ -573,59 +716,63 @@ let tick_watchers st now =
               | None -> ()
             end;
             (match w.w_left with Some n when n <= 0 -> false | _ -> true))
-      st.watchers
+      sh.watchers
 
 (* --- request handling -------------------------------------------------- *)
 
 let clamp_target st (p : Request.analyze_params) =
   { p with Request.time_limit = Float.min p.Request.time_limit st.cfg.max_time_limit }
 
-let handle_request st conn (req : Request.t) =
+let handle_request st sh conn (req : Request.t) =
   let id = req.Request.id in
-  bump st.requests (Request.verb_name req.Request.verb);
+  bump_verb sh (Request.verb_name req.Request.verb);
   (* [wire_trace] is echoed on the wire iff the client supplied one;
      [trace] (supplied or minted) tags logs, spans and debug output
      either way, so every request is traceable server-side. *)
   let wire_trace = req.Request.trace in
+  let schema = req.Request.schema in
   let trace =
-    match wire_trace with Some t -> t | None -> mint_trace st
+    match wire_trace with Some t -> t | None -> mint_trace sh
   in
+  (* Every inline answer leaves through [reply], which stamps the
+     negotiated generation and this shard's id (v2+ only) on the way
+     out; worker completions get the same stamp in [drain_completions]. *)
+  let reply resp = respond st sh conn (Response.stamp ~schema ~shard:sh.sid resp) in
   let admit ~verb ~cache_key work =
     Flight.record ~kind:"request.admit" ~trace
       [ ("verb", Json.String verb); ("conn", Json.Int conn.cid) ];
-    if Hashtbl.length st.jobs_live >= st.cfg.queue_cap then
-      respond st conn
+    if Atomic.get st.in_flight >= st.cfg.queue_cap then
+      reply
         (Response.error ?trace:wire_trace ~id Response.Overload
            (Printf.sprintf "queue full (%d requests in flight); retry later"
               st.cfg.queue_cap))
-    else submit_job st conn ~verb ~trace ~wire_trace ~cache_key work
+    else submit_job st sh conn ~verb ~trace ~wire_trace ~schema ~cache_key work
   in
   match req.Request.verb with
-  | Request.Ping ->
-      respond st conn (Response.ok ?trace:wire_trace ~id Api.ping_result)
-  | Request.Stats ->
-      respond st conn (Response.ok ?trace:wire_trace ~id (stats_json st))
+  | Request.Ping -> reply (Response.ok ?trace:wire_trace ~id Api.ping_result)
+  | Request.Stats -> reply (Response.ok ?trace:wire_trace ~id (stats_json st))
   | Request.Metrics ->
-      respond st conn (Response.ok ?trace:wire_trace ~id (metrics_json st))
+      reply (Response.ok ?trace:wire_trace ~id (metrics_json st))
   | Request.Watch { interval_s; count } ->
       (* Subscribe; the first snapshot goes out on the next loop pass
          (immediately), then every [interval_s]. No response here. *)
-      st.watchers <-
+      sh.watchers <-
         {
           w_cid = conn.cid;
           w_id = id;
           w_trace = wire_trace;
+          w_schema = schema;
           w_interval = Float.max 0.05 interval_s;
           w_left = count;
           w_next = Clock.now ();
           w_seq = 0;
         }
-        :: st.watchers
+        :: sh.watchers
   | Request.Analyze p -> (
       let p = clamp_target st p in
       let key = Cache.key p in
       match Cache.find st.cache key with
-      | Some result -> respond st conn (Response.ok ?trace:wire_trace ~id result)
+      | Some result -> reply (Response.ok ?trace:wire_trace ~id result)
       | None ->
           admit ~verb:"analyze" ~cache_key:(Some key) (fun () ->
               Api.dispatch { req with Request.verb = Request.Analyze p }))
@@ -650,46 +797,113 @@ let handle_request st conn (req : Request.t) =
       admit ~verb:"predict" ~cache_key:None (fun () ->
           Api.dispatch { req with Request.verb = Request.Predict p })
 
-let handle_line st conn line =
+let handle_line st sh conn line =
   if String.trim line <> "" then begin
     if Log.enabled Log.Debug then
       Log.debug "serve.request"
         [ ("conn", Json.Int conn.cid); ("bytes", Json.Int (String.length line)) ];
     let t0 = Clock.now () in
     let decoded = Request.of_line line in
-    Histo.add st.lat_decode (Clock.now () -. t0);
+    Histo.add sh.lat_decode (Clock.now () -. t0);
     match decoded with
-    | Ok req -> handle_request st conn req
+    | Ok req -> handle_request st sh conn req
     | Error (id, msg) ->
-        bump st.requests "invalid";
-        respond st conn (Response.error ~id Response.Bad_request msg)
+        bump_verb sh "invalid";
+        respond st sh conn (Response.error ~id Response.Bad_request msg)
   end
 
-(* Split complete lines out of the connection's input buffer. *)
-let process_input st conn =
-  let data = Buffer.contents conn.inbuf in
-  let n = String.length data in
-  let pos = ref 0 in
-  (try
-     while !pos < n do
-       match String.index_from data !pos '\n' with
-       | nl ->
-           handle_line st conn (String.sub data !pos (nl - !pos));
-           pos := nl + 1
-       | exception Not_found -> raise Exit
-     done
-   with Exit -> ());
-  Buffer.clear conn.inbuf;
-  Buffer.add_substring conn.inbuf data !pos (n - !pos);
-  if Buffer.length conn.inbuf > max_request_bytes then begin
-    respond st conn
-      (Response.error ~id:Json.Null Response.Bad_request
-         (Printf.sprintf "request line exceeds %d bytes" max_request_bytes));
-    conn.alive <- false;
-    Buffer.clear conn.inbuf
-  end
+let handle_http st sh conn (r : Http.req) =
+  let t0 = Clock.now () in
+  match Http.route r with
+  | Error (status, msg) ->
+      Histo.add sh.lat_decode (Clock.now () -. t0);
+      bump_verb sh "invalid";
+      respond ~http_status:status st sh conn
+        (Response.error ~schema:Schema.v2 ~shard:sh.sid ~id:Json.Null
+           Response.Bad_request msg)
+  | Ok wire -> (
+      let decoded = Request.of_json wire in
+      Histo.add sh.lat_decode (Clock.now () -. t0);
+      match decoded with
+      | Error (id, msg) ->
+          bump_verb sh "invalid";
+          respond st sh conn
+            (Response.error ~schema:Schema.v2 ~shard:sh.sid ~id
+               Response.Bad_request msg)
+      | Ok req ->
+          (* The HTTP surface is v2-native: responses carry the shard id
+             and HTTP-parity error objects even for untagged bodies. *)
+          let req =
+            { req with Request.schema = max req.Request.schema Schema.v2 }
+          in
+          handle_request st sh conn req)
+
+(* Split complete requests out of the connection's input buffer. The
+   first bytes decide the protocol; HTTP connections parse at most one
+   request ahead of the unanswered one (responses are serialized), and
+   the shard loop re-enters here when an async answer unblocks them. *)
+let rec process_input st sh conn =
+  match conn.proto with
+  | P_unknown -> (
+      match Http.sniff (Buffer.contents conn.inbuf) with
+      | `Undecided -> ()  (* a prefix of an HTTP method; need more bytes *)
+      | `Http ->
+          conn.proto <- P_http;
+          process_input st sh conn
+      | `Line ->
+          conn.proto <- P_line;
+          process_input st sh conn)
+  | P_line ->
+      let data = Buffer.contents conn.inbuf in
+      let n = String.length data in
+      let pos = ref 0 in
+      (try
+         while !pos < n do
+           match String.index_from data !pos '\n' with
+           | nl ->
+               handle_line st sh conn (String.sub data !pos (nl - !pos));
+               pos := nl + 1
+           | exception Not_found -> raise Exit
+         done
+       with Exit -> ());
+      Buffer.clear conn.inbuf;
+      Buffer.add_substring conn.inbuf data !pos (n - !pos);
+      if Buffer.length conn.inbuf > max_request_bytes then begin
+        respond st sh conn
+          (Response.error ~id:Json.Null Response.Bad_request
+             (Printf.sprintf "request line exceeds %d bytes" max_request_bytes));
+        conn.alive <- false;
+        Buffer.clear conn.inbuf
+      end
+  | P_http ->
+      let data = Buffer.contents conn.inbuf in
+      let n = String.length data in
+      let pos = ref 0 in
+      let parsing = ref true in
+      while !parsing && (not conn.http_busy) && conn.alive && !pos < n do
+        match Http.parse ~max_body:max_request_bytes data ~pos:!pos with
+        | `More -> parsing := false
+        | `Bad msg ->
+            bump_verb sh "invalid";
+            respond ~http_status:400 st sh conn
+              (Response.error ~schema:Schema.v2 ~shard:sh.sid ~id:Json.Null
+                 Response.Bad_request msg);
+            conn.alive <- false;
+            pos := n
+        | `Req (r, pos') ->
+            pos := pos';
+            conn.http_busy <- true;
+            (* An inline answer clears [http_busy] via [respond], letting
+               the loop continue with the next pipelined request; an
+               admitted job leaves it set and parsing pauses here. *)
+            handle_http st sh conn r
+      done;
+      Buffer.clear conn.inbuf;
+      Buffer.add_substring conn.inbuf data !pos (n - !pos)
 
 (* --- sockets ----------------------------------------------------------- *)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 let listen_on address =
   match address with
@@ -711,33 +925,112 @@ let listen_on address =
       in
       (fd, bound)
 
-let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+(* The per-shard accept paths. TCP with [SO_REUSEPORT]: every shard
+   binds its own listening socket to the one port and the kernel spreads
+   connections across them — no accept lock, no hand-off. Unix sockets
+   (no port to share) and platforms without the option fall back to
+   fan-out: shard 0 owns the single listening socket and round-robins
+   accepted fds to its peers, which also keeps request decode off the
+   accept path. *)
+let bind_shards address nshards =
+  let fanout_single () =
+    let fd, bound = listen_on address in
+    let listens = Array.make nshards None in
+    listens.(0) <- Some fd;
+    (listens, bound, nshards > 1)
+  in
+  match address with
+  | Unix_socket _ -> fanout_single ()
+  | Tcp _ when nshards = 1 -> fanout_single ()
+  | Tcp port -> (
+      let listens = Array.make nshards None in
+      let mk p =
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try
+           Unix.setsockopt fd Unix.SO_REUSEADDR true;
+           Unix.setsockopt fd Unix.SO_REUSEPORT true;
+           Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, p));
+           Unix.listen fd 64
+         with e ->
+           close_quietly fd;
+           raise e);
+        fd
+      in
+      try
+        let fd0 = mk port in
+        listens.(0) <- Some fd0;
+        let bound_port =
+          match Unix.getsockname fd0 with
+          | Unix.ADDR_INET (_, p) -> p
+          | _ -> port
+        in
+        for i = 1 to nshards - 1 do
+          listens.(i) <- Some (mk bound_port)
+        done;
+        (listens, Tcp bound_port, false)
+      with Unix.Unix_error _ | Invalid_argument _ ->
+        Array.iter (Option.iter close_quietly) listens;
+        Array.fill listens 0 nshards None;
+        fanout_single ())
 
-let accept_conn st listen_fd =
+let add_conn sh fd =
+  Unix.set_nonblock fd;
+  let cid = sh.next_cid in
+  sh.next_cid <- cid + sh.stride;
+  Hashtbl.replace sh.conns cid
+    {
+      cid;
+      fd;
+      inbuf = Buffer.create 1024;
+      out = Buffer.create 1024;
+      out_ofs = 0;
+      alive = true;
+      proto = P_unknown;
+      http_busy = false;
+    }
+
+let wake sh =
+  try ignore (Unix.write sh.pipe_w (Bytes.make 1 '!') 0 1)
+  with
+  | Unix.Unix_error
+      ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _)
+  -> ()
+
+let accept_conn st sh listen_fd =
   match Unix.accept listen_fd with
   | fd, _ ->
-      Unix.set_nonblock fd;
-      let cid = st.next_cid in
-      st.next_cid <- cid + 1;
-      Hashtbl.replace st.conns cid
-        {
-          cid;
-          fd;
-          inbuf = Buffer.create 1024;
-          out = Buffer.create 1024;
-          out_ofs = 0;
-          alive = true;
-        }
+      if st.fanout then begin
+        let target = st.handoff_rr mod st.nshards in
+        st.handoff_rr <- st.handoff_rr + 1;
+        if target = sh.sid then add_conn sh fd
+        else begin
+          let peer = st.shards.(target) in
+          Mutex.lock peer.intake_lock;
+          Queue.push fd peer.intake;
+          Mutex.unlock peer.intake_lock;
+          wake peer
+        end
+      end
+      else add_conn sh fd
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
       ()
 
-let read_conn st conn =
+(* Adopt fds handed over by shard 0 (fan-out mode). During drain no new
+   connections are welcome on any shard; close them instead. *)
+let adopt_intake sh ~draining =
+  Mutex.lock sh.intake_lock;
+  let fds = List.of_seq (Queue.to_seq sh.intake) in
+  Queue.clear sh.intake;
+  Mutex.unlock sh.intake_lock;
+  List.iter (fun fd -> if draining then close_quietly fd else add_conn sh fd) fds
+
+let read_conn st sh conn =
   let chunk = Bytes.create 65536 in
   match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
   | 0 -> conn.alive <- false
   | n ->
       Buffer.add_subbytes conn.inbuf chunk 0 n;
-      process_input st conn
+      process_input st sh conn
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
       ()
   | exception Unix.Unix_error _ -> conn.alive <- false
@@ -765,11 +1058,156 @@ let flush_conn conn =
 
 let has_output conn = Buffer.length conn.out - conn.out_ofs > 0
 
-(* --- the accept loop --------------------------------------------------- *)
+(* --- the shard loop ---------------------------------------------------- *)
+
+(* One shard's event loop: the old daemon's accept loop, N of which now
+   run on their own domains against per-shard connection tables. Shard 0
+   additionally polls the user's [stop]/[dump] hooks (they are plain
+   closures, not necessarily domain-safe) and, in fan-out mode, owns the
+   accept path. *)
+let shard_loop st sh =
+  let draining = ref false in
+  let drain_started = ref 0. in
+  let running = ref true in
+  while !running do
+    if sh.sid = 0 && (not (Atomic.get st.stopping)) && st.stop_fn () then begin
+      (* Graceful shutdown: no new connections or requests anywhere;
+         in-flight jobs finish and their responses flush before exit. *)
+      Atomic.set st.stopping true;
+      Array.iter wake st.shards
+    end;
+    if (not !draining) && Atomic.get st.stopping then begin
+      draining := true;
+      drain_started := Clock.now ();
+      (match sh.listen with Some fd -> close_quietly fd | None -> ());
+      sh.listen <- None
+    end;
+    let now = Clock.now () in
+    let conns = Hashtbl.fold (fun _ c acc -> c :: acc) sh.conns [] in
+    let listen_fds =
+      if !draining then []
+      else match sh.listen with Some fd -> [ fd ] | None -> []
+    in
+    let read_fds =
+      (sh.pipe_r :: listen_fds)
+      @ (if !draining then []
+         else List.filter_map (fun c -> if c.alive then Some c.fd else None) conns)
+    in
+    let write_fds = List.filter_map (fun c -> if has_output c then Some c.fd else None) conns in
+    let timeout =
+      Hashtbl.fold
+        (fun _ job acc ->
+          match job.deadline with
+          | Some d when not job.answered -> Float.min acc (Float.max 0.01 (d -. now))
+          | _ -> acc)
+        sh.jobs_live 0.25
+    in
+    (* Watch ticks also bound the sleep, so snapshots go out on time. *)
+    let timeout =
+      List.fold_left
+        (fun acc w -> Float.min acc (Float.max 0.01 (w.w_next -. now)))
+        timeout sh.watchers
+    in
+    (match Unix.select read_fds write_fds [] timeout with
+    | readable, writable, _ ->
+        if List.mem sh.pipe_r readable then begin
+          let buf = Bytes.create 512 in
+          try
+            while Unix.read sh.pipe_r buf 0 512 > 0 do
+              ()
+            done
+          with
+          | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+          | Unix.Unix_error _ -> ()
+        end;
+        adopt_intake sh ~draining:!draining;
+        (match sh.listen with
+        | Some fd when (not !draining) && List.mem fd readable ->
+            accept_conn st sh fd
+        | _ -> ());
+        List.iter
+          (fun c -> if c.alive && List.mem c.fd readable then read_conn st sh c)
+          conns;
+        drain_completions st sh;
+        (* An async answer may have unblocked an HTTP connection with
+           pipelined requests already buffered; resume parsing them. *)
+        Hashtbl.iter
+          (fun _ c ->
+            if
+              c.alive && c.proto = P_http && (not c.http_busy)
+              && Buffer.length c.inbuf > 0
+            then process_input st sh c)
+          sh.conns;
+        sweep_deadlines st sh (Clock.now ());
+        tick_watchers st sh (Clock.now ());
+        List.iter (fun c -> if List.mem c.fd writable then flush_conn c) conns
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    (* Operator-requested dump (the CLI wires SIGUSR2 here). *)
+    if sh.sid = 0 && st.dump_fn () then write_postmortem st ~reason:"signal";
+    (* Reap connections that are gone and fully flushed. *)
+    Hashtbl.iter
+      (fun _ c ->
+        if (not c.alive) && not (has_output c) then close_quietly c.fd)
+      sh.conns;
+    Hashtbl.filter_map_inplace
+      (fun _ c -> if (not c.alive) && not (has_output c) then None else Some c)
+      sh.conns;
+    if !draining then begin
+      adopt_intake sh ~draining:true;
+      drain_completions st sh;
+      if Hashtbl.length sh.jobs_live = 0 then begin
+        (* Give the flushed responses one last write pass, then stop. *)
+        Hashtbl.iter (fun _ c -> flush_conn c) sh.conns;
+        let unflushed =
+          Hashtbl.fold (fun _ c acc -> acc || has_output c) sh.conns false
+        in
+        (* A peer that stopped reading must not wedge shutdown: give the
+           flush five seconds, then abandon its bytes. *)
+        if (not unflushed) || Clock.now () -. !drain_started > 5. then
+          running := false
+      end
+    end
+  done;
+  Hashtbl.iter (fun _ c -> close_quietly c.fd) sh.conns
+
+(* --- assembly ---------------------------------------------------------- *)
+
+let make_shard ~nshards ~listen sid =
+  let pipe_r, pipe_w = Unix.pipe () in
+  Unix.set_nonblock pipe_r;
+  Unix.set_nonblock pipe_w;
+  {
+    sid;
+    stride = nshards;
+    listen;
+    pipe_r;
+    pipe_w;
+    intake = Queue.create ();
+    intake_lock = Mutex.create ();
+    conns = Hashtbl.create 16;
+    jobs_live = Hashtbl.create 64;
+    jobs_lock = Mutex.create ();
+    completions = Queue.create ();
+    completions_lock = Mutex.create ();
+    next_cid = sid;
+    next_jid = sid;
+    next_trace = sid;
+    req_counts = Array.make (Array.length verb_slots) 0;
+    resp_counts = Array.make (Array.length resp_slots) 0;
+    analyses_run = 0;
+    timeouts = 0;
+    watchers = [];
+    lat_decode = Histo.create ();
+    lat_queue = Histo.create ();
+    lat_run = Histo.create ();
+    lat_encode = Histo.create ();
+    lat_total = Histo.create ();
+  }
 
 let run ?(stop = fun () -> false) ?(dump = fun () -> false) ?on_ready ?on_stop
     ?(telemetry = Telemetry.disabled) cfg =
   let jobs = max 1 cfg.jobs in
+  let nshards = max 1 cfg.shards in
   (* A postmortem dir arms the flight recorder for the daemon's
      lifetime; every request milestone and teed log line lands in the
      per-domain rings from here on. *)
@@ -777,45 +1215,35 @@ let run ?(stop = fun () -> false) ?(dump = fun () -> false) ?on_ready ?on_stop
     Flight.configure ();
     Flight.set_enabled true
   end;
-  (* [jobs + 1] because the accept loop never helps the pool: the +1
+  (* [jobs + 1] because the shard loops never help the pool: the +1
      "submitter slot" stays idle, leaving [jobs] worker domains.
      [min_workers] overrides the hardware cap — [submit] tasks only run
      on spawned workers, so the daemon must keep at least [jobs] of them
-     even on small machines. *)
+     even on small machines. The shard loops are additional domains on
+     top; they only block in [select], so oversubscription is benign. *)
   let pool = Pool.create ~min_workers:jobs ~jobs:(jobs + 1) () in
-  let listen_fd, bound = listen_on cfg.address in
-  let pipe_r, pipe_w = Unix.pipe () in
-  Unix.set_nonblock pipe_r;
-  Unix.set_nonblock pipe_w;
+  let listens, bound, fanout = bind_shards cfg.address nshards in
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let shards =
+    Array.init nshards (fun sid -> make_shard ~nshards ~listen:listens.(sid) sid)
+  in
   let st =
     {
-      cfg = { cfg with jobs };
-      cache = Cache.create ~cap:cfg.cache_cap;
+      cfg = { cfg with jobs; shards = nshards };
+      nshards;
+      fanout;
+      cache = Cache.create ~shards:nshards ~cap:cfg.cache_cap ();
       pool;
       tm = telemetry;
       started = Clock.now ();
-      conns = Hashtbl.create 16;
-      jobs_live = Hashtbl.create 64;
-      completions = Queue.create ();
-      completions_lock = Mutex.create ();
-      pipe_r;
-      pipe_w;
-      next_cid = 0;
-      next_jid = 0;
-      next_trace = 0;
-      requests = Hashtbl.create 8;
-      responses = Hashtbl.create 8;
-      analyses_run = 0;
-      timeouts = 0;
-      queue_hwm = 0;
-      watchers = [];
-      pm_seq = 0;
-      lat_decode = Histo.create ();
-      lat_queue = Histo.create ();
-      lat_run = Histo.create ();
-      lat_encode = Histo.create ();
-      lat_total = Histo.create ();
+      shards;
+      stopping = Atomic.make false;
+      in_flight = Atomic.make 0;
+      queue_hwm = Atomic.make 0;
+      pm_seq = Atomic.make 0;
+      handoff_rr = 0;
+      stop_fn = stop;
+      dump_fn = dump;
     }
   in
   (match on_ready with Some f -> f bound | None -> ());
@@ -828,95 +1256,28 @@ let run ?(stop = fun () -> false) ?(dump = fun () -> false) ?on_ready ?on_stop
             | Unix_socket p -> "unix:" ^ p
             | Tcp p -> Printf.sprintf "tcp:127.0.0.1:%d" p) );
         ("jobs", Json.Int jobs);
+        ("shards", Json.Int nshards);
+        ( "accept",
+          Json.String (if fanout && nshards > 1 then "fanout" else "per-shard") );
         ("queue_cap", Json.Int cfg.queue_cap);
       ];
-  let draining = ref false in
-  let drain_started = ref 0. in
-  let running = ref true in
-  while !running do
-    if (not !draining) && stop () then begin
-      (* Graceful shutdown: no new connections or requests; in-flight
-         jobs finish and their responses flush before we exit. *)
-      draining := true;
-      drain_started := Clock.now ();
-      close_quietly listen_fd
-    end;
-    let now = Clock.now () in
-    let conns = Hashtbl.fold (fun _ c acc -> c :: acc) st.conns [] in
-    let read_fds =
-      st.pipe_r
-      :: (if !draining then []
-          else listen_fd :: List.filter_map (fun c -> if c.alive then Some c.fd else None) conns)
-    in
-    let write_fds = List.filter_map (fun c -> if has_output c then Some c.fd else None) conns in
-    let timeout =
-      Hashtbl.fold
-        (fun _ job acc ->
-          match job.deadline with
-          | Some d when not job.answered -> Float.min acc (Float.max 0.01 (d -. now))
-          | _ -> acc)
-        st.jobs_live 0.25
-    in
-    (* Watch ticks also bound the sleep, so snapshots go out on time. *)
-    let timeout =
-      List.fold_left
-        (fun acc w -> Float.min acc (Float.max 0.01 (w.w_next -. now)))
-        timeout st.watchers
-    in
-    (match Unix.select read_fds write_fds [] timeout with
-    | readable, writable, _ ->
-        if List.mem st.pipe_r readable then begin
-          let buf = Bytes.create 512 in
-          try
-            while Unix.read st.pipe_r buf 0 512 > 0 do
-              ()
-            done
-          with
-          | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-          | Unix.Unix_error _ -> ()
-        end;
-        if (not !draining) && List.mem listen_fd readable then accept_conn st listen_fd;
-        List.iter
-          (fun c -> if c.alive && List.mem c.fd readable then read_conn st c)
-          conns;
-        drain_completions st;
-        sweep_deadlines st (Clock.now ());
-        tick_watchers st (Clock.now ());
-        List.iter (fun c -> if List.mem c.fd writable then flush_conn c) conns
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-    (* Operator-requested dump (the CLI wires SIGUSR2 here). *)
-    if dump () then write_postmortem st ~reason:"signal";
-    (* Reap connections that are gone and fully flushed. *)
-    Hashtbl.iter
-      (fun _ c ->
-        if (not c.alive) && not (has_output c) then close_quietly c.fd)
-      st.conns;
-    Hashtbl.filter_map_inplace
-      (fun _ c -> if (not c.alive) && not (has_output c) then None else Some c)
-      st.conns;
-    if !draining then begin
-      drain_completions st;
-      if Hashtbl.length st.jobs_live = 0 then begin
-        (* Give the flushed responses one last write pass, then stop. *)
-        Hashtbl.iter (fun _ c -> flush_conn c) st.conns;
-        let unflushed =
-          Hashtbl.fold (fun _ c acc -> acc || has_output c) st.conns false
-        in
-        (* A peer that stopped reading must not wedge shutdown: give the
-           flush five seconds, then abandon its bytes. *)
-        if (not unflushed) || Clock.now () -. !drain_started > 5. then
-          running := false
-      end
-    end
-  done;
-  Hashtbl.iter (fun _ c -> close_quietly c.fd) st.conns;
-  (* Join the fleet BEFORE closing the wake pipe: a worker's completion
+  let peers =
+    Array.init (nshards - 1) (fun i ->
+        Domain.spawn (fun () -> shard_loop st st.shards.(i + 1)))
+  in
+  shard_loop st st.shards.(0);
+  Array.iter Domain.join peers;
+  (* Join the fleet BEFORE closing the wake pipes: a worker's completion
      becomes visible (and lets the drain loop exit) just before its
      wake-up write, so closing [pipe_w] first raced that write into
      EBADF, killing the worker and surfacing at [Pool.close]'s join. *)
   Pool.close pool;
-  close_quietly pipe_r;
-  close_quietly pipe_w;
+  Array.iter
+    (fun sh ->
+      close_quietly sh.pipe_r;
+      close_quietly sh.pipe_w;
+      match sh.listen with Some fd -> close_quietly fd | None -> ())
+    st.shards;
   (match bound with
   | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
   | Tcp _ -> ());

@@ -1,0 +1,57 @@
+(** The daemon's minimal HTTP/1.1 surface.
+
+    One small parser and encoder, just enough for a JSON API behind
+    [curl] or any stock HTTP client: request line + headers +
+    [Content-Length]-framed body, keep-alive connections, no chunked
+    encoding, no TLS. The daemon sniffs the first bytes of each
+    connection ({!sniff}), so the HTTP and raw line protocols share a
+    single listening socket.
+
+    Routing ({!route}) maps
+
+    {v
+    GET  /v1/ping | /v1/stats | /v1/metrics
+    POST /v1/analyze | /v1/explain | /v1/replay | /v1/predict
+    v}
+
+    onto the line protocol's wire documents — [Request.of_json] remains
+    the single decode path and [Api.dispatch] the single dispatch path.
+    A POST body is the verb's ["params"] object; a body with a
+    ["params"] member is taken as a full request envelope (its
+    [id]/[trace]/[schema_version] ride along; the verb always comes from
+    the path). An [x-webracer-trace] header seeds the trace id when the
+    body carries none. Responses are always schema v2 ({!Response})
+    with the closed error taxonomy mapped onto status codes
+    (400/429/504/500; 404/405 for routing errors). *)
+
+type req = {
+  meth : string;
+  path : string;
+  headers : (string * string) list;  (** names lowercased, values trimmed *)
+  body : string;
+}
+
+(** [sniff data] classifies the first bytes of a connection: [`Http]
+    when they start with an HTTP method keyword, [`Undecided] when
+    [data] is still a proper prefix of one, [`Line] otherwise. *)
+val sniff : string -> [ `Http | `Line | `Undecided ]
+
+(** [parse data ~pos] parses one request starting at byte [pos]:
+    [`Req (r, pos')] consumes up to [pos'], [`More] needs more bytes,
+    [`Bad] is a protocol error (the connection should be closed after
+    answering 400). [max_body] bounds the declared [Content-Length]
+    (default 16 MiB, matching the line protocol's request cap). *)
+val parse :
+  ?max_body:int -> string -> pos:int -> [ `Req of req * int | `More | `Bad of string ]
+
+val header : string -> req -> string option
+val status_reason : int -> string
+
+(** [response ~status ~body] is a complete keep-alive HTTP/1.1 response
+    with a JSON content type. *)
+val response : status:int -> body:string -> string
+
+(** [route r] is the wire-protocol document for [r], or
+    [Error (status, message)] — 404 for unknown paths, 405 for a method
+    mismatch, 400 for an unusable body. *)
+val route : req -> (Wr_support.Json.t, int * string) result

@@ -36,14 +36,71 @@ type verb =
   | Replay of replay_params
   | Predict of predict_params
 
-type t = { id : Json.t; trace : string option; verb : verb }
+type t = { id : Json.t; trace : string option; schema : int; verb : verb }
 
-let make ?trace ~id verb = { id; trace; verb }
+(* --- validation (shared by the wire decoder and the typed builders) ---- *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let check_analyze p =
+  if p.time_limit <= 0. then bad "\"time_limit\" must be positive";
+  p
+
+let check_watch w =
+  if w.interval_s <= 0. then bad "\"interval_s\" must be positive";
+  (match w.count with
+  | Some n when n < 1 -> bad "\"count\" must be a positive integer"
+  | _ -> ());
+  w
+
+let check_explain e =
+  (match e.race with
+  | Some n when n < 1 -> bad "\"race\" must be a positive integer"
+  | _ -> ());
+  e
+
+let check_replay r =
+  if r.schedules < 1 then bad "\"schedules\" must be at least 1";
+  if r.parse_delay < 0. then bad "\"parse_delay\" must be non-negative";
+  if r.jobs < 1 then bad "\"jobs\" must be at least 1";
+  r
+
+(* --- the typed builders ------------------------------------------------ *)
+
+let make ?(schema = Schema.version) ?trace ~id verb =
+  if not (Schema.is_supported schema) then
+    invalid_arg
+      (Printf.sprintf "Request.make: unsupported schema_version %d" schema);
+  { id; trace; schema; verb }
+
+(* Builders are the programmatic mirror of the wire decoder: the same
+   checks run on both paths, so a request the CLI or HTTP client can
+   construct is exactly a request the daemon would accept. Misuse raises
+   [Invalid_argument] (the decoder turns the same condition into a
+   [bad_request] wire error). *)
+let building check v = try check v with Bad m -> invalid_arg m
 
 let analyze_params ~page ?(resources = []) ?(seed = 0) ?(explore = true)
     ?(detector = Config.Last_access) ?(hb = Wr_hb.Graph.Closure)
     ?(time_limit = 60_000.) ?(dedup = true) () =
-  { page; resources; seed; explore; detector; hb; time_limit; dedup }
+  building check_analyze
+    { page; resources; seed; explore; detector; hb; time_limit; dedup }
+
+let analyze p = Analyze p
+
+let explain ?race target =
+  Explain (building check_explain { target; race })
+
+let replay ?(schedules = 25) ?(parse_delay = 2.) ?(jobs = 1) target =
+  Replay (building check_replay { target; schedules; parse_delay; jobs })
+
+let predict ?(compare = false) ?(lint = false) target =
+  Predict { target; compare; lint }
+
+let watch ?(interval_s = 1.) ?count () =
+  Watch (building check_watch { interval_s; count })
 
 let verb_name = function
   | Ping -> "ping"
@@ -127,7 +184,8 @@ let params_to_json = function
 
 let to_json t =
   Json.Obj
-    ((Schema.tag :: (if t.id = Json.Null then [] else [ ("id", t.id) ]))
+    ((Schema.tag_of t.schema
+     :: (if t.id = Json.Null then [] else [ ("id", t.id) ]))
     @ (match t.trace with
       | Some tr -> [ ("trace", Json.String tr) ]
       | None -> [])
@@ -135,11 +193,26 @@ let to_json t =
 
 let to_line t = Json.to_string (to_json t)
 
+(* --- the HTTP surface mapping ------------------------------------------ *)
+
+let http_method = function
+  | Ping | Stats | Metrics -> "GET"
+  | Watch _ | Analyze _ | Explain _ | Replay _ | Predict _ -> "POST"
+
+let http_path = function
+  | Ping -> Some "/v1/ping"
+  | Stats -> Some "/v1/stats"
+  | Metrics -> Some "/v1/metrics"
+  | Analyze _ -> Some "/v1/analyze"
+  | Explain _ -> Some "/v1/explain"
+  | Replay _ -> Some "/v1/replay"
+  | Predict _ -> Some "/v1/predict"
+  | Watch _ -> None (* streaming: raw-socket only *)
+
+let http_body verb =
+  match params_to_json verb with [ ("params", p) ] -> Some p | _ -> None
+
 (* --- decoding ---------------------------------------------------------- *)
-
-exception Bad of string
-
-let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
 
 let field name fields = List.assoc_opt name fields
 
@@ -191,18 +264,17 @@ let decode_analyze fields =
           entries
     | Some _ -> bad "\"resources\" must be an object of url -> body"
   in
-  let time_limit = get_float "time_limit" fields ~default:60_000. in
-  if time_limit <= 0. then bad "\"time_limit\" must be positive";
-  {
-    page;
-    resources;
-    seed = get_int "seed" fields ~default:0;
-    explore = get_bool "explore" fields ~default:true;
-    detector = get_enum "detector" detector_names fields ~default:Config.Last_access;
-    hb = get_enum "hb" hb_names fields ~default:Wr_hb.Graph.Closure;
-    time_limit;
-    dedup = get_bool "dedup" fields ~default:true;
-  }
+  check_analyze
+    {
+      page;
+      resources;
+      seed = get_int "seed" fields ~default:0;
+      explore = get_bool "explore" fields ~default:true;
+      detector = get_enum "detector" detector_names fields ~default:Config.Last_access;
+      hb = get_enum "hb" hb_names fields ~default:Wr_hb.Graph.Closure;
+      time_limit = get_float "time_limit" fields ~default:60_000.;
+      dedup = get_bool "dedup" fields ~default:true;
+    }
 
 let decode_verb verb params =
   let params_fields =
@@ -217,31 +289,31 @@ let decode_verb verb params =
   | "metrics" -> Metrics
   | "watch" ->
       let interval_s = get_float "interval_s" params_fields ~default:1. in
-      if interval_s <= 0. then bad "\"interval_s\" must be positive";
       let count =
         match field "count" params_fields with
         | None -> None
-        | Some (Json.Int n) when n >= 1 -> Some n
+        | Some (Json.Int n) -> Some n
         | Some _ -> bad "\"count\" must be a positive integer"
       in
-      Watch { interval_s; count }
+      Watch (check_watch { interval_s; count })
   | "analyze" -> Analyze (decode_analyze params_fields)
   | "explain" ->
       let race =
         match field "race" params_fields with
         | None -> None
-        | Some (Json.Int n) when n >= 1 -> Some n
+        | Some (Json.Int n) -> Some n
         | Some _ -> bad "\"race\" must be a positive integer"
       in
-      Explain { target = decode_analyze params_fields; race }
+      Explain (check_explain { target = decode_analyze params_fields; race })
   | "replay" ->
-      let schedules = get_int "schedules" params_fields ~default:25 in
-      if schedules < 1 then bad "\"schedules\" must be at least 1";
-      let parse_delay = get_float "parse_delay" params_fields ~default:2. in
-      if parse_delay < 0. then bad "\"parse_delay\" must be non-negative";
-      let jobs = get_int "jobs" params_fields ~default:1 in
-      if jobs < 1 then bad "\"jobs\" must be at least 1";
-      Replay { target = decode_analyze params_fields; schedules; parse_delay; jobs }
+      Replay
+        (check_replay
+           {
+             target = decode_analyze params_fields;
+             schedules = get_int "schedules" params_fields ~default:25;
+             parse_delay = get_float "parse_delay" params_fields ~default:2.;
+             jobs = get_int "jobs" params_fields ~default:1;
+           })
   | "predict" ->
       Predict
         {
@@ -258,15 +330,17 @@ let decode_verb verb params =
 let of_json j =
   let id = ref Json.Null in
   let trace = ref None in
+  let schema = ref Schema.version in
   match
     match j with
     | Json.Obj fields ->
         (match field "id" fields with Some v -> id := v | None -> ());
         (match field Schema.field fields with
         | None -> ()
-        | Some (Json.Int v) when v = Schema.version -> ()
+        | Some (Json.Int v) when Schema.is_supported v -> schema := v
         | Some (Json.Int v) ->
-            bad "unsupported schema_version %d (this server speaks %d)" v Schema.version
+            bad "unsupported schema_version %d (this server speaks %s)" v
+              (Schema.supported_names ())
         | Some _ -> bad "%S must be an integer" Schema.field);
         (match field "trace" fields with
         | None -> ()
@@ -281,7 +355,7 @@ let of_json j =
         decode_verb verb (field "params" fields)
     | _ -> bad "request must be a JSON object"
   with
-  | verb -> Ok { id = !id; trace = !trace; verb }
+  | verb -> Ok { id = !id; trace = !trace; schema = !schema; verb }
   | exception Bad msg -> Error (!id, msg)
 
 let of_line s =

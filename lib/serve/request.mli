@@ -1,9 +1,13 @@
 (** The first-class request side of the WebRacer service API.
 
     Every entry point — the [webracer serve] daemon, the [webracer call]
-    client, and the one-shot CLI subcommands — constructs these values;
-    {!of_line} is the single decode path from the newline-delimited JSON
-    wire protocol, and [Api.dispatch] the single dispatch path.
+    client, the HTTP surface, and the one-shot CLI subcommands —
+    constructs these values through {!make} and the typed builders
+    below; {!of_line} is the single decode path from the
+    newline-delimited JSON wire protocol, and [Api.dispatch] the single
+    dispatch path. The builders and the decoder share one set of
+    validation checks, so a request a client can construct is exactly a
+    request the daemon will accept.
 
     Wire shape (one object per line, no raw newlines inside):
 
@@ -13,12 +17,13 @@
 
     ["schema_version"] defaults to {!Wr_support.Schema.version} when
     absent and is rejected when it names a version this build does not
-    speak. ["id"] is any JSON value, echoed verbatim on the response so
-    clients can pipeline requests over one connection. ["trace"] is an
-    optional non-empty string: a client-chosen trace id for end-to-end
-    request tracing, echoed on the response and stamped on the daemon's
-    log lines, telemetry spans and latency histograms (the daemon mints
-    an internal id when absent). *)
+    speak ({!Wr_support.Schema.supported} lists what it does). ["id"] is
+    any JSON value, echoed verbatim on the response so clients can
+    pipeline requests over one connection. ["trace"] is an optional
+    non-empty string: a client-chosen trace id for end-to-end request
+    tracing, echoed on the response and stamped on the daemon's log
+    lines, telemetry spans and latency histograms (the daemon mints an
+    internal id when absent). *)
 
 module Config = Wr_browser.Config
 
@@ -57,10 +62,10 @@ type predict_params = {
   lint : bool;  (** answer with the lint findings only *)
 }
 
-(** Parameters of the streaming [watch] verb (daemon-only): the daemon
-    answers with one metrics-snapshot response per [interval_s] on the
-    same connection, [count] times ([None] = until the connection
-    closes). [webracer top] is the rendering client. *)
+(** Parameters of the streaming [watch] verb (daemon-only, raw socket
+    only): the daemon answers with one metrics-snapshot response per
+    [interval_s] on the same connection, [count] times ([None] = until
+    the connection closes). [webracer top] is the rendering client. *)
 type watch_params = {
   interval_s : float;  (** must be positive; the daemon may clamp it *)
   count : int option;
@@ -76,10 +81,23 @@ type verb =
   | Replay of replay_params
   | Predict of predict_params
 
-type t = { id : Wr_support.Json.t; trace : string option; verb : verb }
+type t = {
+  id : Wr_support.Json.t;
+  trace : string option;
+  schema : int;  (** negotiated wire generation; responses mirror it *)
+  verb : verb;
+}
 
-(** [make ?trace ~id verb] — plain constructor. *)
-val make : ?trace:string -> id:Wr_support.Json.t -> verb -> t
+(** [make ?schema ?trace ~id verb] — the one request constructor.
+    [schema] defaults to {!Wr_support.Schema.version} (v1);
+    @raise Invalid_argument on an unsupported generation. *)
+val make : ?schema:int -> ?trace:string -> id:Wr_support.Json.t -> verb -> t
+
+(** {2 Typed builders}
+
+    The programmatic mirror of the wire decoder: each builder runs the
+    same validation the daemon applies when decoding, raising
+    [Invalid_argument] where the decoder would answer [bad_request]. *)
 
 (** [analyze_params ~page ()] with the same defaults as
     [Webracer.config]. *)
@@ -95,6 +113,12 @@ val analyze_params :
   unit ->
   analyze_params
 
+val analyze : analyze_params -> verb
+val explain : ?race:int -> analyze_params -> verb
+val replay : ?schedules:int -> ?parse_delay:float -> ?jobs:int -> analyze_params -> verb
+val predict : ?compare:bool -> ?lint:bool -> analyze_params -> verb
+val watch : ?interval_s:float -> ?count:int -> unit -> verb
+
 val verb_name : verb -> string
 
 (** Canonical JSON of the params (every field explicit, fixed order) —
@@ -105,6 +129,21 @@ val analyze_params_to_json : analyze_params -> Wr_support.Json.t
 val to_json : t -> Wr_support.Json.t
 
 val to_line : t -> string
+
+(** {2 The HTTP surface mapping}
+
+    Each verb's home on the HTTP endpoint; [Http] and the [--http]
+    client derive routes from these so the two stay in lockstep. *)
+
+(** ["GET"] for the side-effect-free status verbs, ["POST"] otherwise. *)
+val http_method : verb -> string
+
+(** [/v1/<verb>]; [None] for verbs with no HTTP mapping ([watch]). *)
+val http_path : verb -> string option
+
+(** The POST body: the request's ["params"] object ([None] when the verb
+    takes no params — GET routes send no body). *)
+val http_body : verb -> Wr_support.Json.t option
 
 (** [of_json j] validates and decodes one request. [Error (id, msg)]
     carries the request's ["id"] when one was present, so the error

@@ -12,15 +12,56 @@ let code_name = function
 let codes = [ Bad_request; Timeout; Overload; Internal ]
 let code_of_name s = List.find_opt (fun c -> code_name c = s) codes
 
-type t =
-  | Ok of { id : Json.t; trace : string option; result : Json.t }
-  | Error of { id : Json.t; trace : string option; code : code; message : string }
+(* The HTTP surface maps the closed taxonomy onto status codes; the raw
+   protocol's v2 error objects carry the same number so a client behind
+   either surface retries on the same signal. *)
+let http_status = function
+  | Bad_request -> 400
+  | Timeout -> 504
+  | Overload -> 429
+  | Internal -> 500
 
-let ok ?trace ~id result = Ok { id; trace; result }
-let error ?trace ~id code message = Error { id; trace; code; message }
+type t =
+  | Ok of {
+      id : Json.t;
+      trace : string option;
+      result : Json.t;
+      schema : int;
+      shard : int option;
+    }
+  | Error of {
+      id : Json.t;
+      trace : string option;
+      code : code;
+      message : string;
+      schema : int;
+      shard : int option;
+    }
+
+let ok ?(schema = Schema.version) ?shard ?trace ~id result =
+  Ok { id; trace; result; schema; shard }
+
+let error ?(schema = Schema.version) ?shard ?trace ~id code message =
+  Error { id; trace; code; message; schema; shard }
+
 let is_ok = function Ok _ -> true | Error _ -> false
 let id = function Ok { id; _ } | Error { id; _ } -> id
 let trace = function Ok { trace; _ } | Error { trace; _ } -> trace
+let schema = function Ok { schema; _ } | Error { schema; _ } -> schema
+let shard = function Ok { shard; _ } | Error { shard; _ } -> shard
+
+let status = function
+  | Ok _ -> 200
+  | Error { code; _ } -> http_status code
+
+(* The daemon stamps the negotiated generation (and, from v2 on, the
+   answering shard) at the single respond choke point, so inline answers,
+   worker completions and timeout errors all agree. *)
+let stamp ~schema ~shard t =
+  let shard = if schema >= Schema.v2 then Some shard else None in
+  match t with
+  | Ok r -> Ok { r with schema; shard }
+  | Error r -> Error { r with schema; shard }
 
 (* The "trace" field appears on the wire only when the request carried
    one, so untraced traffic is byte-identical to the pre-tracing
@@ -29,23 +70,32 @@ let trace_field = function
   | None -> []
   | Some tr -> [ ("trace", Json.String tr) ]
 
+let shard_field schema = function
+  | Some s when schema >= Schema.v2 -> [ ("shard", Json.Int s) ]
+  | _ -> []
+
+let error_obj ~schema code message =
+  let http =
+    if schema >= Schema.v2 then
+      [ ("http_status", Json.Int (http_status code)) ]
+    else []
+  in
+  Json.Obj
+    (("code", Json.String (code_name code))
+    :: http
+    @ [ ("message", Json.String message) ])
+
 let to_json = function
-  | Ok { id; trace; result } ->
+  | Ok { id; trace; result; schema; shard } ->
       Json.Obj
-        ((Schema.tag :: ("id", id) :: trace_field trace)
+        ((Schema.tag_of schema :: ("id", id) :: trace_field trace)
+        @ shard_field schema shard
         @ [ ("ok", Json.Bool true); ("result", result) ])
-  | Error { id; trace; code; message } ->
+  | Error { id; trace; code; message; schema; shard } ->
       Json.Obj
-        ((Schema.tag :: ("id", id) :: trace_field trace)
-        @ [
-            ("ok", Json.Bool false);
-            ( "error",
-              Json.Obj
-                [
-                  ("code", Json.String (code_name code));
-                  ("message", Json.String message);
-                ] );
-          ])
+        ((Schema.tag_of schema :: ("id", id) :: trace_field trace)
+        @ shard_field schema shard
+        @ [ ("ok", Json.Bool false); ("error", error_obj ~schema code message) ])
 
 let to_line t = Json.to_string (to_json t)
 
@@ -58,10 +108,20 @@ let of_json j =
         | Some (Json.String s) when s <> "" -> Some s
         | _ -> None
       in
+      let schema =
+        match List.assoc_opt Schema.field fields with
+        | Some (Json.Int v) -> v
+        | _ -> Schema.version
+      in
+      let shard =
+        match List.assoc_opt "shard" fields with
+        | Some (Json.Int s) -> Some s
+        | _ -> None
+      in
       match List.assoc_opt "ok" fields with
       | Some (Json.Bool true) -> (
           match List.assoc_opt "result" fields with
-          | Some result -> Stdlib.Ok (ok ~id ?trace result)
+          | Some result -> Stdlib.Ok (ok ~schema ?shard ~id ?trace result)
           | None -> Stdlib.Error "ok response without \"result\"")
       | Some (Json.Bool false) -> (
           match List.assoc_opt "error" fields with
@@ -74,7 +134,8 @@ let of_json j =
               match List.assoc_opt "code" err with
               | Some (Json.String c) -> (
                   match code_of_name c with
-                  | Some code -> Stdlib.Ok (error ~id ?trace code message)
+                  | Some code ->
+                      Stdlib.Ok (error ~schema ?shard ~id ?trace code message)
                   | None -> Stdlib.Error (Printf.sprintf "unknown error code %S" c))
               | _ -> Stdlib.Error "error response without a string \"code\"")
           | _ -> Stdlib.Error "error response without an \"error\" object")

@@ -1,15 +1,22 @@
 (** The response side of the WebRacer service API.
 
-    Wire shape (one object per line):
+    Wire shape (one object per line), by negotiated generation:
 
     {v
+    v1 (default, byte-stable):
     {"schema_version":1, "id":<echoed>, "ok":true,  "result":{...}}
     {"schema_version":1, "id":<echoed>, "ok":false,
      "error":{"code":"overload", "message":"..."}}
+
+    v2 (opt-in; HTTP surface is v2-native):
+    {"schema_version":2, "id":<echoed>, "shard":0, "ok":true, "result":{...}}
+    {"schema_version":2, "id":<echoed>, "shard":0, "ok":false,
+     "error":{"code":"overload", "http_status":429, "message":"..."}}
     v}
 
     The error taxonomy is closed and machine-readable: clients dispatch
-    on ["error"]["code"], never on the human-oriented message. *)
+    on ["error"]["code"] (or, over HTTP, the status line — the mapping is
+    fixed), never on the human-oriented message. *)
 
 (** - [Bad_request]: the request line failed to parse, validate or
       decode; retrying unchanged cannot succeed.
@@ -24,17 +31,33 @@ type code = Bad_request | Timeout | Overload | Internal
 val code_name : code -> string
 val code_of_name : string -> code option
 
+(** The fixed taxonomy-to-HTTP mapping: 400 / 504 / 429 / 500. *)
+val http_status : code -> int
+
 type t =
-  | Ok of { id : Wr_support.Json.t; trace : string option; result : Wr_support.Json.t }
+  | Ok of {
+      id : Wr_support.Json.t;
+      trace : string option;
+      result : Wr_support.Json.t;
+      schema : int;
+      shard : int option;
+    }
   | Error of {
       id : Wr_support.Json.t;
       trace : string option;
       code : code;
       message : string;
+      schema : int;
+      shard : int option;
     }
 
-val ok : ?trace:string -> id:Wr_support.Json.t -> Wr_support.Json.t -> t
-val error : ?trace:string -> id:Wr_support.Json.t -> code -> string -> t
+val ok :
+  ?schema:int -> ?shard:int -> ?trace:string -> id:Wr_support.Json.t ->
+  Wr_support.Json.t -> t
+
+val error :
+  ?schema:int -> ?shard:int -> ?trace:string -> id:Wr_support.Json.t ->
+  code -> string -> t
 
 val is_ok : t -> bool
 val id : t -> Wr_support.Json.t
@@ -43,6 +66,21 @@ val id : t -> Wr_support.Json.t
     carried a ["trace"] field, making untraced traffic byte-identical to
     the pre-tracing wire protocol. *)
 val trace : t -> string option
+
+(** The wire generation this response is encoded at. *)
+val schema : t -> int
+
+(** The shard that answered, when the response speaks v2 or later. *)
+val shard : t -> int option
+
+(** [status t] is the HTTP status line for [t]: 200 for [Ok], the
+    {!http_status} of the code otherwise. *)
+val status : t -> int
+
+(** [stamp ~schema ~shard t] rewrites the envelope metadata to the
+    request's negotiated generation; the shard id is kept only from v2
+    on, so v1 responses stay byte-identical. *)
+val stamp : schema:int -> shard:int -> t -> t
 
 val to_json : t -> Wr_support.Json.t
 

@@ -1,3 +1,10 @@
 let version = 1
+let v2 = 2
+let supported = [ version; v2 ]
+let is_supported v = List.mem v supported
 let field = "schema_version"
 let tag = (field, Json.Int version)
+let tag_of v = (field, Json.Int v)
+
+let supported_names () =
+  String.concat " and " (List.map string_of_int supported)

@@ -121,17 +121,33 @@ let ends_with ~suffix s =
   let sl = String.length suffix and l = String.length s in
   l >= sl && String.sub s (l - sl) sl = suffix
 
+let contains ~sub s =
+  let n = String.length s and k = String.length sub in
+  let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+  go 0
+
 let higher_is_better name =
   ends_with ~suffix:"_speedup" name
   || ends_with ~suffix:"_ratio" name
+  || ends_with ~suffix:"_rps" name
   || ends_with ~suffix:"fidelity_sites" name
 
+(* Tail percentiles (perf7's p999 latencies) keep the default
+   lower-is-better direction but are an order of magnitude noisier than
+   means on a shared runner: compare them against a widened threshold so
+   one p999 wobble never fails the gate by itself. *)
+let tail_metric name = contains ~sub:"_p999" name
+
 (* Recorded for context, never trend-compared: hardware_domains is
-   environment metadata (a runner change is not a regression), and steal
+   environment metadata (a runner change is not a regression), steal
    counts are scheduling noise by nature — load balance varies run to
-   run without the result or the wall clock moving. *)
+   run without the result or the wall clock moving — and perf7's shed
+   counts scale with how many requests a runner managed to push in the
+   measured window, not with how well the daemon behaved. *)
 let informational name =
-  ends_with ~suffix:"hardware_domains" name || ends_with ~suffix:"_steals" name
+  ends_with ~suffix:"hardware_domains" name
+  || ends_with ~suffix:"_steals" name
+  || ends_with ~suffix:"_shed" name
 
 (* The previous history entry with our tag (if any), and how many
    same-tag entries the history already holds. *)
@@ -253,9 +269,12 @@ let () =
               let worse =
                 if higher_is_better name then -.change_pct else change_pct
               in
+              let thr =
+                if tail_metric name then 3. *. !threshold else !threshold
+              in
               let d = { name; before; after; change_pct } in
-              if worse > !threshold then regressions := d :: !regressions
-              else if worse < -. !threshold then improvements := d :: !improvements)
+              if worse > thr then regressions := d :: !regressions
+              else if worse < -.thr then improvements := d :: !improvements)
         current;
       let print_delta label d =
         Printf.printf "  %-10s %-45s %12.4g -> %-12.4g (%+.1f%%)\n" label d.name

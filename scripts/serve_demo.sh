@@ -1,7 +1,8 @@
 #!/bin/sh
-# A complete `webracer serve` session, driven two ways: with the bundled
-# `webracer call` client, and with nothing but a raw socket (showing the
-# protocol is plain newline-delimited JSON any language can speak).
+# A complete `webracer serve` session, driven three ways: with the
+# bundled `webracer call` client on the raw line protocol, over the
+# HTTP/JSON surface the same daemon serves on the same socket, and
+# under sustained load from `webracer bench-serve`.
 #
 # Usage: scripts/serve_demo.sh
 set -eu
@@ -42,14 +43,24 @@ echo "== stats (queue depth, per-verb totals, cache hit/miss counters) =="
 $W call --socket "$SOCK" stats
 
 echo
-echo "== the raw protocol: one JSON object per line, no client needed =="
-# socat/nc would do; webracer call's raw mode just forwards stdin lines.
-printf '%s\n' '{"schema_version":1,"id":"raw-1","verb":"ping"}' \
-  | $W call --socket "$SOCK" raw
+echo "== schema v2 is per-request opt-in: the envelope names its shard =="
+$W call --socket "$SOCK" ping --schema 2
+
+echo
+echo "== the same daemon speaks HTTP/1.1 on the same socket (v2-native) =="
+# curl would do just as well against a TCP daemon:
+#   curl -s http://127.0.0.1:7788/v1/ping
+#   curl -s http://127.0.0.1:7788/v1/analyze --data @params.json
+$W call --socket "$SOCK" ping --http
+$W call --socket "$SOCK" analyze "$DIR/page.html" --http
 
 echo
 echo "== a malformed line gets a structured bad_request, not a hangup =="
 echo 'not json' | $W call --socket "$SOCK" raw || true
+
+echo
+echo "== bench-serve: barrier-released load, tail latency, shed classes =="
+$W bench-serve --socket "$SOCK" --conns 4 --pipeline 8 --duration 1
 
 echo
 echo "== SIGTERM drains in-flight work and exits 0 =="

@@ -72,6 +72,27 @@ A request may carry a trace id: the daemon echoes it on the response
   $ webracer call --socket "$SOCK" ping --trace-id t-cram --verbose 2>&1 >/dev/null
   call: id=1 trace=t-cram
 
+Schema v2 is negotiated per request: `--schema 2` opts this one call in,
+and the envelope gains the answering shard id (the v1 pins above prove
+untagged traffic never moves).
+
+  $ webracer call --socket "$SOCK" ping --schema 2
+  {"schema_version":2,"id":1,"shard":0,"ok":true,"result":{"pong":true}}
+
+The same daemon speaks HTTP/1.1 on the same socket — the first bytes of
+each connection pick the protocol. `call --http` wraps the verb in a
+request to the /v1/ endpoints; HTTP responses are v2-native.
+
+  $ webracer call --socket "$SOCK" ping --http
+  {"schema_version":2,"id":null,"shard":0,"ok":true,"result":{"pong":true}}
+  $ webracer call --socket "$SOCK" analyze fast/page.html --http > http-resp.json
+  $ grep -o '"shard":0,"ok":true' http-resp.json
+  "shard":0,"ok":true
+  $ sed 's/^{"schema_version":2,"id":null,"shard":0,"ok":true,"result"://; s/}$//' http-resp.json \
+  >   | sed 's/"wall_clock_s":[0-9.e+-]*/"wall_clock_s":0/' > http-got.json
+  $ cmp http-got.json want.json && echo http analyze matches one-shot run
+  http analyze matches one-shot run
+
 The metrics verb exposes per-stage latency histograms (decode, queue,
 run, encode, total with p50..p999), queue/cache gauges and a
 Prometheus-style text rendering.
@@ -141,6 +162,18 @@ up or crashing — every request is answered.
   2
   $ grep -c '"code":"overload"' burst.out
   18
+
+Under v2 the same shedding carries the HTTP-parity status inside the
+error object, so HTTP and raw clients dispatch on the same taxonomy.
+
+  $ webracer call --socket "$SOCK2" analyze slow/page.html --no-explore --repeat 6 --schema 2 > burst2.out
+  [1]
+  $ grep -c '"ok":true' burst2.out
+  2
+  $ grep -c '"http_status":429' burst2.out
+  4
+  $ grep -c '"shard":0' burst2.out
+  6
   $ kill -TERM $PID2 && wait $PID2
 
 Timeout: a request that outlives its wall-clock budget is answered with
@@ -177,6 +210,30 @@ disturbing service.
   $ webracer call --socket "$SOCK4" ping | grep -o '"pong":true'
   "pong":true
   $ kill -TERM $PID4 && wait $PID4
+
+bench-serve generates barrier-synchronized concurrent load against a
+running daemon and reports throughput, tail latency and the
+response-class distribution; --json-out writes the Perf-7 document.
+
+  $ webracer bench-serve --socket "$SOCK" --conns 2 --pipeline 4 --duration 0.2 \
+  >   --json-out bench.json 2> bench.log > bench.out
+  $ grep -c 'raw ping' bench.out
+  1
+  $ grep -c 'throughput' bench.out
+  1
+  $ grep -c '^latency p50' bench.out
+  1
+  $ grep -o '^classes: ok=' bench.out
+  classes: ok=
+  $ grep -o '"throughput_rps"' bench.json
+  "throughput_rps"
+  $ grep -o '"p999"' bench.json
+  "p999"
+
+The HTTP surface takes load too (sequential round trips per connection):
+
+  $ webracer bench-serve --socket "$SOCK" --conns 1 --duration 0.1 --http | grep -c 'http ping'
+  1
 
 Clean shutdown: SIGTERM drains and exits 0, the stale socket is
 removed, and the log carries the lifecycle lines.

@@ -35,7 +35,7 @@ let decode_err line =
   | Error (id, msg) -> (id, msg)
 
 let test_request_ping_roundtrip () =
-  let req = { Request.id = Json.Int 7; trace = None; verb = Request.Ping } in
+  let req = (Request.make ?trace:(None) ~id:(Json.Int 7) (Request.Ping)) in
   let req' = decode_ok (Request.to_line req) in
   check bool_c "id survives" true (req'.Request.id = Json.Int 7);
   check string_c "verb" "ping" (Request.verb_name req'.Request.verb)
@@ -47,7 +47,7 @@ let test_request_analyze_roundtrip () =
       ~seed:9 ~explore:false ~detector:Webracer.Config.Full_track
       ~hb:Wr_hb.Graph.Dfs ~time_limit:1234. ~dedup:false ()
   in
-  let req = { Request.id = Json.String "abc"; trace = None; verb = Request.Analyze params } in
+  let req = (Request.make ?trace:(None) ~id:(Json.String "abc") (Request.Analyze params)) in
   match (decode_ok (Request.to_line req)).Request.verb with
   | Request.Analyze p ->
       check string_c "page" "<p>hi</p>" p.Request.page;
@@ -74,17 +74,14 @@ let test_request_defaults () =
 let test_request_replay_explain_roundtrip () =
   let target = Request.analyze_params ~page:"<p>x</p>" () in
   let explain =
-    { Request.id = Json.Null; trace = None; verb = Request.Explain { target; race = Some 2 } }
+    Request.make ~id:Json.Null (Request.explain ~race:2 target)
   in
   (match (decode_ok (Request.to_line explain)).Request.verb with
   | Request.Explain { race = Some 2; _ } -> ()
   | _ -> Alcotest.fail "explain round-trip");
   let replay =
-    {
-      Request.id = Json.Null;
-      trace = None;
-      verb = Request.Replay { target; schedules = 7; parse_delay = 1.5; jobs = 3 };
-    }
+    Request.make ~id:Json.Null
+      (Request.replay ~schedules:7 ~parse_delay:1.5 ~jobs:3 target)
   in
   match (decode_ok (Request.to_line replay)).Request.verb with
   | Request.Replay { schedules = 7; jobs = 3; parse_delay; _ } ->
@@ -168,7 +165,7 @@ let test_cache_key () =
     different
 
 let test_cache_lru () =
-  let c = Cache.create ~cap:2 in
+  let c = Cache.create ~cap:2 () in
   Cache.store c "a" (Json.Int 1);
   Cache.store c "b" (Json.Int 2);
   check bool_c "a hit" true (Cache.find c "a" = Some (Json.Int 1));
@@ -183,7 +180,7 @@ let test_cache_lru () =
 (* --- Api dispatch ------------------------------------------------------ *)
 
 let test_dispatch_ping () =
-  match Api.dispatch { Request.id = Json.Int 1; trace = None; verb = Request.Ping } with
+  match Api.dispatch (Request.make ?trace:(None) ~id:(Json.Int 1) (Request.Ping)) with
   | Response.Ok { result; _ } ->
       check bool_c "pong" true (Json.member "pong" result = Json.Bool true)
   | Response.Error _ -> Alcotest.fail "ping failed"
@@ -195,7 +192,7 @@ let test_dispatch_analyze_matches_report () =
   in
   let direct = Webracer.report_to_json (Api.analyze params) in
   match
-    Api.dispatch { Request.id = Json.Null; trace = None; verb = Request.Analyze params }
+    Api.dispatch (Request.make ?trace:(None) ~id:(Json.Null) (Request.Analyze params))
   with
   | Response.Ok { result; _ } ->
       let scrub j =
@@ -216,30 +213,27 @@ let test_dispatch_explain_range () =
   let params = Request.analyze_params ~page:"<p>no races here</p>" () in
   match
     Api.dispatch
-      {
-        Request.id = Json.Null;
-      trace = None;
-        verb = Request.Explain { target = params; race = Some 5 };
-      }
+      (Request.make ~id:Json.Null (Request.explain ~race:5 params))
   with
   | Response.Error { code = Response.Bad_request; _ } -> ()
   | _ -> Alcotest.fail "out-of-range explain must be a bad request"
 
 let test_dispatch_stats_default () =
-  match Api.dispatch { Request.id = Json.Null; trace = None; verb = Request.Stats } with
+  match Api.dispatch (Request.make ?trace:(None) ~id:(Json.Null) (Request.Stats)) with
   | Response.Error { code = Response.Internal; _ } -> ()
   | _ -> Alcotest.fail "one-shot stats must be an internal error"
 
 (* --- the daemon, end to end -------------------------------------------- *)
 
-let spawn_daemon ?(jobs = 2) ?(queue_cap = 4) ?(cache_cap = 8) ?postmortem_dir
-    ?(dump = fun () -> false) () =
+let spawn_daemon ?(jobs = 2) ?(shards = 1) ?(queue_cap = 4) ?(cache_cap = 8)
+    ?(address = Daemon.Tcp 0) ?postmortem_dir ?(dump = fun () -> false) () =
   let stop = Atomic.make false in
-  let port = Atomic.make 0 in
+  let ready : Daemon.address option Atomic.t = Atomic.make None in
   let cfg =
     {
-      (Daemon.default_config (Daemon.Tcp 0)) with
+      (Daemon.default_config address) with
       jobs;
+      shards;
       queue_cap;
       cache_cap;
       postmortem_dir;
@@ -250,18 +244,16 @@ let spawn_daemon ?(jobs = 2) ?(queue_cap = 4) ?(cache_cap = 8) ?postmortem_dir
         Daemon.run
           ~stop:(fun () -> Atomic.get stop)
           ~dump
-          ~on_ready:(fun addr ->
-            match addr with
-            | Daemon.Tcp p -> Atomic.set port p
-            | Daemon.Unix_socket _ -> ())
+          ~on_ready:(fun addr -> Atomic.set ready (Some addr))
           cfg)
   in
   let deadline = Unix.gettimeofday () +. 10. in
-  while Atomic.get port = 0 && Unix.gettimeofday () < deadline do
+  while Atomic.get ready = None && Unix.gettimeofday () < deadline do
     Unix.sleepf 0.005
   done;
-  if Atomic.get port = 0 then Alcotest.fail "daemon never became ready";
-  (d, stop, Daemon.Tcp (Atomic.get port))
+  match Atomic.get ready with
+  | None -> Alcotest.fail "daemon never became ready"
+  | Some addr -> (d, stop, addr)
 
 let request_ok client req =
   match Client.request client req with
@@ -278,7 +270,7 @@ let test_daemon_end_to_end () =
     (fun () ->
       let c = Client.connect ~retry_for:5. addr in
       (* ping echoes the id *)
-      (match Client.request c { Request.id = Json.Int 42; trace = None; verb = Request.Ping } with
+      (match Client.request c (Request.make ?trace:(None) ~id:(Json.Int 42) (Request.Ping)) with
       | Ok (Response.Ok { id; result; _ }) ->
           check bool_c "id echoed" true (id = Json.Int 42);
           check bool_c "pong" true (Json.member "pong" result = Json.Bool true)
@@ -288,7 +280,7 @@ let test_daemon_end_to_end () =
         Request.analyze_params ~page:{|<script>var x = 1;</script>|} ~seed:5 ()
       in
       let result =
-        request_ok c { Request.id = Json.Null; trace = None; verb = Request.Analyze params }
+        request_ok c (Request.make ?trace:(None) ~id:(Json.Null) (Request.Analyze params))
       in
       let direct = Webracer.report_to_json (Api.analyze params) in
       check bool_c "ops match one-shot run" true
@@ -296,8 +288,8 @@ let test_daemon_end_to_end () =
       check bool_c "schema version present" true
         (Json.member "schema_version" result = Json.Int Wr_support.Schema.version);
       (* an identical request is a cache hit answered from the loop *)
-      ignore (request_ok c { Request.id = Json.Null; trace = None; verb = Request.Analyze params });
-      let stats = request_ok c { Request.id = Json.Null; trace = None; verb = Request.Stats } in
+      ignore (request_ok c (Request.make ?trace:(None) ~id:(Json.Null) (Request.Analyze params)));
+      let stats = request_ok c (Request.make ?trace:(None) ~id:(Json.Null) (Request.Stats)) in
       check bool_c "one analysis ran" true
         (Json.member "analyses_run" stats = Json.Int 1);
       check bool_c "one cache hit" true
@@ -307,7 +299,7 @@ let test_daemon_end_to_end () =
       (match Client.recv c with
       | Ok (Response.Error { code = Response.Bad_request; _ }) -> ()
       | _ -> Alcotest.fail "malformed line must answer bad_request");
-      (match Client.request c { Request.id = Json.Int 1; trace = None; verb = Request.Ping } with
+      (match Client.request c (Request.make ?trace:(None) ~id:(Json.Int 1) (Request.Ping)) with
       | Ok (Response.Ok _) -> ()
       | _ -> Alcotest.fail "connection must survive a bad request");
       Client.close c)
@@ -328,7 +320,7 @@ let test_daemon_overload () =
       let params = Request.analyze_params ~page ~explore:false () in
       let burst = 6 in
       for i = 1 to burst do
-        Client.send c { Request.id = Json.Int i; trace = None; verb = Request.Analyze params }
+        Client.send c (Request.make ?trace:(None) ~id:(Json.Int i) (Request.Analyze params))
       done;
       let ok = ref 0 and overload = ref 0 and other = ref 0 in
       for _ = 1 to burst do
@@ -352,11 +344,11 @@ let test_daemon_drains_on_stop () =
       ~explore:false ()
   in
   for i = 1 to 4 do
-    Client.send c { Request.id = Json.Int i; trace = None; verb = Request.Analyze params }
+    Client.send c (Request.make ?trace:(None) ~id:(Json.Int i) (Request.Analyze params))
   done;
   (* A trailing ping acts as a barrier: its (inline) answer proves the
      daemon has read and admitted everything queued before it. *)
-  (match Client.request c { Request.id = Json.Int 99; trace = None; verb = Request.Ping } with
+  (match Client.request c (Request.make ?trace:(None) ~id:(Json.Int 99) (Request.Ping)) with
   | Ok (Response.Ok _) -> ()
   | _ -> Alcotest.fail "barrier ping");
   (* Stop now: the four in-flight analyses must still answer. *)
@@ -380,7 +372,7 @@ let test_trace_wire_compat () =
   (* Untraced requests and responses must stay byte-identical to the
      pre-tracing protocol: no "trace" key anywhere. *)
   let line =
-    Request.to_line { Request.id = Json.Int 1; trace = None; verb = Request.Ping }
+    Request.to_line (Request.make ?trace:(None) ~id:(Json.Int 1) (Request.Ping))
   in
   check bool_c "untraced request has no trace key" false
     (Astring.String.is_infix ~affix:"trace" line);
@@ -389,7 +381,7 @@ let test_trace_wire_compat () =
     (Astring.String.is_infix ~affix:"trace" resp_line);
   (* A traced request round-trips its id. *)
   let traced =
-    { Request.id = Json.Int 2; trace = Some "req-7"; verb = Request.Ping }
+    (Request.make ?trace:(Some "req-7") ~id:(Json.Int 2) (Request.Ping))
   in
   let decoded = decode_ok (Request.to_line traced) in
   check bool_c "trace id round-trips" true (decoded.Request.trace = Some "req-7");
@@ -399,12 +391,12 @@ let test_trace_wire_compat () =
 
 let test_dispatch_echoes_trace () =
   (match
-     Api.dispatch { Request.id = Json.Int 3; trace = Some "tr-x"; verb = Request.Ping }
+     Api.dispatch (Request.make ?trace:(Some "tr-x") ~id:(Json.Int 3) (Request.Ping))
    with
   | Response.Ok { trace; _ } -> check bool_c "ok echoes trace" true (trace = Some "tr-x")
   | Response.Error _ -> Alcotest.fail "ping dispatch");
   match
-    Api.dispatch { Request.id = Json.Int 4; trace = None; verb = Request.Ping }
+    Api.dispatch (Request.make ?trace:(None) ~id:(Json.Int 4) (Request.Ping))
   with
   | Response.Ok { trace; _ } -> check bool_c "absent stays absent" true (trace = None)
   | Response.Error _ -> Alcotest.fail "ping dispatch"
@@ -423,20 +415,20 @@ let test_daemon_trace_and_metrics () =
       (* A traced analyze echoes the id on the wire. *)
       (match
          Client.request c
-           { Request.id = Json.Int 1; trace = Some "e2e-1"; verb = Request.Analyze params }
+           (Request.make ?trace:(Some "e2e-1") ~id:(Json.Int 1) (Request.Analyze params))
        with
       | Ok (Response.Ok { trace; _ }) ->
           check bool_c "trace echoed over the wire" true (trace = Some "e2e-1")
       | _ -> Alcotest.fail "traced analyze");
       (* An untraced ping carries no trace on the wire. *)
-      (match Client.request c { Request.id = Json.Int 2; trace = None; verb = Request.Ping } with
+      (match Client.request c (Request.make ?trace:(None) ~id:(Json.Int 2) (Request.Ping)) with
       | Ok (Response.Ok { trace; _ }) ->
           check bool_c "untraced stays untraced" true (trace = None)
       | _ -> Alcotest.fail "untraced ping");
       (* The metrics verb reports the analyze in its latency histograms
          plus queue/cache figures and a Prometheus rendering. *)
       let metrics =
-        request_ok c { Request.id = Json.Null; trace = None; verb = Request.Metrics }
+        request_ok c (Request.make ?trace:(None) ~id:(Json.Null) (Request.Metrics))
       in
       (match Json.member "latency" metrics with
       | Json.Obj stages ->
@@ -462,7 +454,7 @@ let test_daemon_trace_and_metrics () =
             (Astring.String.is_infix ~affix:"webracer_request_latency_seconds" text)
       | _ -> Alcotest.fail "metrics lacks prometheus text");
       (* stats gained high_water and hit_ratio. *)
-      let stats = request_ok c { Request.id = Json.Null; trace = None; verb = Request.Stats } in
+      let stats = request_ok c (Request.make ?trace:(None) ~id:(Json.Null) (Request.Stats)) in
       (match Json.member "queue" stats with
       | Json.Obj q ->
           check bool_c "queue high-water tracked" true
@@ -555,11 +547,8 @@ let test_daemon_watch_stream () =
     (fun () ->
       let c = Client.connect ~retry_for:5. addr in
       Client.send c
-        {
-          Request.id = Json.Int 9;
-          trace = Some "t-watch";
-          verb = Request.Watch { Request.interval_s = 0.05; count = Some 2 };
-        };
+        (Request.make ~trace:"t-watch" ~id:(Json.Int 9)
+           (Request.watch ~interval_s:0.05 ~count:2 ()));
       let snap i =
         match Client.recv c with
         | Ok (Response.Ok { id; trace; result; _ }) ->
@@ -584,7 +573,7 @@ let test_daemon_watch_stream () =
       snap 1;
       (* The stream is exhausted; the connection is still a normal one. *)
       (match
-         Client.request c { Request.id = Json.Int 10; trace = None; verb = Request.Ping }
+         Client.request c (Request.make ?trace:(None) ~id:(Json.Int 10) (Request.Ping))
        with
       | Ok (Response.Ok _) -> ()
       | _ -> Alcotest.fail "connection unusable after watch stream ended");
@@ -594,11 +583,7 @@ let test_daemon_watch_stream () =
 let test_dispatch_rejects_watch () =
   match
     Api.dispatch
-      {
-        Request.id = Json.Int 1;
-        trace = None;
-        verb = Request.Watch { Request.interval_s = 1.; count = None };
-      }
+      (Request.make ~id:(Json.Int 1) (Request.watch ~interval_s:1. ()))
   with
   | Response.Error { code = Response.Bad_request; _ } -> ()
   | _ -> Alcotest.fail "dispatch should reject watch with bad_request"
@@ -622,11 +607,7 @@ let test_daemon_worker_crash_postmortem () =
           let params = Request.analyze_params ~page:"<p>boom</p>" () in
           (match
              Client.request c
-               {
-                 Request.id = Json.Int 1;
-                 trace = Some "t-crash";
-                 verb = Request.Analyze params;
-               }
+               (Request.make ?trace:(Some "t-crash") ~id:(Json.Int 1) (Request.Analyze params))
            with
           | Ok (Response.Error { code = Response.Internal; trace; _ }) ->
               check bool_c "crash response keeps the trace" true
@@ -670,10 +651,10 @@ let test_daemon_dump_hook_postmortem () =
       ignore (Domain.join d))
     (fun () ->
       let c = Client.connect ~retry_for:5. addr in
-      let _ = request_ok c { Request.id = Json.Int 1; trace = None; verb = Request.Ping } in
+      let _ = request_ok c (Request.make ?trace:(None) ~id:(Json.Int 1) (Request.Ping)) in
       Atomic.set want_dump true;
       (* Any traffic wakes the select loop, which polls the hook. *)
-      let _ = request_ok c { Request.id = Json.Int 2; trace = None; verb = Request.Ping } in
+      let _ = request_ok c (Request.make ?trace:(None) ~id:(Json.Int 2) (Request.Ping)) in
       let pm =
         wait_for_file
           (fun n ->
@@ -696,4 +677,320 @@ let suite =
         test_daemon_worker_crash_postmortem;
       Alcotest.test_case "daemon: dump hook postmortem" `Quick
         test_daemon_dump_hook_postmortem;
+    ]
+
+(* --- schema v2, the sharded cache, HTTP and multi-shard serving --------- *)
+
+module Http = Wr_serve.Http
+module Schema = Wr_support.Schema
+
+let test_schema_negotiation () =
+  (* An untagged request speaks v1, the byte-stable default. *)
+  let req = decode_ok {|{"id":1,"verb":"ping"}|} in
+  check int_c "default generation" Schema.version req.Request.schema;
+  let req = decode_ok {|{"schema_version":2,"id":1,"verb":"ping"}|} in
+  check int_c "v2 negotiated" Schema.v2 req.Request.schema;
+  (* Unknown generations are rejected up front, naming what we speak. *)
+  let _, msg = decode_err {|{"schema_version":9,"id":1,"verb":"ping"}|} in
+  check bool_c "unsupported version named" true (mentions "schema_version" msg);
+  check bool_c "supported versions listed" true
+    (mentions (Schema.supported_names ()) msg);
+  (* The typed constructor enforces the same contract. *)
+  match Request.make ~schema:9 ~id:(Json.Int 1) Request.Ping with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "make must reject an unsupported generation"
+
+let test_response_v2_envelope () =
+  let ok = Response.ok ~id:(Json.Int 1) (Json.Obj [ ("pong", Json.Bool true) ]) in
+  let v1_line = Response.to_line ok in
+  (* Stamping at v1 is a byte-level no-op: the pinned wire never moves. *)
+  check string_c "v1 stamp is the identity" v1_line
+    (Response.to_line (Response.stamp ~schema:Schema.version ~shard:3 ok));
+  check bool_c "v1 carries no shard" false (mentions "shard" v1_line);
+  let v2_line = Response.to_line (Response.stamp ~schema:Schema.v2 ~shard:3 ok) in
+  check bool_c "v2 names its shard" true (mentions {|"shard":3|} v2_line);
+  check bool_c "v2 tags its generation" true
+    (mentions {|"schema_version":2|} v2_line);
+  (* v2 error objects carry the HTTP-parity status; v1 ones must not. *)
+  let overload = Response.error ~id:Json.Null Response.Overload "busy" in
+  check bool_c "v1 error has no http_status" false
+    (mentions "http_status" (Response.to_line overload));
+  check bool_c "v2 error carries http_status" true
+    (mentions {|"http_status":429|}
+       (Response.to_line (Response.stamp ~schema:Schema.v2 ~shard:0 overload)));
+  (* The taxonomy-to-status mapping is fixed. *)
+  List.iter
+    (fun (code, status) ->
+      check int_c (Response.code_name code) status (Response.http_status code))
+    [
+      (Response.Bad_request, 400);
+      (Response.Overload, 429);
+      (Response.Timeout, 504);
+      (Response.Internal, 500);
+    ];
+  (* And the v2 envelope round-trips through the client decoder. *)
+  match Response.of_line v2_line with
+  | Ok resp ->
+      check int_c "decoded generation" Schema.v2 (Response.schema resp);
+      check bool_c "decoded shard" true (Response.shard resp = Some 3)
+  | Error e -> Alcotest.failf "v2 decode failed: %s" e
+
+let test_cache_sharded () =
+  let c = Cache.create ~shards:4 ~cap:256 () in
+  check int_c "shard count" 4 (Cache.shards c);
+  let keys =
+    List.init 64 (fun i ->
+        Cache.key (Request.analyze_params ~page:(Printf.sprintf "<p>%d</p>" i) ()))
+  in
+  List.iter (fun k -> Cache.store c k (Json.String k)) keys;
+  (* The key hash spreads entries over more than one shard. *)
+  let seen = Array.make 4 0 in
+  List.iter (fun k -> seen.(Cache.shard_of c k) <- seen.(Cache.shard_of c k) + 1) keys;
+  check bool_c "keys spread across shards" true
+    (Array.to_list seen |> List.filter (fun n -> n > 0) |> List.length >= 2);
+  check int_c "every key lands in a shard" 64 (Array.fold_left ( + ) 0 seen);
+  (* Hits and misses accrue on the key's shard; the merged counters are
+     exact sums, not approximations. *)
+  List.iter
+    (fun k -> check bool_c "stored key found" true (Cache.find c k <> None))
+    keys;
+  (match Cache.find c "0000000000000000ffffffffffffffff" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "absent key must miss");
+  check int_c "merged hits" 64 (Cache.hits c);
+  check int_c "merged misses" 1 (Cache.misses c);
+  check int_c "merged length" 64 (Cache.length c);
+  let h, m, l =
+    Array.fold_left
+      (fun (h, m, l) (sh, sm, sl) -> (h + sh, m + sm, l + sl))
+      (0, 0, 0) (Cache.shard_stats c)
+  in
+  check int_c "shard_stats hits sum to the merge" (Cache.hits c) h;
+  check int_c "shard_stats misses sum to the merge" (Cache.misses c) m;
+  check int_c "shard_stats lengths sum to the merge" (Cache.length c) l
+
+let test_http_parser () =
+  check bool_c "GET sniffs as http" true
+    (Http.sniff "GET /v1/ping HTTP/1.1\r\n" = `Http);
+  check bool_c "method prefix stays undecided" true (Http.sniff "PO" = `Undecided);
+  check bool_c "json sniffs as line protocol" true (Http.sniff {|{"id":1}|} = `Line);
+  let data = "GET /v1/ping HTTP/1.1\r\nHost: x\r\nX-Webracer-Trace: t1\r\n\r\n" in
+  (match Http.parse data ~pos:0 with
+  | `Req (r, pos) ->
+      check string_c "method" "GET" r.Http.meth;
+      check string_c "path" "/v1/ping" r.Http.path;
+      check bool_c "header names lowercased" true
+        (Http.header "x-webracer-trace" r = Some "t1");
+      check int_c "whole request consumed" (String.length data) pos
+  | _ -> Alcotest.fail "well-formed GET must parse");
+  (match
+     Http.parse "POST /v1/analyze HTTP/1.1\r\nContent-Length: 5\r\n\r\n12" ~pos:0
+   with
+  | `More -> ()
+  | _ -> Alcotest.fail "a short body must wait for more bytes");
+  (match Http.parse "NONSENSE\r\n\r\n" ~pos:0 with
+  | `Bad _ -> ()
+  | _ -> Alcotest.fail "garbage must be a protocol error");
+  (* Declared bodies above the cap are refused, not buffered. *)
+  match
+    Http.parse ~max_body:10
+      "POST /v1/analyze HTTP/1.1\r\nContent-Length: 11\r\n\r\n" ~pos:0
+  with
+  | `Bad _ -> ()
+  | _ -> Alcotest.fail "oversized Content-Length must be refused"
+
+let test_http_route () =
+  let req ?(headers = []) meth path body = { Http.meth; path; headers; body } in
+  (match Http.route (req "GET" "/v1/ping" "") with
+  | Ok j ->
+      check bool_c "ping routes to the ping verb" true
+        (Json.member "verb" j = Json.String "ping")
+  | Error _ -> Alcotest.fail "GET /v1/ping must route");
+  (* A POST body is the verb's params object; the wire document that
+     comes out is exactly what the line protocol would decode. *)
+  (match Http.route (req "POST" "/v1/analyze" {|{"page":"<p>x</p>"}|}) with
+  | Ok j -> (
+      check bool_c "analyze verb from the path" true
+        (Json.member "verb" j = Json.String "analyze");
+      match Request.of_json j with
+      | Ok { Request.verb = Request.Analyze p; _ } ->
+          (* The daemon bumps routed requests to v2 after decoding;
+             route itself stays a pure wire-document translation. *)
+          check string_c "params decoded" "<p>x</p>" p.Request.page
+      | _ -> Alcotest.fail "routed document must decode as analyze")
+  | Error _ -> Alcotest.fail "POST /v1/analyze must route");
+  (* Trace header seeds the trace id when the body carries none. *)
+  (match
+     Http.route
+       (req ~headers:[ ("x-webracer-trace", "t-h") ] "POST" "/v1/analyze"
+          {|{"page":"<p>x</p>"}|})
+   with
+  | Ok j -> check bool_c "trace from header" true (Json.member "trace" j = Json.String "t-h")
+  | Error _ -> Alcotest.fail "traced analyze must route");
+  (match Http.route (req "GET" "/v1/nope" "") with
+  | Error (404, _) -> ()
+  | _ -> Alcotest.fail "unknown path is 404");
+  (match Http.route (req "POST" "/v1/ping" "") with
+  | Error (405, _) -> ()
+  | _ -> Alcotest.fail "method mismatch is 405");
+  match Http.route (req "POST" "/v1/analyze" "{") with
+  | Error (400, _) -> ()
+  | _ -> Alcotest.fail "unusable body is 400"
+
+(* Both protocols on one live daemon: HTTP round trips speak v2 and map
+   the taxonomy onto status codes; a raw connection to the same listener
+   still speaks byte-stable v1. *)
+let test_daemon_http_surface () =
+  let d, stop, addr = spawn_daemon ~queue_cap:8 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      ignore (Domain.join d))
+    (fun () ->
+      let c = Client.connect ~retry_for:5. addr in
+      (match Client.http_request c ~meth:"GET" ~path:"/v1/ping" () with
+      | Ok (200, body) -> (
+          match Response.of_line body with
+          | Ok (Response.Ok { schema; shard = Some _; result; _ }) ->
+              check int_c "http answers v2" Schema.v2 schema;
+              check bool_c "pong" true (Json.member "pong" result = Json.Bool true)
+          | _ -> Alcotest.fail "http ping body must be a v2 ok")
+      | Ok (s, _) -> Alcotest.failf "http ping answered %d" s
+      | Error e -> Alcotest.failf "http transport failed: %s" e);
+      (* POST analyze agrees with the in-process pipeline. *)
+      let params = Request.analyze_params ~page:{|<script>var x = 1;</script>|} () in
+      let body = Json.to_string (Request.analyze_params_to_json params) in
+      (match Client.http_request c ~meth:"POST" ~path:"/v1/analyze" ~body () with
+      | Ok (200, b) -> (
+          match Response.of_line b with
+          | Ok (Response.Ok { result; _ }) ->
+              let direct = Webracer.report_to_json (Api.analyze params) in
+              check bool_c "ops match one-shot run" true
+                (Json.member "ops" result = Json.member "ops" direct)
+          | _ -> Alcotest.fail "http analyze body must be an ok")
+      | Ok (s, _) -> Alcotest.failf "http analyze answered %d" s
+      | Error e -> Alcotest.failf "http transport failed: %s" e);
+      (* Routing errors surface as HTTP statuses with v2 error bodies. *)
+      (match Client.http_request c ~meth:"GET" ~path:"/v1/nope" () with
+      | Ok (404, b) ->
+          check bool_c "404 body is a v2 error" true (mentions {|"ok":false|} b)
+      | Ok (s, _) -> Alcotest.failf "unknown path answered %d" s
+      | Error e -> Alcotest.failf "http transport failed: %s" e);
+      (match Client.http_request c ~meth:"POST" ~path:"/v1/analyze" ~body:"{" () with
+      | Ok (400, _) -> ()
+      | Ok (s, _) -> Alcotest.failf "bad body answered %d" s
+      | Error e -> Alcotest.failf "http transport failed: %s" e);
+      (* The connection survives error responses; keep-alive holds. *)
+      (match Client.http_request c ~meth:"GET" ~path:"/v1/stats" () with
+      | Ok (200, b) ->
+          check bool_c "stats names the shard count" true (mentions {|"shards"|} b)
+      | _ -> Alcotest.fail "stats after errors must still answer");
+      Client.close c;
+      (* A raw connection to the same listener still speaks v1. *)
+      let raw = Client.connect ~retry_for:5. addr in
+      (match Client.request raw (Request.make ~id:(Json.Int 7) Request.Ping) with
+      | Ok (Response.Ok { schema; shard; _ }) ->
+          check int_c "raw default stays v1" Schema.version schema;
+          check bool_c "raw v1 has no shard" true (shard = None)
+      | _ -> Alcotest.fail "raw ping beside http");
+      Client.close raw)
+
+(* Backpressure maps onto 429 on the HTTP surface: with a zero-capacity
+   queue every job verb sheds immediately and deterministically. *)
+let test_daemon_http_overload () =
+  let d, stop, addr = spawn_daemon ~queue_cap:0 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      ignore (Domain.join d))
+    (fun () ->
+      let c = Client.connect ~retry_for:5. addr in
+      let body =
+        Json.to_string
+          (Request.analyze_params_to_json (Request.analyze_params ~page:"<p>x</p>" ()))
+      in
+      (match Client.http_request c ~meth:"POST" ~path:"/v1/analyze" ~body () with
+      | Ok (429, b) ->
+          check bool_c "429 body names overload" true (mentions {|"overload"|} b);
+          check bool_c "429 body carries http_status" true
+            (mentions {|"http_status":429|} b)
+      | Ok (s, _) -> Alcotest.failf "overloaded analyze answered %d" s
+      | Error e -> Alcotest.failf "http transport failed: %s" e);
+      (* Inline verbs bypass the queue: ping still answers 200. *)
+      (match Client.http_request c ~meth:"GET" ~path:"/v1/ping" () with
+      | Ok (200, _) -> ()
+      | _ -> Alcotest.fail "ping must bypass the queue");
+      Client.close c)
+
+(* Four event-loop shards behind one Unix socket (fanout accept hands
+   connections out round-robin, so coverage is deterministic): every
+   shard answers, v2 names the answering shard, and the shared cache
+   makes the analyze results byte-identical wherever they ran. *)
+let test_daemon_multi_shard () =
+  let dir = fresh_tmp_dir "shards" in
+  let d, stop, addr =
+    spawn_daemon ~shards:4 ~queue_cap:16
+      ~address:(Daemon.Unix_socket (Filename.concat dir "d.sock"))
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      ignore (Domain.join d))
+    (fun () ->
+      let params =
+        Request.analyze_params ~page:{|<script>var x = 1;</script>|} ~seed:5 ()
+      in
+      let baseline = ref None in
+      let shards_seen = Hashtbl.create 4 in
+      for i = 0 to 7 do
+        (* One fresh connection per request: the fanout round-robins
+           connections, so eight requests visit each shard twice. *)
+        let c = Client.connect ~retry_for:5. addr in
+        (match
+           Client.request c
+             (Request.make ~schema:Schema.v2 ~id:(Json.Int i)
+                (Request.analyze params))
+         with
+        | Ok (Response.Ok { shard = Some s; result; schema; _ }) ->
+            check int_c "v2 envelope" Schema.v2 schema;
+            Hashtbl.replace shards_seen s ();
+            let body = Json.to_string result in
+            (match !baseline with
+            | None -> baseline := Some body
+            | Some b -> check string_c "byte-identical across shards" b body)
+        | Ok _ -> Alcotest.fail "expected a v2 ok naming its shard"
+        | Error e -> Alcotest.failf "transport failed: %s" e);
+        Client.close c
+      done;
+      check int_c "every shard answered" 4 (Hashtbl.length shards_seen);
+      (* The shared cache served 7 of the 8 requests; its counters are
+         lock-protected, so the merged stats are exact. *)
+      let c = Client.connect ~retry_for:5. addr in
+      let stats = request_ok c (Request.make ~id:Json.Null Request.Stats) in
+      check bool_c "stats surface the shard count" true
+        (Json.member "shards" stats = Json.Int 4);
+      (match Json.member "cache" stats with
+      | Json.Obj cache ->
+          check bool_c "seven cache hits" true
+            (List.assoc_opt "hits" cache = Some (Json.Int 7))
+      | _ -> Alcotest.fail "stats lacks cache");
+      Client.close c)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "schema: v2 negotiation" `Quick test_schema_negotiation;
+      Alcotest.test_case "response: v2 envelope + status map" `Quick
+        test_response_v2_envelope;
+      Alcotest.test_case "cache: sharded counters merge exactly" `Quick
+        test_cache_sharded;
+      Alcotest.test_case "http: parser + sniffing" `Quick test_http_parser;
+      Alcotest.test_case "http: routing table" `Quick test_http_route;
+      Alcotest.test_case "daemon: http surface end to end" `Quick
+        test_daemon_http_surface;
+      Alcotest.test_case "daemon: http overload is 429" `Quick
+        test_daemon_http_overload;
+      Alcotest.test_case "daemon: four shards, one socket" `Quick
+        test_daemon_multi_shard;
     ]
