@@ -4,6 +4,7 @@
    webracer batch PAGES...     analyze many pages over a domain pool
    webracer explain PAGE.html  show checkable witnesses for each race
    webracer predict PAGE.html  static race prediction, no execution
+   webracer triage PAGE.html   confirm or refute predictions with guided schedules
    webracer corpus             regenerate the paper's evaluation tables
    webracer sitegen NAME DIR   write a synthetic corpus site to disk
    webracer serve              long-lived analysis daemon (socket/TCP)
@@ -550,6 +551,116 @@ let predict_cmd =
     Term.(
       const action $ page $ json $ lint $ compare $ corpus $ seed $ limit $ jobs
       $ metrics $ log_out_arg)
+
+(* --- triage ------------------------------------------------------------ *)
+
+let triage_cmd =
+  let page =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"PAGE" ~doc:"HTML page to triage (omit with $(b,--corpus)).")
+  in
+  let corpus =
+    Arg.(
+      value & flag
+      & info [ "corpus" ]
+          ~doc:"Triage the synthetic corpus plus the adversarial pack instead of \
+                one page; exits 2 if any site surfaces a dynamic race outside its \
+                prediction set.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt int Wr_static.Triage.default_budget
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Schedule budget per page, baseline included; predictions left over \
+                when it runs out stay $(b,unconfirmed).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the triage report as JSON (schema v2, stable field order; \
+                single-page mode only).")
+  in
+  let blind =
+    Arg.(
+      value & flag
+      & info [ "blind" ]
+          ~doc:"Also report how many schedules blind seed enumeration needs to \
+                confirm everything the guided search confirmed (capped at 64).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base seed for the schedules.")
+  in
+  let limit =
+    Arg.(
+      value & opt (some int) None
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"(corpus) only the first $(docv) sites (the adversarial pack \
+                always rides along).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Schedule (or, with $(b,--corpus), site) parallelism (0 = one per \
+                hardware thread); the reports are identical whatever $(docv) is.")
+  in
+  let action page corpus budget json blind seed limit jobs log_out =
+    setup_event_log log_out;
+    let jobs = if jobs = 0 then Wr_support.Pool.default_jobs () else max 1 jobs in
+    if corpus then begin
+      let outcomes = Wr_sitegen.Eval.triage_corpus ~seed ?limit ~jobs ~budget () in
+      print_string (Wr_sitegen.Eval.render_triage outcomes);
+      Log.close_sink ();
+      (* CI-gate contract: a dynamic race the prediction set does not
+         cover is a soundness regression. *)
+      if not (Wr_sitegen.Eval.triage_sound outcomes) then exit 2
+    end
+    else begin
+      let page =
+        match page with
+        | Some p -> p
+        | None ->
+            prerr_endline "triage: PAGE argument required (or use --corpus)";
+            exit 1
+      in
+      let page_html = read_file page and resources = resources_around page in
+      let t =
+        Wr_static.Triage.run ~seed ~jobs ~budget ~page:page_html ~resources ()
+      in
+      if json then
+        print_endline (Wr_support.Json.to_string (Wr_static.Triage.to_json t))
+      else begin
+        print_string (Wr_static.Triage.render t);
+        if blind then begin
+          let b =
+            Wr_static.Triage.blind_equivalent ~jobs ~seed ~page:page_html
+              ~resources t
+          in
+          Printf.printf "blind equivalent: %d schedules%s\n"
+            b.Wr_static.Triage.blind_schedules
+            (if b.Wr_static.Triage.blind_matched then ""
+             else " (cap hit before matching)")
+        end
+      end;
+      Log.close_sink ();
+      if not (Wr_static.Triage.sound t) then exit 2
+    end
+  in
+  let doc =
+    "Triage static race predictions with guided dynamic schedules: derive the \
+     delay-channel directives that could realize each prediction from the MHP \
+     model, run only those schedules, and classify every prediction confirmed, \
+     refuted (with a certificate) or unconfirmed (exit 2 if a dynamic race \
+     escapes the prediction set)."
+  in
+  Cmd.v
+    (Cmd.info "triage" ~doc)
+    Term.(
+      const action $ page $ corpus $ budget $ json $ blind $ seed $ limit $ jobs
+      $ log_out_arg)
 
 (* --- corpus ------------------------------------------------------------ *)
 
@@ -1104,7 +1215,8 @@ let serve_cmd =
   let doc =
     "Run the long-lived analysis daemon: newline-delimited JSON requests \
      ($(b,ping), $(b,stats), $(b,metrics), $(b,watch), $(b,analyze), \
-     $(b,explain), $(b,replay)) over a Unix socket or TCP, dispatched to a \
+     $(b,explain), $(b,predict), $(b,triage), $(b,replay)) over a Unix socket \
+     or TCP, dispatched to a \
      domain worker pool behind a bounded queue with an LRU result cache. \
      SIGINT/SIGTERM drain in-flight work before exit; SIGUSR2 dumps a \
      postmortem when $(b,--postmortem-dir) is set."
@@ -1122,19 +1234,20 @@ let call_cmd =
       Arg.enum
         [ ("ping", `Ping); ("stats", `Stats); ("metrics", `Metrics);
           ("watch", `Watch); ("analyze", `Analyze); ("explain", `Explain);
-          ("predict", `Predict); ("replay", `Replay); ("raw", `Raw) ]
+          ("predict", `Predict); ("triage", `Triage); ("replay", `Replay);
+          ("raw", `Raw) ]
     in
     Arg.(
       required & pos 0 (some verb_conv) None
       & info [] ~docv:"VERB"
           ~doc:"One of $(b,ping), $(b,stats), $(b,metrics), $(b,watch), \
-                $(b,analyze), $(b,explain), $(b,predict), $(b,replay), or \
-                $(b,raw) (send stdin lines verbatim).")
+                $(b,analyze), $(b,explain), $(b,predict), $(b,triage), \
+                $(b,replay), or $(b,raw) (send stdin lines verbatim).")
   in
   let page =
     Arg.(
       value & pos 1 (some file) None
-      & info [] ~docv:"PAGE" ~doc:"HTML page (analyze/explain/replay).")
+      & info [] ~docv:"PAGE" ~doc:"HTML page (analyze/explain/predict/triage/replay).")
   in
   let repeat =
     Arg.(
@@ -1191,10 +1304,17 @@ let call_cmd =
       value & opt float 2.
       & info [ "parse-delay" ] ~doc:"(replay) virtual ms per parsed element.")
   in
+  let budget =
+    Arg.(
+      value
+      & opt int Wr_static.Triage.default_budget
+      & info [ "budget" ] ~docv:"N" ~doc:"(triage) schedule budget per page.")
+  in
   let jobs =
     Arg.(
       value & opt int 1
-      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"(replay) server-side schedule parallelism.")
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"(replay/triage) server-side schedule parallelism.")
   in
   let watch_interval =
     Arg.(
@@ -1245,8 +1365,8 @@ let call_cmd =
                 trace id when $(b,--trace-id) is not given).")
   in
   let action verb page address repeat seed no_explore no_dedup detector hb time_limit
-      race_n compare lint schedules parse_delay jobs watch_interval watch_count
-      connect_timeout http schema trace_id verbose =
+      race_n compare lint schedules parse_delay budget jobs watch_interval
+      watch_count connect_timeout http schema trace_id verbose =
     if not (Wr_support.Schema.is_supported schema) then begin
       Printf.eprintf "call: unsupported --schema %d (this client speaks %s)\n"
         schema (Wr_support.Schema.supported_names ());
@@ -1310,7 +1430,8 @@ let call_cmd =
             (Request.make ~schema ?trace:trace_id ~id:(Wr_support.Json.Int 1)
                (Request.watch ~interval_s:watch_interval ~count ()));
           print_and_check count
-      | (`Ping | `Stats | `Metrics | `Analyze | `Explain | `Predict | `Replay) as v ->
+      | ( `Ping | `Stats | `Metrics | `Analyze | `Explain | `Predict | `Triage
+        | `Replay ) as v ->
           let verb_value =
             (* The typed builders validate like the daemon's decoder, so a
                bad flag combination fails here instead of on the wire. *)
@@ -1322,6 +1443,7 @@ let call_cmd =
               | `Analyze -> Request.analyze (target ())
               | `Explain -> Request.explain ?race:race_n (target ())
               | `Predict -> Request.predict ~compare ~lint (target ())
+              | `Triage -> Request.triage ~budget ~jobs:(max 1 jobs) (target ())
               | `Replay ->
                   Request.replay ~schedules ~parse_delay ~jobs:(max 1 jobs)
                     (target ())
@@ -1393,7 +1515,7 @@ let call_cmd =
     Term.(
       const action $ verb $ page $ address_term $ repeat $ seed $ no_explore $ no_dedup
       $ detector $ hb $ time_limit $ race_n $ compare $ lint $ schedules $ parse_delay
-      $ jobs $ watch_interval $ watch_count $ connect_timeout $ http $ schema
+      $ budget $ jobs $ watch_interval $ watch_count $ connect_timeout $ http $ schema
       $ trace_id $ verbose)
 
 (* --- bench-serve -------------------------------------------------------- *)
@@ -1701,6 +1823,6 @@ let () =
     exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; batch_cmd; explain_cmd; predict_cmd; corpus_cmd; sitegen_cmd;
-            bench_serve_cmd;
+          [ run_cmd; batch_cmd; explain_cmd; predict_cmd; triage_cmd; corpus_cmd;
+            sitegen_cmd; bench_serve_cmd;
             replay_cmd; offline_cmd; profile_cmd; serve_cmd; call_cmd; top_cmd ]))

@@ -471,7 +471,8 @@ let html_attrs (e : Html.element) =
 
 let rec schedule_parse t w =
   ignore
-    (Event_loop.schedule t.loop ~delay:t.config.Config.parse_delay (fun () -> parse_step t w))
+    (Event_loop.schedule ~cls:Event_loop.Parse t.loop ~delay:t.config.Config.parse_delay
+       (fun () -> parse_step t w))
 
 (* One parse(E) operation per static element (§3.2), chained in syntactic
    order (rule 1a) with inline-script and sync-script chaining (1b, 1c). *)
@@ -1355,7 +1356,7 @@ and set_timeout t w vm args =
       let caller = current_op t in
       let timer_uid = t.instr.Instr.fresh_id () in
       let handle =
-        Event_loop.schedule t.loop ~delay (fun () ->
+        Event_loop.schedule ~cls:Event_loop.Timer t.loop ~delay (fun () ->
             Hashtbl.remove t.timeouts timer_uid;
             let label = Printf.sprintf "setTimeout callback (timer %d)" timer_uid in
             let op = fresh_op t Op.Timeout_callback ~label ~preds:[ caller ] in
@@ -1386,7 +1387,7 @@ and set_interval t w vm args =
       let rec arm () =
         st.pending <-
           Some
-            (Event_loop.schedule t.loop ~delay (fun () ->
+            (Event_loop.schedule ~cls:Event_loop.Timer t.loop ~delay (fun () ->
                  if st.active then begin
                    let label =
                      Printf.sprintf "setInterval callback #%d (timer %d)" st.iter timer_uid
@@ -1456,7 +1457,7 @@ and make_xhr_ctor t w =
       m "setRequestHeader" (fun _vm ~this:_ _ -> Value.Undefined);
       m "send" (fun _vm ~this:_ _args ->
           let send_op = current_op t in
-          Network.fetch t.net ~url:!url (fun outcome ->
+          Network.fetch ~cls:Event_loop.Xhr t.net ~url:!url (fun outcome ->
               (match outcome with
               | Network.Fetched body ->
                   Value.set_prop_raw obj "readyState" (Value.Number 4.);
@@ -1547,7 +1548,7 @@ and make_window t ~frame ~url =
 
 let create (config : Config.t) =
   let tm = config.Config.telemetry in
-  let loop = Event_loop.create ~tm () in
+  let loop = Event_loop.create ~tm ~bias:config.Config.bias () in
   Telemetry.set_virtual_clock tm (fun () -> Event_loop.now loop);
   let rng = Wr_support.Rng.of_int config.Config.seed in
   let resolve url = List.assoc_opt url config.Config.resources in
@@ -1686,21 +1687,21 @@ let javascript_link_uids t =
 
 let schedule_user_event t ~target ~event =
   ignore
-    (Event_loop.schedule t.loop ~delay:0. (fun () ->
+    (Event_loop.schedule ~cls:Event_loop.User t.loop ~delay:0. (fun () ->
          match attached_node t target with
          | Some (n, w) -> user_action_dispatch t w n ~event ~inline:false
          | None -> ()))
 
 let schedule_user_click t ~target =
   ignore
-    (Event_loop.schedule t.loop ~delay:0. (fun () ->
+    (Event_loop.schedule ~cls:Event_loop.User t.loop ~delay:0. (fun () ->
          match attached_node t target with
          | Some (n, w) -> user_action_dispatch t w n ~event:"click" ~inline:false
          | None -> ()))
 
 let schedule_user_typing t ~target ~text =
   ignore
-    (Event_loop.schedule t.loop ~delay:0. (fun () ->
+    (Event_loop.schedule ~cls:Event_loop.User t.loop ~delay:0. (fun () ->
          match attached_node t target with
          | None -> ()
          | Some (n, w) ->

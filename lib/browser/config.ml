@@ -13,6 +13,7 @@ type t = {
   explore : bool;
   trace : bool;
   dedup : bool;
+  bias : Wr_scheduler.Event_loop.bias;
   telemetry : Wr_telemetry.Telemetry.t;
 }
 
@@ -30,5 +31,6 @@ let default ~page () =
     explore = true;
     trace = false;
     dedup = true;
+    bias = Wr_scheduler.Event_loop.neutral;
     telemetry = Wr_telemetry.Telemetry.disabled;
   }

@@ -27,6 +27,9 @@ type t = {
       (** per-operation access deduplication in front of the detector
           (see [Wr_detect.Dedup]) — semantics-preserving, on by default;
           turn off to measure raw detector pressure *)
+  bias : Wr_scheduler.Event_loop.bias;
+      (** per-channel delay transform for guided (triage-directed)
+          schedules; {!Wr_scheduler.Event_loop.neutral} by default *)
   telemetry : Wr_telemetry.Telemetry.t;
       (** spans/counters/histograms across the pipeline; the disabled
           default is a near-no-op (see [Wr_telemetry.Telemetry]) *)

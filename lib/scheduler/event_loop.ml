@@ -2,6 +2,56 @@ type handle = int
 
 type task = { due : float; seq : int; run : unit -> unit }
 
+type cls = Parse | Timer | Net | Xhr | User
+
+type speed = Fast | Slow
+
+type bias = {
+  parse : speed option;
+  timer : speed option;
+  net : speed option;
+  xhr : speed option;
+  user : speed option;
+}
+
+let neutral = { parse = None; timer = None; net = None; xhr = None; user = None }
+
+let cls_name = function
+  | Parse -> "parse"
+  | Timer -> "timer"
+  | Net -> "net"
+  | Xhr -> "xhr"
+  | User -> "user"
+
+let speed_name = function Fast -> "fast" | Slow -> "slow"
+
+(* Per-channel additive penalty for [Slow]. Scaled to dominate the
+   channel's natural delays (timer intervals, sampled latencies) so a
+   slowed channel lands after unbiased traffic, while [Fast] scales the
+   delay down uniformly. Both transforms are monotone in the original
+   delay, so relative order *within* a channel is preserved — only
+   cross-channel interleavings move, which is exactly the freedom the
+   HB model leaves open. *)
+let slow_extra = function
+  | Parse -> 50.
+  | Timer -> 500.
+  | Net -> 300.
+  | Xhr -> 300.
+  | User -> 200.
+
+let speed_for bias = function
+  | Parse -> bias.parse
+  | Timer -> bias.timer
+  | Net -> bias.net
+  | Xhr -> bias.xhr
+  | User -> bias.user
+
+let apply_bias bias cls delay =
+  match speed_for bias cls with
+  | None -> delay
+  | Some Fast -> delay *. 0.01
+  | Some Slow -> delay +. slow_extra cls
+
 (* Binary min-heap on (due, seq). *)
 type t = {
   mutable heap : task array;
@@ -10,11 +60,12 @@ type t = {
   mutable next_seq : int;
   cancelled : (int, unit) Hashtbl.t;
   tm : Wr_telemetry.Telemetry.t;
+  bias : bias;
 }
 
 let dummy = { due = 0.; seq = -1; run = ignore }
 
-let create ?(tm = Wr_telemetry.Telemetry.disabled) () =
+let create ?(tm = Wr_telemetry.Telemetry.disabled) ?(bias = neutral) () =
   {
     heap = Array.make 64 dummy;
     size = 0;
@@ -22,6 +73,7 @@ let create ?(tm = Wr_telemetry.Telemetry.disabled) () =
     next_seq = 0;
     cancelled = Hashtbl.create 16;
     tm;
+    bias;
   }
 
 let now t = t.clock
@@ -75,7 +127,10 @@ let pop t =
 
 let peek t = if t.size = 0 then None else Some t.heap.(0)
 
-let schedule t ~delay run =
+let schedule ?cls t ~delay run =
+  let delay =
+    match cls with None -> delay | Some c -> apply_bias t.bias c delay
+  in
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   push t { due = t.clock +. Float.max 0. delay; seq; run };

@@ -14,15 +14,50 @@ type t
 (** Identifies a scheduled task for cancellation ([clearTimeout]). *)
 type handle
 
+(** The channel a task arrives on — the browser-level source of the
+    delay. Guided exploration (triage) perturbs whole channels at a
+    time: "make the network fast and the timers slow" is one schedule. *)
+type cls = Parse | Timer | Net | Xhr | User
+
+type speed = Fast | Slow
+
+(** A per-channel speed override. [None] leaves the channel's delays
+    untouched. The transform is uniform and monotone per channel
+    ([Fast] scales delays down, [Slow] adds a channel-specific
+    constant), so same-channel relative order — and with it every
+    happens-before edge the simulator derives from program order on a
+    channel — is preserved. Only cross-channel interleavings change. *)
+type bias = {
+  parse : speed option;
+  timer : speed option;
+  net : speed option;
+  xhr : speed option;
+  user : speed option;
+}
+
+(** All channels at their natural speed. *)
+val neutral : bias
+
+val cls_name : cls -> string
+val speed_name : speed -> string
+
+(** [apply_bias b cls delay] is the biased delay a [schedule ~cls] call
+    would use; exposed so directive labels can explain themselves. *)
+val apply_bias : bias -> cls -> float -> float
+
 (** [create ()] is an empty loop at time 0. [tm] wraps every task run in
-    a ["scheduler"] span and samples queue depth per task when enabled. *)
-val create : ?tm:Wr_telemetry.Telemetry.t -> unit -> t
+    a ["scheduler"] span and samples queue depth per task when enabled.
+    [bias] applies a per-channel delay transform to classified
+    [schedule] calls; default {!neutral}. *)
+val create : ?tm:Wr_telemetry.Telemetry.t -> ?bias:bias -> unit -> t
 
 (** [now t] is the current virtual time in milliseconds. *)
 val now : t -> float
 
-(** [schedule t ~delay f] enqueues [f] to run at [now t +. max 0 delay]. *)
-val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule t ~delay f] enqueues [f] to run at [now t +. max 0 delay].
+    [cls] classifies the delay's source channel; classified delays pass
+    through the loop's {!bias} transform, unclassified ones never move. *)
+val schedule : ?cls:cls -> t -> delay:float -> (unit -> unit) -> handle
 
 (** [cancel t h] prevents the task from running if it has not run yet;
     idempotent. *)

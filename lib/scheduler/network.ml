@@ -29,7 +29,7 @@ let latency t url =
   | Some ms -> ms
   | None -> t.min_latency +. Wr_support.Rng.exponential t.rng ~mean:t.mean_latency
 
-let fetch t ~url k =
+let fetch ?(cls = Event_loop.Net) t ~url k =
   t.count <- t.count + 1;
   let delay = latency t url in
   let outcome = match t.resolve url with Some body -> Fetched body | None -> Missing in
@@ -39,7 +39,7 @@ let fetch t ~url k =
     T.observe t.tm "net.latency_ms" delay;
     (match outcome with Missing -> T.incr t.tm "net.missing" | Fetched _ -> ())
   end;
-  ignore (Event_loop.schedule t.loop ~delay (fun () -> k outcome))
+  ignore (Event_loop.schedule ~cls t.loop ~delay (fun () -> k outcome))
 
 let set_latency t ~url ms = Hashtbl.replace t.pinned url ms
 

@@ -26,8 +26,11 @@ val create :
   t
 
 (** [fetch t ~url k] samples a latency, schedules the completion, and calls
-    [k] with the outcome when the virtual clock reaches it. *)
-val fetch : t -> url:string -> (outcome -> unit) -> unit
+    [k] with the outcome when the virtual clock reaches it. [cls] is the
+    event-loop channel the completion lands on (default
+    {!Event_loop.Net}; XHR sends pass [Xhr]) so schedule bias can steer
+    fetch arrivals. *)
+val fetch : ?cls:Event_loop.cls -> t -> url:string -> (outcome -> unit) -> unit
 
 (** [set_latency t ~url ms] pins the latency for [url] (used to steer
     schedules). *)

@@ -81,6 +81,13 @@ let predict_json ?telemetry (p : Request.predict_params) =
     in
     Wr_static.Predict.to_json ?compare result
 
+let triage_json ?telemetry (p : Request.triage_params) =
+  let t = p.Request.target in
+  Wr_static.Triage.to_json
+    (Wr_static.Triage.run ?tm:telemetry ~seed:t.Request.seed
+       ~jobs:p.Request.jobs ~budget:p.Request.budget ~page:t.Request.page
+       ~resources:t.Request.resources ())
+
 let ping_result = Json.Obj [ ("pong", Json.Bool true) ]
 
 let no_stats () =
@@ -110,6 +117,7 @@ let dispatch ?(stats = no_stats) ?(metrics = no_metrics) (req : Request.t) =
         | Error msg -> Response.error ~schema ~id ?trace Response.Bad_request msg)
     | Request.Replay p -> ok (Webracer.Replay.verdict_to_json (replay p))
     | Request.Predict p -> ok (predict_json p)
+    | Request.Triage p -> ok (triage_json p)
   with
   | resp -> resp
   | exception e ->

@@ -47,6 +47,15 @@ val predict_json :
   Request.predict_params ->
   Wr_support.Json.t
 
+(** [triage_json p] — the guided-triage document
+    ([Wr_static.Triage.to_json]): every prediction classified confirmed
+    / refuted (with certificate) / unconfirmed, schema v2.
+    [webracer triage --json] writes exactly this. *)
+val triage_json :
+  ?telemetry:Wr_telemetry.Telemetry.t ->
+  Request.triage_params ->
+  Wr_support.Json.t
+
 (** [ping_result] is the constant [{"pong":true}]. *)
 val ping_result : Wr_support.Json.t
 

@@ -91,7 +91,7 @@ type watcher = {
    one shard runs. *)
 let verb_slots =
   [| "ping"; "stats"; "metrics"; "watch"; "analyze"; "explain"; "predict";
-     "replay"; "invalid" |]
+     "triage"; "replay"; "invalid" |]
 
 let resp_slots = [| "ok"; "bad_request"; "timeout"; "overload"; "internal" |]
 
@@ -244,7 +244,7 @@ let cache_hit_ratio st =
 let stats_json st =
   let verbs =
     [ "ping"; "stats"; "metrics"; "watch"; "analyze"; "explain"; "predict";
-      "replay" ]
+      "triage"; "replay" ]
   in
   let total = List.fold_left (fun acc v -> acc + req_count st v) 0 verbs in
   Json.Obj
@@ -796,6 +796,18 @@ let handle_request st sh conn (req : Request.t) =
       let p = { p with Request.target = clamp_target st p.Request.target } in
       admit ~verb:"predict" ~cache_key:None (fun () ->
           Api.dispatch { req with Request.verb = Request.Predict p })
+  | Request.Triage t ->
+      (* Same fan-in story as replay: the directed schedules run inside
+         one worker, so clamp the requested parallelism to the fleet. *)
+      let t =
+        {
+          t with
+          Request.target = clamp_target st t.Request.target;
+          jobs = max 1 (min t.Request.jobs st.cfg.jobs);
+        }
+      in
+      admit ~verb:"triage" ~cache_key:None (fun () ->
+          Api.dispatch { req with Request.verb = Request.Triage t })
 
 let handle_line st sh conn line =
   if String.trim line <> "" then begin

@@ -121,6 +121,7 @@ let routes =
     ("/v1/explain", ("POST", "explain"));
     ("/v1/replay", ("POST", "replay"));
     ("/v1/predict", ("POST", "predict"));
+    ("/v1/triage", ("POST", "triage"));
   ]
 
 (* [route r] maps an HTTP request onto the line protocol's wire

@@ -24,6 +24,8 @@ type replay_params = {
 
 type predict_params = { target : analyze_params; compare : bool; lint : bool }
 
+type triage_params = { target : analyze_params; budget : int; jobs : int }
+
 type watch_params = { interval_s : float; count : int option }
 
 type verb =
@@ -35,6 +37,7 @@ type verb =
   | Explain of explain_params
   | Replay of replay_params
   | Predict of predict_params
+  | Triage of triage_params
 
 type t = { id : Json.t; trace : string option; schema : int; verb : verb }
 
@@ -66,6 +69,11 @@ let check_replay r =
   if r.parse_delay < 0. then bad "\"parse_delay\" must be non-negative";
   if r.jobs < 1 then bad "\"jobs\" must be at least 1";
   r
+
+let check_triage (t : triage_params) =
+  if t.budget < 1 then bad "\"budget\" must be at least 1";
+  if t.jobs < 1 then bad "\"jobs\" must be at least 1";
+  t
 
 (* --- the typed builders ------------------------------------------------ *)
 
@@ -99,6 +107,9 @@ let replay ?(schedules = 25) ?(parse_delay = 2.) ?(jobs = 1) target =
 let predict ?(compare = false) ?(lint = false) target =
   Predict { target; compare; lint }
 
+let triage ?(budget = Wr_static.Triage.default_budget) ?(jobs = 1) target =
+  Triage (building check_triage { target; budget; jobs })
+
 let watch ?(interval_s = 1.) ?count () =
   Watch (building check_watch { interval_s; count })
 
@@ -111,6 +122,7 @@ let verb_name = function
   | Explain _ -> "explain"
   | Replay _ -> "replay"
   | Predict _ -> "predict"
+  | Triage _ -> "triage"
 
 let detector_names =
   [ ("last-access", Config.Last_access); ("full-track", Config.Full_track);
@@ -181,6 +193,14 @@ let params_to_json = function
         | _ -> assert false
       in
       [ ("params", Json.Obj fields) ]
+  | Triage { target; budget; jobs } ->
+      let fields =
+        match analyze_params_to_json target with
+        | Json.Obj fields ->
+            fields @ [ ("budget", Json.Int budget); ("jobs", Json.Int jobs) ]
+        | _ -> assert false
+      in
+      [ ("params", Json.Obj fields) ]
 
 let to_json t =
   Json.Obj
@@ -197,7 +217,7 @@ let to_line t = Json.to_string (to_json t)
 
 let http_method = function
   | Ping | Stats | Metrics -> "GET"
-  | Watch _ | Analyze _ | Explain _ | Replay _ | Predict _ -> "POST"
+  | Watch _ | Analyze _ | Explain _ | Replay _ | Predict _ | Triage _ -> "POST"
 
 let http_path = function
   | Ping -> Some "/v1/ping"
@@ -207,6 +227,7 @@ let http_path = function
   | Explain _ -> Some "/v1/explain"
   | Replay _ -> Some "/v1/replay"
   | Predict _ -> Some "/v1/predict"
+  | Triage _ -> Some "/v1/triage"
   | Watch _ -> None (* streaming: raw-socket only *)
 
 let http_body verb =
@@ -321,10 +342,20 @@ let decode_verb verb params =
           compare = get_bool "compare" params_fields ~default:false;
           lint = get_bool "lint" params_fields ~default:false;
         }
+  | "triage" ->
+      Triage
+        (check_triage
+           {
+             target = decode_analyze params_fields;
+             budget =
+               get_int "budget" params_fields
+                 ~default:Wr_static.Triage.default_budget;
+             jobs = get_int "jobs" params_fields ~default:1;
+           })
   | other ->
       bad
         "unknown verb %S (expected ping, stats, metrics, watch, analyze, \
-         explain, predict or replay)"
+         explain, predict, triage or replay)"
         other
 
 let of_json j =

@@ -62,6 +62,16 @@ type predict_params = {
   lint : bool;  (** answer with the lint findings only *)
 }
 
+(** Parameters of the prediction-guided triage verb
+    ([Wr_static.Triage.run]): predict, then run the baseline plus
+    directed schedules until every prediction is confirmed, refuted
+    (with a certificate) or the [budget] is exhausted. *)
+type triage_params = {
+  target : analyze_params;  (** only [page]/[resources]/[seed] matter *)
+  budget : int;  (** max schedules, baseline included; must be >= 1 *)
+  jobs : int;  (** server-side schedule parallelism, report-invariant *)
+}
+
 (** Parameters of the streaming [watch] verb (daemon-only, raw socket
     only): the daemon answers with one metrics-snapshot response per
     [interval_s] on the same connection, [count] times ([None] = until
@@ -80,6 +90,7 @@ type verb =
   | Explain of explain_params
   | Replay of replay_params
   | Predict of predict_params
+  | Triage of triage_params
 
 type t = {
   id : Wr_support.Json.t;
@@ -117,6 +128,10 @@ val analyze : analyze_params -> verb
 val explain : ?race:int -> analyze_params -> verb
 val replay : ?schedules:int -> ?parse_delay:float -> ?jobs:int -> analyze_params -> verb
 val predict : ?compare:bool -> ?lint:bool -> analyze_params -> verb
+
+(** [budget] defaults to {!Wr_static.Triage.default_budget}. *)
+val triage : ?budget:int -> ?jobs:int -> analyze_params -> verb
+
 val watch : ?interval_s:float -> ?count:int -> unit -> verb
 
 val verb_name : verb -> string

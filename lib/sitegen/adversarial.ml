@@ -1,0 +1,160 @@
+(* The adversarial precision pack: pages engineered so the static
+   predictor's recall-oriented widening (computed member names,
+   wildcard ids, dynamic eval, flow-insensitive dead branches) produces
+   predictions a single baseline schedule cannot confirm — some
+   realizable only under a directed schedule, some genuinely
+   unrealizable. This is what makes `predict --corpus` precision
+   non-trivial and gives the triage pipeline real false positives to
+   refute. Every scenario carries ground truth for the tests. *)
+
+module Html = Wr_html.Html
+
+type scenario = {
+  name : string;
+  page : string;
+  resources : (string * string) list;
+  baseline_gap : bool;
+      (** some prediction must NOT confirm on the baseline schedule *)
+  guided_confirms : bool;
+      (** a directed schedule should confirm a prediction the baseline
+          missed *)
+  refutable : bool;  (** triage should refute at least one prediction *)
+}
+
+let script code = Html.el "script" [ Html.text code ]
+
+let page_of nodes = Html.to_string nodes
+
+(* A data-dependent guard flips under network/parse inversion: the
+   async library writes [adv_deg] only when it beats the parser to the
+   flag element. Baseline (instant parse) never takes the branch, so
+   the Variable prediction on [adv_deg] sits unconfirmed until the
+   net:fast+parse:slow directive realizes it. *)
+let late_async =
+  let nodes =
+    [
+      Html.el "script" ~attrs:[ ("async", "true"); ("src", "adv_late.js") ] [];
+      Html.el "div" ~attrs:[ ("id", "adv_flag") ] [ Html.text "." ];
+      script
+        "var adv_deg = 0;\n\
+         setTimeout(function () { adv_seen = adv_deg; }, 10);";
+    ]
+  in
+  {
+    name = "adv_late_async";
+    page = page_of nodes;
+    resources =
+      [
+        ( "adv_late.js",
+          "if (document.getElementById(\"adv_flag\") == null) { adv_deg = 1; }" );
+      ];
+    baseline_gap = true;
+    guided_confirms = true;
+    refutable = false;
+  }
+
+(* Computed member names: the async library writes [el["tmp_" + n]]
+   (widened to the prefix [tmp_]), a timer reads [el.tmp_final]. The
+   prefix matches statically, but the concrete cells are disjoint in
+   every schedule — a certified false positive. *)
+let computed_member =
+  let nodes =
+    [
+      Html.el "div" ~attrs:[ ("id", "adv_box") ] [ Html.text "." ];
+      Html.el "script" ~attrs:[ ("async", "true"); ("src", "adv_comp.js") ] [];
+      script
+        "setTimeout(function () {\n\
+         \  var el2 = document.getElementById(\"adv_box\");\n\
+         \  if (el2 != null) { adv_r = el2.tmp_final; }\n\
+         }, 15);";
+    ]
+  in
+  {
+    name = "adv_computed";
+    page = page_of nodes;
+    resources =
+      [
+        ( "adv_comp.js",
+          "var n = 2;\n\
+           var el = document.getElementById(\"adv_box\");\n\
+           if (el != null) { el[\"tmp_\" + n] = 1; }" );
+      ];
+    baseline_gap = true;
+    guided_confirms = false;
+    refutable = true;
+  }
+
+(* Dead-branch registration: the flow-insensitive effect pass sees the
+   write to [adv_dead] inside a branch that never executes. No schedule
+   can observe that side — the Side_never_observed certificate. *)
+let dead_branch =
+  let nodes =
+    [
+      Html.el "script" ~attrs:[ ("async", "true"); ("src", "adv_dead.js") ] [];
+      script
+        "setTimeout(function () {\n\
+         \  if (typeof adv_dead != \"undefined\") { adv_chk = 1; }\n\
+         }, 12);";
+    ]
+  in
+  {
+    name = "adv_dead_branch";
+    page = page_of nodes;
+    resources =
+      [ ("adv_dead.js", "var adv_en = 0;\nif (adv_en > 0) { adv_dead = 1; }") ];
+    baseline_gap = true;
+    guided_confirms = false;
+    refutable = true;
+  }
+
+(* Data-dependent wiring: the element id flows through an array, so the
+   lookup widens to the wildcard id — yet the race is real and fires on
+   the baseline schedule. Keeps recall honest while exercising
+   [Any_str]. *)
+let data_wired =
+  let nodes =
+    [
+      script
+        "var adv_ids = [\"adv_d0\"];\n\
+         setTimeout(function () {\n\
+         \  var el = document.getElementById(adv_ids[0]);\n\
+         \  if (el != null) { el.className = \"wired\"; }\n\
+         }, 8);";
+      Html.el "div" ~attrs:[ ("id", "adv_d0") ] [ Html.text "." ];
+    ]
+  in
+  {
+    name = "adv_data_wired";
+    page = page_of nodes;
+    resources = [];
+    baseline_gap = false;
+    guided_confirms = false;
+    refutable = false;
+  }
+
+(* Dynamic eval: the evaluated string is built at runtime, so the unit
+   widens to S_top — it may touch anything. The simulated interpreter
+   does not execute dynamic eval, so every S_top-vs-everything
+   prediction is a false positive for the directed search to refute
+   (the typeof guard keeps the reader from crashing either way). *)
+let eval_dyn =
+  let nodes =
+    [
+      Html.el "script" ~attrs:[ ("async", "true"); ("src", "adv_eval.js") ] [];
+      script
+        "setTimeout(function () {\n\
+         \  if (typeof adv_mark != \"undefined\") { adv_obs = 1; }\n\
+         }, 9);";
+    ]
+  in
+  {
+    name = "adv_eval_dyn";
+    page = page_of nodes;
+    resources =
+      [ ("adv_eval.js", "var c = \"adv_mark\";\neval(c + \" = 1;\");") ];
+    baseline_gap = true;
+    guided_confirms = false;
+    refutable = true;
+  }
+
+let pack () = [ late_async; computed_member; dead_branch; data_wired; eval_dyn ]

@@ -1,0 +1,24 @@
+(** The adversarial precision pack: hand-built pages where the static
+    predictor's recall-oriented widening over-approximates — computed
+    member names, wildcard ids from data-dependent wiring, dynamic
+    [eval], dead-branch handler registration — so corpus precision
+    drops below 100% and the triage pipeline has genuine false
+    positives to refute. Ground truth per scenario drives the unit
+    tests and the triage gate. *)
+
+type scenario = {
+  name : string;
+  page : string;
+  resources : (string * string) list;
+  baseline_gap : bool;
+      (** some prediction must NOT confirm on the baseline schedule *)
+  guided_confirms : bool;
+      (** a directed schedule should confirm a prediction the baseline
+          missed *)
+  refutable : bool;  (** triage should refute at least one prediction *)
+}
+
+(** The five scenarios, stable order: late async guard, computed member
+    names, dead-branch registration, data-dependent wiring, dynamic
+    eval. *)
+val pack : unit -> scenario list

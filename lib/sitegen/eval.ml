@@ -123,28 +123,175 @@ let render_table2 outcomes =
 
 (* --- static-prediction validation (DESIGN.md §8) ---------------------- *)
 
+type predict_breakdown = {
+  conf_harmful : int;
+  conf_benign : int;
+  conf_filtered : int;
+}
+
+let breakdown_zero = { conf_harmful = 0; conf_benign = 0; conf_filtered = 0 }
+
+let breakdown_add a b =
+  {
+    conf_harmful = a.conf_harmful + b.conf_harmful;
+    conf_benign = a.conf_benign + b.conf_benign;
+    conf_filtered = a.conf_filtered + b.conf_filtered;
+  }
+
 type predict_outcome = {
   p_profile : Profile.t;
   comparison : Wr_static.Compare.comparison;
+  breakdown : predict_breakdown;
 }
+
+(* Classify each confirmed prediction by the strongest dynamic race it
+   covers: harmful (kept by the filters and heuristically harmful),
+   benign (kept), or filtered (covers only races the §5.3 filters
+   suppressed). The filter keeps the physical race values, so [memq]
+   decides membership. *)
+let classify_confirmed (result : Wr_static.Predict.result)
+    (report : Webracer.report) =
+  let kept r = List.memq r report.Webracer.filtered in
+  List.fold_left
+    (fun acc p ->
+      match List.filter (fun r -> Wr_static.Compare.covers p r) report.Webracer.races with
+      | [] -> acc
+      | covered ->
+          if List.exists (fun r -> kept r && Race.heuristic_harmful r) covered then
+            { acc with conf_harmful = acc.conf_harmful + 1 }
+          else if List.exists kept covered then
+            { acc with conf_benign = acc.conf_benign + 1 }
+          else { acc with conf_filtered = acc.conf_filtered + 1 })
+    breakdown_zero result.Wr_static.Predict.predictions
+
+(* Shared predict-and-score path: the dynamic run uses the same config
+   [Wr_static.Compare.run] would (exploration on), reused for both the
+   comparison and the per-class breakdown. *)
+let predict_page ?(seed = 42) ~name ~page ~resources () =
+  let result = Wr_static.Predict.predict ~page ~resources () in
+  let report = Webracer.analyze (Webracer.config ~page ~resources ~seed ()) in
+  {
+    p_profile = Profile.base name;
+    comparison = Wr_static.Compare.against_report result report;
+    breakdown = classify_confirmed result report;
+  }
 
 let predict_site ?(seed = 42) profile =
   let site = Gen.generate profile in
-  let result =
-    Wr_static.Predict.predict ~page:site.Gen.page ~resources:site.Gen.resources
-      ()
-  in
-  let comparison =
-    Wr_static.Compare.run ~seed ~page:site.Gen.page
-      ~resources:site.Gen.resources result
-  in
-  { p_profile = profile; comparison }
+  {
+    (predict_page ~seed ~name:profile.Profile.name ~page:site.Gen.page
+       ~resources:site.Gen.resources ())
+    with
+    p_profile = profile;
+  }
 
+(* The adversarial pack rides along after the 100 profile sites, with
+   position-fixed seeds of its own, so the result is independent of
+   [jobs] and [--limit] never hides the precision signal. *)
 let predict_corpus ?(seed = 42) ?limit ?(jobs = 1) () =
   let profiles = corpus_profiles limit in
+  let work =
+    List.mapi (fun i p -> `Site (seed + i, p)) profiles
+    @ List.mapi
+        (fun i (s : Adversarial.scenario) -> `Adv (seed + 100 + i, s))
+        (Adversarial.pack ())
+  in
   Wr_support.Pool.map_jobs ~jobs
-    (fun (i, p) -> predict_site ~seed:(seed + i) p)
-    (List.mapi (fun i p -> (i, p)) profiles)
+    (function
+      | `Site (seed, p) -> predict_site ~seed p
+      | `Adv (seed, s) ->
+          predict_page ~seed ~name:s.Adversarial.name ~page:s.Adversarial.page
+            ~resources:s.Adversarial.resources ())
+    work
+
+(* --- prediction-guided triage over the corpus ------------------------- *)
+
+type triage_outcome = {
+  t_name : string;
+  t_page : string;
+  t_resources : (string * string) list;
+  t_report : Wr_static.Triage.t;
+}
+
+let triage_page ?(seed = 42) ?budget ~name ~page ~resources () =
+  {
+    t_name = name;
+    t_page = page;
+    t_resources = resources;
+    t_report = Wr_static.Triage.run ~seed ?budget ~page ~resources ();
+  }
+
+(* Same layout as [predict_corpus]: profile sites first, the adversarial
+   pack after, position-fixed seeds; per-site triage runs sequentially
+   inside its pool slot so the reports are independent of [jobs]. *)
+let triage_corpus ?(seed = 42) ?limit ?(jobs = 1) ?budget () =
+  let profiles = corpus_profiles limit in
+  let work =
+    List.mapi (fun i p -> `Site (seed + i, p)) profiles
+    @ List.mapi
+        (fun i (s : Adversarial.scenario) -> `Adv (seed + 100 + i, s))
+        (Adversarial.pack ())
+  in
+  Wr_support.Pool.map_jobs ~jobs
+    (function
+      | `Site (seed, p) ->
+          let site = Gen.generate p in
+          triage_page ~seed ?budget ~name:p.Profile.name ~page:site.Gen.page
+            ~resources:site.Gen.resources ()
+      | `Adv (seed, s) ->
+          triage_page ~seed ?budget ~name:s.Adversarial.name
+            ~page:s.Adversarial.page ~resources:s.Adversarial.resources ())
+    work
+
+let triage_sound outcomes =
+  List.for_all (fun o -> Wr_static.Triage.sound o.t_report) outcomes
+
+let render_triage outcomes =
+  let module T = Wr_static.Triage in
+  let interesting =
+    (* Every row would be 100 lines of "1 prediction, confirmed at
+       baseline"; show only sites where the guided search had work to
+       do (a refutation, an unconfirmed leftover, or a soundness
+       violation). *)
+    List.filter
+      (fun o ->
+        T.count `Refuted o.t_report > 0
+        || T.count `Unconfirmed o.t_report > 0
+        || not (T.sound o.t_report))
+      outcomes
+  in
+  let row o =
+    let r = o.t_report in
+    [
+      (o.t_name ^ if T.sound r then "" else " !");
+      string_of_int (List.length r.T.items);
+      string_of_int (T.count `Confirmed r);
+      string_of_int (T.count `Refuted r);
+      string_of_int (T.count `Unconfirmed r);
+      string_of_int r.T.schedules_run;
+    ]
+  in
+  let table =
+    if interesting = [] then "every prediction confirmed at baseline\n"
+    else
+      Wr_support.Table.render
+        ~header:[ "Website"; "Pred"; "Conf"; "Ref"; "Unconf"; "Sched" ]
+        (List.map row interesting)
+  in
+  let sum f = List.fold_left (fun acc o -> acc + f o.t_report) 0 outcomes in
+  let unsound =
+    List.filter (fun o -> not (T.sound o.t_report)) outcomes |> List.length
+  in
+  Printf.sprintf
+    "%ssites: %d  predictions: %d  confirmed: %d  refuted: %d  unconfirmed: \
+     %d\nschedules: %d run  soundness violations: %d\n"
+    table (List.length outcomes)
+    (sum (fun r -> List.length r.T.items))
+    (sum (T.count `Confirmed))
+    (sum (T.count `Refuted))
+    (sum (T.count `Unconfirmed))
+    (sum (fun r -> r.T.schedules_run))
+    unsound
 
 let render_predict outcomes =
   let sum f = List.fold_left (fun acc o -> acc + f o.comparison) 0 outcomes in
@@ -178,8 +325,14 @@ let render_predict outcomes =
         (List.map row imperfect)
   in
   let pct a b = if b = 0 then 100. else 100. *. float_of_int a /. float_of_int b in
+  let bd =
+    List.fold_left (fun acc o -> breakdown_add acc o.breakdown) breakdown_zero outcomes
+  in
   Printf.sprintf
     "%ssites: %d  dynamic races: %d  predicted: %d\nrecall: %d/%d (%.1f%%)  \
-     precision: %d/%d (%.1f%%)\n"
+     precision: %d/%d (%.1f%%)\nconfirmed by class: harmful %d  benign %d  \
+     filtered-only %d  unconfirmed %d\n"
     table (List.length outcomes) dyn predicted matched dyn (pct matched dyn)
-    confirmed predicted (pct confirmed predicted)
+    confirmed predicted
+    (pct confirmed predicted)
+    bd.conf_harmful bd.conf_benign bd.conf_filtered (predicted - confirmed)

@@ -66,21 +66,82 @@ val render_table2 : outcome list -> string
     be statically predicted (recall), and the prediction sets should not
     drown in unconfirmed noise (precision). *)
 
+(** Confirmed predictions classified by the strongest dynamic race each
+    covers: harmful (kept and heuristically harmful), benign (kept),
+    or filtered-only (covers only §5.3-suppressed races). *)
+type predict_breakdown = {
+  conf_harmful : int;
+  conf_benign : int;
+  conf_filtered : int;
+}
+
 type predict_outcome = {
   p_profile : Profile.t;
   comparison : Wr_static.Compare.comparison;
+  breakdown : predict_breakdown;
 }
+
+(** [predict_page ?seed ~name ~page ~resources ()] predicts statically
+    and scores against a dynamic run — the standalone-page path the
+    adversarial pack uses. *)
+val predict_page :
+  ?seed:int ->
+  name:string ->
+  page:string ->
+  resources:(string * string) list ->
+  unit ->
+  predict_outcome
 
 (** [predict_site ?seed profile] generates the site, predicts statically,
     and scores against a dynamic run with the same seed. *)
 val predict_site : ?seed:int -> Profile.t -> predict_outcome
 
 (** [predict_corpus ?seed ?limit ?jobs ()] — {!predict_site} over the
-    corpus; position-fixed seeds make the outcome independent of
-    [jobs]. *)
+    corpus, then {!predict_page} over the adversarial pack
+    ([Adversarial.pack], appended whatever [limit] is); position-fixed
+    seeds make the outcome independent of [jobs]. *)
 val predict_corpus :
   ?seed:int -> ?limit:int -> ?jobs:int -> unit -> predict_outcome list
 
 (** [render_predict outcomes] — per-site rows for imperfect sites plus
-    aggregate recall/precision. *)
+    aggregate recall/precision and the per-class confirmation
+    breakdown. *)
 val render_predict : predict_outcome list -> string
+
+(** {2 Prediction-guided triage over the corpus}
+
+    The [webracer triage --corpus] path and the CI soundness gate: run
+    {!Wr_static.Triage.run} over every site plus the adversarial pack
+    and aggregate the classifications. *)
+
+type triage_outcome = {
+  t_name : string;
+  t_page : string;
+  t_resources : (string * string) list;  (** kept for blind comparison *)
+  t_report : Wr_static.Triage.t;
+}
+
+val triage_page :
+  ?seed:int ->
+  ?budget:int ->
+  name:string ->
+  page:string ->
+  resources:(string * string) list ->
+  unit ->
+  triage_outcome
+
+(** [triage_corpus ?seed ?limit ?jobs ?budget ()] — {!triage_page} over
+    the corpus then the adversarial pack (same layout and position-fixed
+    seeds as {!predict_corpus}); the reports are independent of
+    [jobs]. *)
+val triage_corpus :
+  ?seed:int -> ?limit:int -> ?jobs:int -> ?budget:int -> unit ->
+  triage_outcome list
+
+(** [triage_sound outcomes] — no site surfaced a dynamic race outside
+    its prediction set (the CI-gate condition). *)
+val triage_sound : triage_outcome list -> bool
+
+(** [render_triage outcomes] — rows for sites where the guided search
+    refuted, exhausted or missed something, plus aggregate counts. *)
+val render_triage : triage_outcome list -> string

@@ -33,6 +33,10 @@ type t = {
   ajax : int;  (** raw-only AJAX shared-global races *)
 }
 
+(** [base name] is the all-zero profile: no planted races. Standalone
+    pages (the adversarial pack) use it as their ground-truth carrier. *)
+val base : string -> t
+
 (** [corpus ()] is the full 100-site profile list, paper rows first. *)
 val corpus : unit -> t list
 

@@ -16,6 +16,12 @@ val recall : comparison -> float
 
 val precision : comparison -> float
 
+(** [loc_covers sl loc] — may the abstract static location denote the
+    concrete dynamic one? Exposed for the triage layer, which matches
+    predictions against individual trace accesses (not just reported
+    races) when building refutation certificates. *)
+val loc_covers : Effects.sloc -> Wr_mem.Location.t -> bool
+
 (** [covers p r] — may the prediction denote the dynamic race's location
     (with compatible race types)? *)
 val covers : Predict.prediction -> Wr_detect.Race.t -> bool

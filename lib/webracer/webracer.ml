@@ -31,7 +31,8 @@ type report = {
 let config ~page ?(resources = []) ?(seed = 0) ?(explore = true)
     ?(detector = Config.Last_access) ?(hb_strategy = Wr_hb.Graph.Closure)
     ?(time_limit = 60_000.) ?(mean_latency = 20.) ?(parse_delay = 0.) ?(trace = false)
-    ?(dedup = true) ?(telemetry = Telemetry.disabled) () =
+    ?(dedup = true) ?(bias = Wr_scheduler.Event_loop.neutral)
+    ?(telemetry = Telemetry.disabled) () =
   {
     (Config.default ~page ()) with
     Config.resources;
@@ -44,6 +45,7 @@ let config ~page ?(resources = []) ?(seed = 0) ?(explore = true)
     parse_delay;
     trace;
     dedup;
+    bias;
     telemetry;
   }
 
@@ -319,6 +321,32 @@ module Replay = struct
                v.console_variants) );
         ("observations", List (List.map observation v.observations));
       ]
+
+  (* Guided mode: instead of enumerating seeds blindly, run a specific
+     list of directed schedules — each a (seed, parse_delay, channel
+     bias) triple chosen by the static triage layer to perturb exactly
+     the orderings that could realize a predicted race. Traces are
+     forced on so the caller can extract refutation certificates from
+     the observed accesses. *)
+  type directed = {
+    label : string;
+    dir_seed : int;
+    dir_parse_delay : float;
+    dir_bias : Wr_scheduler.Event_loop.bias;
+  }
+
+  let run_directed ?(jobs = 1) (cfg : Config.t) specs =
+    analyze_batch ~jobs
+      (List.map
+         (fun d ->
+           {
+             cfg with
+             Config.seed = d.dir_seed;
+             parse_delay = d.dir_parse_delay;
+             trace = true;
+             bias = d.dir_bias;
+           })
+         specs)
 end
 
 let by_type_json races =

@@ -62,6 +62,7 @@ val config :
   ?parse_delay:float ->
   ?trace:bool ->
   ?dedup:bool ->
+  ?bias:Wr_scheduler.Event_loop.bias ->
   ?telemetry:Wr_telemetry.Telemetry.t ->
   unit ->
   Config.t
@@ -164,4 +165,21 @@ module Replay : sig
       observations) under a top-level ["schema_version"]; the serve
       [replay] verb returns exactly this document. *)
   val verdict_to_json : verdict -> Wr_support.Json.t
+
+  (** One guided schedule: a named (seed, parse_delay, channel bias)
+      triple. The static triage layer derives these from the predicted
+      race's MHP ancestry — see [Wr_static.Triage]. *)
+  type directed = {
+    label : string;
+    dir_seed : int;
+    dir_parse_delay : float;
+    dir_bias : Wr_scheduler.Event_loop.bias;
+  }
+
+  (** [run_directed ?jobs config specs] analyzes [config] once per
+      directed schedule, traces forced on, reports in spec order
+      whatever [jobs] is. This is the guided replacement for blind
+      {!explore_schedules}: each run perturbs only the channels its
+      directive names. *)
+  val run_directed : ?jobs:int -> Config.t -> directed list -> report list
 end

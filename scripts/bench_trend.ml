@@ -143,11 +143,18 @@ let tail_metric name = contains ~sub:"_p999" name
    counts are scheduling noise by nature — load balance varies run to
    run without the result or the wall clock moving — and perf7's shed
    counts scale with how many requests a runner managed to push in the
-   measured window, not with how well the daemon behaved. *)
+   measured window, not with how well the daemon behaved. [config_*]
+   entries (perf8's schedule budget and site count) are experiment
+   configuration, not measurements: a deliberate budget bump must not
+   read as a regression. The perf8 schedule counts themselves
+   (guided_confirm_schedules, blind_schedules) keep the default
+   lower-is-better direction, and blind_over_guided_confirmation_ratio
+   picks up higher-is-better from its [_ratio] suffix. *)
 let informational name =
   ends_with ~suffix:"hardware_domains" name
   || ends_with ~suffix:"_steals" name
   || ends_with ~suffix:"_shed" name
+  || contains ~sub:"config_" name
 
 (* The previous history entry with our tag (if any), and how many
    same-tag entries the history already holds. *)

@@ -134,6 +134,17 @@ page is a single ordered script, so nothing is predicted:
   $ webracer call --socket "$SOCK" predict fast/page.html
   {"schema_version":1,"id":1,"ok":true,"result":{"schema_version":1,"units":4,"docs":1,"mhp_pairs":0,"predictions":[],"summary":{"total":0,"html":0,"function":0,"variable":0,"dispatch":0},"lint":[]}}
 
+The triage verb runs guided schedule exploration server-side and returns
+the schema-v2 triage report; with nothing predicted only the baseline
+schedule runs. The HTTP surface routes the same verb via /v1/triage.
+
+  $ webracer call --socket "$SOCK" triage fast/page.html
+  {"schema_version":1,"id":1,"ok":true,"result":{"schema_version":2,"budget":24,"schedules_run":1,"schedules_to_confirm":0,"predictions":0,"confirmed":0,"refuted":0,"unconfirmed":0,"sound":true,"items":[],"unpredicted":[]}}
+  $ webracer call --socket "$SOCK" triage fast/page.html --http
+  {"schema_version":2,"id":null,"shard":0,"ok":true,"result":{"schema_version":2,"budget":24,"schedules_run":1,"schedules_to_confirm":0,"predictions":0,"confirmed":0,"refuted":0,"unconfirmed":0,"sound":true,"items":[],"unpredicted":[]}}
+  $ webracer call --socket "$SOCK" stats | grep -o '"triage":2'
+  "triage":2
+
 A malformed request gets a structured bad_request error — and the
 connection (and daemon) survive it. `call` exits nonzero on any error
 response.

@@ -1,0 +1,77 @@
+Prediction triage: guided schedule exploration confirms or refutes every
+static prediction.
+
+  $ alias webracer='../../bin/webracer_cli.exe'
+
+The paper's Fig. 3 shape: the race fires on the very first (baseline)
+schedule, so triage needs no directed runs at all.
+
+  $ cat > fig3.html <<'HTML'
+  > <html><body>
+  > <script>
+  > function open_panel() {
+  >   var p = document.getElementById("panel");
+  >   if (p != null) { p.style.display = "block"; }
+  > }
+  > </script>
+  > <a id="open" href="javascript:open_panel()">Show the panel</a>
+  > <div id="panel" style="display:none">panel contents</div>
+  > </body></html>
+  > HTML
+
+  $ webracer triage fig3.html
+  predictions: 1  confirmed: 1  refuted: 0  unconfirmed: 0
+  schedules: 1 run (budget 24), last confirmation at 1
+    confirmed   html     elem doc0#panel — schedule baseline
+
+The JSON schema (v2) is pinned, field order and all:
+
+  $ webracer triage fig3.html --json
+  {"schema_version":2,"budget":24,"schedules_run":1,"schedules_to_confirm":1,"predictions":1,"confirmed":1,"refuted":0,"unconfirmed":0,"sound":true,"items":[{"type":"html","location":"elem doc0#panel","classification":"confirmed","schedule":"baseline","directives":["parse:slow+user:fast","parse:fast+user:slow","parse:fast","parse:slow","user:fast","user:slow"]}],"unpredicted":[]}
+
+--blind reports how many schedules undirected enumeration (random seed
+sweep over the parse delay) needs to reach the same confirmations:
+
+  $ webracer triage fig3.html --blind
+  predictions: 1  confirmed: 1  refuted: 0  unconfirmed: 0
+  schedules: 1 run (budget 24), last confirmation at 1
+    confirmed   html     elem doc0#panel — schedule baseline
+  blind equivalent: 1 schedules
+
+A dead-branch registration: the flow-insensitive effect pass predicts a
+race on [adv_dead], but no schedule ever executes the write. Triage
+refutes it with a Side_never_observed certificate (blind enumeration
+needs 0 schedules only because there is nothing to confirm):
+
+  $ cat > dead.html <<'HTML'
+  > <html><body>
+  > <script async="true" src="adv_dead.js"></script>
+  > <script>
+  > setTimeout(function () {
+  >   if (typeof adv_dead != "undefined") { adv_chk = 1; }
+  > }, 12);
+  > </script>
+  > </body></html>
+  > HTML
+  $ cat > adv_dead.js <<'JS'
+  > var adv_en = 0;
+  > if (adv_en > 0) { adv_dead = 1; }
+  > JS
+
+  $ webracer triage dead.html
+  predictions: 1  confirmed: 0  refuted: 1  unconfirmed: 0
+  schedules: 11 run (budget 24), last confirmation at 0
+    refuted     variable var adv_dead — certificate: first side (var adv_dead) never observed
+
+The corpus gate: every confirmed dynamic race must come from the
+prediction set (exit 2 on a soundness violation). The adversarial pack
+contributes the refutations; only imperfect sites are listed.
+
+  $ webracer triage --corpus -j 0
+  Website          Pred  Conf  Ref  Unconf  Sched
+  ---------------  ----  ----  ---  ------  -----
+  adv_computed        2     0    2       0     17
+  adv_dead_branch     1     0    1       0     11
+  adv_eval_dyn        6     0    6       0     13
+  sites: 105  predictions: 2679  confirmed: 2670  refuted: 9  unconfirmed: 0
+  schedules: 147 run  soundness violations: 0

@@ -25,4 +25,5 @@ let () =
       ("sitegen", Test_sitegen.suite);
       ("site-album", Test_site_album.suite);
       ("static", Test_static.suite);
+      ("triage", Test_triage.suite);
     ]

@@ -160,6 +160,81 @@ let test_conflict_exemptions () =
   check_no_eff "read-read never conflicts"
     (E.conflicts (eff E.Read coll) (eff E.Read coll))
 
+(* ------------------------------------------------------------------ *)
+(* Widening soundness: the recall-oriented widenings (computed member
+   names, dynamic eval) must stay on the may-overlap side — a widened
+   effect has to conflict with every concrete effect it could denote
+   and cover every dynamic cell it could reach. These invariants are
+   what the triage pipeline's refutation certificates lean on: a
+   certificate is only sound because coverage never under-approximates. *)
+(* ------------------------------------------------------------------ *)
+
+let mk_eff kind loc =
+  { E.loc; kind; func_decl = false; call = false; user = false; may_miss = false }
+
+let test_computed_member_widening_sound () =
+  let a =
+    analyze_src "var el = document.getElementById(\"box\"); el[\"tmp_\" + n] = 1;"
+  in
+  let target = E.T_elem { doc = 0; id = E.Lit "box" } in
+  (* The analyzer widens an element member write with a computed key to
+     a wildcard prop on that target — never silently narrower. *)
+  check_eff "computed member widens to a wildcard prop"
+    (writes a (E.S_prop { target; prop = E.Any_str }));
+  let w = mk_eff E.Write (E.S_prop { target; prop = E.Any_str }) in
+  check_eff "wildcard write conflicts with every prop read on the target"
+    (E.conflicts w (mk_eff E.Read (E.S_prop { target; prop = E.Lit "tmp_final" })));
+  check_no_eff "widening stays anchored to its target"
+    (E.conflicts w
+       (mk_eff E.Read
+          (E.S_prop
+             { target = E.T_elem { doc = 0; id = E.Lit "nav" };
+               prop = E.Lit "tmp_final" })));
+  (* A prefix-widened sloc (literal head + unknown tail) is the partial
+     precision the triage certificates lean on: it must conflict with
+     everything sharing the prefix, and nothing else. *)
+  let widened = E.S_prop { target; prop = E.Prefix "tmp_" } in
+  let pw = mk_eff E.Write widened in
+  check_eff "prefix write conflicts with every tmp_* read"
+    (E.conflicts pw (mk_eff E.Read (E.S_prop { target; prop = E.Lit "tmp_final" })));
+  check_no_eff "prefix write stays precise outside the prefix"
+    (E.conflicts pw (mk_eff E.Read (E.S_prop { target; prop = E.Lit "other" })));
+  check_eff "prefix covers any concrete tmp_* cell"
+    (Compare.loc_covers widened
+       (Wr_mem.Location.Js_var { cell = 9; name = "tmp_7" }));
+  check_no_eff "prefix does not cover foreign cells"
+    (Compare.loc_covers widened
+       (Wr_mem.Location.Js_var { cell = 9; name = "other" }))
+
+let test_dynamic_eval_widening_sound () =
+  let a = analyze_src "var c = \"adv_mark\"; eval(c + \" = 1;\");" in
+  check_eff "non-literal eval widens to top write" (writes a E.S_top);
+  check_eff "non-literal eval widens to top read" (reads a E.S_top);
+  let w = mk_eff E.Write E.S_top in
+  check_eff "top write conflicts with any global read"
+    (E.conflicts w (mk_eff E.Read (E.S_global (E.Lit "g"))));
+  check_eff "top write conflicts with any id read"
+    (E.conflicts w (mk_eff E.Read (E.S_id { doc = 0; id = E.Lit "panel" })));
+  check_eff "top covers any variable cell"
+    (Compare.loc_covers E.S_top (Wr_mem.Location.Js_var { cell = 1; name = "x" }));
+  check_eff "top covers any html cell"
+    (Compare.loc_covers E.S_top
+       (Wr_mem.Location.Html_elem (Wr_mem.Location.Id { doc = 0; id = "p" })));
+  check_eff "top covers any handler cell"
+    (Compare.loc_covers E.S_top
+       (Wr_mem.Location.Event_handler
+          { target = 3; event = "click"; slot = Wr_mem.Location.Container }))
+
+let test_wildcard_sstr_sound () =
+  check_eff "Any_str matches every literal"
+    (E.sstr_matches E.Any_str (E.Lit "anything"));
+  check_eff "Any_str matches every prefix"
+    (E.sstr_matches E.Any_str (E.Prefix "tmp_"));
+  check_eff "two prefixes overlap when one extends the other"
+    (E.sstr_matches (E.Prefix "tmp_") (E.Prefix "tmp_f"));
+  check_no_eff "disjoint prefixes cannot overlap"
+    (E.sstr_matches (E.Prefix "tmp_") (E.Prefix "adv_"))
+
 let test_classify_mirrors_dynamic () =
   let eff ?(func_decl = false) kind loc =
     { E.loc; kind; func_decl; call = false; user = false; may_miss = false }
@@ -375,6 +450,12 @@ let suite =
     Alcotest.test_case "effects: addEventListener" `Quick test_add_event_listener;
     Alcotest.test_case "effects: handler-local scope" `Quick test_handler_scope_is_local;
     Alcotest.test_case "effects: conflict exemptions" `Quick test_conflict_exemptions;
+    Alcotest.test_case "widening: computed member sound" `Quick
+      test_computed_member_widening_sound;
+    Alcotest.test_case "widening: dynamic eval sound" `Quick
+      test_dynamic_eval_widening_sound;
+    Alcotest.test_case "widening: wildcard strings sound" `Quick
+      test_wildcard_sstr_sound;
     Alcotest.test_case "effects: classification" `Quick test_classify_mirrors_dynamic;
     Alcotest.test_case "mhp: sync scripts ordered" `Quick test_sync_scripts_ordered;
     Alcotest.test_case "mhp: async script unordered" `Quick test_async_script_unordered;

@@ -1,0 +1,152 @@
+(* The triage pipeline against the adversarial pack's ground truth.
+
+   Each scenario declares three flags: whether the baseline schedule
+   leaves some prediction unconfirmed (baseline_gap), whether a directed
+   schedule must close that gap (guided_confirms), and whether at least
+   one prediction must be refuted with a certificate (refutable). The
+   pack is engineered so all three combinations occur; these tests pin
+   that engineering, and the soundness invariant (no dynamic race
+   outside the prediction set) on every scenario. *)
+
+module T = Wr_static.Triage
+module Adv = Wr_sitegen.Adversarial
+
+let run_scenario (s : Adv.scenario) =
+  T.run ~seed:42 ~page:s.Adv.page ~resources:s.Adv.resources ()
+
+let confirmed_beyond_baseline t =
+  List.exists
+    (fun (i : T.item) ->
+      match i.T.classification with
+      | T.Confirmed { schedule } -> schedule <> "baseline"
+      | T.Refuted _ | T.Unconfirmed _ -> false)
+    t.T.items
+
+(* A baseline gap shows up after the full run as anything the baseline
+   schedule did not confirm: a directed confirmation, a refutation, or
+   an unconfirmed leftover. *)
+let has_gap t =
+  List.exists
+    (fun (i : T.item) ->
+      match i.T.classification with
+      | T.Confirmed { schedule } -> schedule <> "baseline"
+      | T.Refuted _ | T.Unconfirmed _ -> true)
+    t.T.items
+
+let check_scenario (s : Adv.scenario) () =
+  let t = run_scenario s in
+  Alcotest.(check bool) "sound: no unpredicted dynamic race" true (T.sound t);
+  Alcotest.(check bool) "baseline gap matches ground truth" s.Adv.baseline_gap
+    (has_gap t);
+  Alcotest.(check bool)
+    "guided confirmation matches ground truth" s.Adv.guided_confirms
+    (confirmed_beyond_baseline t);
+  Alcotest.(check bool)
+    (Printf.sprintf "refutation matches ground truth (%d refuted)"
+       (T.count `Refuted t))
+    s.Adv.refutable
+    (T.count `Refuted t > 0);
+  (* Structural invariants of the report itself. *)
+  Alcotest.(check bool) "confirmation index within schedules run" true
+    (t.T.schedules_to_confirm <= t.T.schedules_run);
+  Alcotest.(check bool) "budget respected" true
+    (t.T.schedules_run <= t.T.budget);
+  Alcotest.(check int) "every prediction classified"
+    (List.length t.T.result.Wr_static.Predict.predictions)
+    (List.length t.T.items)
+
+(* The pack must contain genuine false positives for [predict --corpus]
+   precision to dip below 100%, and the guided search must refute at
+   least one of them with a certificate — the headline acceptance
+   criterion. *)
+let test_pack_has_certified_refutation () =
+  let refuted =
+    List.concat_map
+      (fun (s : Adv.scenario) ->
+        List.filter_map
+          (fun (i : T.item) ->
+            match i.T.classification with
+            | T.Refuted c -> Some c
+            | _ -> None)
+          (run_scenario s).T.items)
+      (Adv.pack ())
+  in
+  Alcotest.(check bool) "at least one certified refutation" true
+    (List.length refuted >= 1);
+  let has_kind pred = List.exists pred refuted in
+  Alcotest.(check bool) "a dead side is certified" true
+    (has_kind (function T.Side_never_observed _ -> true | _ -> false));
+  Alcotest.(check bool) "disjoint cells are certified" true
+    (has_kind (function T.Disjoint_cells _ -> true | _ -> false))
+
+(* Guided search must beat blind enumeration on the pack: strictly
+   fewer schedules to reach the same confirmations. *)
+let test_guided_beats_blind_on_pack () =
+  let totals =
+    List.fold_left
+      (fun (g, b) (s : Adv.scenario) ->
+        let t = run_scenario s in
+        let blind =
+          T.blind_equivalent ~seed:42 ~page:s.Adv.page
+            ~resources:s.Adv.resources t
+        in
+        Alcotest.(check bool)
+          (s.Adv.name ^ ": blind reached the guided coverage")
+          true blind.T.blind_matched;
+        (g + t.T.schedules_to_confirm, b + blind.T.blind_schedules))
+      (0, 0) (Adv.pack ())
+  in
+  let guided, blind = totals in
+  Alcotest.(check bool)
+    (Printf.sprintf "guided (%d) strictly beats blind (%d)" guided blind)
+    true (guided < blind)
+
+(* Directive derivation is deterministic and canonically labelled. *)
+let test_directive_labels () =
+  let d =
+    [ (T.C_net, Wr_scheduler.Event_loop.Fast);
+      (T.C_parse, Wr_scheduler.Event_loop.Slow) ]
+  in
+  Alcotest.(check string) "label is canonical" "net:fast+parse:slow"
+    (T.directive_label d);
+  let bias = T.bias_of d in
+  Alcotest.(check bool) "bias slows parse" true
+    (bias.Wr_scheduler.Event_loop.parse = Some Wr_scheduler.Event_loop.Slow);
+  Alcotest.(check bool) "bias speeds net" true
+    (bias.Wr_scheduler.Event_loop.net = Some Wr_scheduler.Event_loop.Fast);
+  Alcotest.(check bool) "untouched channels stay neutral" true
+    (bias.Wr_scheduler.Event_loop.timer = None)
+
+(* The report is invariant in [jobs] (chunked classification, fixed
+   chunk size): the parallel run must reproduce the sequential one. *)
+let test_jobs_invariance () =
+  let s =
+    List.find
+      (fun (s : Adv.scenario) -> s.Adv.name = "adv_computed")
+      (Adv.pack ())
+  in
+  let seq = T.run ~seed:42 ~page:s.Adv.page ~resources:s.Adv.resources () in
+  let par =
+    T.run ~seed:42 ~jobs:4 ~page:s.Adv.page ~resources:s.Adv.resources ()
+  in
+  Alcotest.(check int) "same schedules run" seq.T.schedules_run
+    par.T.schedules_run;
+  Alcotest.(check int) "same confirmations" (T.count `Confirmed seq)
+    (T.count `Confirmed par);
+  Alcotest.(check int) "same refutations" (T.count `Refuted seq)
+    (T.count `Refuted par)
+
+let suite =
+  List.map
+    (fun (s : Adv.scenario) ->
+      Alcotest.test_case ("pack: " ^ s.Adv.name) `Quick (check_scenario s))
+    (Adv.pack ())
+  @ [
+      Alcotest.test_case "pack: certified refutations" `Quick
+        test_pack_has_certified_refutation;
+      Alcotest.test_case "guided beats blind on the pack" `Quick
+        test_guided_beats_blind_on_pack;
+      Alcotest.test_case "directive labels canonical" `Quick
+        test_directive_labels;
+      Alcotest.test_case "report invariant in jobs" `Quick test_jobs_invariance;
+    ]
